@@ -1,0 +1,139 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+cascade arity, block size, RF distr_depth, and the nesting feature.
+
+These are not paper figures; they probe *why* the paper's curves look
+the way they do by varying one structural knob at a time on the
+simulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.cluster import NodeSpec, core_sweep, simulate, marenostrum4
+from repro.ml import CascadeSVM, RandomForestClassifier
+from repro.runtime import Runtime
+from benchmarks.conftest import make_blobs
+
+
+def record_csvm(arity: int, row_block: int = 100):
+    x, y = make_blobs(n=3200, d=48, sep=1.8, seed=7)
+    with Runtime(executor="threads", max_workers=8) as rt:
+        dx = ds.array(x, (row_block, 48))
+        dy = ds.array(y, (row_block, 1))
+        CascadeSVM(cascade_arity=arity, max_iter=1, check_convergence=False).fit(dx, dy)
+        rt.barrier()
+        return rt.trace()
+
+
+CORES = {"_train_partition": 8, "_merge_train": 8, "_final_model": 8}
+
+
+def test_ablation_cascade_arity(benchmark, write_result):
+    """Higher arity shortens the reduction tree -> better scalability
+    ceiling, at the price of heavier merge tasks."""
+
+    def run():
+        out = {}
+        for arity in (2, 4, 8):
+            trace = record_csvm(arity)
+            res = simulate(trace, marenostrum4(4), cores_per_task=CORES)
+            depth = max(
+                len([1 for _ in trace if _.name == "_merge_train"]), 1
+            )
+            out[arity] = (res.makespan, depth)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: cascade arity (4 simulated MN4 nodes)"]
+    lines += [f"arity={a}: makespan={m:.3f}s merge_tasks={d}" for a, (m, d) in out.items()]
+    write_result("ablation_cascade_arity", "\n".join(lines))
+
+    # fewer merge tasks with higher arity
+    assert out[8][1] < out[4][1] < out[2][1]
+
+
+def test_ablation_block_size(benchmark, write_result):
+    """Smaller blocks -> more parallelism but more per-task overhead;
+    the paper tunes 500x500 (CSVM) vs 250x250 (KNN)."""
+
+    def run():
+        out = {}
+        for row_block in (50, 100, 400):
+            trace = record_csvm(2, row_block=row_block)
+            n_partitions = len([r for r in trace if r.name == "_train_partition"])
+            res1 = simulate(trace, marenostrum4(1), cores_per_task=CORES)
+            res4 = simulate(trace, marenostrum4(4), cores_per_task=CORES)
+            out[row_block] = (n_partitions, res1.makespan, res4.makespan)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: row-block size (CSVM, 1 vs 4 nodes)"]
+    for rb, (parts, m1, m4) in out.items():
+        lines.append(
+            f"rows/block={rb}: partitions={parts} t_1node={m1:.3f}s t_4nodes={m4:.3f}s "
+            f"speedup={m1 / m4:.2f}x"
+        )
+    write_result("ablation_block_size", "\n".join(lines))
+
+    # parallelism follows the number of row blocks
+    assert out[50][0] > out[100][0] > out[400][0]
+    # a single coarse partition cannot use 4 nodes
+    coarse_speedup = out[400][1] / out[400][2]
+    fine_speedup = out[100][1] / out[100][2]
+    assert fine_speedup > coarse_speedup
+
+
+def test_ablation_scheduler_locality(benchmark, write_result):
+    """Quantify the locality-aware placement the runtime (like COMPSs)
+    performs: on a slow interconnect, round-robin placement pays every
+    transfer the locality policy avoids."""
+    from repro.cluster import ClusterSpec, NodeSpec
+
+    trace = record_csvm(2, row_block=100)
+    # slow interconnect so transfers are visible in the makespan
+    slow = ClusterSpec(
+        node=NodeSpec(cores=48), n_nodes=4, bandwidth=0.2e9, latency=1e-4
+    )
+
+    def run():
+        return {
+            policy: simulate(trace, slow, cores_per_task=CORES, policy=policy).makespan
+            for policy in ("locality", "round_robin")
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: scheduler placement policy (slow 0.2 GB/s interconnect)"]
+    lines += [f"{p}: makespan={m:.3f}s" for p, m in out.items()]
+    write_result("ablation_scheduler_locality", "\n".join(lines))
+    assert out["locality"] <= out["round_robin"] * 1.01
+
+
+def test_ablation_rf_distr_depth(benchmark, write_result):
+    """The paper blames RF's scalability on its small task count;
+    raising distr_depth multiplies the tasks per tree."""
+    x, y = make_blobs(n=1500, d=32, sep=1.2, seed=8)
+
+    def run():
+        out = {}
+        for depth in (0, 1, 3):
+            with Runtime(executor="threads", max_workers=8) as rt:
+                dx = ds.array(x, (250, 32))
+                dy = ds.array(y, (250, 1))
+                RandomForestClassifier(
+                    n_estimators=16, distr_depth=depth, random_state=0
+                ).fit(dx, dy)
+                rt.barrier()
+                trace = rt.trace()
+            n_tasks = len(trace)
+            res = simulate(trace, marenostrum4(4))
+            out[depth] = (n_tasks, res.makespan)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: RF distr_depth (16 trees, 4 simulated nodes)"]
+    lines += [f"distr_depth={d}: tasks={n} makespan={m:.3f}s" for d, (n, m) in out.items()]
+    write_result("ablation_rf_distr_depth", "\n".join(lines))
+
+    assert out[3][0] > out[1][0] > out[0][0]

@@ -1,0 +1,127 @@
+"""E16 — federated learning (the paper's §V future work), quantified.
+
+The paper sketches the setup: devices with local data train local
+models whose outcomes are combined by a general model.  This bench
+measures the property that makes the task-based formulation attractive:
+client updates of one round are independent tasks, so round wall-clock
+scales with the number of devices that can compute concurrently.
+
+Method: run a real federation (8 clients x several rounds) under the
+recording runtime, then replay the trace on simulated edge fleets of
+1..8 single-core devices (plus an aggregation server).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, simulate
+from repro.cluster.costmodel import CostModel, name_mean_smoother
+from repro.federated import ClientData, FederatedConfig, Federation, iid_partition
+from repro.nn import Sequential
+from repro.nn.layers import Dense, ReLU
+from repro.runtime import Runtime
+
+N_CLIENTS = 8
+ROUNDS = 4
+
+
+def make_federation_trace():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((800, 6))
+    y = (x[:, :3].sum(axis=1) > 0).astype(int)
+    parts = iid_partition(len(x), N_CLIENTS, rng)
+    clients = [ClientData(x[p], y[p]) for p in parts]
+    config = Sequential(
+        [Dense(6, 24, rng), ReLU(), Dense(24, 2, rng)]
+    ).config()
+    cfg = FederatedConfig(rounds=ROUNDS, local_epochs=2, lr=0.05)
+    with Runtime(executor="threads", max_workers=8) as rt:
+        fed = Federation(config, clients, cfg)
+        fed.fit()
+        rt.barrier()
+        return rt.trace()
+
+
+@pytest.fixture(scope="module")
+def federation_trace():
+    return make_federation_trace()
+
+
+def test_e16_round_time_scales_with_devices(benchmark, federation_trace, write_result):
+    cm = CostModel(base_duration=name_mean_smoother(federation_trace))
+
+    def run():
+        out = {}
+        for n_devices in (1, 2, 4, 8):
+            fleet = ClusterSpec(
+                node=NodeSpec(cores=1, name="edge-device"),
+                n_nodes=n_devices,  # aggregation shares a device
+                bandwidth=12.5e6,  # ~100 Mb/s uplink
+                latency=20e-3,
+            )
+            res = simulate(federation_trace, fleet, cost_model=cm)
+            out[n_devices] = res.makespan
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "E16: federated round scaling on a simulated edge fleet",
+        f"{'devices':>8} {'total time(s)':>14} {'speedup':>8}",
+    ]
+    base = out[1]
+    for n, t in out.items():
+        lines.append(f"{n:>8} {t:>14.3f} {base / t:>8.2f}")
+    write_result("e16_federated_scaling", "\n".join(lines))
+    benchmark.extra_info.update({str(k): round(v, 3) for k, v in out.items()})
+
+    # client updates are independent: near-linear until device count
+    # matches clients, with the aggregation as the serial fraction
+    assert out[2] < out[1] * 0.7
+    assert out[8] < out[4]
+    assert out[8] > base / (N_CLIENTS * 1.5)  # aggregation bounds it
+
+
+def test_e16_straggler_effect(benchmark, federation_trace, write_result):
+    """The synchronous-FedAvg weakness: one slow device bounds every
+    round.  Replay the same federation on a uniform fleet vs one with a
+    4x-slower straggler."""
+    cm = CostModel(base_duration=name_mean_smoother(federation_trace))
+    n = N_CLIENTS
+
+    def run():
+        uniform = ClusterSpec(
+            node=NodeSpec(cores=1), n_nodes=n, bandwidth=12.5e6, latency=20e-3,
+            node_speeds=(1.0,) * n,
+        )
+        straggled = ClusterSpec(
+            node=NodeSpec(cores=1), n_nodes=n, bandwidth=12.5e6, latency=20e-3,
+            node_speeds=(1.0,) * (n - 1) + (0.25,),
+        )
+        return {
+            "uniform": simulate(federation_trace, uniform, cost_model=cm).makespan,
+            "straggler": simulate(federation_trace, straggled, cost_model=cm).makespan,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "e16_straggler",
+        "E16b: straggler effect on synchronous FedAvg rounds\n"
+        + "\n".join(f"{k}: {v:.3f}s" for k, v in out.items()),
+    )
+    # a single slow device slows the whole synchronous federation...
+    assert out["straggler"] > out["uniform"] * 1.05
+    # ...but the scheduler's load-balancing keeps it below the naive 4x
+    assert out["straggler"] < out["uniform"] * 4.0
+
+
+def test_e16_round_structure(federation_trace):
+    updates = [r for r in federation_trace if r.name == "client_update"]
+    aggs = [r for r in federation_trace if r.name == "aggregate"]
+    assert len(updates) == N_CLIENTS * ROUNDS
+    assert len(aggs) == ROUNDS
+    # every aggregate depends on that round's client updates
+    update_ids = {r.task_id for r in updates}
+    for agg in aggs:
+        assert len(set(agg.deps) & update_ids) == N_CLIENTS

@@ -1,0 +1,196 @@
+"""Figure 12 — CNN training time under the three parallelisation
+strategies, on the simulated CTE-Power GPU cluster.
+
+Paper findings:
+
+* 1 GPU per task beats 4 GPUs per task (~1.2x): the dataset is too
+  small to fill 4 GPUs, so inter-GPU communication is pure overhead;
+* nesting beats both (paper: 2.24x over the baseline) because the five
+  folds' epoch loops run concurrently instead of serialising on the
+  driver's per-epoch weight synchronisation.
+
+Method: run all three strategies for real (threads runtime) on a small
+CNN, recording traces.  The non-nested traces get their driver-side
+barrier edges re-imposed (the DAG alone cannot express a ``wait_on``),
+the nested trace is flattened, and each is replayed on the paper's
+node counts: 4 nodes for 4-GPU-per-task, 1 node for 1-GPU-per-task,
+5 nodes for nested.
+
+One physical constant cannot be measured on CPU: the inter-GPU
+synchronisation cost.  ``GPU_SYNC_FRACTION`` charges it as a fraction
+of a training task's compute, reflecting the paper's observation that
+communication dominates at this dataset size; given that constant,
+both headline ratios *emerge* from the replayed DAG structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CostModel,
+    compare_strategies,
+    cte_power,
+    flatten_nested,
+    impose_barrier_order,
+    simulate,
+)
+from repro.nn import Sequential, TrainerParams, cnn_cross_validation
+from repro.nn.layers import Conv1D, Dense, Flatten, MaxPool1D, ReLU
+from repro.runtime import Runtime
+
+#: Inter-GPU weight-exchange cost as a fraction of one training task's
+#: compute time (per extra GPU).  See module docstring.
+GPU_SYNC_FRACTION = 0.32
+
+N_FOLDS = 5
+EPOCHS = 7
+
+
+def small_cnn_config(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv1D(1, 8, 5, rng),
+            ReLU(),
+            MaxPool1D(4),
+            Flatten(),
+            Dense(8 * 31, 16, rng),
+            ReLU(),
+            Dense(16, 2, rng),
+        ]
+    ).config()
+
+
+def make_signals(n=300, length=128, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    x = rng.standard_normal((n, 1, length)) * 0.3
+    y = rng.integers(0, 2, n)
+    x[y == 1] += np.sin(t / 2.0)
+    x[y == 0] += np.sin(t / 8.0)
+    return x, y
+
+
+def record_strategy(nested: bool, gpus_per_worker: int):
+    x, y = make_signals()
+    cfg = small_cnn_config()
+    params = TrainerParams(
+        epochs=EPOCHS, n_workers=4, gpus_per_worker=gpus_per_worker,
+        lr=0.02, batch_size=32,
+    )
+    with Runtime(executor="threads", max_workers=8) as rt:
+        cnn_cross_validation(cfg, x, y, n_splits=N_FOLDS, params=params, nested=nested)
+        rt.barrier()
+        return rt.trace()
+
+
+@pytest.fixture(scope="module")
+def strategy_traces():
+    return {
+        "no_nesting_4gpu": record_strategy(nested=False, gpus_per_worker=4),
+        "no_nesting_1gpu": record_strategy(nested=False, gpus_per_worker=1),
+        "nesting_1gpu": record_strategy(nested=True, gpus_per_worker=1),
+    }
+
+
+def _cost_model(traces) -> CostModel:
+    """4-GPU tasks: recorded CPU time covers the *total* compute of the
+    4 replicas, so a real 4-GPU run does it in a quarter of the time
+    plus the synchronisation overhead.  Same-named tasks do identical
+    work (equal shards), so per-name mean smoothing strips the noise
+    the loaded recording machine adds to individual timings.  Only the
+    non-nested recordings feed the smoother: the nested run packs ~20
+    concurrent tasks onto the recording machine's workers, inflating
+    its raw timings with contention that would not exist on the
+    simulated cluster."""
+    from repro.cluster.costmodel import name_mean_smoother
+
+    one_gpu_mean = np.mean(
+        [r.duration for r in traces["no_nesting_1gpu"] if r.name == "train_epoch_1gpu"]
+    )
+    return CostModel(
+        base_duration=name_mean_smoother(
+            traces["no_nesting_4gpu"], traces["no_nesting_1gpu"]
+        ),
+        per_name_scale={"train_epoch_4gpu": 0.25},
+        gpu_sync_overhead=GPU_SYNC_FRACTION * float(one_gpu_mean),
+    )
+
+
+def _replay_all(traces):
+    cm = _cost_model(traces)
+    results = {}
+    # (i) non-nested, 4 GPUs/task -> 4 tasks need 16 GPUs = 4 nodes
+    t = impose_barrier_order(traces["no_nesting_4gpu"], "merge_weights")
+    results["no_nesting_4gpu"] = simulate(t, cte_power(4), cost_model=cm)
+    # (ii) non-nested, 1 GPU/task -> 4 tasks fit one node
+    t = impose_barrier_order(traces["no_nesting_1gpu"], "merge_weights")
+    results["no_nesting_1gpu"] = simulate(t, cte_power(1), cost_model=cm)
+    # nested: 5 folds x 4 tasks, one GPU each -> 5 nodes
+    t = flatten_nested(traces["nesting_1gpu"])
+    results["nesting_1gpu"] = simulate(t, cte_power(5), cost_model=cm)
+    return results
+
+
+def test_fig12_strategy_comparison(benchmark, strategy_traces, write_result):
+    results = benchmark.pedantic(
+        _replay_all, args=(strategy_traces,), rounds=1, iterations=1
+    )
+    sp = compare_strategies(results, baseline="no_nesting_4gpu")
+
+    lines = ["Fig 12: CNN training strategies (simulated CTE-Power)"]
+    lines.append(f"{'strategy':>20} {'nodes':>6} {'time(s)':>10} {'vs 4gpu':>9}")
+    nodes = {"no_nesting_4gpu": 4, "no_nesting_1gpu": 1, "nesting_1gpu": 5}
+    for name, res in results.items():
+        lines.append(
+            f"{name:>20} {nodes[name]:>6} {res.makespan:>10.2f} {sp[name]:>9.2f}"
+        )
+    write_result("fig12_cnn_strategies", "\n".join(lines))
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in sp.items()})
+
+    # Shape criteria (paper: 1.2x and 2.24x):
+    # (a) one GPU per task beats four GPUs per task
+    assert 1.05 < sp["no_nesting_1gpu"] < 1.8, sp
+    # (b) nesting is the fastest strategy overall
+    assert sp["nesting_1gpu"] > sp["no_nesting_1gpu"], sp
+    assert sp["nesting_1gpu"] > 1.5, sp
+    # (c) but is bounded by the K-fold parallelism times the 4-GPU
+    # inefficiency; the paper's much lower 2.24x additionally pays a
+    # heavy serial dataset-distribution prefix that our substrate makes
+    # negligible (see EXPERIMENTS.md).
+    assert sp["nesting_1gpu"] < N_FOLDS * 2.0, sp
+
+
+def test_fig9_fig10_task_structure(strategy_traces):
+    """The graph shapes behind the figure: non-nested runs have
+    top-level epoch tasks; nested runs group them under fold tasks."""
+    flat = strategy_traces["no_nesting_1gpu"]
+    nested = strategy_traces["nesting_1gpu"]
+
+    flat_trains = [r for r in flat if r.name == "train_epoch_1gpu"]
+    assert len(flat_trains) == N_FOLDS * EPOCHS * 4
+    assert all(r.parent_id is None for r in flat_trains)
+
+    folds = [r for r in nested if r.name == "fold_train"]
+    assert len(folds) == N_FOLDS
+    nested_trains = [r for r in nested if r.name == "train_epoch_1gpu"]
+    fold_ids = {r.task_id for r in folds}
+    assert all(r.parent_id in fold_ids for r in nested_trains)
+
+
+def test_fold_overlap_only_with_nesting(strategy_traces):
+    """Nesting's entire point: fold executions overlap in wall-clock
+    time; the non-nested driver's barriers mostly serialise them."""
+    nested = strategy_traces["nesting_1gpu"]
+    folds = sorted(
+        (r for r in nested if r.name == "fold_train"), key=lambda r: r.t_start
+    )
+    overlaps = sum(
+        1
+        for a, b in zip(folds[:-1], folds[1:])
+        if b.t_start < a.t_end - 1e-6
+    )
+    assert overlaps >= N_FOLDS - 2  # nearly all folds overlap

@@ -1,0 +1,130 @@
+"""Figures 4, 6, 8, 9, 10 — the PyCOMPSs execution graphs.
+
+These figures are structural: coloured task nodes and dependency
+edges.  Each benchmark regenerates the corresponding workflow, exports
+the DOT rendering to ``benchmarks/results/``, and asserts the
+structural properties the paper calls out (task types, first-layer
+width, reduction shape, nesting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import CascadeSVM, KNeighborsClassifier, RandomForestClassifier
+from repro.nn import Sequential, TrainerParams, cnn_cross_validation
+from repro.nn.layers import Dense, ReLU
+from repro.runtime import Runtime, graph_summary, to_dot
+from benchmarks.conftest import make_blobs
+
+
+def _run_and_export(fit_fn, title, write_result):
+    with Runtime(executor="sequential") as rt:
+        fit_fn()
+        dot = to_dot(rt.graph, title=title)
+        summary = graph_summary(rt.graph)
+    write_result(title, dot)
+    return summary
+
+
+def test_fig4_csvm_graph(benchmark, write_result):
+    """Fig 4: cascade — one task per partition, pairwise merge tree."""
+    x, y = make_blobs(n=800, d=16, sep=2.5, seed=0)
+
+    def run():
+        dx = ds.array(x, (100, 16))
+        dy = ds.array(y, (100, 1))
+        CascadeSVM(max_iter=1, check_convergence=False).fit(dx, dy)
+
+    summary = benchmark.pedantic(
+        _run_and_export, args=(run, "fig4_csvm_graph", write_result), rounds=1, iterations=1
+    )
+    by_name = summary["by_name"]
+    assert by_name["_train_partition"] == 8
+    assert by_name["_merge_train"] == 7  # 4 + 2 + 1
+    # depth: load -> train -> 3 merge levels -> final model
+    assert summary["depth"] >= 5
+    assert summary["max_width"] >= 8
+
+
+def test_fig6_knn_graph(benchmark, write_result):
+    """Fig 6: KNN — fit per row block, predict per block pair + merge."""
+    x, y = make_blobs(n=400, d=8, sep=2.5, seed=1)
+
+    def run():
+        dx = ds.array(x, (100, 8))
+        dy = ds.array(y, (100, 1))
+        clf = KNeighborsClassifier(n_neighbors=5).fit(dx, dy)
+        clf.predict(dx)
+
+    summary = benchmark.pedantic(
+        _run_and_export, args=(run, "fig6_knn_graph", write_result), rounds=1, iterations=1
+    )
+    by_name = summary["by_name"]
+    assert by_name["_fit_stripe"] == 4
+    assert by_name["_local_kneighbors"] == 16
+    assert by_name["_merge_kneighbors"] == 4
+
+
+def test_fig8_rf_graph(benchmark, write_result):
+    """Fig 8: RF with 40 estimators — per-estimator task chains."""
+    x, y = make_blobs(n=400, d=8, sep=1.5, seed=2)
+
+    def run():
+        dx = ds.array(x, (100, 8))
+        dy = ds.array(y, (100, 1))
+        RandomForestClassifier(n_estimators=40, distr_depth=1, random_state=0).fit(dx, dy)
+
+    summary = benchmark.pedantic(
+        _run_and_export, args=(run, "fig8_rf_graph", write_result), rounds=1, iterations=1
+    )
+    by_name = summary["by_name"]
+    assert by_name["_bootstrap"] == 40
+    assert by_name["_node_split"] == 40
+    assert by_name["_build_subtree"] == 80
+    assert by_name["_join_node"] == 40
+    # the 40 estimators are independent: huge width, shallow depth
+    assert summary["max_width"] >= 40
+
+
+def _cnn_setup():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((60, 6))
+    y = (x.sum(axis=1) > 0).astype(int)
+    cfg = Sequential([Dense(6, 8, rng), ReLU(), Dense(8, 2, rng)]).config()
+    params = TrainerParams(epochs=3, n_workers=4, lr=0.05)
+    return cfg, x, y, params
+
+
+def test_fig9_cnn_graph(benchmark, write_result):
+    """Fig 9: without nesting, each epoch is 4 train tasks + a merge,
+    and the driver synchronises between epochs."""
+    cfg, x, y, params = _cnn_setup()
+
+    def run():
+        cnn_cross_validation(cfg, x, y, n_splits=2, params=params, nested=False)
+
+    summary = benchmark.pedantic(
+        _run_and_export, args=(run, "fig9_cnn_graph", write_result), rounds=1, iterations=1
+    )
+    by_name = summary["by_name"]
+    assert by_name["train_epoch_1gpu"] == 2 * 3 * 4  # folds x epochs x workers
+    assert by_name["merge_weights"] == 2 * 3
+    assert by_name["evaluate_model"] == 2
+
+
+def test_fig10_cnn_nested_graph(benchmark, write_result):
+    """Fig 10: with nesting, the training tasks of each fold are
+    grouped under one fold task."""
+    cfg, x, y, params = _cnn_setup()
+
+    def run():
+        cnn_cross_validation(cfg, x, y, n_splits=2, params=params, nested=True)
+
+    summary = benchmark.pedantic(
+        _run_and_export, args=(run, "fig10_cnn_nested_graph", write_result), rounds=1, iterations=1
+    )
+    by_name = summary["by_name"]
+    assert by_name["fold_train"] == 2
+    assert by_name["train_epoch_1gpu"] == 2 * 3 * 4

@@ -1,0 +1,73 @@
+"""Runtime micro-benchmarks: per-task overhead of the two executors.
+
+Not a paper figure — the performance artefact any runtime README needs.
+The numbers bound how fine-grained tasks can usefully be (PyCOMPSs
+documents the same trade-off: tasks should be >> the runtime's per-task
+cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime, task, wait_on
+
+
+@task(returns=1)
+def _noop(x):
+    return x
+
+
+@task(returns=1)
+def _sum_chunk(a):
+    return float(np.sum(a))
+
+
+N_TASKS = 200
+
+
+def test_sequential_task_overhead(benchmark):
+    def run():
+        with Runtime(executor="sequential"):
+            return wait_on([_noop(i) for i in range(N_TASKS)])
+
+    out = benchmark(run)
+    assert out == list(range(N_TASKS))
+
+
+def test_threads_task_overhead(benchmark):
+    def run():
+        with Runtime(executor="threads", max_workers=4):
+            return wait_on([_noop(i) for i in range(N_TASKS)])
+
+    out = benchmark(run)
+    assert out == list(range(N_TASKS))
+
+
+def test_threads_amortise_numeric_work(benchmark):
+    """With real NumPy work per task, the threaded executor beats the
+    sequential one (GIL released inside the kernels)."""
+    rng = np.random.default_rng(0)
+    chunks = [rng.standard_normal(400_000) for _ in range(16)]
+    expected = [float(np.sum(c)) for c in chunks]
+
+    def run():
+        with Runtime(executor="threads", max_workers=8):
+            return wait_on([_sum_chunk(c) for c in chunks])
+
+    out = benchmark(run)
+    np.testing.assert_allclose(out, expected)
+
+
+def test_dependency_chain_overhead(benchmark):
+    """Per-edge cost: a serial chain of 100 tasks."""
+
+    def run():
+        with Runtime(executor="sequential"):
+            f = _noop(0)
+            for _ in range(100):
+                f = _noop(f)
+            return wait_on(f)
+
+    assert benchmark(run) == 0

@@ -1,0 +1,181 @@
+"""Table I — accuracy and 5-fold confusion matrices of the four models.
+
+Paper values (on real PhysioNet data): CSVM 74.9%, KNN 52%, RF 86.8%,
+CNN 90%.  On the synthetic substrate, absolute accuracies differ, but
+the qualitative findings the paper draws from the table are asserted:
+
+* **KNN is by far the worst** and collapses towards predicting a
+  single class (paper Table Ib: 0.498/0.490 in the AF column — almost
+  everything predicted AF);
+* **RF and CNN are the strong models** (paper: 86.8% / 90%);
+* **CSVM sits in between**, with errors in both directions
+  (paper Table Ia is symmetric: 0.125 / 0.125);
+* every model's confusion matrix is normalised over all entries, as in
+  the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import ECGConfig
+from repro.runtime import Runtime
+from repro.workflows import (
+    PipelineConfig,
+    prepare_dataset,
+    run_classical,
+    run_cnn,
+    side_by_side,
+    table1_block,
+)
+
+#: Generator configuration used for the Table I runs: noisier signals
+#: with overlapping rhythm statistics so accuracies land in the
+#: paper's range instead of saturating (see EXPERIMENTS.md).
+TABLE1_ECG = ECGConfig(
+    noise_std=0.25,
+    fwave_amplitude=0.03,
+    nsr_rr_std=0.10,
+    af_rr_std=0.12,
+)
+
+CFG = PipelineConfig(
+    scale=0.025,
+    seed=0,
+    block_size=(64, 128),
+    n_splits=5,
+    decimate=8,
+    ecg=TABLE1_ECG,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return prepare_dataset(CFG)
+
+
+def _compute_results(dataset):
+    out = {}
+    with Runtime(executor="threads", max_workers=8):
+        for algo in ("csvm", "knn", "rf"):
+            res = run_classical(algo, CFG, dataset)
+            out[algo] = {
+                "accuracy": res.accuracy,
+                "confusion": res.confusion,
+                "labels": res.cv.labels,
+            }
+        # The paper's cited CNN approach trains on STFT spectrograms
+        # (Huang et al. [18]); 15 epochs of the paper's architecture.
+        cnn = run_cnn(
+            CFG, dataset, epochs=15, n_workers=4, nested=True, lr=0.05,
+            input_mode="spectrogram",
+        )
+        out["cnn"] = {
+            "accuracy": cnn["mean_accuracy"],
+            "confusion": cnn["mean_confusion"],
+            "labels": cnn["labels"],
+        }
+    return out
+
+
+_cache: dict = {}
+
+
+@pytest.fixture(scope="module")
+def results(dataset):
+    if "results" not in _cache:
+        _cache["results"] = _compute_results(dataset)
+    return _cache["results"]
+
+
+def _label_names(labels):
+    return ["N" if l in (0, 0.0) else "AF" for l in labels]
+
+
+def test_table1_report(benchmark, dataset, write_result):
+    """The headline benchmark: runs all four models' 5-fold CV and
+    regenerates Table I.  Shape assertions included here so the
+    ``--benchmark-only`` deliverable run checks them."""
+    if "results" not in _cache:
+        _cache["results"] = benchmark.pedantic(
+            _compute_results, args=(dataset,), rounds=1, iterations=1
+        )
+    else:  # pragma: no cover - fixture already ran in plain mode
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _cache["results"]
+
+    paper = {"csvm": 0.749, "knn": 0.52, "rf": 0.868, "cnn": 0.90}
+    blocks = [
+        "Table I: accuracy and averaged 5-fold confusion matrices",
+        f"{'model':>6} {'measured':>9} {'paper':>7}",
+    ]
+    for name in ("csvm", "knn", "rf", "cnn"):
+        blocks.append(
+            f"{name:>6} {results[name]['accuracy'] * 100:>8.1f}% {paper[name] * 100:>6.1f}%"
+        )
+    blocks.append("")
+    for name in ("csvm", "knn", "rf", "cnn"):
+        r = results[name]
+        blocks.append(
+            table1_block(name.upper(), r["accuracy"], r["confusion"], _label_names(r["labels"]))
+        )
+    write_result("table1_accuracy", side_by_side(blocks))
+
+    benchmark.extra_info.update(
+        {name: round(results[name]["accuracy"], 3) for name in results}
+    )
+    # The paper's robust findings (see module docstring):
+    assert results["knn"]["accuracy"] < min(
+        results["csvm"]["accuracy"],
+        results["rf"]["accuracy"],
+        results["cnn"]["accuracy"],
+    )
+    assert results["rf"]["accuracy"] > 0.8
+    assert results["cnn"]["accuracy"] > 0.85
+    # the paper's winner: the CNN at least matches the best classical
+    assert results["cnn"]["accuracy"] >= results["rf"]["accuracy"] - 0.05
+    assert 0.6 < results["csvm"]["accuracy"] < 0.97
+
+
+def test_csvm_mid_range_with_two_sided_errors(results):
+    """Paper Table Ia: CSVM at 74.9% with symmetric errors."""
+    r = results["csvm"]
+    assert 0.6 < r["accuracy"] < 0.97
+    cm = r["confusion"]
+    # both error cells populated (no single-class collapse)
+    assert cm[0, 1] > 0.01 or cm[1, 0] > 0.01
+
+
+def test_knn_worst_and_degenerate(results):
+    """Paper Table Ib: KNN at 52%, predicting nearly everything as one
+    class despite the StandardScaler."""
+    r = results["knn"]
+    assert r["accuracy"] < min(
+        results["csvm"]["accuracy"],
+        results["rf"]["accuracy"],
+        results["cnn"]["accuracy"],
+    ), "KNN must be the worst model, as in the paper"
+    cm = r["confusion"]
+    # collapse indicator: one predicted-class column carries most mass
+    col_mass = cm.sum(axis=0)
+    assert col_mass.max() > 0.65
+
+
+def test_rf_among_best_classical(results):
+    """Paper Table Ic: RF is the best classical algorithm (86.8%)."""
+    assert results["rf"]["accuracy"] > 0.8
+    assert results["rf"]["accuracy"] >= results["csvm"]["accuracy"] - 0.02
+    assert results["rf"]["accuracy"] > results["knn"]["accuracy"] + 0.1
+
+
+def test_cnn_strong(results):
+    """Paper Table Id: the CNN reaches the best accuracy (90%)."""
+    assert results["cnn"]["accuracy"] > 0.85
+    assert results["cnn"]["accuracy"] > results["knn"]["accuracy"] + 0.1
+    assert results["cnn"]["accuracy"] >= results["rf"]["accuracy"] - 0.05
+
+
+def test_confusion_matrices_normalised(results):
+    for name, r in results.items():
+        assert np.asarray(r["confusion"]).sum() == pytest.approx(1.0), name

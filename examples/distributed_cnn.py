@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed CNN training: nesting vs per-epoch synchronisation.
+
+Run:  python examples/distributed_cnn.py
+
+Reproduces the paper's §III-D experiment structure: a small CNN is
+cross-validated with K=5 folds under two drivers —
+
+* non-nested: the main program synchronises after every epoch to merge
+  worker weights, which serialises the folds (Fig. 9);
+* nested: each fold is itself a task encapsulating its epoch loop, so
+  all folds train concurrently (Fig. 10).
+
+On a multicore machine the nested driver finishes measurably faster
+even though both run the same training tasks.
+"""
+
+import time
+
+import numpy as np
+
+from repro.nn import TrainerParams, af_cnn, cnn_cross_validation
+from repro.runtime import Runtime
+
+
+def make_data(n=400, length=128, seed=0):
+    """Slow-vs-fast oscillation classification (an AF-like task)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    x = rng.standard_normal((n, 1, length)) * 0.3
+    y = rng.integers(0, 2, n)
+    x[y == 1] += np.sin(t / 2.0)
+    x[y == 0] += np.sin(t / 8.0)
+    return x, y
+
+
+def main():
+    x, y = make_data()
+    config = af_cnn(input_length=x.shape[2]).config()
+    params = TrainerParams(epochs=4, n_workers=4, gpus_per_worker=1, lr=0.02, batch_size=32)
+
+    results = {}
+    for nested in (False, True):
+        label = "nested" if nested else "non-nested"
+        with Runtime(executor="threads", max_workers=8) as rt:
+            t0 = time.perf_counter()
+            res = cnn_cross_validation(
+                config, x, y, n_splits=5, params=params, nested=nested
+            )
+            elapsed = time.perf_counter() - t0
+            n_tasks = rt.n_tasks
+        results[label] = elapsed
+        print(
+            f"{label:>11}: {elapsed:6.1f}s  accuracy={res['mean_accuracy']:.3f}  "
+            f"tasks={n_tasks}"
+        )
+
+    speedup = results["non-nested"] / results["nested"]
+    print(f"\nnesting speedup on this machine: {speedup:.2f}x")
+    print("(the paper reports 2.24x on five 4-GPU nodes; the exact factor")
+    print(" depends on how many folds the hardware can overlap)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Close the paper's Fig. 1 loop: train distributed, deploy at the edge.
+
+Run:  python examples/edge_deployment.py
+
+1. Train the AF CNN with the distributed (nested) trainer on synthetic
+   ECG windows,
+2. export the model to a self-contained bundle,
+3. "ship" it to a simulated smartwatch,
+4. stream a two-hour-equivalent recording through on-device inference,
+   escalating only suspected-AF windows — and report the bandwidth and
+   battery numbers that motivate edge inference in the first place.
+"""
+
+import numpy as np
+
+from repro.edge import DeviceSpec, EdgeDevice, bandwidth_savings, bundle_nbytes, export_model
+from repro.nn import Sequential, SGD
+from repro.nn.layers import Conv1D, Dense, Flatten, MaxPool1D, ReLU
+from repro.runtime import Runtime
+
+
+WINDOW = 375  # 10 s at 300 Hz, downsampled x8
+
+
+def make_training_windows(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(WINDOW)
+    x = rng.standard_normal((n, 1, WINDOW)) * 0.3
+    y = rng.integers(0, 2, n)
+    for i in range(n):
+        period = 2.0 if y[i] == 1 else 9.0
+        x[i, 0] += np.sin(t / period + rng.uniform(0, 2 * np.pi))
+    mu = x.mean(axis=2, keepdims=True)
+    sd = x.std(axis=2, keepdims=True)
+    return (x - mu) / sd, y
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv1D(1, 6, 7, rng),
+            ReLU(),
+            MaxPool1D(4),
+            Flatten(),
+            Dense(6 * ((WINDOW - 6) // 4), 12, rng),
+            ReLU(),
+            Dense(12, 2, rng),
+        ]
+    )
+
+
+def make_patient_stream(hours=0.1, af_burden=0.3, seed=3):
+    """A continuous wearable recording with intermittent AF episodes."""
+    rng = np.random.default_rng(seed)
+    fs = 300.0
+    n = int(hours * 3600 * fs)
+    t = np.arange(n)
+    sig = np.sin(t / (9.0 * 8)) + rng.standard_normal(n) * 0.3
+    # sprinkle AF episodes
+    episode = int(30 * fs)  # 30 s episodes
+    n_episodes = int(af_burden * n / episode)
+    for _ in range(n_episodes):
+        start = int(rng.uniform(0, n - episode))
+        seg = slice(start, start + episode)
+        sig[seg] = np.sin(t[seg] / (2.0 * 8)) + rng.standard_normal(episode) * 0.3
+    return sig
+
+
+def main():
+    # --- 1. distributed training ---------------------------------------
+    x, y = make_training_windows()
+    model = make_model()
+    with Runtime(executor="threads", max_workers=4):
+        from repro.nn import DistributedTrainer, TrainerParams
+
+        params = TrainerParams(epochs=6, n_workers=4, lr=0.03, batch_size=32)
+        weights = DistributedTrainer(model.config(), params).fit(x, y)
+    model.set_weights(weights)
+    print(f"trained model accuracy on training windows: {model.evaluate(x, y):.3f}")
+
+    # --- 2-3. export and deploy -----------------------------------------
+    bundle = export_model(model)
+    print(f"model bundle: {bundle_nbytes(bundle) / 1e3:.1f} kB of weights")
+    watch = EdgeDevice(bundle, DeviceSpec(name="smartwatch", speed=0.05))
+    print(f"per-window inference latency on-device: {watch.window_latency() * 1000:.1f} ms")
+
+    # --- 4. streaming monitoring ----------------------------------------
+    stream = make_patient_stream()
+    report = watch.monitor(stream, window_s=10.0, threshold=0.6)
+    raw_mb = len(stream) * 4 / 1e6
+    print(
+        f"\nmonitored {report.n_windows} windows "
+        f"({len(stream) / 300 / 60:.0f} minutes of ECG)"
+    )
+    print(f"escalated (suspected AF): {report.n_escalated} windows")
+    print(f"raw stream size          : {raw_mb:.1f} MB")
+    print(f"actually transmitted     : {report.transmitted_mb:.1f} MB")
+    print(f"bandwidth saved          : {bandwidth_savings(report) * 100:.0f}%")
+    print(f"energy used              : {report.energy_j:.1f} J "
+          f"({report.battery_fraction_used * 100:.1f}% of battery)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Federated AF detection — the paper's future-work scenario (§V).
+
+Run:  python examples/federated_af.py
+
+Wearable devices each hold a private shard of ECG-derived data (no raw
+data leaves a device); every federated round trains local models in
+parallel as runtime tasks and FedAvg combines them into the general
+model.  The shards are non-IID (Dirichlet label skew), as real patient
+devices would be.
+"""
+
+import numpy as np
+
+from repro.federated import (
+    ClientData,
+    FederatedConfig,
+    Federation,
+    dirichlet_partition,
+    partition_stats,
+)
+from repro.nn import Sequential
+from repro.nn.layers import Conv1D, Dense, Flatten, MaxPool1D, ReLU
+from repro.runtime import Runtime
+
+
+def make_ecg_windows(n=600, length=96, seed=0):
+    """Short AF-vs-NSR signal windows, the kind a device would hold."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    x = rng.standard_normal((n, 1, length)) * 0.35
+    y = rng.integers(0, 2, n)
+    x[y == 1] += np.sin(t / 2.3)[None, :]   # fast irregular-ish
+    x[y == 0] += np.sin(t / 7.0)[None, :]   # slow regular
+    return x, y
+
+
+def small_cnn(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv1D(1, 8, 5, rng),
+            ReLU(),
+            MaxPool1D(4),
+            Flatten(),
+            Dense(8 * 23, 16, rng),
+            ReLU(),
+            Dense(16, 2, rng),
+        ]
+    )
+
+
+def main():
+    x, y = make_ecg_windows()
+    split = int(0.8 * len(x))
+    x_train, y_train, x_test, y_test = x[:split], y[:split], x[split:], y[split:]
+
+    n_devices = 6
+    rng = np.random.default_rng(1)
+    parts = dirichlet_partition(y_train, n_devices, alpha=0.4, rng=rng, min_per_client=10)
+    stats = partition_stats(parts, y_train)
+    print(f"{n_devices} devices, shard sizes {stats['sizes']}")
+    for i, hist in enumerate(stats["label_histograms"]):
+        print(f"  device {i}: {hist}")
+
+    clients = [ClientData(x_train[p], y_train[p]) for p in parts]
+    cfg = FederatedConfig(rounds=8, local_epochs=2, lr=0.03, client_fraction=1.0)
+
+    with Runtime(executor="threads", max_workers=6) as rt:
+        fed = Federation(small_cnn().config(), clients, cfg)
+        print("\nfederated rounds (global accuracy on held-out test set):")
+        for _ in range(cfg.rounds):
+            metrics = fed.run_round(lambda m: m.evaluate(x_test, y_test))
+            print(
+                f"  round {metrics.round}: clients={metrics.selected_clients} "
+                f"accuracy={metrics.global_accuracy:.3f}"
+            )
+        n_tasks = rt.n_tasks
+
+    print(f"\nworkflow ran {n_tasks} tasks; no raw data ever left a device shard")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — task-based distributed machine learning workflows.
+
+A from-scratch reproduction of the system described in
+"Applying a Task-Based Approach to Distributed Machine Learning
+Workflows" (SC 2024): a COMPSs-style task runtime (:mod:`repro.runtime`),
+a dislib-style block-distributed ML library (:mod:`repro.dsarray`,
+:mod:`repro.ml`), an EDDL-style neural-network library (:mod:`repro.nn`),
+a synthetic ECG substrate standing in for the PhysioNet CinC 2017
+dataset (:mod:`repro.ecg`), a discrete-event cluster simulator used to
+regenerate the paper's scalability results (:mod:`repro.cluster`), and
+the end-to-end atrial-fibrillation workflows (:mod:`repro.workflows`).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1 [--preset tiny|small]`` — run the four-model comparison and
+  print a Table-I-style report.
+* ``scaling [--algorithm csvm|knn|rf] [--nodes N ...]`` — record a
+  training trace locally and replay it on simulated MareNostrum IV
+  nodes (the Fig. 11 mechanism).
+* ``graphs`` — export the DOT execution graphs of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.runtime import Runtime
+    from repro.workflows import run_classical, run_cnn, side_by_side, table1_block
+    from repro.workflows.af_pipeline import prepare_dataset
+    from repro.workflows.experiments import get_preset
+
+    preset = get_preset(args.preset)
+    print(f"preset {preset.name}: {preset.description}")
+    dataset = prepare_dataset(preset.pipeline)
+    print(f"dataset: {dataset.class_counts()} (balanced)")
+    blocks = []
+    with Runtime(executor="threads"):
+        for algo in ("csvm", "knn", "rf"):
+            res = run_classical(algo, preset.pipeline, dataset)
+            print(f"{algo}: {res.accuracy * 100:.1f}%")
+            blocks.append(table1_block(algo.upper(), res.accuracy, res.confusion, ["N", "AF"]))
+        if not args.skip_cnn:
+            cnn = run_cnn(
+                preset.pipeline,
+                dataset,
+                epochs=preset.cnn_epochs,
+                downsample=preset.cnn_downsample,
+                lr=preset.cnn_lr,
+                nested=True,
+            )
+            print(f"cnn: {cnn['mean_accuracy'] * 100:.1f}%")
+            blocks.append(
+                table1_block("CNN", cnn["mean_accuracy"], cnn["mean_confusion"], ["N", "AF"])
+            )
+    print()
+    print(side_by_side(blocks))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    import repro.dsarray as ds
+    from repro.cluster import NodeSpec, core_sweep, format_sweep
+    from repro.ml import CascadeSVM, KNeighborsClassifier, RandomForestClassifier, StandardScaler
+    from repro.runtime import Runtime
+
+    rng = np.random.default_rng(0)
+    n, d = args.samples, 64
+    x = np.vstack([rng.normal(-1, 1, (n // 2, d)), rng.normal(1, 1, (n // 2, d))])
+    y = np.array([0.0] * (n // 2) + [1.0] * (n - n // 2)).reshape(-1, 1)
+    order = rng.permutation(n)
+
+    with Runtime(executor="threads") as rt:
+        dx = ds.array(x[order], (args.block_rows, d))
+        dy = ds.array(y[order], (args.block_rows, 1))
+        if args.algorithm == "csvm":
+            CascadeSVM(max_iter=1, check_convergence=False).fit(dx, dy)
+            cores = {"_train_partition": 8, "_merge_train": 8, "_final_model": 8}
+        elif args.algorithm == "knn":
+            scaled = StandardScaler().fit_transform(dx)
+            KNeighborsClassifier(5).fit(scaled, dy).predict(scaled)
+            cores = {}
+        else:
+            RandomForestClassifier(n_estimators=40, distr_depth=1, random_state=0).fit(dx, dy)
+            cores = {}
+        rt.barrier()
+        trace = rt.trace()
+    print(f"recorded {len(trace)} tasks ({trace.total_task_time:.2f}s of task time)")
+    points = core_sweep(trace, NodeSpec(cores=48, name="mn4"), args.nodes, cores_per_task=cores)
+    print(format_sweep(points, f"{args.algorithm} on simulated MareNostrum IV"))
+    return 0
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    import pathlib
+    import subprocess
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/test_graphs.py",
+            "--benchmark-only",
+            "-q",
+        ]
+    )
+    print(f"DOT files are in benchmarks/results/ (exit {code})")
+    return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="four-model accuracy comparison")
+    p1.add_argument("--preset", default="tiny", choices=["tiny", "small", "paper"])
+    p1.add_argument("--skip-cnn", action="store_true")
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("scaling", help="record + replay a scalability sweep")
+    p2.add_argument("--algorithm", default="csvm", choices=["csvm", "knn", "rf"])
+    p2.add_argument("--samples", type=int, default=4000)
+    p2.add_argument("--block-rows", type=int, default=250)
+    p2.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 3, 4])
+    p2.set_defaults(func=_cmd_scaling)
+
+    p3 = sub.add_parser("graphs", help="export the paper's execution graphs")
+    p3.add_argument("--output", default="benchmarks/results")
+    p3.set_defaults(func=_cmd_graphs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Post-mortem analyses of traces and simulated schedules.
+
+Paraver-style views in plain text: per-node Gantt charts, the critical
+path through a trace, and time breakdowns per task type — the tools
+one uses to explain *why* a curve in Fig. 11 flattens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simulator import SimResult
+from repro.runtime.tracing import Trace
+
+
+def critical_path(trace: Trace) -> tuple[list[int], float]:
+    """Longest duration-weighted dependency chain.
+
+    Returns (task ids along the path, total seconds).  This lower-bounds
+    the makespan on any machine — if a sweep's makespan approaches it,
+    adding cores cannot help (the paper's CSVM reduction-phase ceiling).
+    """
+    records = {r.task_id: r for r in trace}
+    best: dict[int, float] = {}
+    choice: dict[int, int | None] = {}
+
+    def longest_to(tid: int) -> float:
+        stack = [(tid, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node in best:
+                continue
+            rec = records[node]
+            deps = [d for d in rec.deps if d in records]
+            if not ready:
+                stack.append((node, True))
+                stack.extend((d, False) for d in deps if d not in best)
+            else:
+                if deps:
+                    prev = max(deps, key=lambda d: best[d])
+                    best[node] = best[prev] + rec.duration
+                    choice[node] = prev
+                else:
+                    best[node] = rec.duration
+                    choice[node] = None
+        return best[tid]
+
+    if len(trace) == 0:
+        return [], 0.0
+    end = max((r.task_id for r in trace), key=lambda t: longest_to(t))
+    path = []
+    cur: int | None = end
+    while cur is not None:
+        path.append(cur)
+        cur = choice[cur]
+    return list(reversed(path)), best[end]
+
+
+def time_breakdown(trace: Trace) -> dict[str, dict[str, float]]:
+    """Total/mean/share of task time per task type."""
+    total = trace.total_task_time or 1.0
+    out: dict[str, dict[str, float]] = {}
+    for name, records in trace.by_name().items():
+        durations = np.array([r.duration for r in records])
+        out[name] = {
+            "count": float(len(records)),
+            "total_s": float(durations.sum()),
+            "mean_s": float(durations.mean()),
+            "share": float(durations.sum() / total),
+        }
+    return out
+
+
+def gantt_text(result: SimResult, width: int = 72) -> str:
+    """ASCII Gantt chart of a simulated schedule, one row per node."""
+    if not result.placements:
+        return "(empty schedule)"
+    span = result.makespan or 1.0
+    rows = []
+    for node in range(result.cluster.n_nodes):
+        cells = [" "] * width
+        for p in result.placements.values():
+            if p.node != node:
+                continue
+            lo = int(p.t_start / span * (width - 1))
+            hi = max(lo + 1, int(p.t_end / span * (width - 1)))
+            mark = p.name[0] if p.name else "#"
+            for i in range(lo, min(hi, width)):
+                cells[i] = "#" if cells[i] != " " else mark
+        rows.append(f"node {node:>3} |{''.join(cells)}|")
+    rows.append(f"          0s{' ' * (width - 12)}{span:.2f}s")
+    return "\n".join(rows)
+
+
+def idle_fraction(result: SimResult) -> float:
+    """Fraction of core-time spent idle over the schedule span."""
+    if result.makespan <= 0:
+        return 0.0
+    return 1.0 - result.utilization()
+
+
+def bottleneck_report(trace: Trace, result: SimResult) -> str:
+    """Human-readable summary: critical path vs makespan, busiest task
+    types, idle fraction — the paper-style scalability explanation."""
+    path, cp_time = critical_path(trace)
+    names = {r.task_id: r.name for r in trace}
+    path_names: list[str] = []
+    for tid in path:
+        nm = names.get(tid, "?")
+        if not path_names or path_names[-1].split(" x")[0] != nm:
+            path_names.append(nm)
+    breakdown = time_breakdown(trace)
+    heaviest = sorted(breakdown.items(), key=lambda kv: -kv[1]["total_s"])[:4]
+    lines = [
+        f"makespan           : {result.makespan:.3f}s",
+        f"critical path      : {cp_time:.3f}s "
+        f"({cp_time / result.makespan * 100 if result.makespan else 0:.0f}% of makespan)",
+        f"critical task chain: {' -> '.join(path_names)}",
+        f"idle core fraction : {idle_fraction(result) * 100:.0f}%",
+        "heaviest task types:",
+    ]
+    for name, stats in heaviest:
+        lines.append(
+            f"  {name}: {stats['total_s']:.3f}s total over {int(stats['count'])} tasks "
+            f"({stats['share'] * 100:.0f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Task cost models for the simulator.
+
+A cost model answers: *how long does this recorded task take on the
+simulated machine?*  The default uses the recorded duration scaled by
+the node speed; overrides allow extrapolating small local runs to
+paper-scale problem sizes (e.g. "the fit task would be 40x larger") and
+modelling GPU collectives (the 4-GPU-per-task communication overhead
+that makes the paper's 1-GPU variant 1.2x faster).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+from repro.runtime.tracing import TaskRecord
+
+
+@dataclasses.dataclass
+class CostModel:
+    """Computes simulated task durations.
+
+    Parameters
+    ----------
+    scale:
+        Global multiplier on recorded durations.
+    per_name_scale:
+        Extra multiplier per task name (workload extrapolation).
+    gpu_sync_overhead:
+        Added once per task and per extra GPU it occupies — models the
+        intra-node gradient/weight exchange of multi-GPU data
+        parallelism (EDDL's distributed training in the paper).
+    base_duration:
+        Optional ``f(record) -> seconds or None``: replaces the
+        *recorded* duration before scaling (e.g. name-mean smoothing
+        to strip recording noise); scaling and overheads still apply.
+    override:
+        Optional ``f(record) -> seconds or None``; wins outright when
+        not None (no scaling applied).
+    """
+
+    scale: float = 1.0
+    per_name_scale: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    gpu_sync_overhead: float = 0.0
+    base_duration: Callable[[TaskRecord], float | None] | None = None
+    override: Callable[[TaskRecord], float | None] | None = None
+
+    def duration(self, record: TaskRecord, node_speed: float = 1.0) -> float:
+        if self.override is not None:
+            forced = self.override(record)
+            if forced is not None:
+                return forced / node_speed
+        d = record.duration
+        if self.base_duration is not None:
+            base = self.base_duration(record)
+            if base is not None:
+                d = base
+        d *= self.scale
+        d *= self.per_name_scale.get(record.name, 1.0)
+        if record.gpus > 1:
+            d += self.gpu_sync_overhead * (record.gpus - 1)
+        return d / node_speed
+
+
+IDENTITY = CostModel()
+
+
+def name_mean_smoother(*traces) -> Callable[[TaskRecord], float | None]:
+    """A ``base_duration`` hook replacing each task's recorded duration
+    with the mean over all same-named tasks in *traces*.
+
+    Recording on a loaded multicore machine adds contention noise to
+    individual task timings; for workloads whose same-named tasks do
+    identical work (e.g. equal-shard training epochs), the per-name
+    mean is the better estimate of the task's intrinsic cost.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for trace in traces:
+        for rec in trace:
+            totals[rec.name] = totals.get(rec.name, 0.0) + rec.duration
+            counts[rec.name] = counts.get(rec.name, 0) + 1
+    means = {name: totals[name] / counts[name] for name in totals}
+
+    def hook(record: TaskRecord) -> float | None:
+        return means.get(record.name)
+
+    return hook

@@ -1,0 +1,128 @@
+"""High-level replay helpers: core sweeps and speedup tables.
+
+These wrap :func:`repro.cluster.simulator.simulate` into the exact
+experiments the paper plots: training-time versus total core count
+(Fig. 11) and CNN strategy comparisons on a GPU cluster (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.cluster.costmodel import CostModel, IDENTITY
+from repro.cluster.resources import ClusterSpec, NodeSpec
+from repro.cluster.simulator import SimResult, simulate
+from repro.runtime.tracing import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of a scalability curve."""
+
+    n_nodes: int
+    total_cores: int
+    makespan: float
+    utilization: float
+
+
+def core_sweep(
+    trace: Trace,
+    node: NodeSpec,
+    node_counts: Sequence[int],
+    cost_model: CostModel = IDENTITY,
+    cores_per_task: Mapping[str, int] | None = None,
+    gpus_per_task: Mapping[str, int] | None = None,
+    bandwidth: float = 12.5e9,
+    latency: float = 1.5e-6,
+) -> list[SweepPoint]:
+    """Simulate the same trace on 1..N nodes and collect makespans.
+
+    This regenerates the x-axis of the paper's Fig. 11: total cores
+    (= nodes x cores/node) against training time.
+    """
+    points: list[SweepPoint] = []
+    for n in node_counts:
+        cluster = ClusterSpec(
+            node=node, n_nodes=n, bandwidth=bandwidth, latency=latency
+        )
+        res = simulate(
+            trace,
+            cluster,
+            cost_model=cost_model,
+            cores_per_task=cores_per_task,
+            gpus_per_task=gpus_per_task,
+        )
+        points.append(
+            SweepPoint(
+                n_nodes=n,
+                total_cores=cluster.total_cores,
+                makespan=res.makespan,
+                utilization=res.utilization(),
+            )
+        )
+    return points
+
+
+def speedups(points: Sequence[SweepPoint]) -> dict[int, float]:
+    """Speedup relative to the smallest configuration in the sweep."""
+    if not points:
+        return {}
+    base = points[0].makespan
+    return {p.total_cores: (base / p.makespan if p.makespan else float("inf")) for p in points}
+
+
+def format_sweep(points: Sequence[SweepPoint], title: str) -> str:
+    """Fixed-width table matching the structure of the paper figures."""
+    lines = [title, f"{'nodes':>6} {'cores':>7} {'time(s)':>12} {'speedup':>9} {'util':>6}"]
+    base = points[0].makespan if points else 0.0
+    for p in points:
+        sp = base / p.makespan if p.makespan else float("inf")
+        lines.append(
+            f"{p.n_nodes:>6d} {p.total_cores:>7d} {p.makespan:>12.3f} "
+            f"{sp:>9.2f} {p.utilization:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def impose_barrier_order(trace: Trace, barrier_name: str) -> Trace:
+    """Add the driver-side synchronisation edges a recorded trace
+    cannot express.
+
+    When the application calls ``wait_on`` after every *barrier_name*
+    task (the per-epoch weight merge of the paper's non-nested CNN
+    driver), later tasks are only *submitted* after the barrier
+    completes — an ordering that exists in the recorded timestamps but
+    not in the data-dependency DAG.  This helper rebuilds it: every
+    task whose recorded start is at or after a barrier's end gains a
+    dependency on the latest such barrier, so a replay cannot schedule
+    across the synchronisation.
+    """
+    import dataclasses as _dc
+
+    records = sorted(trace, key=lambda r: r.t_start)
+    barriers = sorted(
+        (r for r in records if r.name == barrier_name), key=lambda r: r.t_end
+    )
+    out = Trace()
+    for rec in records:
+        latest = None
+        for b in barriers:
+            if b.t_end <= rec.t_start + 1e-9 and b.task_id != rec.task_id:
+                latest = b
+            else:
+                break
+        if latest is not None and latest.task_id not in rec.deps:
+            rec = _dc.replace(rec, deps=tuple(rec.deps) + (latest.task_id,))
+        out.add(rec)
+    return out
+
+
+def compare_strategies(
+    results: Mapping[str, SimResult],
+    baseline: str,
+) -> dict[str, float]:
+    """Speedup of each named strategy over *baseline* (paper Fig. 12
+    reports nesting at ~2.24x over the 4-GPU-per-task variant)."""
+    base = results[baseline].makespan
+    return {name: base / r.makespan for name, r in results.items()}

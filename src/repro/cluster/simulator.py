@@ -1,0 +1,346 @@
+"""Discrete-event simulation of a task-graph execution on a cluster.
+
+Replays a recorded :class:`~repro.runtime.tracing.Trace` on a
+:class:`~repro.cluster.resources.ClusterSpec` using locality-aware list
+scheduling: tasks become ready when their dependencies complete, are
+prioritised by bottom level (longest downstream path), and are placed
+on the node that lets them start earliest, charging an interconnect
+transfer penalty when input data lives on another node.
+
+This is how the paper-scale scalability figures are regenerated
+without a supercomputer: the DAG shape and per-task durations come from
+a real (local) execution, while node counts, cores-per-node and
+cores-per-task follow the paper's testbed configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Iterable, Mapping
+
+from repro.cluster.costmodel import CostModel, IDENTITY
+from repro.cluster.resources import ClusterSpec
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Where and when one task ran in the simulation."""
+
+    task_id: int
+    name: str
+    node: int
+    t_start: float
+    t_end: float
+    cores: int
+    gpus: int
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of one simulated execution."""
+
+    cluster: ClusterSpec
+    placements: dict[int, Placement]
+    makespan: float
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.placements)
+
+    def utilization(self) -> float:
+        """Busy core-time over available core-time."""
+        if self.makespan <= 0:
+            return 0.0
+        busy = sum(p.duration * p.cores for p in self.placements.values())
+        return busy / (self.cluster.total_cores * self.makespan)
+
+    def node_busy_time(self) -> list[float]:
+        busy = [0.0] * self.cluster.n_nodes
+        for p in self.placements.values():
+            busy[p.node] += p.duration * p.cores
+        return busy
+
+    def per_name_span(self) -> dict[str, tuple[float, float]]:
+        """(first start, last end) per task type."""
+        out: dict[str, tuple[float, float]] = {}
+        for p in self.placements.values():
+            lo, hi = out.get(p.name, (float("inf"), 0.0))
+            out[p.name] = (min(lo, p.t_start), max(hi, p.t_end))
+        return out
+
+
+class OversubscribedTaskError(ValueError):
+    """A task requires more cores or GPUs than any node provides."""
+
+
+def simulate(
+    trace: Trace,
+    cluster: ClusterSpec,
+    cost_model: CostModel = IDENTITY,
+    cores_per_task: Mapping[str, int] | None = None,
+    gpus_per_task: Mapping[str, int] | None = None,
+    policy: str = "locality",
+) -> SimResult:
+    """Simulate executing *trace*'s DAG on *cluster*.
+
+    ``cores_per_task`` / ``gpus_per_task`` override the recorded
+    constraints per task name — the paper varies these between runs
+    (e.g. 8 cores/task for CSVM, 4 for KNN, 1 or 4 GPUs per CNN task).
+
+    ``policy`` selects node placement among feasible nodes:
+
+    * ``"locality"`` (default, COMPSs-like): earliest data-ready start,
+      i.e. prefer the node holding the task's inputs;
+    * ``"round_robin"``: cycle nodes regardless of data placement —
+      pays every transfer; useful to quantify locality's value.
+    """
+    if policy not in ("locality", "round_robin"):
+        raise ValueError(f"unknown scheduling policy {policy!r}")
+    records = list(trace)
+    if not records:
+        return SimResult(cluster, {}, 0.0)
+    ids = {r.task_id for r in records}
+
+    def cores_of(r: TaskRecord) -> int:
+        c = (cores_per_task or {}).get(r.name, r.computing_units)
+        if c > cluster.node.cores:
+            raise OversubscribedTaskError(
+                f"task {r.name} needs {c} cores, node has {cluster.node.cores}"
+            )
+        return c
+
+    def gpus_of(r: TaskRecord) -> int:
+        g = (gpus_per_task or {}).get(r.name, r.gpus)
+        if g > cluster.node.gpus:
+            raise OversubscribedTaskError(
+                f"task {r.name} needs {g} GPUs, node has {cluster.node.gpus}"
+            )
+        return g
+
+    # Base durations under the cost model (speed applied per node).
+    base_durations = {
+        r.task_id: cost_model.duration(r, node_speed=1.0) for r in records
+    }
+    speeds = [cluster.speed_of(n) for n in range(cluster.n_nodes)]
+
+    def dur_on(tid: int, node: int) -> float:
+        return base_durations[tid] / speeds[node]
+
+    # For priorities, use the fastest node's view of each task.
+    max_speed = max(speeds)
+    durations = {tid: d / max_speed for tid, d in base_durations.items()}
+    # Dependencies restricted to tasks present in the trace.
+    deps = {r.task_id: tuple(d for d in r.deps if d in ids) for r in records}
+    children: dict[int, list[int]] = {r.task_id: [] for r in records}
+    for r in records:
+        for d in deps[r.task_id]:
+            children[d].append(r.task_id)
+
+    # Bottom level (critical-path priority): duration + max child level.
+    bottom: dict[int, float] = {}
+
+    def _bottom(tid: int) -> float:
+        # iterative DFS to avoid recursion limits on deep cascades
+        stack = [(tid, False)]
+        while stack:
+            node, processed = stack.pop()
+            if node in bottom:
+                continue
+            if processed:
+                kids = children[node]
+                bottom[node] = durations[node] + max(
+                    (bottom[k] for k in kids), default=0.0
+                )
+            else:
+                stack.append((node, True))
+                for k in children[node]:
+                    if k not in bottom:
+                        stack.append((k, False))
+        return bottom[tid]
+
+    for r in records:
+        _bottom(r.task_id)
+
+    by_id = {r.task_id: r for r in records}
+    remaining = {r.task_id: len(deps[r.task_id]) for r in records}
+    # ready heap: (-bottom_level, task_id)
+    ready: list[tuple[float, int]] = [
+        (-bottom[tid], tid) for tid, n in remaining.items() if n == 0
+    ]
+    heapq.heapify(ready)
+
+    free_cores = [cluster.node.cores] * cluster.n_nodes
+    free_gpus = [cluster.node.gpus] * cluster.n_nodes
+    #: per-node running tasks, as (t_end, cores, gpus) — used to
+    #: estimate when a busy node could host a task (deferral decision).
+    running: list[list[tuple[float, int, int]]] = [[] for _ in range(cluster.n_nodes)]
+    finish_time: dict[int, float] = {}
+    location: dict[int, int] = {}
+    placements: dict[int, Placement] = {}
+    # completion events: (t_end, task_id, node, cores, gpus)
+    events: list[tuple[float, int, int, int, int]] = []
+    now = 0.0
+    rr_counter = 0
+    deferred: list[tuple[float, int]] = []
+
+    def earliest_hosting(node: int, c: int, g: int) -> float:
+        """Earliest time *node* could have c cores and g GPUs free."""
+        if free_cores[node] >= c and free_gpus[node] >= g:
+            return now
+        fc, fg = free_cores[node], free_gpus[node]
+        for t_end, cc, gg in sorted(running[node]):
+            fc += cc
+            fg += gg
+            if fc >= c and fg >= g:
+                return t_end
+        return float("inf")
+
+    def data_ready(tid: int, node: int) -> float:
+        t = 0.0
+        rec = by_id[tid]
+        for d in deps[tid]:
+            t_avail = finish_time[d]
+            if location[d] != node:
+                # charge the producer's output volume across the wire
+                t_avail += cluster.transfer_time(by_id[d].out_bytes)
+            t = max(t, t_avail)
+        return max(t, 0.0) if deps[tid] else 0.0
+
+    while ready or events or deferred:
+        # Try to place every currently ready task.
+        progressed = False
+        still_ready: list[tuple[float, int]] = []
+        while ready:
+            prio, tid = heapq.heappop(ready)
+            rec = by_id[tid]
+            c, g = cores_of(rec), gpus_of(rec)
+            best_node, best_start = -1, float("inf")
+            best_finish = float("inf")
+            if policy == "round_robin":
+                order = [
+                    (rr_counter + i) % cluster.n_nodes
+                    for i in range(cluster.n_nodes)
+                ]
+                for node in order:
+                    if free_cores[node] >= c and free_gpus[node] >= g:
+                        best_node = node
+                        best_start = max(now, data_ready(tid, node))
+                        rr_counter += 1
+                        break
+            else:
+                for node in range(cluster.n_nodes):
+                    if free_cores[node] >= c and free_gpus[node] >= g:
+                        start = max(now, data_ready(tid, node))
+                        finish = start + dur_on(tid, node)
+                        if finish < best_finish:
+                            best_finish, best_start, best_node = finish, start, node
+                if best_node >= 0:
+                    # Deferral: if some busy node would let the task
+                    # *finish* strictly earlier (typically its data's
+                    # home node, or a faster node), wait for it instead
+                    # of starting suboptimally now.
+                    best_busy = min(
+                        (
+                            max(earliest_hosting(n, c, g), data_ready(tid, n))
+                            + dur_on(tid, n)
+                            for n in range(cluster.n_nodes)
+                        ),
+                        default=float("inf"),
+                    )
+                    if best_busy < best_finish - 1e-12:
+                        still_ready.append((prio, tid))
+                        continue
+            if best_node < 0:
+                still_ready.append((prio, tid))
+                continue
+            t_end = best_start + dur_on(tid, best_node)
+            free_cores[best_node] -= c
+            free_gpus[best_node] -= g
+            running[best_node].append((t_end, c, g))
+            heapq.heappush(events, (t_end, tid, best_node, c, g))
+            placements[tid] = Placement(
+                task_id=tid,
+                name=rec.name,
+                node=best_node,
+                t_start=best_start,
+                t_end=t_end,
+                cores=c,
+                gpus=g,
+            )
+            progressed = True
+        for item in still_ready:
+            heapq.heappush(ready, item)
+
+        if not events:
+            if ready and not progressed:
+                raise OversubscribedTaskError(
+                    "ready tasks cannot be placed and no task is running"
+                )
+            continue
+
+        # Advance to the next completion.
+        t_end, tid, node, c, g = heapq.heappop(events)
+        now = max(now, t_end)
+        free_cores[node] += c
+        free_gpus[node] += g
+        running[node].remove((t_end, c, g))
+        finish_time[tid] = t_end
+        location[tid] = node
+        for child in children[tid]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                heapq.heappush(ready, (-bottom[child], child))
+
+    makespan = max((p.t_end for p in placements.values()), default=0.0)
+    return SimResult(cluster, placements, makespan)
+
+
+def flatten_nested(trace: Trace) -> Trace:
+    """Lift nested tasks to a flat DAG for simulation.
+
+    Parent tasks that spawned children are removed; their children
+    inherit the parent's dependencies, and tasks that depended on the
+    parent now depend on all of the parent's (transitively flattened)
+    children.  The parent's own (orchestration) time is dropped — an
+    approximation documented in DESIGN.md that errs towards optimism
+    for *both* nested and non-nested variants equally.
+    """
+    records = list(trace)
+    has_children = {r.parent_id for r in records if r.parent_id is not None}
+    leaf_of: dict[int, list[int]] = {}
+
+    def leaves(tid: int) -> list[int]:
+        if tid not in has_children:
+            return [tid]
+        if tid in leaf_of:
+            return leaf_of[tid]
+        out: list[int] = []
+        for r in records:
+            if r.parent_id == tid:
+                out.extend(leaves(r.task_id))
+        leaf_of[tid] = out
+        return out
+
+    parent_deps: dict[int, tuple[int, ...]] = {
+        r.task_id: r.deps for r in records
+    }
+    flat = Trace()
+    for r in records:
+        if r.task_id in has_children:
+            continue  # drop parents
+        new_deps: set[int] = set()
+        frontier: Iterable[int] = r.deps
+        if r.parent_id is not None:
+            frontier = tuple(r.deps) + parent_deps.get(r.parent_id, ())
+        for d in frontier:
+            for leaf in leaves(d):
+                if leaf != r.task_id:
+                    new_deps.add(leaf)
+        flat.add(dataclasses.replace(r, deps=tuple(sorted(new_deps)), parent_id=None))
+    return flat

@@ -1,0 +1,27 @@
+"""Block-distributed arrays — the dislib ``ds-array`` analog."""
+
+from repro.dsarray.array import Array
+from repro.dsarray.creation import array, full, ones, random_array, zeros
+
+__all__ = [
+    "Array",
+    "array",
+    "random_array",
+    "zeros",
+    "ones",
+    "full",
+    "vstack",
+    "frobenius_norm",
+    "save_npz",
+    "load_npz",
+]
+
+
+def __getattr__(name):
+    # ops imports runtime tasks which import dsarray; resolve lazily to
+    # keep `import repro.dsarray` cycle-free.
+    if name in ("vstack", "frobenius_norm", "save_npz", "load_npz"):
+        from repro.dsarray import ops
+
+        return getattr(ops, name)
+    raise AttributeError(f"module 'repro.dsarray' has no attribute {name!r}")

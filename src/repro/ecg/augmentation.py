@@ -1,0 +1,120 @@
+"""Shuffling-based data augmentation (paper §III-B.1, Fig. 2).
+
+The minority (AF) class is synthetically augmented by segmenting each
+signal into *patches* of 6 contiguous R peaks — the minimum ECG length
+needed to detect irregular rhythms — separated by in-between *spacers*,
+then shuffling the patch order to produce a new signal whose key
+rhythm properties are unaltered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecg.dataset import Dataset, Record
+from repro.ecg.rpeaks import gamboa_segmenter
+
+PEAKS_PER_PATCH = 6
+
+
+def segment_patches(
+    signal: np.ndarray,
+    rpeaks: np.ndarray,
+    peaks_per_patch: int = PEAKS_PER_PATCH,
+    spacer_fraction: float = 0.2,
+) -> tuple[list[np.ndarray], list[np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Split *signal* into patches (6 R peaks each) and spacers.
+
+    Returns (patches, spacers, (head, tail)).  Patch k spans from just
+    after spacer k-1 to just before spacer k; each spacer is the middle
+    ``spacer_fraction`` of the gap between the last peak of one patch
+    and the first peak of the next.  head/tail are the signal portions
+    before the first patch and after the last.
+    """
+    rpeaks = np.asarray(rpeaks, dtype=int)
+    n_groups = len(rpeaks) // peaks_per_patch
+    if n_groups < 2:
+        raise ValueError(
+            f"need at least {2 * peaks_per_patch} R peaks to shuffle; got {len(rpeaks)}"
+        )
+    groups = [
+        rpeaks[i * peaks_per_patch : (i + 1) * peaks_per_patch]
+        for i in range(n_groups)
+    ]
+    # boundaries between consecutive groups
+    cuts: list[tuple[int, int]] = []
+    for g, g_next in zip(groups[:-1], groups[1:]):
+        gap_lo, gap_hi = g[-1], g_next[0]
+        gap = gap_hi - gap_lo
+        pad = int(gap * (1 - spacer_fraction) / 2)
+        cuts.append((gap_lo + pad, gap_hi - pad))
+
+    head_end = max(groups[0][0] - int((groups[0][1] - groups[0][0]) / 2), 0)
+    tail_start = min(
+        groups[-1][-1] + int((groups[-1][-1] - groups[-1][-2]) / 2), len(signal)
+    )
+    head = signal[:head_end]
+    tail = signal[tail_start:]
+
+    patches: list[np.ndarray] = []
+    spacers: list[np.ndarray] = []
+    start = head_end
+    for lo, hi in cuts:
+        patches.append(signal[start:lo])
+        spacers.append(signal[lo:hi])
+        start = hi
+    patches.append(signal[start:tail_start])
+    return patches, spacers, (head, tail)
+
+
+def shuffle_patches(
+    signal: np.ndarray,
+    rpeaks: np.ndarray,
+    rng: np.random.Generator,
+    peaks_per_patch: int = PEAKS_PER_PATCH,
+) -> np.ndarray:
+    """One shuffled variant: patch order permuted, spacers in place."""
+    patches, spacers, (head, tail) = segment_patches(signal, rpeaks, peaks_per_patch)
+    order = rng.permutation(len(patches))
+    parts: list[np.ndarray] = [head]
+    for i, patch_idx in enumerate(order):
+        parts.append(patches[patch_idx])
+        if i < len(spacers):
+            parts.append(spacers[i])
+    parts.append(tail)
+    return np.concatenate(parts)
+
+
+def augment_minority(
+    dataset: Dataset,
+    minority_label: str = "AF",
+    seed: int = 0,
+    fs: float | None = None,
+) -> Dataset:
+    """Balance the dataset by shuffling-based augmentation of the
+    minority class (performed "on all AF signals at random until their
+    total amount is balanced with that of the Normal class")."""
+    counts = dataset.class_counts()
+    if minority_label not in counts:
+        raise ValueError(f"no {minority_label!r} records in dataset")
+    majority = max(counts.values())
+    need = majority - counts[minority_label]
+    rng = np.random.default_rng(seed)
+    minority = [r for r in dataset.records if r.label == minority_label]
+    new_records = list(dataset.records)
+    attempts = 0
+    while need > 0 and attempts < 20 * majority:
+        src = minority[int(rng.integers(0, len(minority)))]
+        attempts += 1
+        peaks = gamboa_segmenter(src.signal, fs or src.fs)
+        if len(peaks) < 2 * PEAKS_PER_PATCH:
+            continue
+        new_sig = shuffle_patches(src.signal, peaks, rng)
+        new_records.append(Record(signal=new_sig, label=minority_label, fs=src.fs))
+        need -= 1
+    if need > 0:
+        raise RuntimeError(
+            "augmentation could not balance the classes: too few R peaks detected"
+        )
+    order = rng.permutation(len(new_records))
+    return Dataset([new_records[i] for i in order])

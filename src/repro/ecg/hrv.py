@@ -1,0 +1,66 @@
+"""Heart-rate-variability features and the RR-interval baseline.
+
+Paper §II: "RR interval-based methods are limited when the ECG changes
+quickly between rhythms or when AF takes place with regular ventricular
+rates. [...] Time-frequency domain techniques have been proposed in
+this paper to overcome these limitations."  To evaluate that claim we
+need the baseline itself: the classic HRV statistics used by
+RR-interval AF detectors, computed from detected R peaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecg.rpeaks import gamboa_segmenter, rr_intervals
+
+#: Names of the features :func:`hrv_features` returns, in order.
+HRV_FEATURE_NAMES = (
+    "mean_rr",
+    "sdnn",
+    "rmssd",
+    "pnn50",
+    "cv_rr",
+    "shannon_entropy",
+    "turning_point_ratio",
+)
+
+
+def hrv_features(rr: np.ndarray) -> np.ndarray:
+    """Classic HRV statistics of one RR-interval series (seconds).
+
+    Returns a vector ordered as :data:`HRV_FEATURE_NAMES`.  Series with
+    fewer than 3 intervals yield zeros (undetectable rhythm).
+    """
+    rr = np.asarray(rr, dtype=float)
+    if rr.size < 3:
+        return np.zeros(len(HRV_FEATURE_NAMES))
+    diffs = np.diff(rr)
+    mean_rr = float(rr.mean())
+    sdnn = float(rr.std())
+    rmssd = float(np.sqrt(np.mean(diffs**2)))
+    pnn50 = float(np.mean(np.abs(diffs) > 0.05))
+    cv = sdnn / mean_rr if mean_rr > 0 else 0.0
+    # Shannon entropy of the RR histogram (16 bins over observed range)
+    hist, _ = np.histogram(rr, bins=16)
+    p = hist / hist.sum()
+    p = p[p > 0]
+    entropy = float(-(p * np.log2(p)).sum())
+    # turning point ratio: fraction of interior points that are local
+    # extrema (higher for irregular rhythms)
+    interior = rr[1:-1]
+    turning = (interior > np.maximum(rr[:-2], rr[2:])) | (
+        interior < np.minimum(rr[:-2], rr[2:])
+    )
+    tpr = float(turning.mean()) if interior.size else 0.0
+    return np.array([mean_rr, sdnn, rmssd, pnn50, cv, entropy, tpr])
+
+
+def rr_feature_matrix(signals: list[np.ndarray], fs: float = 300.0) -> np.ndarray:
+    """HRV feature vectors for a batch of recordings (R peaks detected
+    with the Gamboa segmenter, as in the paper's preprocessing)."""
+    rows = []
+    for sig in signals:
+        peaks = gamboa_segmenter(np.asarray(sig, dtype=float), fs)
+        rows.append(hrv_features(rr_intervals(peaks, fs)))
+    return np.vstack(rows) if rows else np.zeros((0, len(HRV_FEATURE_NAMES)))

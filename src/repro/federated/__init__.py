@@ -1,0 +1,35 @@
+"""Federated learning over the task runtime — the paper's future-work
+extension (§V): devices with private local data train local models
+whose weights are combined into a general model."""
+
+from repro.federated.aggregation import (
+    STRATEGIES,
+    fedavg,
+    fedavg_with_momentum,
+    uniform_average,
+)
+from repro.federated.federation import (
+    ClientData,
+    FederatedConfig,
+    Federation,
+    RoundMetrics,
+)
+from repro.federated.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_stats,
+)
+
+__all__ = [
+    "Federation",
+    "FederatedConfig",
+    "ClientData",
+    "RoundMetrics",
+    "fedavg",
+    "uniform_average",
+    "fedavg_with_momentum",
+    "STRATEGIES",
+    "iid_partition",
+    "dirichlet_partition",
+    "partition_stats",
+]

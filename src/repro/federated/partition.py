@@ -1,0 +1,76 @@
+"""Client data partitioning for federated simulations.
+
+The paper's future-work section motivates federated learning for
+healthcare: "various devices with local data contribute to training
+local models, and the resulting outcomes are then combined by a
+general model."  Real federations are non-IID — each wearable device
+sees one patient's rhythm distribution — so the partitioners here
+support both uniform and Dirichlet-skewed label splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def iid_partition(n_samples: int, n_clients: int, rng: np.random.Generator) -> list[np.ndarray]:
+    """Shuffle and split indices evenly across clients."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if n_samples < n_clients:
+        raise ValueError("fewer samples than clients")
+    idx = rng.permutation(n_samples)
+    return [np.sort(part) for part in np.array_split(idx, n_clients)]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    n_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+    min_per_client: int = 2,
+) -> list[np.ndarray]:
+    """Label-skewed partition: each class's samples are distributed
+    across clients with Dirichlet(alpha) proportions.  Small alpha
+    gives highly non-IID clients (each dominated by one class); large
+    alpha approaches IID.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    buckets: list[list[int]] = [[] for _ in range(n_clients)]
+    for cls in classes:
+        cls_idx = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_idx)
+        props = rng.dirichlet(np.full(n_clients, alpha))
+        # convert proportions to contiguous split points
+        counts = np.floor(props * len(cls_idx)).astype(int)
+        counts[-1] = len(cls_idx) - counts[:-1].sum()
+        start = 0
+        for c, count in enumerate(counts):
+            buckets[c].extend(cls_idx[start : start + count])
+            start += count
+    # guarantee a minimum per client by stealing from the largest
+    sizes = [len(b) for b in buckets]
+    for c in range(n_clients):
+        while len(buckets[c]) < min_per_client:
+            donor = int(np.argmax([len(b) for b in buckets]))
+            if donor == c or len(buckets[donor]) <= min_per_client:
+                break
+            buckets[c].append(buckets[donor].pop())
+    return [np.sort(np.asarray(b, dtype=int)) for b in buckets]
+
+
+def partition_stats(parts: list[np.ndarray], labels: np.ndarray) -> dict:
+    """Summary of a partition: sizes and per-client label histograms."""
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    hists = []
+    for p in parts:
+        hist = {cls.item() if hasattr(cls, "item") else cls: int(np.sum(labels[p] == cls)) for cls in classes}
+        hists.append(hist)
+    return {
+        "sizes": [len(p) for p in parts],
+        "label_histograms": hists,
+    }

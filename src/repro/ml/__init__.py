@@ -1,0 +1,42 @@
+"""Distributed machine learning — the dislib analog.
+
+Estimators follow the scikit-learn fit/predict convention and consume
+:class:`repro.dsarray.Array` inputs; all parallelism is expressed as
+runtime tasks over row blocks.
+"""
+
+from repro.ml.base import BaseEstimator, NotFittedError
+from repro.ml.clustering import KMeans
+from repro.ml.decomposition import PCA
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import (
+    CVResult,
+    GridSearchCV,
+    KFold,
+    cross_validate,
+)
+from repro.ml.neighbors import KNeighborsClassifier, NearestNeighbors
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.svm import SVC, CascadeSVM, OneVsRestClassifier
+from repro.ml.trees import DecisionTreeClassifier, RandomForestClassifier
+
+__all__ = [
+    "BaseEstimator",
+    "NotFittedError",
+    "PCA",
+    "KMeans",
+    "LogisticRegression",
+    "KFold",
+    "cross_validate",
+    "CVResult",
+    "GridSearchCV",
+    "NearestNeighbors",
+    "KNeighborsClassifier",
+    "StandardScaler",
+    "MinMaxScaler",
+    "SVC",
+    "CascadeSVM",
+    "OneVsRestClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+]

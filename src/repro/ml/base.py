@@ -1,0 +1,81 @@
+"""Estimator protocol, mirroring dislib's scikit-learn-style interface.
+
+All estimators follow the paper's described workflow (§II-B):
+
+1. read input data into a ds-array,
+2. create an estimator object,
+3. ``fit`` the estimator with the input data,
+4. get information from the model or ``predict`` on new data.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+import repro.dsarray as ds
+
+
+class NotFittedError(RuntimeError):
+    """``predict``/``transform`` called before ``fit``."""
+
+
+class BaseEstimator:
+    """Parameter introspection shared by every estimator.
+
+    Estimator ``__init__`` methods only store constructor arguments
+    (scikit-learn convention), which makes :meth:`get_params` /
+    :meth:`set_params` and :meth:`clone` purely mechanical.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [p for p in sig.parameters if p != "self"]
+
+    def get_params(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "BaseEstimator":
+        """A new unfitted estimator with the same constructor params."""
+        return type(self)(**self.get_params())
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr) or getattr(self, attr) is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+
+def validate_xy(x: ds.Array, y: ds.Array) -> None:
+    """Shared sanity checks on (samples, labels) ds-array pairs."""
+    if not isinstance(x, ds.Array) or not isinstance(y, ds.Array):
+        raise TypeError("x and y must be ds-arrays (repro.dsarray.Array)")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x has {x.shape[0]} samples but y has {y.shape[0]} labels"
+        )
+    if y.shape[1] != 1:
+        raise ValueError("y must be a single-column ds-array of labels")
+    if x.block_size[0] != y.block_size[0]:
+        raise ValueError(
+            "x and y must share the same row block size so their "
+            "stripes align (required for per-block tasks)"
+        )
+
+
+def as_labels(arr: np.ndarray) -> np.ndarray:
+    """Flatten an (n, 1) label block to (n,)."""
+    return np.asarray(arr).ravel()

@@ -1,0 +1,5 @@
+"""Clustering estimators."""
+
+from repro.ml.clustering.kmeans import KMeans
+
+__all__ = ["KMeans"]

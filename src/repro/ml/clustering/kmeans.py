@@ -1,0 +1,132 @@
+"""Distributed K-means — dislib's flagship clustering estimator.
+
+Not part of the paper's evaluation, but part of the library surface a
+dislib user expects; included for completeness of the substrate.
+Lloyd's algorithm with a map-reduce structure per iteration: one
+partial-assignment task per row stripe (returning per-cluster sums and
+counts), a reduction task producing the new centres, repeated until the
+centres move less than ``tol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator
+from repro.runtime import task, wait_on
+
+
+@task(returns=1)
+def _init_centers(stripe_blocks: list, k: int, seed: int):
+    x = np.hstack([np.asarray(b) for b in stripe_blocks]) if len(stripe_blocks) > 1 else np.asarray(stripe_blocks[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(x), size=min(k, len(x)), replace=False)
+    return x[idx]
+
+
+@task(returns=1)
+def _partial_assign(stripe_blocks: list, centers):
+    """Per-stripe sufficient statistics: cluster sums, counts, inertia."""
+    x = np.hstack([np.asarray(b) for b in stripe_blocks]) if len(stripe_blocks) > 1 else np.asarray(stripe_blocks[0])
+    d2 = (
+        np.einsum("ij,ij->i", x, x)[:, None]
+        - 2.0 * x @ centers.T
+        + np.einsum("ij,ij->i", centers, centers)[None, :]
+    )
+    labels = np.argmin(d2, axis=1)
+    k, dims = centers.shape
+    sums = np.zeros((k, dims))
+    counts = np.zeros(k)
+    np.add.at(sums, labels, x)
+    np.add.at(counts, labels, 1.0)
+    inertia = float(np.maximum(d2[np.arange(len(x)), labels], 0.0).sum())
+    return sums, counts, inertia
+
+
+@task(returns=2)
+def _reduce_centers(partials: list, old_centers):
+    sums = np.sum([p[0] for p in partials], axis=0)
+    counts = np.sum([p[1] for p in partials], axis=0)
+    inertia = float(sum(p[2] for p in partials))
+    centers = old_centers.copy()
+    mask = counts > 0
+    centers[mask] = sums[mask] / counts[mask][:, None]
+    return centers, inertia
+
+
+@task(returns=1)
+def _predict_stripe(stripe_blocks: list, centers):
+    x = np.hstack([np.asarray(b) for b in stripe_blocks]) if len(stripe_blocks) > 1 else np.asarray(stripe_blocks[0])
+    d2 = (
+        np.einsum("ij,ij->i", x, x)[:, None]
+        - 2.0 * x @ centers.T
+        + np.einsum("ij,ij->i", centers, centers)[None, :]
+    )
+    return np.argmin(d2, axis=1)
+
+
+class KMeans(BaseEstimator):
+    """Lloyd's K-means over ds-arrays.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centres.
+    max_iter, tol:
+        Stop after ``max_iter`` rounds or when the centre shift's
+        Frobenius norm falls below ``tol``.
+    random_state:
+        Seed for the initial centre draw (taken from the first stripe).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        random_state: int = 0,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, x: ds.Array) -> "KMeans":
+        if not isinstance(x, ds.Array):
+            raise TypeError("x must be a ds-array")
+        if x.shape[0] < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        stripes = list(x.iter_row_stripes())
+        centers = wait_on(_init_centers(stripes[0], self.n_clusters, self.random_state))
+        if len(centers) < self.n_clusters:
+            raise ValueError(
+                "first stripe smaller than n_clusters; use a larger row block"
+            )
+        self.n_iter_ = 0
+        inertia = float("inf")
+        for _ in range(self.max_iter):
+            partials = [_partial_assign(s, centers) for s in stripes]
+            new_centers, inertia = wait_on(_reduce_centers(partials, centers))
+            self.n_iter_ += 1
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        self.cluster_centers_ = centers
+        self.inertia_ = inertia
+        return self
+
+    def predict(self, x: ds.Array) -> np.ndarray:
+        self._check_fitted("cluster_centers_")
+        parts = wait_on(
+            [_predict_stripe(s, self.cluster_centers_) for s in x.iter_row_stripes()]
+        )
+        return np.concatenate(parts)
+
+    def fit_predict(self, x: ds.Array) -> np.ndarray:
+        return self.fit(x).predict(x)

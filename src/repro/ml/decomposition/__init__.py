@@ -1,0 +1,5 @@
+"""Dimensionality reduction."""
+
+from repro.ml.decomposition.pca import PCA
+
+__all__ = ["PCA"]

@@ -1,0 +1,5 @@
+"""Linear models."""
+
+from repro.ml.linear.logistic import LogisticRegression
+
+__all__ = ["LogisticRegression"]

@@ -1,0 +1,140 @@
+"""Distributed logistic regression over ds-arrays.
+
+Synchronous full-batch gradient descent with a map-reduce structure per
+iteration: one gradient task per row stripe, one reduction, one
+parameter update — the textbook distributed GLM and a useful linear
+baseline next to the paper's kernel/tree/deep models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator, as_labels, validate_xy
+from repro.runtime import task, wait_on
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@task(returns=1)
+def _partial_gradient(xblocks: list, yblocks: list, w, b, positive):
+    """Per-stripe gradient of the negative log-likelihood."""
+    x = np.hstack([np.asarray(v) for v in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    y = as_labels(yblocks[0] if len(yblocks) == 1 else np.vstack(yblocks))
+    t = (y == positive).astype(float)
+    p = _sigmoid(x @ w + b)
+    err = p - t
+    loss = -np.sum(
+        t * np.log(p + 1e-12) + (1 - t) * np.log(1 - p + 1e-12)
+    )
+    return x.T @ err, float(err.sum()), float(loss), len(y)
+
+
+@task(returns=4)
+def _reduce_gradient(partials: list):
+    gw = np.sum([p[0] for p in partials], axis=0)
+    gb = float(sum(p[1] for p in partials))
+    loss = float(sum(p[2] for p in partials))
+    n = int(sum(p[3] for p in partials))
+    return gw, gb, loss, n
+
+
+@task(returns=1)
+def _predict_stripe(xblocks: list, w, b, classes, positive):
+    x = np.hstack([np.asarray(v) for v in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    p = _sigmoid(x @ w + b)
+    neg = classes[0] if classes[1] == positive else classes[1]
+    return np.where(p >= 0.5, positive, neg)
+
+
+class LogisticRegression(BaseEstimator):
+    """Binary L2-regularised logistic regression.
+
+    Parameters
+    ----------
+    lr:
+        Gradient-descent step size (on the mean gradient).
+    max_iter, tol:
+        Stop after ``max_iter`` steps or when the loss improvement per
+        sample falls below ``tol``.
+    reg:
+        L2 penalty strength (0 disables).
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        reg: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if reg < 0:
+            raise ValueError("reg must be >= 0")
+        self.lr = lr
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg = reg
+
+    def fit(self, x: ds.Array, y: ds.Array) -> "LogisticRegression":
+        validate_xy(x, y)
+        classes = np.unique(as_labels(y.collect()))
+        if len(classes) != 2:
+            raise ValueError(f"binary estimator; got {len(classes)} classes")
+        self.classes_ = classes
+        positive = classes[1]
+        x_stripes = list(x.iter_row_stripes())
+        y_stripes = list(y.iter_row_stripes())
+
+        w = np.zeros(x.shape[1])
+        b = 0.0
+        last_loss = np.inf
+        self.n_iter_ = 0
+        for _ in range(self.max_iter):
+            partials = [
+                _partial_gradient(xb, yb, w, b, positive)
+                for xb, yb in zip(x_stripes, y_stripes)
+            ]
+            gw, gb, loss, n = wait_on(_reduce_gradient(partials))
+            loss = loss / n + 0.5 * self.reg * float(w @ w)
+            w = w - self.lr * (np.asarray(gw) / n + self.reg * w)
+            b = b - self.lr * (gb / n)
+            self.n_iter_ += 1
+            if last_loss - loss < self.tol:
+                break
+            last_loss = loss
+        self.coef_ = w
+        self.intercept_ = b
+        self.loss_ = float(loss)
+        return self
+
+    def predict(self, x: ds.Array) -> np.ndarray:
+        self._check_fitted("coef_")
+        parts = wait_on(
+            [
+                _predict_stripe(s, self.coef_, self.intercept_, self.classes_, self.classes_[1])
+                for s in x.iter_row_stripes()
+            ]
+        )
+        return np.concatenate(parts)
+
+    def predict_proba(self, x: ds.Array) -> np.ndarray:
+        """P(class == classes_[1]) per sample."""
+        self._check_fitted("coef_")
+        return _sigmoid(x.collect() @ self.coef_ + self.intercept_)
+
+    def score(self, x: ds.Array, y: ds.Array) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(as_labels(y.collect()), self.predict(x))

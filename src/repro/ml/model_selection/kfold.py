@@ -1,0 +1,55 @@
+"""K-fold cross-validation splitting (the paper trains every model
+with K=5 folds)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+import repro.dsarray as ds
+
+
+class KFold:
+    """Index-based K-fold splitter.
+
+    Yields (train_indices, test_indices) pairs; use
+    :meth:`split_arrays` to get ds-array folds directly.
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+    def split_arrays(
+        self, x: ds.Array, y: ds.Array
+    ) -> Iterator[tuple[ds.Array, ds.Array, ds.Array, ds.Array]]:
+        """Yield (x_train, y_train, x_test, y_test) ds-array folds."""
+        for train, test in self.split(x.shape[0]):
+            yield (
+                x.take_rows(train),
+                y.take_rows(train),
+                x.take_rows(test),
+                y.take_rows(test),
+            )

@@ -1,0 +1,6 @@
+"""Distributed nearest-neighbour search and classification."""
+
+from repro.ml.neighbors.knn import KNeighborsClassifier
+from repro.ml.neighbors.nearest import NearestNeighbors
+
+__all__ = ["NearestNeighbors", "KNeighborsClassifier"]

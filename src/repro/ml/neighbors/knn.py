@@ -1,0 +1,77 @@
+"""Distributed k-nearest-neighbour classifier (paper §III-C.2).
+
+Supports the three weighting modes the paper lists: ``'uniform'``
+(all neighbours equal), ``'distance'`` (inverse distance) and a
+user-defined callable mapping a distance array to a weight array of
+the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator, validate_xy
+from repro.ml.neighbors.nearest import NearestNeighbors
+from repro.runtime import wait_on
+
+
+def _weights_for(distances: np.ndarray, weights) -> np.ndarray:
+    if weights == "uniform":
+        return np.ones_like(distances)
+    if weights == "distance":
+        with np.errstate(divide="ignore"):
+            w = 1.0 / distances
+        # exact matches get all the mass
+        inf_rows = np.isinf(w).any(axis=1)
+        w[inf_rows] = np.where(np.isinf(w[inf_rows]), 1.0, 0.0)
+        return w
+    if callable(weights):
+        w = np.asarray(weights(distances))
+        if w.shape != distances.shape:
+            raise ValueError(
+                "weight callable must return an array of the same shape"
+            )
+        return w
+    raise ValueError(
+        f"weights must be 'uniform', 'distance' or a callable; got {weights!r}"
+    )
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """k-NN classification over ds-arrays.
+
+    Parameters mirror the paper's description: (1) ``n_neighbors`` for
+    kneighbors() queries; (2) ``weights``; (3) optionally a callable
+    computing custom weights from distances.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str | Callable = "uniform"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, x: ds.Array, y: ds.Array) -> "KNeighborsClassifier":
+        validate_xy(x, y)
+        self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(x)
+        labels = wait_on(y.stripe_futures())
+        self._labels = np.concatenate([np.asarray(b).ravel() for b in labels])
+        self.classes_ = np.unique(self._labels)
+        return self
+
+    def predict(self, q: ds.Array) -> np.ndarray:
+        self._check_fitted("_nn")
+        dists, inds = self._nn.kneighbors(q)
+        w = _weights_for(dists, self.weights)
+        neigh_labels = self._labels[inds]
+        votes = np.zeros((len(neigh_labels), len(self.classes_)))
+        for ci, cls in enumerate(self.classes_):
+            votes[:, ci] = np.sum(w * (neigh_labels == cls), axis=1)
+        return self.classes_[np.argmax(votes, axis=1)]
+
+    def score(self, q: ds.Array, y: ds.Array) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        y_true = np.asarray(y.collect()).ravel()
+        return accuracy_score(y_true, self.predict(q))

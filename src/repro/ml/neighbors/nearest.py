@@ -1,0 +1,92 @@
+"""Distributed nearest-neighbour search — dislib's ``NearestNeighbors``.
+
+``fit`` launches one task per row stripe of the fitted data (the paper:
+"launches a fit from the scikit-learn NN into each row block");
+``kneighbors`` creates one local-search task per (query stripe, fitted
+stripe) pair plus a merge task per query stripe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator
+from repro.runtime import task, wait_on
+
+
+@task(returns=1)
+def _fit_stripe(xblocks: list, offset: int):
+    """Materialise one fitted stripe (global row offset attached)."""
+    x = np.hstack([np.asarray(b) for b in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    return x, offset
+
+
+@task(returns=1)
+def _local_kneighbors(fitted, qblocks: list, k: int):
+    """k nearest rows of one fitted stripe for one query stripe."""
+    x, offset = fitted
+    q = np.hstack([np.asarray(b) for b in qblocks]) if len(qblocks) > 1 else np.asarray(qblocks[0])
+    # squared euclidean distances via the expanded square (one GEMM)
+    q2 = np.einsum("ij,ij->i", q, q)[:, None]
+    x2 = np.einsum("ij,ij->i", x, x)[None, :]
+    d2 = np.maximum(q2 + x2 - 2.0 * (q @ x.T), 0.0)
+    kk = min(k, x.shape[0])
+    part = np.argpartition(d2, kk - 1, axis=1)[:, :kk]
+    rows = np.arange(len(q))[:, None]
+    dists = d2[rows, part]
+    order = np.argsort(dists, axis=1)
+    return np.sqrt(dists[rows, order]), part[rows, order] + offset
+
+
+@task(returns=2)
+def _merge_kneighbors(partials: list, k: int):
+    """Merge per-stripe candidate sets into the global k nearest."""
+    dists = np.hstack([p[0] for p in partials])
+    inds = np.hstack([p[1] for p in partials])
+    kk = min(k, dists.shape[1])
+    part = np.argpartition(dists, kk - 1, axis=1)[:, :kk]
+    rows = np.arange(dists.shape[0])[:, None]
+    sel_d = dists[rows, part]
+    order = np.argsort(sel_d, axis=1)
+    return sel_d[rows, order], inds[rows, part][rows, order]
+
+
+class NearestNeighbors(BaseEstimator):
+    """Exact brute-force k-NN index over a ds-array."""
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, x: ds.Array) -> "NearestNeighbors":
+        if not isinstance(x, ds.Array):
+            raise TypeError("x must be a ds-array")
+        self._fitted = [
+            _fit_stripe(stripe, offset)
+            for stripe, offset in zip(x.iter_row_stripes(), x.stripe_offsets())
+        ]
+        self._n_samples = x.shape[0]
+        return self
+
+    def kneighbors(
+        self, q: ds.Array, n_neighbors: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and global indices of the k nearest fitted rows
+        for every query row; synchronised to concrete arrays."""
+        self._check_fitted("_fitted")
+        k = n_neighbors or self.n_neighbors
+        if k > self._n_samples:
+            raise ValueError(
+                f"n_neighbors={k} exceeds fitted samples ({self._n_samples})"
+            )
+        dist_parts, ind_parts = [], []
+        for stripe in q.iter_row_stripes():
+            partials = [_local_kneighbors(f, stripe, k) for f in self._fitted]
+            d, i = _merge_kneighbors(partials, k)
+            dist_parts.append(d)
+            ind_parts.append(i)
+        dist_parts = wait_on(dist_parts)
+        ind_parts = wait_on(ind_parts)
+        return np.vstack(dist_parts), np.vstack(ind_parts)

@@ -1,0 +1,76 @@
+"""Distributed MinMaxScaler (dislib parity).
+
+Same map-reduce structure as the StandardScaler: per-stripe partial
+extrema, one reduction, one transform task per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator
+from repro.runtime import task, wait_on
+
+
+@task(returns=1)
+def _partial_extrema(stripe_blocks: list):
+    x = np.hstack([np.asarray(b) for b in stripe_blocks]) if len(stripe_blocks) > 1 else np.asarray(stripe_blocks[0])
+    return x.min(axis=0), x.max(axis=0)
+
+
+@task(returns=2)
+def _reduce_extrema(partials: list):
+    lo = np.min([p[0] for p in partials], axis=0)
+    hi = np.max([p[1] for p in partials], axis=0)
+    return lo, hi
+
+
+@task(returns=1)
+def _minmax_block(block, lo, hi, c0, c1, feature_range):
+    lo_c, hi_c = lo[c0:c1], hi[c0:c1]
+    span = hi_c - lo_c
+    span = np.where(span == 0, 1.0, span)
+    a, b = feature_range
+    return a + (np.asarray(block) - lo_c) / span * (b - a)
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to a fixed range (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        if feature_range[0] >= feature_range[1]:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = feature_range
+
+    def fit(self, x: ds.Array) -> "MinMaxScaler":
+        if not isinstance(x, ds.Array):
+            raise TypeError("x must be a ds-array")
+        partials = [_partial_extrema(s) for s in x.iter_row_stripes()]
+        self._lo_f, self._hi_f = _reduce_extrema(partials)
+        return self
+
+    @property
+    def data_min_(self) -> np.ndarray:
+        self._check_fitted("_lo_f")
+        return np.asarray(wait_on(self._lo_f))
+
+    @property
+    def data_max_(self) -> np.ndarray:
+        self._check_fitted("_hi_f")
+        return np.asarray(wait_on(self._hi_f))
+
+    def transform(self, x: ds.Array) -> ds.Array:
+        self._check_fitted("_lo_f")
+        cols = x.col_ranges()
+        grid = [
+            [
+                _minmax_block(b, self._lo_f, self._hi_f, c0, c1, self.feature_range)
+                for b, (c0, c1) in zip(row, cols)
+            ]
+            for row in x.blocks
+        ]
+        return ds.Array(grid, x.shape, x.block_size)
+
+    def fit_transform(self, x: ds.Array) -> ds.Array:
+        return self.fit(x).transform(x)

@@ -1,0 +1,82 @@
+"""Distributed ``StandardScaler`` (paper §IV-B).
+
+Removes the per-feature mean and scales to unit variance.  Parallelism
+is based on the number of row blocks: one partial-statistics task per
+stripe, one reduction, then one transform task per block — the extra
+preprocessing step the paper's KNN experiments include.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.dsarray import blocking as bk
+from repro.ml.base import BaseEstimator
+from repro.runtime import task, wait_on
+
+
+@task(returns=1)
+def _partial_stats(stripe_blocks: list):
+    """(n, sum, sum of squares) for one stripe."""
+    x = np.hstack([np.asarray(b) for b in stripe_blocks]) if len(stripe_blocks) > 1 else np.asarray(stripe_blocks[0])
+    return np.array([x.shape[0]]), x.sum(axis=0), (x * x).sum(axis=0)
+
+
+@task(returns=2)
+def _reduce_stats(partials: list):
+    """Combine partials into the global mean and std."""
+    n = sum(int(p[0][0]) for p in partials)
+    s = np.sum([p[1] for p in partials], axis=0)
+    sq = np.sum([p[2] for p in partials], axis=0)
+    mean = s / n
+    var = np.maximum(sq / n - mean * mean, 0.0)
+    std = np.sqrt(var)
+    std[std == 0] = 1.0  # constant features pass through unscaled
+    return mean, std
+
+
+@task(returns=1)
+def _scale_block(block, mean, std, c0, c1):
+    """z-score one block using the fitted column statistics."""
+    return (np.asarray(block) - mean[c0:c1]) / std[c0:c1]
+
+
+class StandardScaler(BaseEstimator):
+    """z-score normalisation over ds-arrays."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, x: ds.Array) -> "StandardScaler":
+        if not isinstance(x, ds.Array):
+            raise TypeError("x must be a ds-array")
+        partials = [_partial_stats(s) for s in x.iter_row_stripes()]
+        self._mean_f, self._std_f = _reduce_stats(partials)
+        self._col_ranges = x.col_ranges()
+        return self
+
+    @property
+    def mean_(self) -> np.ndarray:
+        self._check_fitted("_mean_f")
+        return np.asarray(wait_on(self._mean_f))
+
+    @property
+    def std_(self) -> np.ndarray:
+        self._check_fitted("_std_f")
+        return np.asarray(wait_on(self._std_f))
+
+    def transform(self, x: ds.Array) -> ds.Array:
+        self._check_fitted("_mean_f")
+        cols = x.col_ranges()
+        grid = [
+            [
+                _scale_block(b, self._mean_f, self._std_f, c0, c1)
+                for b, (c0, c1) in zip(row, cols)
+            ]
+            for row in x.blocks
+        ]
+        return ds.Array(grid, x.shape, x.block_size)
+
+    def fit_transform(self, x: ds.Array) -> ds.Array:
+        return self.fit(x).transform(x)

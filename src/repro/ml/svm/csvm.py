@@ -1,0 +1,185 @@
+"""Cascade Support Vector Machine — dislib's ``CascadeSVM`` analog.
+
+The algorithm (paper §III-C.1, Fig. 3): split the input into N subsets
+(the ds-array's row stripes), train an SVM on each, merge the resulting
+support vectors in groups of ``cascade_arity`` and retrain, repeating
+until a single support-vector set remains.  That closes one iteration;
+the final support vectors are then merged back with the original
+subsets and the cascade repeats, for ``max_iter`` iterations or until
+the dual objective stabilises.
+
+Parallelism: one task per row stripe at the first layer, then a
+reduction tree — exactly the structure of the paper's Fig. 4, with the
+scalability ceiling in the reduction phase the paper discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator, as_labels, validate_xy
+from repro.ml.svm.svc import SVC
+from repro.runtime import task, wait_on
+
+
+@task(returns=1)
+def _train_partition(xblocks: list, yblocks: list, extra, params: dict):
+    """Train an SVC on one cascade partition; return its support set.
+
+    ``extra`` carries the support vectors fed back from the previous
+    layer/iteration (or None at the very first layer).
+    """
+    x = np.hstack([np.asarray(b) for b in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    y = as_labels(np.vstack([np.asarray(b) for b in yblocks]) if len(yblocks) > 1 else yblocks[0])
+    if extra is not None:
+        sv_x, sv_y = extra
+        x = np.vstack([x, sv_x])
+        y = np.concatenate([y, sv_y])
+    model = SVC(**params).fit(x, y)
+    return model.support_vectors_, model.support_labels_
+
+
+@task(returns=1)
+def _merge_train(parts: list, params: dict):
+    """Merge support-vector sets and retrain (one cascade reduction node)."""
+    x = np.vstack([p[0] for p in parts])
+    y = np.concatenate([p[1] for p in parts])
+    model = SVC(**params).fit(x, y)
+    return model.support_vectors_, model.support_labels_
+
+
+@task(returns=1)
+def _final_model(part, params: dict):
+    """Train the model returned to the user on the last support set."""
+    x, y = part
+    return SVC(**params).fit(x, y)
+
+
+@task(returns=1)
+def _predict_stripe(model: SVC, xblocks: list):
+    x = np.hstack([np.asarray(b) for b in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    return model.predict(x).reshape(-1, 1)
+
+
+@task(returns=1)
+def _count_correct(model: SVC, xblocks: list, yblocks: list):
+    x = np.hstack([np.asarray(b) for b in xblocks]) if len(xblocks) > 1 else np.asarray(xblocks[0])
+    y = as_labels(np.vstack([np.asarray(b) for b in yblocks]) if len(yblocks) > 1 else yblocks[0])
+    return np.array([np.sum(model.predict(x) == y), len(y)])
+
+
+class CascadeSVM(BaseEstimator):
+    """Distributed cascade SVM over ds-arrays.
+
+    Parameters
+    ----------
+    cascade_arity:
+        How many support-vector sets merge into one reduction task.
+    max_iter:
+        Maximum cascade iterations (feedback rounds).
+    tol:
+        Relative objective-change threshold for convergence.
+    kernel, c, gamma:
+        Passed through to the per-task :class:`SVC`.
+    check_convergence:
+        When False, skip the synchronisation after each iteration and
+        always run ``max_iter`` rounds (more parallelism, like dislib).
+    """
+
+    def __init__(
+        self,
+        cascade_arity: int = 2,
+        max_iter: int = 5,
+        tol: float = 1e-3,
+        kernel: str = "rbf",
+        c: float = 1.0,
+        gamma="auto",
+        check_convergence: bool = True,
+    ):
+        if cascade_arity < 2:
+            raise ValueError("cascade_arity must be >= 2")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.cascade_arity = cascade_arity
+        self.max_iter = max_iter
+        self.tol = tol
+        self.kernel = kernel
+        self.c = c
+        self.gamma = gamma
+        self.check_convergence = check_convergence
+
+    def _svc_params(self) -> dict:
+        return {"kernel": self.kernel, "c": self.c, "gamma": self.gamma}
+
+    # ------------------------------------------------------------------
+    def fit(self, x: ds.Array, y: ds.Array) -> "CascadeSVM":
+        validate_xy(x, y)
+        params = self._svc_params()
+        x_stripes = list(x.iter_row_stripes())
+        y_stripes = list(y.iter_row_stripes())
+
+        feedback = None
+        last_obj = None
+        self.n_iter_ = 0
+        self.converged_ = False
+        for _ in range(self.max_iter):
+            # first layer: one task per original partition (+ feedback SVs)
+            groups = [
+                _train_partition(xb, yb, feedback, params)
+                for xb, yb in zip(x_stripes, y_stripes)
+            ]
+            # reduction tree
+            while len(groups) > 1:
+                groups = [
+                    _merge_train(groups[i : i + self.cascade_arity], params)
+                    if len(groups[i : i + self.cascade_arity]) > 1
+                    else groups[i]
+                    for i in range(0, len(groups), self.cascade_arity)
+                ]
+            feedback = groups[0]
+            self.n_iter_ += 1
+            if self.check_convergence:
+                model = wait_on(_final_model(feedback, params))
+                obj = model.objective_
+                if last_obj is not None and abs(obj - last_obj) <= self.tol * abs(last_obj):
+                    self.converged_ = True
+                    self._model = model
+                    break
+                last_obj = obj
+                self._model = model
+        if not self.check_convergence:
+            self._model = wait_on(_final_model(feedback, params))
+        self.classes_ = self._model.classes_
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, x: ds.Array) -> ds.Array:
+        self._check_fitted("_model")
+        blocks = [
+            [_predict_stripe(self._model, stripe)] for stripe in x.iter_row_stripes()
+        ]
+        return ds.Array(
+            blocks,
+            shape=(x.shape[0], 1),
+            block_size=(x.block_size[0], 1),
+        )
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """In-memory decision scores (convenience for analysis)."""
+        self._check_fitted("_model")
+        return self._model.decision_function(x)
+
+    def score(self, x: ds.Array, y: ds.Array) -> float:
+        """Mean accuracy, computed with one task per stripe plus a local
+        reduction (the paper's "calculates the score" step)."""
+        self._check_fitted("_model")
+        validate_xy(x, y)
+        counts = wait_on(
+            [
+                _count_correct(self._model, xb, yb)
+                for xb, yb in zip(x.iter_row_stripes(), y.iter_row_stripes())
+            ]
+        )
+        total = np.sum(counts, axis=0)
+        return float(total[0] / total[1])

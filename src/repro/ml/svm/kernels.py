@@ -1,0 +1,48 @@
+"""Kernel functions for support vector machines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_kernel(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+    return x @ z.T
+
+
+def rbf_kernel(x: np.ndarray, z: np.ndarray, gamma: float) -> np.ndarray:
+    """exp(-gamma * ||x - z||^2), computed via the expanded square to
+    stay vectorised (one GEMM + broadcasts)."""
+    x2 = np.einsum("ij,ij->i", x, x)[:, None]
+    z2 = np.einsum("ij,ij->i", z, z)[None, :]
+    d2 = np.maximum(x2 + z2 - 2.0 * (x @ z.T), 0.0)
+    return np.exp(-gamma * d2)
+
+
+def poly_kernel(x: np.ndarray, z: np.ndarray, gamma: float, degree: int, coef0: float) -> np.ndarray:
+    return (gamma * (x @ z.T) + coef0) ** degree
+
+
+def resolve_gamma(gamma, x: np.ndarray) -> float:
+    """Resolve 'auto' (1/n_features, dislib's default) and 'scale'
+    (1/(n_features * var(x)), scikit-learn's default) to a number."""
+    if isinstance(gamma, (int, float, np.floating)):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        return float(gamma)
+    if gamma == "auto":
+        return 1.0 / x.shape[1]
+    if gamma == "scale":
+        var = x.var()
+        return 1.0 / (x.shape[1] * var) if var > 0 else 1.0 / x.shape[1]
+    raise ValueError(f"gamma must be a positive number, 'auto' or 'scale'; got {gamma!r}")
+
+
+def make_kernel(kernel: str, gamma: float, degree: int = 3, coef0: float = 0.0):
+    """A closure ``k(x, z) -> gram matrix`` for the named kernel."""
+    if kernel == "linear":
+        return linear_kernel
+    if kernel == "rbf":
+        return lambda x, z: rbf_kernel(x, z, gamma)
+    if kernel == "poly":
+        return lambda x, z: poly_kernel(x, z, gamma, degree, coef0)
+    raise ValueError(f"unknown kernel {kernel!r}; expected linear, rbf or poly")

@@ -1,0 +1,77 @@
+"""One-vs-rest multiclass wrapper.
+
+The CinC 2017 task is really four classes (Normal, AF, Other, Noisy);
+the paper restricts itself to the binary N-vs-AF problem, but a library
+user will want the full task.  ``OneVsRestClassifier`` lifts any binary
+estimator with a ``decision_function`` (SVC, CascadeSVM,
+LogisticRegression via probabilities) to K classes by fitting one
+binary model per class; all K fits are independent, so under a runtime
+they parallelise like everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.dsarray as ds
+from repro.ml.base import BaseEstimator, as_labels, validate_xy
+
+
+class OneVsRestClassifier(BaseEstimator):
+    """K independent binary models, one per class.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Zero-argument callable building an unfitted binary estimator
+        exposing ``fit(x, y)`` and either ``decision_function`` (higher
+        = more positive) or ``predict_proba``.
+    """
+
+    def __init__(self, estimator_factory):
+        self.estimator_factory = estimator_factory
+
+    def fit(self, x: ds.Array, y: ds.Array) -> "OneVsRestClassifier":
+        validate_xy(x, y)
+        labels = as_labels(y.collect())
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self.estimators_ = []
+        bs = y.block_size
+        for cls in self.classes_:
+            binary = (labels == cls).astype(float).reshape(-1, 1)
+            dy = ds.array(binary, bs)
+            est = self.estimator_factory()
+            est.fit(x, dy)
+            self.estimators_.append(est)
+        return self
+
+    def _scores(self, x: ds.Array) -> np.ndarray:
+        """(n, K) one-vs-rest scores."""
+        self._check_fitted("estimators_")
+        cols = []
+        data = None
+        for est in self.estimators_:
+            if hasattr(est, "decision_function"):
+                if data is None:
+                    data = x.collect()
+                cols.append(np.asarray(est.decision_function(data)).ravel())
+            elif hasattr(est, "predict_proba"):
+                proba = est.predict_proba(x)
+                proba = np.asarray(proba)
+                cols.append(proba[:, -1] if proba.ndim == 2 else proba.ravel())
+            else:
+                raise TypeError(
+                    "base estimator needs decision_function or predict_proba"
+                )
+        return np.column_stack(cols)
+
+    def predict(self, x: ds.Array) -> np.ndarray:
+        scores = self._scores(x)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, x: ds.Array, y: ds.Array) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(as_labels(y.collect()), self.predict(x))

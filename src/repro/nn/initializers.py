@@ -1,0 +1,15 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He initialisation, suited to ReLU networks."""
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, shape)

@@ -1,0 +1,32 @@
+"""Loss functions (value + gradient w.r.t. logits)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy on integer class labels."""
+
+    def loss(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=int)
+        p = softmax(logits)
+        n = len(labels)
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("label outside logit range")
+        return float(-np.mean(np.log(p[np.arange(n), labels] + 1e-12)))
+
+    def grad(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """d loss / d logits (not yet divided by batch size — layers
+        normalise their parameter gradients by N themselves; the input
+        gradient chain carries the per-sample convention)."""
+        labels = np.asarray(labels, dtype=int)
+        p = softmax(logits)
+        p[np.arange(len(labels)), labels] -= 1.0
+        return p

@@ -1,0 +1,177 @@
+"""Sequential model container with (de)serialisable architecture.
+
+Weights travel between tasks as plain lists of ndarrays, and the
+architecture as a config list, so distributed training tasks can
+rebuild the model, load merged weights, train locally and ship the
+updated weights back — the per-epoch weight exchange the paper
+describes for its EDDL training (§III-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, layer_from_config
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.nn.optim import Optimizer, SGD
+
+
+class Sequential:
+    """A feed-forward stack of layers."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers = layers
+        self.loss_fn = SoftmaxCrossEntropy()
+
+    # ------------------------------------------------------------------
+    # architecture / weights round-trips
+    # ------------------------------------------------------------------
+    def config(self) -> list[dict]:
+        return [layer.config() for layer in self.layers]
+
+    @classmethod
+    def from_config(cls, config: list[dict], seed: int = 0) -> "Sequential":
+        rng = np.random.default_rng(seed)
+        return cls([layer_from_config(cfg, rng) for cfg in config])
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for layer in self.layers for p in layer.params]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        flat = [p for layer in self.layers for p in layer.params]
+        if len(flat) != len(weights):
+            raise ValueError(
+                f"expected {len(flat)} weight arrays, got {len(weights)}"
+            )
+        for p, w in zip(flat, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"weight shape mismatch: {p.shape} vs {w.shape}")
+            p[...] = w
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray, optimizer: Optimizer) -> float:
+        logits = self.forward(x, training=True)
+        loss = self.loss_fn.loss(logits, y)
+        self.backward(self.loss_fn.grad(logits, y))
+        params = [p for layer in self.layers for p in layer.params]
+        grads = [g for layer in self.layers for g in layer.grads]
+        optimizer.step(params, grads)
+        return loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        optimizer: Optimizer | None = None,
+        seed: int = 0,
+        verbose: bool = False,
+        validation_data: tuple[np.ndarray, np.ndarray] | None = None,
+        patience: int | None = None,
+    ) -> list[float]:
+        """Minibatch training; returns the mean loss per epoch.
+
+        With ``validation_data`` and ``patience``, training stops early
+        when the validation loss has not improved for *patience*
+        consecutive epochs, and the best-seen weights are restored.
+        """
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if patience is not None and validation_data is None:
+            raise ValueError("patience requires validation_data")
+        optimizer = optimizer or SGD(lr=0.01, momentum=0.9)
+        rng = np.random.default_rng(seed)
+        history = []
+        self.val_history_: list[float] = []
+        best_val = np.inf
+        best_weights: list[np.ndarray] | None = None
+        stale = 0
+        for epoch in range(epochs):
+            order = rng.permutation(len(x))
+            losses = []
+            for start in range(0, len(x), batch_size):
+                idx = order[start : start + batch_size]
+                losses.append(self.train_batch(x[idx], y[idx], optimizer))
+            history.append(float(np.mean(losses)))
+            if verbose:  # pragma: no cover - console reporting
+                print(f"epoch {epoch + 1}/{epochs} loss={history[-1]:.4f}")
+            if validation_data is not None:
+                xv, yv = validation_data
+                val_loss = self.loss_fn.loss(self.forward(xv, training=False), yv)
+                self.val_history_.append(float(val_loss))
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_weights = self.get_weights()
+                    stale = 0
+                elif patience is not None:
+                    stale += 1
+                    if stale >= patience:
+                        break
+        if best_weights is not None and patience is not None:
+            self.set_weights(best_weights)
+        return history
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        outs = [
+            softmax(self.forward(x[s : s + batch_size], training=False))
+            for s in range(0, len(x), batch_size)
+        ]
+        return np.vstack(outs)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(x) == np.asarray(y, dtype=int)))
+
+
+def af_cnn(input_length: int, in_channels: int = 1, n_classes: int = 2, seed: int = 0) -> Sequential:
+    """The paper's AF architecture (§III-D): two 1-D conv layers with 32
+    filters and a final dense layer with 32 neurons, plus the
+    classification head."""
+    rng = np.random.default_rng(seed)
+    # kernel/pool sizes adapt to the input length (raw waveforms are
+    # thousands of samples; spectrogram time axes can be tens of frames)
+    if input_length >= 64:
+        k, pool = 7, 4
+    elif input_length >= 24:
+        k, pool = 5, 2
+    else:
+        k, pool = 3, 1
+    l1 = input_length - k + 1
+    p1 = l1 // pool
+    l2 = p1 - k + 1
+    p2 = l2 // pool
+    if p2 < 1:
+        raise ValueError(f"input_length={input_length} too short for the AF CNN")
+    from repro.nn.layers import Conv1D, Dense, Flatten, MaxPool1D, ReLU
+
+    return Sequential(
+        [
+            Conv1D(in_channels, 32, k, rng),
+            ReLU(),
+            MaxPool1D(pool),
+            Conv1D(32, 32, k, rng),
+            ReLU(),
+            MaxPool1D(pool),
+            Flatten(),
+            Dense(32 * p2, 32, rng),
+            ReLU(),
+            Dense(32, n_classes, rng),
+        ]
+    )

@@ -1,0 +1,59 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``epoch -> lr`` that wraps an optimiser; used
+by updating ``optimizer.lr`` between epochs (the optimisers read their
+``lr`` attribute on every step).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ConstantLR:
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepDecay:
+    """Multiply the rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, lr: float, factor: float = 0.5, every: int = 10):
+        if lr <= 0 or not 0 < factor <= 1 or every < 1:
+            raise ValueError("bad StepDecay parameters")
+        self.lr = lr
+        self.factor = factor
+        self.every = every
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.factor ** (epoch // self.every)
+
+
+class CosineDecay:
+    """Cosine annealing from ``lr`` to ``lr_min`` over ``total`` epochs."""
+
+    def __init__(self, lr: float, total: int, lr_min: float = 0.0):
+        if lr <= 0 or total < 1 or lr_min < 0 or lr_min > lr:
+            raise ValueError("bad CosineDecay parameters")
+        self.lr = lr
+        self.total = total
+        self.lr_min = lr_min
+
+    def __call__(self, epoch: int) -> float:
+        t = min(epoch, self.total) / self.total
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (1 + math.cos(math.pi * t))
+
+
+def fit_with_schedule(model, x, y, schedule, epochs, optimizer, **fit_kwargs):
+    """Train one epoch at a time, updating ``optimizer.lr`` from the
+    schedule; returns the concatenated loss history."""
+    history = []
+    for epoch in range(epochs):
+        optimizer.lr = schedule(epoch)
+        history.extend(model.fit(x, y, epochs=1, optimizer=optimizer, **fit_kwargs))
+    return history

@@ -1,0 +1,78 @@
+"""Task-based runtime — the PyCOMPSs/COMPSs analog.
+
+Public surface:
+
+* :func:`task` — decorator turning a function into a task.
+* :data:`IN` / :data:`INOUT` / :data:`OUT` — parameter directions.
+* :class:`Runtime` — runtime instance (use as a context manager).
+* :func:`wait_on` — synchronise futures into values
+  (``compss_wait_on``).
+* :func:`barrier` — wait for all tasks of the current scope
+  (``compss_barrier``).
+* :class:`Constraints` — per-task resource requirements.
+* :func:`to_dot` / :func:`graph_summary` — execution-graph export.
+* :func:`build_provenance` — provenance record of a finished run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.directions import IN, INOUT, OUT, Direction
+from repro.runtime.engine import Runtime, active_runtime
+from repro.runtime.exceptions import (
+    CancelledTaskError,
+    RuntimeStateError,
+    TaskDefinitionError,
+    TaskExecutionError,
+)
+from repro.runtime.future import Future, is_future, resolve_futures
+from repro.runtime.model import Constraints
+from repro.runtime.dot import graph_summary, to_dot
+from repro.runtime.provenance import ProvenanceRecord, build_provenance
+from repro.runtime.task import task
+from repro.runtime.tracing import TaskRecord, Trace
+
+__all__ = [
+    "task",
+    "IN",
+    "INOUT",
+    "OUT",
+    "Direction",
+    "Runtime",
+    "active_runtime",
+    "wait_on",
+    "barrier",
+    "Constraints",
+    "Future",
+    "is_future",
+    "Trace",
+    "TaskRecord",
+    "to_dot",
+    "graph_summary",
+    "ProvenanceRecord",
+    "build_provenance",
+    "TaskDefinitionError",
+    "TaskExecutionError",
+    "RuntimeStateError",
+    "CancelledTaskError",
+]
+
+
+def wait_on(obj: Any) -> Any:
+    """Synchronise futures (possibly nested in containers) to values.
+
+    Outside any runtime this is a pass-through (after resolving stray
+    futures), matching PyCOMPSs' behaviour in sequential execution.
+    """
+    rt = active_runtime()
+    if rt is None:
+        return resolve_futures(obj)
+    return rt.wait_on(obj)
+
+
+def barrier() -> None:
+    """Block until every task submitted from the current scope finished."""
+    rt = active_runtime()
+    if rt is not None:
+        rt.barrier()

@@ -1,0 +1,58 @@
+"""Parameter directions, mirroring COMPSs' IN / INOUT / OUT semantics.
+
+A task parameter's direction tells the runtime how the task uses the
+data, which is what lets it infer the dependency graph:
+
+* ``IN`` (default): the task only reads the value.  A dependency is
+  created on whichever task produced it (if any).
+* ``INOUT``: the task reads *and mutates* the object in place.  The
+  runtime versions the object so that later readers depend on this
+  task, and this task depends on the previous writer.
+* ``OUT``: the task overwrites the object without reading it.  Later
+  readers depend on this task; this task still serialises after the
+  previous writer (no value flows, but the storage is reused).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Direction(enum.Enum):
+    IN = "in"
+    INOUT = "inout"
+    OUT = "out"
+
+
+#: Aliases accepted in the ``@task`` decorator, e.g.
+#: ``@task(model=INOUT, returns=1)``.
+IN = Direction.IN
+INOUT = Direction.INOUT
+OUT = Direction.OUT
+
+_ALIASES = {
+    "in": Direction.IN,
+    "inout": Direction.INOUT,
+    "out": Direction.OUT,
+    Direction.IN: Direction.IN,
+    Direction.INOUT: Direction.INOUT,
+    Direction.OUT: Direction.OUT,
+}
+
+
+def coerce_direction(value: object) -> Direction:
+    """Normalise a user-supplied direction (enum member or string)."""
+    if isinstance(value, str):
+        key: object = value.lower()
+    else:
+        key = value
+    try:
+        return _ALIASES[key]  # type: ignore[index]
+    except (KeyError, TypeError):
+        raise_value = value
+        from repro.runtime.exceptions import TaskDefinitionError
+
+        raise TaskDefinitionError(
+            f"unknown parameter direction {raise_value!r}; "
+            "expected IN, INOUT, OUT or their string names"
+        ) from None

@@ -1,0 +1,531 @@
+"""The runtime engine: dependency detection, scheduling and execution.
+
+This is the COMPSs-runtime analog.  A :class:`Runtime` accepts task
+submissions (made implicitly by calling ``@task``-decorated functions),
+derives data dependencies from the arguments (futures and versioned
+INOUT objects), builds the task graph, and executes tasks either
+inline (``sequential`` executor) or on a pool of worker threads
+(``threads`` executor).
+
+Worker threads use *help-while-waiting*: any thread blocked in
+``wait_on`` or a barrier keeps executing ready tasks, so nested task
+graphs (tasks spawning tasks, the paper's "nesting" feature) can never
+deadlock the pool.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.directions import Direction
+from repro.runtime.exceptions import (
+    CancelledTaskError,
+    RuntimeStateError,
+    TaskExecutionError,
+)
+from repro.runtime.future import Future, resolve_futures, scan_futures
+from repro.runtime.model import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    READY,
+    RUNNING,
+    TaskInstance,
+    TaskSpec,
+)
+from repro.runtime.registry import DataRegistry
+from repro.runtime.tracing import TaskRecord, Trace, TraceCollector, estimate_nbytes
+
+_tls = threading.local()
+
+
+def _current_scope() -> "Scope | None":
+    return getattr(_tls, "scope", None)
+
+
+class Scope:
+    """Tracks the tasks submitted from one context.
+
+    The top-level scope belongs to the application; each running task
+    gets a child scope so that nested submissions and their
+    synchronisations stay local to that task (paper §III-D: nesting
+    "encapsulates the synchronizations within a task").
+    """
+
+    def __init__(self, runtime: "Runtime", parent_task_id: int | None = None):
+        self.runtime = runtime
+        self.parent_task_id = parent_task_id
+        self.task_ids: list[int] = []
+        self._unfinished = 0
+        self._lock = threading.Lock()
+
+    def task_submitted(self, task_id: int) -> None:
+        with self._lock:
+            self.task_ids.append(task_id)
+            self._unfinished += 1
+
+    def task_finished(self) -> None:
+        with self._lock:
+            self._unfinished -= 1
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._unfinished
+
+    def wait_all(self) -> None:
+        """Block until every task submitted in this scope finished,
+        helping to execute ready tasks meanwhile."""
+        self.runtime._help_until(lambda: self.pending == 0)
+
+
+class Runtime:
+    """A task runtime instance.
+
+    Parameters
+    ----------
+    executor:
+        ``"threads"`` runs tasks on a worker-thread pool (NumPy kernels
+        release the GIL, so block math really runs in parallel);
+        ``"sequential"`` executes each task inline at submission time,
+        which is deterministic and is what most unit tests use.
+    max_workers:
+        Pool size for the ``threads`` executor (default: CPU count).
+    name:
+        Label used in provenance records and DOT exports.
+    """
+
+    _ids = 0
+    _ids_lock = threading.Lock()
+
+    def __init__(
+        self,
+        executor: str = "threads",
+        max_workers: int | None = None,
+        name: str = "repro-runtime",
+    ):
+        if executor not in ("threads", "sequential"):
+            raise ValueError(f"unknown executor {executor!r}")
+        with Runtime._ids_lock:
+            Runtime._ids += 1
+            self.runtime_id = Runtime._ids
+        self.name = name
+        self.executor = executor
+        self.max_workers = max_workers or (os.cpu_count() or 4)
+        self.graph = TaskGraph()
+        self.registry = DataRegistry()
+        self.collector = TraceCollector()
+        self._tasks: dict[int, TaskInstance] = {}
+        self._children: dict[int, list[TaskInstance]] = collections.defaultdict(list)
+        self._next_task_id = 0
+        self._state_lock = threading.Lock()
+        self._ready: collections.deque[TaskInstance] = collections.deque()
+        self._cond = threading.Condition()
+        self._shutdown = False
+        self._threads: list[threading.Thread] = []
+        self._epoch = time.perf_counter()
+        self.root_scope = Scope(self)
+        if executor == "threads":
+            self._start_workers()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start_workers(self) -> None:
+        for i in range(self.max_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"{self.name}-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the runtime.  With ``wait=True`` (default) drains the
+        root scope first so no task is lost."""
+        if wait and not self._shutdown:
+            self.root_scope.wait_all()
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self.registry.clear()
+
+    def __enter__(self) -> "Runtime":
+        push_runtime(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pop_runtime(self)
+        self.shutdown(wait=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # submission & dependency detection
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: TaskSpec,
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        label: str | None = None,
+    ) -> Any:
+        """Submit one task invocation; returns its future(s) (or None
+        when the task declares no return values)."""
+        if self._shutdown:
+            raise RuntimeStateError("runtime has been shut down")
+
+        scope = _current_scope()
+        if scope is None or scope.runtime is not self:
+            scope = self.root_scope
+        parent_id = scope.parent_task_id
+
+        with self._state_lock:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+
+            deps: set[int] = set()
+            # (1) read-after-write through futures in the arguments.
+            for fut in scan_futures((args, kwargs)):
+                if fut._runtime_id == self.runtime_id:
+                    deps.add(fut.task_id)
+            # (2) dependencies through mutated objects (INOUT/OUT).
+            bound = _bind_arguments(spec, args, kwargs)
+            for pname, value in bound.items():
+                direction = spec.directions.get(pname, Direction.IN)
+                for obj in _identity_candidates(value):
+                    writer = self.registry.last_writer(obj)
+                    if writer is not None and writer != task_id:
+                        deps.add(writer)
+                    if direction is not Direction.IN:
+                        self.registry.record_write(obj, task_id)
+
+            futures = tuple(
+                Future(task_id, i, self.runtime_id) for i in range(spec.returns)
+            )
+            inst = TaskInstance(
+                task_id=task_id,
+                spec=spec,
+                args=args,
+                kwargs=kwargs,
+                deps=frozenset(deps),
+                futures=futures,
+                parent_id=parent_id,
+                label=label,
+            )
+            self._tasks[task_id] = inst
+            self.graph.add_task(
+                task_id,
+                spec.name,
+                deps,
+                parent=parent_id,
+                computing_units=spec.constraints.computing_units,
+                gpus=spec.constraints.gpus,
+            )
+            scope.task_submitted(task_id)
+            inst._owner_scope = scope  # type: ignore[attr-defined]
+
+            unresolved = 0
+            for dep in deps:
+                dep_inst = self._tasks.get(dep)
+                if dep_inst is not None and dep_inst.state not in (DONE, FAILED, CANCELLED):
+                    self._children[dep].append(inst)
+                    unresolved += 1
+                elif dep_inst is not None and dep_inst.state in (FAILED, CANCELLED):
+                    # upstream already failed: cancel immediately below.
+                    inst.state = CANCELLED
+            inst._remaining = unresolved
+
+        if inst.state == CANCELLED:
+            self._cancel(inst)
+        elif self.executor == "sequential":
+            # Submission order is a topological order, so deps are done.
+            self._execute(inst)
+        elif unresolved == 0:
+            self._enqueue(inst)
+
+        if spec.returns == 0:
+            return None
+        if spec.returns == 1:
+            return futures[0]
+        return futures
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _enqueue(self, inst: TaskInstance) -> None:
+        inst.state = READY
+        with self._cond:
+            self._ready.append(inst)
+            self._cond.notify()
+
+    def _pop_ready(self) -> TaskInstance | None:
+        with self._cond:
+            if self._ready:
+                return self._ready.popleft()
+            return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            inst = None
+            with self._cond:
+                while not self._ready and not self._shutdown:
+                    self._cond.wait(timeout=0.1)
+                if self._shutdown and not self._ready:
+                    return
+                if self._ready:
+                    inst = self._ready.popleft()
+            if inst is not None:
+                self._execute(inst)
+
+    def _help_until(self, predicate: Callable[[], bool]) -> None:
+        """Run ready tasks (if any) until *predicate* holds.
+
+        Called from any thread that needs to block on runtime progress;
+        turning waiters into workers keeps nested graphs deadlock-free.
+        """
+        while not predicate():
+            inst = self._pop_ready()
+            if inst is not None:
+                self._execute(inst)
+            else:
+                # Nothing runnable here; yield until state changes.
+                time.sleep(0.0005)
+                if self._shutdown and not predicate():
+                    raise RuntimeStateError(
+                        "runtime shut down while waiting for tasks"
+                    )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, inst: TaskInstance) -> None:
+        inst.state = RUNNING
+        outer_scope = _current_scope()
+        scope = Scope(self, parent_task_id=inst.task_id)
+        _tls.scope = scope
+        t_start = time.perf_counter() - self._epoch
+        try:
+            args = resolve_futures(inst.args)
+            kwargs = resolve_futures(inst.kwargs)
+            result = inst.spec.func(*args, **kwargs)
+            # Nested tasks must complete before the parent is done.
+            scope.wait_all()
+            result = resolve_futures(result)
+            results = _split_results(inst, result)
+        except Exception as exc:  # noqa: BLE001 - propagate via futures
+            t_end = time.perf_counter() - self._epoch
+            _tls.scope = outer_scope
+            self._fail(inst, exc, t_start, t_end)
+            return
+        t_end = time.perf_counter() - self._epoch
+        _tls.scope = outer_scope
+
+        for fut, value in zip(inst.futures, results):
+            fut._set_result(value)
+
+        self.collector.record(
+            TaskRecord(
+                task_id=inst.task_id,
+                name=inst.name,
+                deps=tuple(sorted(inst.deps)),
+                t_start=t_start,
+                t_end=t_end,
+                computing_units=inst.spec.constraints.computing_units,
+                gpus=inst.spec.constraints.gpus,
+                in_bytes=estimate_nbytes(args) + estimate_nbytes(kwargs),
+                out_bytes=estimate_nbytes(results),
+                parent_id=inst.parent_id,
+                label=inst.label,
+            )
+        )
+        self._complete(inst, DONE)
+
+    def _fail(
+        self, inst: TaskInstance, exc: BaseException, t_start: float, t_end: float
+    ) -> None:
+        if isinstance(exc, TaskExecutionError):
+            error = exc
+        else:
+            error = TaskExecutionError(inst.name, inst.task_id, exc)
+        inst.error = error
+        for fut in inst.futures:
+            fut._set_error(error)
+        self.collector.record(
+            TaskRecord(
+                task_id=inst.task_id,
+                name=inst.name,
+                deps=tuple(sorted(inst.deps)),
+                t_start=t_start,
+                t_end=t_end,
+                computing_units=inst.spec.constraints.computing_units,
+                gpus=inst.spec.constraints.gpus,
+                parent_id=inst.parent_id,
+                label=inst.label,
+            )
+        )
+        self._complete(inst, FAILED)
+
+    def _cancel(self, inst: TaskInstance) -> None:
+        for fut in inst.futures:
+            fut._cancel()
+        self._complete(inst, CANCELLED)
+
+    def _complete(self, inst: TaskInstance, state: str) -> None:
+        with self._state_lock:
+            inst.state = state
+            children = self._children.pop(inst.task_id, [])
+        getattr(inst, "_owner_scope").task_finished()
+        self.graph.set_attr(inst.task_id, state=state)
+        for child in children:
+            if state in (FAILED, CANCELLED):
+                # Propagate: the child can never run.
+                if child.state in (PENDING, READY):
+                    child.state = CANCELLED
+                    self._cancel_pending(child)
+            elif child.dep_completed() and child.state == PENDING:
+                self._enqueue(child)
+        with self._cond:
+            self._cond.notify_all()
+
+    def _cancel_pending(self, inst: TaskInstance) -> None:
+        for fut in inst.futures:
+            fut._cancel()
+        with self._state_lock:
+            grandchildren = self._children.pop(inst.task_id, [])
+        getattr(inst, "_owner_scope").task_finished()
+        self.graph.set_attr(inst.task_id, state=CANCELLED)
+        for gc in grandchildren:
+            if gc.state in (PENDING, READY):
+                gc.state = CANCELLED
+                self._cancel_pending(gc)
+
+    # ------------------------------------------------------------------
+    # synchronisation & introspection
+    # ------------------------------------------------------------------
+    def wait_on(self, obj: Any) -> Any:
+        """Synchronise futures in *obj* (deeply) into concrete values."""
+        futures = scan_futures(obj)
+        if futures:
+            self._help_until(lambda: all(f.done for f in futures))
+        return resolve_futures(obj)
+
+    def barrier(self) -> None:
+        """Wait until every task submitted from the current scope is done."""
+        scope = _current_scope()
+        if scope is None or scope.runtime is not self:
+            scope = self.root_scope
+        scope.wait_all()
+
+    def trace(self) -> Trace:
+        """Trace of every task executed so far."""
+        return self.collector.trace()
+
+    def stats(self) -> dict:
+        """Live snapshot: task counts by state and by name, queue depth
+        and pool configuration — the runtime's monitoring surface."""
+        with self._state_lock:
+            by_state: dict[str, int] = {}
+            for inst in self._tasks.values():
+                by_state[inst.state] = by_state.get(inst.state, 0) + 1
+        return {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "n_tasks": self.graph.n_tasks,
+            "n_edges": self.graph.n_edges,
+            "by_state": by_state,
+            "by_name": self.graph.count_by_name(),
+            "ready_queue": len(self._ready),
+        }
+
+    @property
+    def n_tasks(self) -> int:
+        return self.graph.n_tasks
+
+    def task_state(self, task_id: int) -> str:
+        return self._tasks[task_id].state
+
+
+# ----------------------------------------------------------------------
+# active-runtime stack
+# ----------------------------------------------------------------------
+_runtime_stack: list[Runtime] = []
+_stack_lock = threading.Lock()
+
+
+def push_runtime(rt: Runtime) -> None:
+    with _stack_lock:
+        _runtime_stack.append(rt)
+
+
+def pop_runtime(rt: Runtime) -> None:
+    with _stack_lock:
+        if rt in _runtime_stack:
+            _runtime_stack.remove(rt)
+
+
+def active_runtime() -> Runtime | None:
+    """Runtime governing the current context.
+
+    A worker thread executing a task belongs to that task's runtime; a
+    plain application thread sees the innermost ``with Runtime(...)``.
+    """
+    scope = _current_scope()
+    if scope is not None:
+        return scope.runtime
+    with _stack_lock:
+        return _runtime_stack[-1] if _runtime_stack else None
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _bind_arguments(
+    spec: TaskSpec, args: tuple[Any, ...], kwargs: dict[str, Any]
+) -> dict[str, Any]:
+    """Map positional + keyword args to parameter names (best effort;
+    *args overflow is ignored for direction purposes)."""
+    bound: dict[str, Any] = {}
+    for name, value in zip(spec.param_names, args):
+        bound[name] = value
+    bound.update(kwargs)
+    return bound
+
+
+def _identity_candidates(value: Any) -> Iterable[Any]:
+    """Objects whose identity may carry INOUT version chains."""
+    if isinstance(value, (int, float, str, bytes, bool, type(None))):
+        return ()
+    if isinstance(value, (list, tuple)):
+        out = [value]
+        out.extend(
+            v
+            for v in value
+            if not isinstance(v, (int, float, str, bytes, bool, type(None)))
+        )
+        return out
+    return (value,)
+
+
+def _split_results(inst: TaskInstance, result: Any) -> tuple[Any, ...]:
+    n = inst.spec.returns
+    if n == 0:
+        return ()
+    if n == 1:
+        return (result,)
+    if not isinstance(result, (tuple, list)) or len(result) != n:
+        raise TaskExecutionError(
+            inst.name,
+            inst.task_id,
+            TypeError(
+                f"task declared returns={n} but returned "
+                f"{type(result).__name__} of length "
+                f"{len(result) if isinstance(result, (tuple, list)) else 'n/a'}"
+            ),
+        )
+    return tuple(result)

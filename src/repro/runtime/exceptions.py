@@ -1,0 +1,39 @@
+"""Exception hierarchy for the task runtime."""
+
+from __future__ import annotations
+
+
+class RuntimeStateError(RuntimeError):
+    """The runtime is not in a state where the operation is legal.
+
+    Raised e.g. when submitting tasks after shutdown, or calling
+    ``wait_on`` on a future produced by a different runtime instance.
+    """
+
+
+class TaskDefinitionError(TypeError):
+    """A ``@task`` decorator was mis-declared.
+
+    Examples: a direction given for a parameter that does not exist, a
+    negative ``returns`` count, or an unknown direction name.
+    """
+
+
+class TaskExecutionError(RuntimeError):
+    """A task body raised an exception.
+
+    The original exception is attached as ``__cause__`` and the failing
+    task's name and id are carried in :attr:`task_name` / :attr:`task_id`
+    so schedulers and callers can report which node of the DAG failed.
+    """
+
+    def __init__(self, task_name: str, task_id: int, cause: BaseException):
+        super().__init__(f"task {task_name!r} (id={task_id}) failed: {cause!r}")
+        self.task_name = task_name
+        self.task_id = task_id
+        self.__cause__ = cause
+
+
+class CancelledTaskError(RuntimeError):
+    """The task was cancelled before it could run (e.g. runtime shutdown
+    or an upstream dependency failed)."""

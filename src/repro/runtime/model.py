@@ -1,0 +1,114 @@
+"""Task model: specifications (the decorated function) and instances
+(one node of the dependency graph per invocation)."""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable
+
+from repro.runtime.directions import Direction
+from repro.runtime.future import Future
+
+#: Task lifecycle states.
+PENDING = "pending"
+READY = "ready"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraints:
+    """Resource constraints of a task, mirroring COMPSs ``@constraint``.
+
+    ``computing_units`` is the number of cores the task occupies on its
+    node while running; ``gpus`` the number of GPU devices.  These are
+    ignored by the local thread executor (which models one core per
+    worker) but drive the cluster simulator's placement decisions.
+    """
+
+    computing_units: int = 1
+    gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.computing_units < 1:
+            raise ValueError("computing_units must be >= 1")
+        if self.gpus < 0:
+            raise ValueError("gpus must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of a task type (one per decorated function)."""
+
+    func: Callable[..., Any]
+    name: str
+    returns: int
+    directions: dict[str, Direction]
+    constraints: Constraints
+    #: Parameter names of the function, positionally ordered (for
+    #: mapping positional args onto declared directions).
+    param_names: tuple[str, ...]
+
+    @property
+    def has_writes(self) -> bool:
+        return any(d is not Direction.IN for d in self.directions.values())
+
+
+class TaskInstance:
+    """One submitted invocation of a task — a node of the DAG."""
+
+    __slots__ = (
+        "task_id",
+        "spec",
+        "args",
+        "kwargs",
+        "deps",
+        "futures",
+        "state",
+        "parent_id",
+        "label",
+        "error",
+        "_remaining",
+        "_lock",
+        "_owner_scope",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        spec: TaskSpec,
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        deps: frozenset[int],
+        futures: tuple[Future, ...],
+        parent_id: int | None,
+        label: str | None,
+    ):
+        self.task_id = task_id
+        self.spec = spec
+        self.args = args
+        self.kwargs = kwargs
+        self.deps = deps
+        self.futures = futures
+        self.state = PENDING
+        self.parent_id = parent_id
+        self.label = label
+        self.error: BaseException | None = None
+        self._remaining = len(deps)
+        self._lock = threading.Lock()
+
+    def dep_completed(self) -> bool:
+        """Mark one dependency as satisfied; True if the task became ready."""
+        with self._lock:
+            self._remaining -= 1
+            return self._remaining == 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TaskInstance {self.name}#{self.task_id} {self.state}>"

@@ -1,0 +1,57 @@
+"""Data-version registry used to detect dependencies through mutation.
+
+COMPSs renames data on every write so that each task reads a specific
+*version* of an object.  We reproduce the dependency-tracking half of
+that mechanism: every object passed with direction ``INOUT``/``OUT``
+gets an entry mapping its identity to the id of the last task that
+wrote it.  A later task receiving the same object (any direction)
+depends on that writer; a later writer replaces the entry.
+
+Objects are tracked by ``id()`` while the registry holds a strong
+reference, so identity cannot be recycled underneath us.  The registry
+lives for the duration of a runtime scope and is cleared on shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class DataRegistry:
+    """Maps object identity -> (object, last_writer_task_id, version)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[Any, int, int]] = {}
+        self._lock = threading.Lock()
+
+    def last_writer(self, obj: Any) -> int | None:
+        """Task id of the most recent writer of *obj*, or None."""
+        with self._lock:
+            entry = self._entries.get(id(obj))
+            return entry[1] if entry is not None else None
+
+    def version(self, obj: Any) -> int:
+        """Current version number of *obj* (0 if never written)."""
+        with self._lock:
+            entry = self._entries.get(id(obj))
+            return entry[2] if entry is not None else 0
+
+    def record_write(self, obj: Any, task_id: int) -> int:
+        """Register *task_id* as the new last writer of *obj*.
+
+        Returns the new version number.
+        """
+        with self._lock:
+            entry = self._entries.get(id(obj))
+            version = (entry[2] if entry is not None else 0) + 1
+            self._entries[id(obj)] = (obj, task_id, version)
+            return version
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

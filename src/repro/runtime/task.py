@@ -1,0 +1,148 @@
+"""The ``@task`` decorator — the PyCOMPSs programming-model analog.
+
+Decorating a function turns each call into a task submission on the
+active runtime; the call returns :class:`~repro.runtime.future.Future`
+placeholders instead of values.  When no runtime is active the function
+simply runs inline and returns concrete values, matching PyCOMPSs
+scripts executing as plain Python.
+
+Examples
+--------
+>>> from repro.runtime import task, wait_on, Runtime
+>>> @task(returns=1)
+... def add(a, b):
+...     return a + b
+>>> with Runtime(executor="sequential"):
+...     c = add(1, 2)          # future
+...     d = add(c, 3)          # depends on the first task
+...     print(wait_on(d))
+6
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable
+
+from repro.runtime import engine
+from repro.runtime.directions import Direction, coerce_direction
+from repro.runtime.exceptions import TaskDefinitionError
+from repro.runtime.future import resolve_futures
+from repro.runtime.model import Constraints, TaskSpec
+
+#: Reserved decorator keywords (everything else is a parameter direction).
+_RESERVED = {"returns", "constraints", "label", "name"}
+
+
+def task(
+    _func: Callable[..., Any] | None = None,
+    *,
+    returns: int = 0,
+    constraints: Constraints | dict | None = None,
+    label: str | None = None,
+    name: str | None = None,
+    retries: int = 0,
+    **param_directions: Any,
+) -> Callable[..., Any]:
+    """Declare a function as a task.
+
+    Parameters
+    ----------
+    returns:
+        Number of values the function returns; each becomes a future.
+    constraints:
+        Resource constraints (:class:`Constraints` or a dict with
+        ``computing_units`` / ``gpus``), consumed by the cluster
+        simulator when replaying the trace at paper scale.
+    label:
+        Free-form tag recorded in the trace (e.g. the fold index).
+    name:
+        Override the task name (defaults to the function name).
+    retries:
+        Re-execute the body up to this many extra times if it raises
+        (COMPSs' task resubmission on failure).  Retries happen inside
+        the same task execution, so the DAG is unchanged.
+    **param_directions:
+        Per-parameter directions, e.g. ``model=INOUT``.  Unlisted
+        parameters default to ``IN``.
+    """
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        if returns < 0:
+            raise TaskDefinitionError("returns must be >= 0")
+        if retries < 0:
+            raise TaskDefinitionError("retries must be >= 0")
+        if retries:
+            inner = func
+
+            @functools.wraps(inner)
+            def func(*a, **k):  # noqa: F811 - deliberate rebinding
+                last: Exception | None = None
+                for _attempt in range(retries + 1):
+                    try:
+                        return inner(*a, **k)
+                    except Exception as exc:  # noqa: BLE001
+                        last = exc
+                assert last is not None
+                raise last
+
+        sig = inspect.signature(func)
+        param_names = tuple(
+            p.name
+            for p in sig.parameters.values()
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        )
+        directions: dict[str, Direction] = {}
+        for pname, value in param_directions.items():
+            if pname in _RESERVED:
+                continue
+            if pname not in sig.parameters:
+                raise TaskDefinitionError(
+                    f"direction declared for unknown parameter {pname!r} "
+                    f"of task {func.__name__!r}"
+                )
+            directions[pname] = coerce_direction(value)
+
+        if constraints is None:
+            cons = Constraints()
+        elif isinstance(constraints, Constraints):
+            cons = constraints
+        elif isinstance(constraints, dict):
+            cons = Constraints(**constraints)
+        else:
+            raise TaskDefinitionError(
+                f"constraints must be Constraints or dict, got {type(constraints)}"
+            )
+
+        spec = TaskSpec(
+            func=func,
+            name=name or func.__name__,
+            returns=returns,
+            directions=directions,
+            constraints=cons,
+            param_names=param_names,
+        )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            call_label = kwargs.pop("_task_label", label)
+            rt = engine.active_runtime()
+            if rt is None:
+                # No runtime: run as a plain function (PyCOMPSs scripts
+                # degrade to sequential Python the same way).
+                result = func(*resolve_futures(args), **resolve_futures(kwargs))
+                return result
+            return rt.submit(spec, args, kwargs, label=call_label)
+
+        wrapper.spec = spec  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = func
+        return wrapper
+
+    if _func is not None:
+        return decorate(_func)
+    return decorate

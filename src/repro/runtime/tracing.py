@@ -1,0 +1,151 @@
+"""Execution tracing.
+
+Every task run is recorded as a :class:`TaskRecord` with wall-clock
+timestamps, dependency ids, resource constraints and (estimated) input/
+output data sizes.  A finished :class:`Trace` is the input of the
+cluster simulator (:mod:`repro.cluster.replay`), which re-schedules the
+same DAG on an arbitrary simulated machine — this is how the paper's
+MareNostrum-scale figures are regenerated without the testbed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+
+def estimate_nbytes(obj: Any) -> int:
+    """Rough payload size of a task argument or result.
+
+    NumPy arrays dominate all our workloads, so everything else gets a
+    small constant.  Containers are summed one level deep (ds-array
+    blocks arrive as lists of arrays).
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(estimate_nbytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return sum(estimate_nbytes(v) for v in obj.values())
+    return 64
+
+
+@dataclasses.dataclass
+class TaskRecord:
+    """One executed task."""
+
+    task_id: int
+    name: str
+    deps: tuple[int, ...]
+    t_start: float
+    t_end: float
+    computing_units: int = 1
+    gpus: int = 0
+    in_bytes: int = 0
+    out_bytes: int = 0
+    parent_id: int | None = None
+    label: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class Trace:
+    """A completed execution trace: an ordered set of task records."""
+
+    def __init__(self, records: Iterable[TaskRecord] = ()):
+        self._records: dict[int, TaskRecord] = {}
+        for rec in records:
+            self.add(rec)
+
+    def add(self, record: TaskRecord) -> None:
+        self._records[record.task_id] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TaskRecord]:
+        return iter(sorted(self._records.values(), key=lambda r: r.task_id))
+
+    def __getitem__(self, task_id: int) -> TaskRecord:
+        return self._records[task_id]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._records
+
+    @property
+    def total_task_time(self) -> float:
+        """Sum of all task durations (work, not makespan)."""
+        return sum(r.duration for r in self._records.values())
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock span of the recorded execution."""
+        if not self._records:
+            return 0.0
+        start = min(r.t_start for r in self._records.values())
+        end = max(r.t_end for r in self._records.values())
+        return end - start
+
+    def by_name(self) -> dict[str, list[TaskRecord]]:
+        out: dict[str, list[TaskRecord]] = {}
+        for rec in self:
+            out.setdefault(rec.name, []).append(rec)
+        return out
+
+    def mean_duration(self, name: str) -> float:
+        recs = [r for r in self if r.name == name]
+        if not recs:
+            raise KeyError(f"no tasks named {name!r} in trace")
+        return float(np.mean([r.duration for r in recs]))
+
+    def scaled(self, factor: float) -> "Trace":
+        """A copy with every duration multiplied by *factor*.
+
+        Used to extrapolate small local runs to paper-scale problem
+        sizes before replaying on the simulated cluster.
+        """
+        out = Trace()
+        for rec in self:
+            scaled = dataclasses.replace(
+                rec,
+                t_start=rec.t_start * factor,
+                t_end=rec.t_start * factor + rec.duration * factor,
+            )
+            out.add(scaled)
+        return out
+
+    # -- (de)serialisation ------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([r.to_dict() for r in self])
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        records = [TaskRecord(**{**d, "deps": tuple(d["deps"])}) for d in json.loads(text)]
+        return cls(records)
+
+
+class TraceCollector:
+    """Thread-safe sink the runtime writes records into."""
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+        self._lock = threading.Lock()
+
+    def record(self, record: TaskRecord) -> None:
+        with self._lock:
+            self._trace.add(record)
+
+    def trace(self) -> Trace:
+        with self._lock:
+            return Trace(list(self._trace))

@@ -1,0 +1,93 @@
+"""Trace/schedule analyses: critical path, breakdowns, Gantt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, simulate
+from repro.cluster.analysis import (
+    bottleneck_report,
+    critical_path,
+    gantt_text,
+    idle_fraction,
+    time_breakdown,
+)
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+def rec(tid, name="t", deps=(), dur=1.0):
+    return TaskRecord(
+        task_id=tid, name=name, deps=tuple(deps), t_start=0.0, t_end=dur
+    )
+
+
+def test_critical_path_simple_chain():
+    tr = Trace([rec(0, dur=1.0), rec(1, deps=[0], dur=2.0), rec(2, deps=[1], dur=3.0)])
+    path, length = critical_path(tr)
+    assert path == [0, 1, 2]
+    assert length == pytest.approx(6.0)
+
+
+def test_critical_path_picks_heavier_branch():
+    tr = Trace(
+        [
+            rec(0, dur=1.0),
+            rec(1, deps=[0], dur=5.0),
+            rec(2, deps=[0], dur=1.0),
+            rec(3, deps=[1, 2], dur=1.0),
+        ]
+    )
+    path, length = critical_path(tr)
+    assert path == [0, 1, 3]
+    assert length == pytest.approx(7.0)
+
+
+def test_critical_path_empty():
+    assert critical_path(Trace()) == ([], 0.0)
+
+
+def test_critical_path_lower_bounds_makespan():
+    tr = Trace([rec(i, dur=1.0, deps=[i - 1] if i else []) for i in range(5)])
+    _, cp = critical_path(tr)
+    res = simulate(tr, ClusterSpec(node=NodeSpec(cores=64), n_nodes=4))
+    assert res.makespan >= cp - 1e-9
+
+
+def test_time_breakdown_shares_sum_to_one():
+    tr = Trace([rec(0, "a", dur=1.0), rec(1, "b", dur=3.0)])
+    bd = time_breakdown(tr)
+    assert bd["a"]["share"] + bd["b"]["share"] == pytest.approx(1.0)
+    assert bd["b"]["total_s"] == pytest.approx(3.0)
+    assert bd["a"]["count"] == 1
+
+
+def test_gantt_text_renders_all_nodes():
+    tr = Trace([rec(0, "alpha", dur=1.0), rec(1, "beta", dur=1.0)])
+    res = simulate(tr, ClusterSpec(node=NodeSpec(cores=1), n_nodes=2))
+    text = gantt_text(res, width=40)
+    assert "node   0" in text and "node   1" in text
+    assert "a" in text or "b" in text
+
+
+def test_gantt_empty():
+    res = simulate(Trace(), ClusterSpec(node=NodeSpec(cores=1), n_nodes=1))
+    assert gantt_text(res) == "(empty schedule)"
+
+
+def test_idle_fraction_bounds():
+    tr = Trace([rec(0, dur=1.0)])
+    res = simulate(tr, ClusterSpec(node=NodeSpec(cores=4), n_nodes=1))
+    frac = idle_fraction(res)
+    assert 0.0 <= frac <= 1.0
+    assert frac == pytest.approx(0.75)
+
+
+def test_bottleneck_report_mentions_everything():
+    tr = Trace(
+        [rec(0, "load", dur=0.5), rec(1, "fit", deps=[0], dur=2.0), rec(2, "fit", deps=[0], dur=2.0)]
+    )
+    res = simulate(tr, ClusterSpec(node=NodeSpec(cores=2), n_nodes=1))
+    report = bottleneck_report(tr, res)
+    assert "makespan" in report
+    assert "critical path" in report
+    assert "fit" in report

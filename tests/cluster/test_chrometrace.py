@@ -1,0 +1,66 @@
+"""Chrome Trace Event Format exports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    schedule_to_chrome,
+    simulate,
+    trace_to_chrome,
+)
+from repro.runtime import Runtime, task, wait_on
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+@task(returns=1)
+def _leaf(x):
+    return x + 1
+
+
+@task(returns=1)
+def _parent(x):
+    return wait_on(_leaf(x))
+
+
+def test_runtime_trace_export():
+    with Runtime(executor="sequential") as rt:
+        wait_on(_leaf(5))      # task 0: ensures the parent id is non-zero
+        wait_on(_parent(1))
+        text = trace_to_chrome(rt.trace())
+    blob = json.loads(text)
+    events = blob["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == 3
+    for e in xs:
+        assert e["dur"] >= 0
+        assert "deps" in e["args"]
+    # nested leaf shares its parent's lane
+    parent_ev = next(e for e in xs if e["name"].startswith("_parent"))
+    parent_id = int(parent_ev["name"].split("#")[1])
+    child_ev = next(
+        e for e in xs if e["name"].startswith("_leaf") and e["tid"] == parent_id
+    )
+    assert child_ev["tid"] == parent_id
+
+
+def test_schedule_export():
+    tr = Trace(
+        [
+            TaskRecord(task_id=0, name="a", deps=(), t_start=0, t_end=1),
+            TaskRecord(task_id=1, name="b", deps=(0,), t_start=0, t_end=2),
+        ]
+    )
+    res = simulate(tr, ClusterSpec(node=NodeSpec(cores=2), n_nodes=2))
+    blob = json.loads(schedule_to_chrome(res))
+    xs = [e for e in blob["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == 2
+    names = [e for e in blob["traceEvents"] if e.get("name") == "thread_name"]
+    assert len(names) == 2
+
+
+def test_empty_trace_valid_json():
+    blob = json.loads(trace_to_chrome(Trace()))
+    assert blob["traceEvents"][0]["ph"] == "M"

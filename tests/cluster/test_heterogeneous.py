@@ -1,0 +1,71 @@
+"""Heterogeneous fleets: per-node speeds and straggler behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, simulate
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+def rec(tid, name="t", deps=(), dur=1.0):
+    return TaskRecord(task_id=tid, name=name, deps=tuple(deps), t_start=0.0, t_end=dur)
+
+
+def test_speed_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(node=NodeSpec(cores=1), n_nodes=2, node_speeds=(1.0,))
+    with pytest.raises(ValueError):
+        ClusterSpec(node=NodeSpec(cores=1), n_nodes=2, node_speeds=(1.0, 0.0))
+
+
+def test_speed_of_defaults_to_node_speed():
+    spec = ClusterSpec(node=NodeSpec(cores=1, speed=2.0), n_nodes=2)
+    assert spec.speed_of(0) == 2.0
+    spec2 = ClusterSpec(node=NodeSpec(cores=1), n_nodes=2, node_speeds=(1.0, 4.0))
+    assert spec2.speed_of(1) == 4.0
+
+
+def test_single_task_runs_on_fastest_node():
+    tr = Trace([rec(0, dur=8.0)])
+    cluster = ClusterSpec(node=NodeSpec(cores=1), n_nodes=3, node_speeds=(1.0, 4.0, 2.0))
+    res = simulate(tr, cluster)
+    assert res.placements[0].node == 1
+    assert res.makespan == pytest.approx(2.0)
+
+
+def test_uniform_speedup_scales_all_durations():
+    tr = Trace([rec(i, dur=2.0, deps=[i - 1] if i else []) for i in range(4)])
+    slow = simulate(tr, ClusterSpec(node=NodeSpec(cores=1), n_nodes=1, node_speeds=(1.0,)))
+    fast = simulate(tr, ClusterSpec(node=NodeSpec(cores=1), n_nodes=1, node_speeds=(2.0,)))
+    assert slow.makespan == pytest.approx(2 * fast.makespan)
+
+
+def test_straggler_dominates_barrier_workload():
+    """FedAvg-like round: N parallel updates + an aggregation that
+    needs them all.  One slow device bounds the round time."""
+    updates = [rec(i, "update", dur=1.0) for i in range(4)]
+    agg = rec(4, "agg", deps=[0, 1, 2, 3], dur=0.1)
+    tr = Trace(updates + [agg])
+    uniform = ClusterSpec(node=NodeSpec(cores=1), n_nodes=4, node_speeds=(1.0,) * 4)
+    straggler = ClusterSpec(
+        node=NodeSpec(cores=1), n_nodes=4, node_speeds=(1.0, 1.0, 1.0, 0.25)
+    )
+    t_uniform = simulate(tr, uniform).makespan
+    t_straggler = simulate(tr, straggler).makespan
+    assert t_uniform == pytest.approx(1.1, abs=0.01)
+    # scheduler load-balances: the slow node gets one update (4s) OR
+    # the fast nodes absorb it (2 sequential updates = 2s + agg)
+    assert t_straggler > t_uniform
+    assert t_straggler <= 4.1 + 1e-6
+
+
+def test_scheduler_avoids_straggler_when_possible():
+    """With fewer tasks than fast nodes, nothing lands on the slow one."""
+    tr = Trace([rec(i, dur=1.0) for i in range(3)])
+    cluster = ClusterSpec(
+        node=NodeSpec(cores=1), n_nodes=4, node_speeds=(1.0, 1.0, 1.0, 0.01)
+    )
+    res = simulate(tr, cluster)
+    assert all(p.node != 3 for p in res.placements.values())
+    assert res.makespan == pytest.approx(1.0)

@@ -1,0 +1,57 @@
+"""Scheduler placement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, simulate
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+def rec(tid, name="t", deps=(), dur=1.0, out_bytes=0):
+    return TaskRecord(
+        task_id=tid, name=name, deps=tuple(deps), t_start=0.0, t_end=dur,
+        out_bytes=out_bytes,
+    )
+
+
+def chain_with_big_data():
+    """One producer with a heavy output and a fan of consumers:
+    waiting for a local core beats paying the transfer."""
+    records = [rec(0, "produce", dur=1.0, out_bytes=2_000_000_000)]
+    for i in range(6):
+        records.append(rec(i + 1, "consume", deps=[0], dur=1.0))
+    return Trace(records)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        simulate(Trace(), ClusterSpec(node=NodeSpec(cores=1), n_nodes=1), policy="static")
+
+
+def test_round_robin_spreads_tasks():
+    tr = Trace([rec(i, dur=1.0) for i in range(8)])
+    cluster = ClusterSpec(node=NodeSpec(cores=8), n_nodes=4)
+    res = simulate(tr, cluster, policy="round_robin")
+    used = {p.node for p in res.placements.values()}
+    assert len(used) == 4
+
+
+def test_locality_beats_round_robin_with_transfers():
+    """With slow interconnect and heavy payloads, the locality policy
+    avoids the transfers round-robin pays."""
+    tr = chain_with_big_data()
+    cluster = ClusterSpec(
+        node=NodeSpec(cores=2), n_nodes=4, bandwidth=0.5e9  # -> 4 s/transfer
+    )
+    local = simulate(tr, cluster, policy="locality")
+    rr = simulate(tr, cluster, policy="round_robin")
+    assert local.makespan < rr.makespan
+
+
+def test_policies_agree_without_data():
+    tr = Trace([rec(i, dur=1.0) for i in range(16)])
+    cluster = ClusterSpec(node=NodeSpec(cores=4), n_nodes=4)
+    a = simulate(tr, cluster, policy="locality").makespan
+    b = simulate(tr, cluster, policy="round_robin").makespan
+    assert a == pytest.approx(b)

@@ -1,0 +1,89 @@
+"""Replay utilities: barrier-order reconstruction and strategy tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    compare_strategies,
+    impose_barrier_order,
+    simulate,
+)
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+def rec(tid, name, t0, t1, deps=()):
+    return TaskRecord(
+        task_id=tid, name=name, deps=tuple(deps), t_start=t0, t_end=t1
+    )
+
+
+def test_barrier_edges_added():
+    """Tasks recorded after a barrier's end gain a dependency on it."""
+    tr = Trace(
+        [
+            rec(0, "train", 0.0, 1.0),
+            rec(1, "train", 0.0, 1.0),
+            rec(2, "merge", 1.0, 1.2, deps=[0, 1]),
+            # next epoch, submitted after wait_on(merge)
+            rec(3, "train", 1.3, 2.3),
+            rec(4, "train", 1.3, 2.3),
+        ]
+    )
+    out = impose_barrier_order(tr, "merge")
+    assert 2 in out[3].deps
+    assert 2 in out[4].deps
+    # tasks before the barrier untouched
+    assert out[0].deps == ()
+    assert out[2].deps == (0, 1)
+
+
+def test_barrier_order_affects_simulation():
+    """Without the barrier edges, two epoch groups run concurrently on
+    a wide machine; with them, they serialise."""
+    tr = Trace(
+        [
+            rec(0, "train", 0.0, 1.0),
+            rec(1, "merge", 1.0, 1.1, deps=[0]),
+            rec(2, "train", 1.2, 2.2),
+            rec(3, "merge", 2.2, 2.3, deps=[2]),
+        ]
+    )
+    wide = ClusterSpec(node=NodeSpec(cores=16), n_nodes=1)
+    free = simulate(tr, wide).makespan
+    ordered = simulate(impose_barrier_order(tr, "merge"), wide).makespan
+    assert ordered > free
+
+
+def test_latest_barrier_wins():
+    tr = Trace(
+        [
+            rec(0, "merge", 0.0, 1.0),
+            rec(1, "merge", 1.5, 2.0),
+            rec(2, "train", 3.0, 4.0),
+        ]
+    )
+    out = impose_barrier_order(tr, "merge")
+    assert 1 in out[2].deps
+    assert 0 not in out[2].deps
+
+
+def test_no_barriers_noop():
+    tr = Trace([rec(0, "a", 0.0, 1.0), rec(1, "b", 1.0, 2.0, deps=[0])])
+    out = impose_barrier_order(tr, "merge")
+    assert out[1].deps == (0,)
+
+
+def test_compare_strategies():
+    from repro.cluster.simulator import SimResult
+
+    cluster = ClusterSpec(node=NodeSpec(cores=1), n_nodes=1)
+    results = {
+        "a": SimResult(cluster, {}, 10.0),
+        "b": SimResult(cluster, {}, 5.0),
+    }
+    sp = compare_strategies(results, baseline="a")
+    assert sp["a"] == pytest.approx(1.0)
+    assert sp["b"] == pytest.approx(2.0)

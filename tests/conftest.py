@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+Most tests that need a runtime use the ``sequential`` executor for
+determinism; concurrency-specific tests build their own ``threads``
+runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime
+
+
+@pytest.fixture()
+def seq_runtime():
+    with Runtime(executor="sequential") as rt:
+        yield rt
+
+
+@pytest.fixture()
+def thread_runtime():
+    with Runtime(executor="threads", max_workers=4) as rt:
+        yield rt
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

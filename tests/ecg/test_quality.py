@@ -1,0 +1,75 @@
+"""Signal-quality indices and noisy-recording filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import (
+    Dataset,
+    Record,
+    assess_quality,
+    clipping_fraction,
+    filter_dataset,
+    flatline_fraction,
+    generate_nsr,
+    qrs_band_ratio,
+)
+
+
+@pytest.fixture()
+def clean(rng):
+    return generate_nsr(20.0, rng)
+
+
+def test_clean_recording_acceptable(clean):
+    report = assess_quality(clean)
+    assert report.acceptable
+    assert 40 < report.detected_rate_bpm < 110
+
+
+def test_band_ratio_clean_vs_noise(clean, rng):
+    noise = rng.standard_normal(len(clean))
+    assert qrs_band_ratio(clean, 300.0) > qrs_band_ratio(noise, 300.0)
+
+
+def test_pure_noise_rejected(rng):
+    noise = rng.standard_normal(6000) * 0.5
+    report = assess_quality(noise)
+    assert not report.acceptable
+
+
+def test_flatline_detection(clean):
+    corrupted = clean.copy()
+    corrupted[1000:3000] = corrupted[1000]  # ~6.7 s flat
+    frac = flatline_fraction(corrupted, 300.0)
+    assert frac > 0.25
+    assert not assess_quality(corrupted).acceptable
+
+
+def test_flatline_clean_is_low(clean):
+    assert flatline_fraction(clean, 300.0) < 0.05
+
+
+def test_clipping_detection(clean):
+    clipped = np.clip(clean, -0.1, 0.25)
+    assert clipping_fraction(clipped) > 0.05
+    assert clipping_fraction(clean) < 0.01
+
+
+def test_constant_signal_fully_clipped():
+    assert clipping_fraction(np.ones(100)) == 1.0
+
+
+def test_filter_dataset(rng):
+    good = [Record(signal=generate_nsr(15.0, rng), label="N", fs=300.0) for _ in range(3)]
+    bad = [Record(signal=rng.standard_normal(4500) * 0.5, label="N", fs=300.0)]
+    dsd = Dataset(good + bad)
+    clean_ds, removed = filter_dataset(dsd)
+    assert removed == 1
+    assert len(clean_ds) == 3
+
+
+def test_empty_edge_cases():
+    assert flatline_fraction(np.zeros(1), 300.0) == 0.0
+    assert clipping_fraction(np.zeros(0)) == 0.0

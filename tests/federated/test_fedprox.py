@@ -1,0 +1,74 @@
+"""FedProx client updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated import ClientData, FederatedConfig, Federation, dirichlet_partition
+from repro.nn import Sequential
+from repro.nn.layers import Dense, ReLU
+from repro.runtime import Runtime
+
+
+def make_config(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 12, rng), ReLU(), Dense(12, 2, rng)]).config()
+
+
+def make_non_iid_federation(mu, rounds=6, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((500, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    parts = dirichlet_partition(y, 5, alpha=0.2, rng=rng, min_per_client=10)
+    clients = [ClientData(x[p], y[p]) for p in parts]
+    cfg = FederatedConfig(
+        rounds=rounds, local_epochs=3, lr=0.05, proximal_mu=mu, seed=seed
+    )
+    return Federation(make_config(), clients, cfg), x, y
+
+
+def test_mu_validation():
+    with pytest.raises(ValueError):
+        FederatedConfig(proximal_mu=-0.1)
+
+
+def test_fedprox_learns_non_iid():
+    fed, x, y = make_non_iid_federation(mu=0.1)
+    history = fed.fit(x, y)
+    assert history[-1].global_accuracy > 0.75
+
+
+def test_fedprox_task_name_in_graph():
+    with Runtime(executor="sequential") as rt:
+        fed, x, y = make_non_iid_federation(mu=0.1, rounds=1)
+        fed.fit()
+        counts = rt.graph.count_by_name()
+    assert counts.get("client_update_prox") == 5
+    assert "client_update" not in counts
+
+
+def test_high_mu_bounds_client_drift():
+    """With a huge proximal pull, one round barely moves the weights;
+    with mu=0 it moves far more."""
+
+    def drift(mu):
+        fed, x, y = make_non_iid_federation(mu=mu, rounds=1, seed=2)
+        before = [w.copy() for w in fed.global_weights]
+        fed.fit()
+        after = fed.global_weights
+        return float(
+            np.sqrt(sum(np.sum((a - b) ** 2) for a, b in zip(after, before)))
+        )
+
+    assert drift(mu=50.0) < 0.3 * drift(mu=0.0)
+
+
+def test_mu_zero_matches_fedavg_numerics():
+    """FedProx with mu=0 is exactly FedAvg's local SGD."""
+    fed_prox, _, _ = make_non_iid_federation(mu=0.0, rounds=2, seed=5)
+    fed_prox.fit()
+    fed_avg, _, _ = make_non_iid_federation(mu=None, rounds=2, seed=5)
+    fed_avg.fit()
+    for a, b in zip(fed_prox.global_weights, fed_avg.global_weights):
+        np.testing.assert_allclose(a, b, rtol=1e-8, atol=1e-10)

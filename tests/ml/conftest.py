@@ -1,0 +1,37 @@
+"""Shared data generators for the ML test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+
+
+def make_blobs(n=200, d=5, sep=2.0, seed=0, labels=(0.0, 1.0)):
+    """Two separable gaussian blobs, shuffled."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x = np.vstack(
+        [rng.normal(-sep / 2, 1.0, (half, d)), rng.normal(sep / 2, 1.0, (n - half, d))]
+    )
+    y = np.array([labels[0]] * half + [labels[1]] * (n - half))
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+def as_ds(x, y, row_block=40, col_block=3):
+    dx = ds.array(x, (row_block, col_block))
+    dy = ds.array(y.reshape(-1, 1), (row_block, 1))
+    return dx, dy
+
+
+@pytest.fixture()
+def blobs():
+    return make_blobs()
+
+
+@pytest.fixture()
+def ds_blobs(blobs):
+    x, y = blobs
+    return as_ds(x, y)

@@ -1,0 +1,132 @@
+"""CascadeSVM: correctness, cascade structure, graph shape (paper Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import CascadeSVM
+from repro.ml.base import NotFittedError
+from repro.runtime import Runtime
+from tests.ml.conftest import as_ds, make_blobs
+
+
+def test_fit_predict_eager(ds_blobs):
+    dx, dy = ds_blobs
+    clf = CascadeSVM(max_iter=3).fit(dx, dy)
+    acc = clf.score(dx, dy)
+    assert acc > 0.9
+
+
+def test_predict_returns_ds_array(ds_blobs):
+    dx, dy = ds_blobs
+    clf = CascadeSVM(max_iter=2).fit(dx, dy)
+    pred = clf.predict(dx)
+    assert isinstance(pred, ds.Array)
+    assert pred.shape == (dx.shape[0], 1)
+    labels = pred.collect().ravel()
+    assert set(np.unique(labels)) <= {0.0, 1.0}
+
+
+def test_accuracy_under_threads():
+    x, y = make_blobs(n=240, d=4, sep=3.0, seed=5)
+    with Runtime(executor="threads", max_workers=4):
+        dx, dy = as_ds(x, y, row_block=40)
+        clf = CascadeSVM(max_iter=3).fit(dx, dy)
+        acc = clf.score(dx, dy)
+    assert acc > 0.9
+
+
+def test_convergence_flag(ds_blobs):
+    dx, dy = ds_blobs
+    clf = CascadeSVM(max_iter=10, tol=1e-2).fit(dx, dy)
+    assert clf.converged_
+    assert clf.n_iter_ <= 10
+
+
+def test_no_convergence_check_runs_max_iter(ds_blobs):
+    dx, dy = ds_blobs
+    clf = CascadeSVM(max_iter=2, check_convergence=False).fit(dx, dy)
+    assert clf.n_iter_ == 2
+    assert clf.score(dx, dy) > 0.9
+
+
+def test_cascade_arity_param(ds_blobs):
+    dx, dy = ds_blobs
+    clf = CascadeSVM(cascade_arity=4, max_iter=2).fit(dx, dy)
+    assert clf.score(dx, dy) > 0.9
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        CascadeSVM(cascade_arity=1)
+    with pytest.raises(ValueError):
+        CascadeSVM(max_iter=0)
+
+
+def test_not_fitted(ds_blobs):
+    dx, dy = ds_blobs
+    with pytest.raises(NotFittedError):
+        CascadeSVM().predict(dx)
+    with pytest.raises(NotFittedError):
+        CascadeSVM().score(dx, dy)
+
+
+def test_validation_mismatched_blocks():
+    x, y = make_blobs(n=100)
+    dx = ds.array(x, (40, 3))
+    dy = ds.array(y.reshape(-1, 1), (25, 1))
+    with pytest.raises(ValueError):
+        CascadeSVM().fit(dx, dy)
+
+
+def test_graph_structure_matches_cascade():
+    """First layer has one task per stripe; reduction tree follows
+    (paper Fig. 4): with 8 stripes and arity 2 -> 8 + 4 + 2 + 1 merges
+    minus the final one being _final_model."""
+    x, y = make_blobs(n=320, d=3, sep=3.0)
+    with Runtime(executor="sequential") as rt:
+        dx, dy = as_ds(x, y, row_block=40)
+        CascadeSVM(max_iter=1, check_convergence=False).fit(dx, dy)
+        counts = rt.graph.count_by_name()
+    assert counts["_train_partition"] == 8
+    assert counts["_merge_train"] == 4 + 2 + 1
+    assert counts["_final_model"] == 1
+
+
+def test_graph_depth_grows_with_lower_arity():
+    x, y = make_blobs(n=320, d=3, sep=3.0)
+
+    def depth_with_arity(arity):
+        with Runtime(executor="sequential") as rt:
+            dx, dy = as_ds(x, y, row_block=40)
+            CascadeSVM(cascade_arity=arity, max_iter=1, check_convergence=False).fit(dx, dy)
+            return rt.graph.depth()
+
+    assert depth_with_arity(2) > depth_with_arity(8)
+
+
+def test_multiple_iterations_feed_back_svs():
+    """More iterations must not hurt accuracy on separable data."""
+    x, y = make_blobs(n=160, d=3, sep=3.0, seed=11)
+    dx, dy = as_ds(x, y)
+    acc1 = CascadeSVM(max_iter=1, check_convergence=False).fit(dx, dy).score(dx, dy)
+    acc3 = CascadeSVM(max_iter=3, check_convergence=False).fit(dx, dy).score(dx, dy)
+    assert acc3 >= acc1 - 0.05
+
+
+def test_decision_function_in_memory(ds_blobs, blobs):
+    dx, dy = ds_blobs
+    x, y = blobs
+    clf = CascadeSVM(max_iter=2).fit(dx, dy)
+    scores = clf.decision_function(x[:10])
+    assert scores.shape == (10,)
+
+
+def test_single_stripe_degenerates_to_svc():
+    x, y = make_blobs(n=60, d=3, sep=3.0)
+    dx = ds.array(x, (60, 3))
+    dy = ds.array(y.reshape(-1, 1), (60, 1))
+    clf = CascadeSVM(max_iter=1).fit(dx, dy)
+    assert clf.score(dx, dy) > 0.9

@@ -1,0 +1,40 @@
+"""Random-forest feature importances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import RandomForestClassifier
+from repro.ml.base import NotFittedError
+
+
+def test_importances_find_informative_feature(rng):
+    n = 300
+    informative = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+    x = np.column_stack([rng.standard_normal(n), informative, rng.standard_normal(n)])
+    y = informative.astype(float)
+    order = rng.permutation(n)
+    dx = ds.array(x[order], (60, 3))
+    dy = ds.array(y[order].reshape(-1, 1), (60, 1))
+    rf = RandomForestClassifier(n_estimators=15, max_features=None, random_state=0).fit(dx, dy)
+    imps = rf.feature_importances(3)
+    assert imps.shape == (3,)
+    assert imps.sum() == pytest.approx(1.0)
+    assert np.argmax(imps) == 1
+
+
+def test_importances_not_fitted():
+    with pytest.raises(NotFittedError):
+        RandomForestClassifier().feature_importances(3)
+
+
+def test_importances_nonnegative(rng):
+    x = rng.standard_normal((100, 5))
+    y = (x[:, 0] > 0).astype(float)
+    dx = ds.array(x, (25, 5))
+    dy = ds.array(y.reshape(-1, 1), (25, 1))
+    rf = RandomForestClassifier(n_estimators=8, random_state=1).fit(dx, dy)
+    imps = rf.feature_importances(5)
+    assert (imps >= 0).all()

@@ -1,0 +1,77 @@
+"""GridSearchCV over ds-arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import GridSearchCV, KNeighborsClassifier
+from repro.ml.base import NotFittedError
+from repro.ml.model_selection import parameter_grid
+from repro.runtime import Runtime
+from tests.ml.conftest import as_ds, make_blobs
+
+
+def test_parameter_grid_expansion():
+    grid = parameter_grid({"a": [1, 2], "b": ["x"]})
+    assert grid == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+
+def test_parameter_grid_empty():
+    assert parameter_grid({}) == [{}]
+
+
+def test_parameter_grid_validation():
+    with pytest.raises(ValueError):
+        parameter_grid({"a": []})
+    with pytest.raises(ValueError):
+        parameter_grid({"a": 5})
+
+
+def test_grid_search_finds_reasonable_k():
+    x, y = make_blobs(n=150, d=4, sep=2.0, seed=2)
+    dx, dy = as_ds(x, y)
+    gs = GridSearchCV(
+        lambda **p: KNeighborsClassifier(**p),
+        {"n_neighbors": [1, 5, 25]},
+        n_splits=3,
+    ).fit(dx, dy)
+    assert gs.best_params_["n_neighbors"] in (1, 5, 25)
+    assert gs.best_score_ > 0.8
+    assert len(gs.results_) == 3
+    # refit model predicts
+    preds = gs.predict(dx)
+    assert len(preds) == 150
+
+
+def test_grid_search_under_threads():
+    x, y = make_blobs(n=120, d=3, sep=2.5, seed=4)
+    with Runtime(executor="threads", max_workers=4):
+        dx, dy = as_ds(x, y)
+        gs = GridSearchCV(
+            lambda **p: KNeighborsClassifier(**p),
+            {"n_neighbors": [1, 3], "weights": ["uniform", "distance"]},
+            n_splits=3,
+        ).fit(dx, dy)
+    assert len(gs.results_) == 4
+
+
+def test_grid_search_not_fitted():
+    gs = GridSearchCV(lambda **p: KNeighborsClassifier(**p), {"n_neighbors": [1]})
+    x, y = make_blobs(n=30)
+    dx, _ = as_ds(x, y)
+    with pytest.raises(NotFittedError):
+        gs.predict(dx)
+
+
+def test_grid_search_best_is_max():
+    x, y = make_blobs(n=100, d=3, sep=2.0, seed=6)
+    dx, dy = as_ds(x, y)
+    gs = GridSearchCV(
+        lambda **p: KNeighborsClassifier(**p),
+        {"n_neighbors": [1, 3, 7]},
+        n_splits=3,
+    ).fit(dx, dy)
+    assert gs.best_score_ == pytest.approx(
+        max(r.mean_accuracy for r in gs.results_)
+    )

@@ -1,0 +1,105 @@
+"""Distributed K-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import KMeans
+from repro.ml.base import NotFittedError
+from repro.runtime import Runtime
+
+
+def three_blobs(n_per=60, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    x = np.vstack([rng.normal(c, 0.6, (n_per, 2)) for c in centers])
+    truth = np.repeat([0, 1, 2], n_per)
+    order = rng.permutation(len(x))
+    return x[order], truth[order], centers
+
+
+def test_recovers_blob_centers():
+    x, _, centers = three_blobs()
+    km = KMeans(n_clusters=3, random_state=1).fit(ds.array(x, (60, 2)))
+    found = km.cluster_centers_
+    # each true center matched by some found center
+    for c in centers:
+        assert np.min(np.linalg.norm(found - c, axis=1)) < 0.5
+
+
+def test_labels_consistent_with_truth():
+    x, truth, _ = three_blobs()
+    km = KMeans(n_clusters=3, random_state=1)
+    labels = km.fit_predict(ds.array(x, (60, 2)))
+    # cluster ids are arbitrary: check purity instead
+    purity = 0
+    for k in range(3):
+        mask = labels == k
+        if mask.any():
+            purity += np.bincount(truth[mask]).max()
+    assert purity / len(x) > 0.95
+
+
+def test_under_threads_runtime():
+    x, _, _ = three_blobs(seed=2)
+    with Runtime(executor="threads", max_workers=4):
+        km = KMeans(n_clusters=3, random_state=0).fit(ds.array(x, (40, 2)))
+    assert km.inertia_ < 2.0 * len(x)
+
+
+def test_inertia_decreases_with_more_clusters():
+    x, _, _ = three_blobs(seed=3)
+    dx = ds.array(x, (60, 2))
+    i1 = KMeans(n_clusters=1, random_state=0).fit(dx).inertia_
+    i3 = KMeans(n_clusters=3, random_state=0).fit(dx).inertia_
+    assert i3 < i1
+
+
+def test_convergence_iterations_bounded():
+    x, _, _ = three_blobs(seed=4)
+    km = KMeans(n_clusters=3, max_iter=100, tol=1e-6, random_state=0).fit(
+        ds.array(x, (60, 2))
+    )
+    assert km.n_iter_ < 100  # converged before the cap
+
+
+def test_map_reduce_graph_shape():
+    x, _, _ = three_blobs(seed=5)
+    with Runtime(executor="sequential") as rt:
+        km = KMeans(n_clusters=3, max_iter=5, tol=0.0, random_state=0).fit(
+            ds.array(x, (45, 2))  # 4 stripes
+        )
+        counts = rt.graph.count_by_name()
+    assert counts["_partial_assign"] == km.n_iter_ * 4
+    assert counts["_reduce_centers"] == km.n_iter_
+    assert counts["_init_centers"] == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(max_iter=0)
+    with pytest.raises(TypeError):
+        KMeans().fit(np.zeros((10, 2)))
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=10).fit(ds.array(np.zeros((4, 2)), (2, 2)))
+    with pytest.raises(NotFittedError):
+        KMeans().predict(ds.array(np.zeros((4, 2)), (2, 2)))
+
+
+def test_first_stripe_smaller_than_k():
+    x = np.zeros((10, 2))
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=5).fit(ds.array(x, (3, 2)))
+
+
+def test_empty_cluster_keeps_old_center():
+    """A centre with no assigned points keeps its position instead of
+    collapsing to NaN."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 0.1, (30, 2))
+    km = KMeans(n_clusters=3, max_iter=3, random_state=0).fit(ds.array(x, (30, 2)))
+    assert np.isfinite(km.cluster_centers_).all()

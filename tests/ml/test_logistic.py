@@ -1,0 +1,96 @@
+"""Distributed logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import LogisticRegression
+from repro.ml.base import NotFittedError
+from repro.ml.linear.logistic import _sigmoid
+from repro.runtime import Runtime
+from tests.ml.conftest import as_ds, make_blobs
+
+
+def test_sigmoid_stable_extremes():
+    z = np.array([-800.0, 0.0, 800.0])
+    out = _sigmoid(z)
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(0.5)
+    assert out[2] == pytest.approx(1.0)
+    assert np.isfinite(out).all()
+
+
+def test_fits_separable_blobs(ds_blobs):
+    dx, dy = ds_blobs
+    clf = LogisticRegression(lr=0.5, max_iter=300).fit(dx, dy)
+    assert clf.score(dx, dy) > 0.9
+    assert clf.coef_.shape == (dx.shape[1],)
+
+
+def test_loss_decreases():
+    x, y = make_blobs(n=120, d=4, sep=1.5, seed=2)
+    dx, dy = as_ds(x, y)
+    short = LogisticRegression(lr=0.3, max_iter=3, tol=0.0).fit(dx, dy)
+    long = LogisticRegression(lr=0.3, max_iter=100, tol=0.0).fit(dx, dy)
+    assert long.loss_ <= short.loss_
+
+
+def test_under_threads_runtime():
+    x, y = make_blobs(n=200, d=5, sep=2.0, seed=3)
+    with Runtime(executor="threads", max_workers=4):
+        dx, dy = as_ds(x, y)
+        clf = LogisticRegression(max_iter=150).fit(dx, dy)
+        acc = clf.score(dx, dy)
+    assert acc > 0.9
+
+
+def test_predict_proba_bounds(ds_blobs):
+    dx, dy = ds_blobs
+    clf = LogisticRegression(max_iter=100).fit(dx, dy)
+    p = clf.predict_proba(dx)
+    assert ((p >= 0) & (p <= 1)).all()
+
+
+def test_regularisation_shrinks_weights():
+    x, y = make_blobs(n=150, d=4, sep=3.0, seed=4)
+    dx, dy = as_ds(x, y)
+    free = LogisticRegression(max_iter=200, reg=0.0).fit(dx, dy)
+    reg = LogisticRegression(max_iter=200, reg=1.0).fit(dx, dy)
+    assert np.linalg.norm(reg.coef_) < np.linalg.norm(free.coef_)
+
+
+def test_map_reduce_graph_shape():
+    x, y = make_blobs(n=120, d=3, sep=2.0, seed=5)
+    with Runtime(executor="sequential") as rt:
+        dx, dy = as_ds(x, y, row_block=30)  # 4 stripes
+        clf = LogisticRegression(max_iter=5, tol=0.0).fit(dx, dy)
+        counts = rt.graph.count_by_name()
+    assert counts["_partial_gradient"] == clf.n_iter_ * 4
+    assert counts["_reduce_gradient"] == clf.n_iter_
+
+
+def test_string_labels():
+    x, y = make_blobs(n=80, sep=3.0, labels=("N", "AF"))
+    dx, dy = as_ds(x, y.astype(object))
+    clf = LogisticRegression(max_iter=100).fit(dx, dy)
+    assert set(clf.predict(dx)) <= {"N", "AF"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression(lr=0)
+    with pytest.raises(ValueError):
+        LogisticRegression(max_iter=0)
+    with pytest.raises(ValueError):
+        LogisticRegression(reg=-1)
+    x, y = make_blobs(n=30)
+    dx, _ = as_ds(x, y)
+    with pytest.raises(NotFittedError):
+        LogisticRegression().predict(dx)
+    # three classes rejected
+    y3 = np.array([0.0, 1.0, 2.0] * 10)
+    dx3, dy3 = as_ds(x, y3)
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(dx3, dy3)

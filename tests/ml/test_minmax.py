@@ -1,0 +1,65 @@
+"""MinMaxScaler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.ml import MinMaxScaler
+from repro.ml.base import NotFittedError
+from repro.runtime import Runtime
+
+
+def test_scales_to_unit_range(rng):
+    x = rng.normal(5, 3, (60, 5))
+    out = MinMaxScaler().fit_transform(ds.array(x, (20, 3))).collect()
+    np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+    np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+
+def test_custom_range(rng):
+    x = rng.standard_normal((30, 3))
+    out = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(ds.array(x, (10, 3))).collect()
+    np.testing.assert_allclose(out.min(axis=0), -1.0, atol=1e-12)
+    np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+
+def test_matches_manual(rng):
+    x = rng.standard_normal((40, 4)) * [1, 10, 0.1, 5]
+    sc = MinMaxScaler().fit(ds.array(x, (15, 2)))
+    np.testing.assert_allclose(sc.data_min_, x.min(axis=0))
+    np.testing.assert_allclose(sc.data_max_, x.max(axis=0))
+    out = sc.transform(ds.array(x, (15, 2))).collect()
+    ref = (x - x.min(0)) / (x.max(0) - x.min(0))
+    np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+
+def test_constant_feature_maps_to_lower_bound(rng):
+    x = np.column_stack([rng.standard_normal(20), np.full(20, 7.0)])
+    out = MinMaxScaler().fit_transform(ds.array(x, (10, 2))).collect()
+    np.testing.assert_allclose(out[:, 1], 0.0)
+
+
+def test_transform_new_data_can_exceed_range(rng):
+    x = rng.uniform(0, 1, (30, 2))
+    q = np.array([[2.0, -1.0]])
+    sc = MinMaxScaler().fit(ds.array(x, (10, 2)))
+    out = sc.transform(ds.array(q, (1, 2))).collect()
+    assert out[0, 0] > 1.0 and out[0, 1] < 0.0
+
+
+def test_under_threads(rng):
+    x = rng.standard_normal((50, 4))
+    with Runtime(executor="threads", max_workers=4):
+        out = MinMaxScaler().fit_transform(ds.array(x, (10, 2))).collect()
+    np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        MinMaxScaler(feature_range=(1.0, 0.0))
+    with pytest.raises(TypeError):
+        MinMaxScaler().fit(np.zeros((4, 2)))
+    with pytest.raises(NotFittedError):
+        MinMaxScaler().transform(ds.array(rng.standard_normal((4, 2)), (2, 2)))

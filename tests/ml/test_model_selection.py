@@ -1,0 +1,110 @@
+"""K-fold splitting and cross-validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.dsarray as ds
+from repro.ml import KFold, KNeighborsClassifier, cross_validate
+from tests.ml.conftest import as_ds, make_blobs
+
+
+class TestKFold:
+    def test_partition_properties(self):
+        kf = KFold(n_splits=5, shuffle=False)
+        seen = []
+        for train, test in kf.split(53):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 53
+            seen.append(test)
+        all_test = np.sort(np.concatenate(seen))
+        np.testing.assert_array_equal(all_test, np.arange(53))
+
+    def test_shuffle_changes_order_but_not_coverage(self):
+        kf = KFold(n_splits=4, shuffle=True, random_state=1)
+        tests = np.sort(np.concatenate([t for _, t in kf.split(40)]))
+        np.testing.assert_array_equal(tests, np.arange(40))
+
+    def test_deterministic_given_seed(self):
+        a = list(KFold(5, shuffle=True, random_state=3).split(30))
+        b = list(KFold(5, shuffle=True, random_state=3).split(30))
+        for (tr_a, te_a), (tr_b, te_b) in zip(a, b):
+            np.testing.assert_array_equal(te_a, te_b)
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(t) for _, t in KFold(5, shuffle=False).split(52)]
+        assert sorted(sizes) == [10, 10, 10, 11, 11]
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_split_arrays(self, rng):
+        x = rng.standard_normal((30, 4))
+        y = rng.integers(0, 2, 30).astype(float)
+        dx, dy = as_ds(x, y, row_block=10)
+        folds = list(KFold(3, shuffle=False).split_arrays(dx, dy))
+        assert len(folds) == 3
+        x_tr, y_tr, x_te, y_te = folds[0]
+        assert x_tr.shape == (20, 4)
+        assert x_te.shape == (10, 4)
+        assert y_tr.shape == (20, 1)
+        # contents are actual rows of the original data
+        collected = x_te.collect()
+        for row in collected:
+            assert any(np.allclose(row, orig) for orig in x)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(10, 200), st.integers(2, 8))
+    def test_property_exact_cover(self, n, k):
+        if n < k:
+            return
+        tests = [t for _, t in KFold(k, shuffle=True, random_state=0).split(n)]
+        np.testing.assert_array_equal(np.sort(np.concatenate(tests)), np.arange(n))
+        assert max(len(t) for t in tests) - min(len(t) for t in tests) <= 1
+
+
+class TestCrossValidate:
+    def test_knn_cv(self):
+        x, y = make_blobs(n=150, d=4, sep=3.0, seed=2)
+        dx, dy = as_ds(x, y)
+        res = cross_validate(lambda: KNeighborsClassifier(3), dx, dy, n_splits=5)
+        assert len(res.fold_accuracies) == 5
+        assert res.mean_accuracy > 0.9
+        assert res.mean_confusion.shape == (2, 2)
+        assert res.mean_confusion.sum() == pytest.approx(1.0)
+
+    def test_cv_confusion_matrices_normalised(self):
+        x, y = make_blobs(n=100, d=3, sep=2.0, seed=4)
+        dx, dy = as_ds(x, y)
+        res = cross_validate(lambda: KNeighborsClassifier(5), dx, dy, n_splits=4)
+        for cm in res.confusion_matrices:
+            assert cm.sum() == pytest.approx(1.0)
+
+    def test_cv_with_csvm(self):
+        from repro.ml import CascadeSVM
+
+        x, y = make_blobs(n=120, d=3, sep=3.0, seed=5)
+        dx, dy = as_ds(x, y)
+        res = cross_validate(lambda: CascadeSVM(max_iter=2), dx, dy, n_splits=3)
+        assert res.mean_accuracy > 0.85
+
+    def test_fresh_estimator_per_fold(self):
+        created = []
+
+        class Recorder(KNeighborsClassifier):
+            def __init__(self):
+                super().__init__(n_neighbors=1)
+                created.append(self)
+
+        x, y = make_blobs(n=60, d=3)
+        dx, dy = as_ds(x, y)
+        cross_validate(Recorder, dx, dy, n_splits=3)
+        assert len(created) == 3

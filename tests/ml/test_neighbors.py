@@ -1,0 +1,164 @@
+"""Nearest-neighbour search and KNN classifier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.dsarray as ds
+from repro.ml import KNeighborsClassifier, NearestNeighbors
+from repro.ml.base import NotFittedError
+from repro.ml.neighbors.knn import _weights_for
+from repro.runtime import Runtime
+from tests.ml.conftest import as_ds, make_blobs
+
+
+def brute_force_knn(x, q, k):
+    d = np.sqrt(((q[:, None, :] - x[None, :, :]) ** 2).sum(-1))
+    idx = np.argsort(d, axis=1)[:, :k]
+    return np.take_along_axis(d, idx, axis=1), idx
+
+
+class TestNearestNeighbors:
+    def test_matches_brute_force(self, rng):
+        x = rng.standard_normal((57, 4))
+        q = rng.standard_normal((13, 4))
+        dx = ds.array(x, (10, 4))
+        dq = ds.array(q, (5, 4))
+        nn = NearestNeighbors(n_neighbors=5).fit(dx)
+        dists, inds = nn.kneighbors(dq)
+        ref_d, ref_i = brute_force_knn(x, q, 5)
+        np.testing.assert_allclose(dists, ref_d, rtol=1e-8, atol=1e-8)
+        np.testing.assert_array_equal(inds, ref_i)
+
+    def test_matches_brute_force_threaded(self, rng):
+        x = rng.standard_normal((80, 3))
+        q = rng.standard_normal((20, 3))
+        with Runtime(executor="threads", max_workers=4):
+            nn = NearestNeighbors(n_neighbors=3).fit(ds.array(x, (15, 3)))
+            dists, inds = nn.kneighbors(ds.array(q, (7, 3)))
+        ref_d, ref_i = brute_force_knn(x, q, 3)
+        np.testing.assert_allclose(dists, ref_d, rtol=1e-8, atol=1e-8)
+        np.testing.assert_array_equal(inds, ref_i)
+
+    def test_self_query_returns_self_first(self, rng):
+        x = rng.standard_normal((30, 3))
+        dx = ds.array(x, (8, 3))
+        nn = NearestNeighbors(n_neighbors=1).fit(dx)
+        dists, inds = nn.kneighbors(dx)
+        np.testing.assert_array_equal(inds.ravel(), np.arange(30))
+        np.testing.assert_allclose(dists, 0.0, atol=1e-6)
+
+    def test_k_exceeds_samples(self, rng):
+        x = rng.standard_normal((5, 2))
+        nn = NearestNeighbors(n_neighbors=10).fit(ds.array(x, (3, 2)))
+        with pytest.raises(ValueError):
+            nn.kneighbors(ds.array(x, (3, 2)))
+
+    def test_kneighbors_override_k(self, rng):
+        x = rng.standard_normal((20, 2))
+        nn = NearestNeighbors(n_neighbors=2).fit(ds.array(x, (6, 2)))
+        d, i = nn.kneighbors(ds.array(x[:4], (2, 2)), n_neighbors=7)
+        assert d.shape == (4, 7)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NearestNeighbors(n_neighbors=0)
+
+    def test_not_fitted(self, rng):
+        nn = NearestNeighbors()
+        with pytest.raises(NotFittedError):
+            nn.kneighbors(ds.array(rng.standard_normal((4, 2)), (2, 2)))
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            NearestNeighbors().fit(np.zeros((4, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_property_sorted_distances(self, seed, k):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((25, 3))
+        nn = NearestNeighbors(n_neighbors=k).fit(ds.array(x, (7, 3)))
+        d, i = nn.kneighbors(ds.array(x[:6], (3, 3)))
+        assert (np.diff(d, axis=1) >= -1e-12).all()
+        assert ((0 <= i) & (i < 25)).all()
+
+
+class TestWeights:
+    def test_uniform(self):
+        w = _weights_for(np.array([[1.0, 2.0]]), "uniform")
+        np.testing.assert_array_equal(w, [[1.0, 1.0]])
+
+    def test_distance(self):
+        w = _weights_for(np.array([[1.0, 2.0]]), "distance")
+        np.testing.assert_allclose(w, [[1.0, 0.5]])
+
+    def test_distance_with_exact_match(self):
+        w = _weights_for(np.array([[0.0, 2.0]]), "distance")
+        np.testing.assert_allclose(w, [[1.0, 0.0]])
+
+    def test_callable(self):
+        w = _weights_for(np.array([[1.0, 4.0]]), lambda d: d * 2)
+        np.testing.assert_allclose(w, [[2.0, 8.0]])
+
+    def test_callable_bad_shape(self):
+        with pytest.raises(ValueError):
+            _weights_for(np.array([[1.0, 4.0]]), lambda d: d.ravel())
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            _weights_for(np.array([[1.0]]), "quadratic")
+
+
+class TestKNeighborsClassifier:
+    def test_blobs_accuracy(self, ds_blobs):
+        dx, dy = ds_blobs
+        clf = KNeighborsClassifier(n_neighbors=5).fit(dx, dy)
+        assert clf.score(dx, dy) > 0.9
+
+    def test_string_labels(self):
+        x, y = make_blobs(n=100, sep=3.0, labels=("N", "AF"))
+        dx, dy = as_ds(x, y.astype(object))
+        clf = KNeighborsClassifier(3).fit(dx, dy)
+        preds = clf.predict(dx)
+        assert set(preds) <= {"N", "AF"}
+
+    def test_distance_weights_beat_k1_degeneracy(self, ds_blobs):
+        dx, dy = ds_blobs
+        clf = KNeighborsClassifier(n_neighbors=7, weights="distance").fit(dx, dy)
+        # with distance weights, self-queries are exact matches -> 100%
+        assert clf.score(dx, dy) == 1.0
+
+    def test_k1_memorises_training_set(self, ds_blobs):
+        dx, dy = ds_blobs
+        clf = KNeighborsClassifier(n_neighbors=1).fit(dx, dy)
+        assert clf.score(dx, dy) == 1.0
+
+    def test_not_fitted(self, ds_blobs):
+        dx, _ = ds_blobs
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(dx)
+
+    def test_generalisation(self):
+        x, y = make_blobs(n=300, d=4, sep=2.5, seed=3)
+        dx_tr, dy_tr = as_ds(x[:200], y[:200])
+        dx_te, dy_te = as_ds(x[200:], y[200:])
+        clf = KNeighborsClassifier(5).fit(dx_tr, dy_tr)
+        assert clf.score(dx_te, dy_te) > 0.85
+
+    def test_graph_shape(self):
+        """fit creates a task per fitted stripe; predict a local task per
+        (query stripe, fitted stripe) plus one merge per query stripe
+        (paper Fig. 6)."""
+        x, y = make_blobs(n=120, d=3)
+        with Runtime(executor="sequential") as rt:
+            dx, dy = as_ds(x, y, row_block=30)  # 4 stripes
+            clf = KNeighborsClassifier(3).fit(dx, dy)
+            clf.predict(dx)
+            counts = rt.graph.count_by_name()
+        assert counts["_fit_stripe"] == 4
+        assert counts["_local_kneighbors"] == 16
+        assert counts["_merge_kneighbors"] == 4

@@ -1,0 +1,59 @@
+"""Platt-scaled probabilities for the SVC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import SVC
+from tests.ml.conftest import make_blobs
+
+
+def test_calibrated_probabilities_valid():
+    x, y = make_blobs(n=200, d=4, sep=2.0, seed=1)
+    clf = SVC().fit(x[:150], y[:150]).calibrate(x[150:], y[150:])
+    p = clf.predict_proba(x)
+    assert p.shape == (200, 2)
+    np.testing.assert_allclose(p.sum(axis=1), 1.0)
+    assert ((p >= 0) & (p <= 1)).all()
+
+
+def test_probabilities_track_labels():
+    x, y = make_blobs(n=300, d=4, sep=3.0, seed=2)
+    clf = SVC().fit(x[:200], y[:200]).calibrate(x[200:], y[200:])
+    p1 = clf.predict_proba(x)[:, 1]
+    assert p1[y == 1].mean() > 0.8
+    assert p1[y == 0].mean() < 0.2
+
+
+def test_monotone_in_decision_score():
+    x, y = make_blobs(n=150, d=3, sep=2.0, seed=3)
+    clf = SVC().fit(x, y).calibrate(x, y)
+    scores = clf.decision_function(x)
+    probs = clf.predict_proba(x)[:, 1]
+    order = np.argsort(scores)
+    assert (np.diff(probs[order]) >= -1e-12).all()
+
+
+def test_predict_proba_requires_calibration():
+    x, y = make_blobs(n=60, d=3, sep=2.0)
+    clf = SVC().fit(x, y)
+    with pytest.raises(RuntimeError):
+        clf.predict_proba(x)
+
+
+def test_threshold_tuning_trades_recall_for_precision():
+    """The paper's §V point: in stroke care prefer false positives, so
+    lower the AF threshold to raise recall."""
+    from repro.ml.metrics import precision_score, recall_score
+
+    x, y = make_blobs(n=400, d=4, sep=1.5, seed=4)
+    clf = SVC().fit(x[:300], y[:300]).calibrate(x[:300], y[:300])
+    p_af = clf.predict_proba(x[300:])[:, 1]
+    y_te = y[300:]
+    pred_default = np.where(p_af >= 0.5, 1.0, 0.0)
+    pred_recall = np.where(p_af >= 0.2, 1.0, 0.0)
+    assert recall_score(y_te, pred_recall, 1.0) >= recall_score(y_te, pred_default, 1.0)
+    assert precision_score(y_te, pred_recall, 1.0) <= precision_score(
+        y_te, pred_default, 1.0
+    ) + 1e-9

@@ -1,0 +1,80 @@
+"""ROC curve and AUC (the §V precision/recall trade-off machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import roc_auc_score, roc_curve
+
+
+def test_perfect_separation_auc_one():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    assert roc_auc_score(y, scores, positive=1) == pytest.approx(1.0)
+
+
+def test_inverted_scores_auc_zero():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    assert roc_auc_score(y, scores, positive=1) == pytest.approx(0.0)
+
+
+def test_random_scores_auc_half():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 4000)
+    scores = rng.uniform(size=4000)
+    assert roc_auc_score(y, scores, positive=1) == pytest.approx(0.5, abs=0.03)
+
+
+def test_curve_endpoints_and_monotonicity():
+    rng = np.random.default_rng(1)
+    y = rng.integers(0, 2, 200)
+    scores = rng.normal(size=200) + y
+    fpr, tpr, thr = roc_curve(y, scores, positive=1)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+    assert (np.diff(fpr) >= -1e-12).all()
+    assert (np.diff(tpr) >= -1e-12).all()
+    assert thr[0] == np.inf
+
+
+def test_ties_handled():
+    y = np.array([1, 0, 1, 0])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    auc = roc_auc_score(y, scores, positive=1)
+    assert auc == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        roc_curve([1, 1], [0.5, 0.6], positive=1)  # one class only
+    with pytest.raises(ValueError):
+        roc_curve([0, 1], [0.5], positive=1)
+
+
+def test_auc_matches_rank_statistic():
+    """AUC equals the probability a positive outranks a negative
+    (Mann-Whitney U)."""
+    rng = np.random.default_rng(3)
+    y = np.array([0] * 50 + [1] * 50)
+    scores = rng.normal(size=100) + 0.8 * y
+    auc = roc_auc_score(y, scores, positive=1)
+    pos, neg = scores[y == 1], scores[y == 0]
+    u = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
+    assert auc == pytest.approx(u, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_auc_bounds(seed):
+    rng = np.random.default_rng(seed)
+    y = np.r_[np.zeros(10), np.ones(10)]
+    scores = rng.normal(size=20)
+    auc = roc_auc_score(y, scores, positive=1.0)
+    assert 0.0 <= auc <= 1.0
+    # label-flip symmetry: AUC(pos=1, s) + AUC(pos=0, s) == 1
+    flipped = roc_auc_score(y, scores, positive=0.0)
+    assert auc + flipped == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,161 @@
+"""Decision-tree tests: split search, growth controls, prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeClassifier
+from repro.ml.base import NotFittedError
+from repro.ml.trees.tree import (
+    Leaf,
+    Split,
+    _gini,
+    best_split,
+    build_tree,
+    tree_depth,
+    tree_n_leaves,
+    tree_predict_proba,
+)
+from tests.ml.conftest import make_blobs
+
+
+class TestGini:
+    def test_pure(self):
+        assert _gini(np.array([5.0, 0.0])) == 0.0
+
+    def test_uniform_binary(self):
+        assert _gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert _gini(np.array([0.0, 0.0])) == 0.0
+
+
+class TestBestSplit:
+    def test_perfect_split(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        codes = np.array([0, 0, 1, 1])
+        found = best_split(x, codes, 2, np.array([0]))
+        assert found is not None
+        f, thr, gain = found
+        assert f == 0
+        assert 1.0 < thr < 10.0
+        assert gain == pytest.approx(0.5)
+
+    def test_no_split_on_constant_feature(self):
+        x = np.ones((6, 1))
+        codes = np.array([0, 1, 0, 1, 0, 1])
+        assert best_split(x, codes, 2, np.array([0])) is None
+
+    def test_min_samples_leaf_respected(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        codes = np.array([0, 1, 1, 1])
+        found = best_split(x, codes, 2, np.array([0]), min_samples_leaf=2)
+        if found is not None:
+            f, thr, _ = found
+            left = (x[:, 0] <= thr).sum()
+            assert left >= 2 and (4 - left) >= 2
+
+    def test_picks_informative_feature(self, rng):
+        n = 100
+        informative = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+        noise = rng.standard_normal(n)
+        x = np.column_stack([noise, informative])
+        codes = informative.astype(int)
+        f, thr, gain = best_split(x, codes, 2, np.array([0, 1]))
+        assert f == 1
+
+
+class TestDecisionTree:
+    def test_fits_blobs(self):
+        x, y = make_blobs(n=200, sep=3.0)
+        clf = DecisionTreeClassifier(random_state=0).fit(x, y)
+        assert clf.score(x, y) == 1.0  # unrestricted tree memorises
+
+    def test_max_depth_limits(self):
+        x, y = make_blobs(n=200, sep=1.0, seed=4)
+        clf = DecisionTreeClassifier(max_depth=2, random_state=0).fit(x, y)
+        assert clf.depth <= 2
+
+    def test_max_depth_zero_like(self):
+        x, y = make_blobs(n=50)
+        clf = DecisionTreeClassifier(max_depth=0).fit(x, y)
+        assert clf.depth == 0
+        assert clf.n_leaves == 1
+
+    def test_min_samples_split(self):
+        x, y = make_blobs(n=100, sep=0.5, seed=2)
+        big = DecisionTreeClassifier(min_samples_split=50, random_state=0).fit(x, y)
+        small = DecisionTreeClassifier(min_samples_split=2, random_state=0).fit(x, y)
+        assert big.n_leaves <= small.n_leaves
+
+    def test_predict_proba_sums_to_one(self):
+        x, y = make_blobs(n=150, sep=2.0)
+        clf = DecisionTreeClassifier(max_depth=3, random_state=0).fit(x, y)
+        probs = clf.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_max_features_sqrt(self):
+        x, y = make_blobs(n=100, d=9, sep=3.0)
+        clf = DecisionTreeClassifier(max_features="sqrt", random_state=0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_max_features_int_and_log2(self):
+        x, y = make_blobs(n=80, d=8, sep=3.0)
+        assert DecisionTreeClassifier(max_features=2, random_state=0).fit(x, y)
+        assert DecisionTreeClassifier(max_features="log2", random_state=0).fit(x, y)
+
+    def test_max_features_invalid(self):
+        x, y = make_blobs(n=20)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=0).fit(x, y)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features="cube").fit(x, y)
+
+    def test_empty_and_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_string_labels(self):
+        x, y = make_blobs(n=60, sep=3.0, labels=("N", "AF"))
+        clf = DecisionTreeClassifier(random_state=0).fit(x, y)
+        assert set(clf.predict(x)) <= {"N", "AF"}
+
+    def test_deterministic_given_seed(self):
+        x, y = make_blobs(n=100, d=6, sep=1.0, seed=9)
+        a = DecisionTreeClassifier(max_features="sqrt", random_state=42).fit(x, y)
+        b = DecisionTreeClassifier(max_features="sqrt", random_state=42).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_property_depth_bound(self, seed, depth):
+        x, y = make_blobs(n=60, d=3, sep=1.0, seed=seed)
+        clf = DecisionTreeClassifier(max_depth=depth, random_state=0).fit(x, y)
+        assert clf.depth <= depth
+        assert clf.n_leaves <= 2**depth
+
+
+class TestTreeHelpers:
+    def test_structure_utilities(self):
+        leaf = Leaf(probs=np.array([1.0, 0.0]))
+        tree = Split(feature=0, threshold=0.5, left=leaf, right=Leaf(probs=np.array([0.0, 1.0])))
+        assert tree_depth(tree) == 1
+        assert tree_n_leaves(tree) == 2
+        out = tree_predict_proba(tree, np.array([[0.0], [1.0]]), 2)
+        np.testing.assert_array_equal(out, [[1, 0], [0, 1]])
+
+    def test_build_tree_pure_input(self):
+        x = np.random.default_rng(0).standard_normal((10, 2))
+        codes = np.zeros(10, dtype=int)
+        node = build_tree(x, codes, 2, None, 2, 1, None, np.random.default_rng(0))
+        assert node.is_leaf
+        np.testing.assert_array_equal(node.probs, [1.0, 0.0])

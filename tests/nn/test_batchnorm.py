@@ -1,0 +1,105 @@
+"""BatchNorm1D: statistics, gradients, train/inference modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1D, Sequential
+from repro.nn.layers import Dense, ReLU, layer_from_config
+from tests.nn.test_layers import numerical_grad
+
+
+def test_training_output_normalised(rng):
+    bn = BatchNorm1D(4)
+    x = rng.normal(5, 3, (200, 4))
+    out = bn.forward(x, training=True)
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+    np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+
+def test_gamma_beta_affect_output(rng):
+    bn = BatchNorm1D(3)
+    bn.gamma[:] = 2.0
+    bn.beta[:] = 1.0
+    x = rng.standard_normal((50, 3))
+    out = bn.forward(x, training=True)
+    np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-10)
+    np.testing.assert_allclose(out.std(axis=0), 2.0, atol=1e-2)
+
+
+def test_running_stats_converge(rng):
+    bn = BatchNorm1D(2, momentum=0.5)
+    for _ in range(30):
+        bn.forward(rng.normal(3.0, 2.0, (100, 2)), training=True)
+    np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.3)
+    np.testing.assert_allclose(bn.running_var, 4.0, atol=1.0)
+
+
+def test_inference_uses_running_stats(rng):
+    bn = BatchNorm1D(2)
+    for _ in range(20):
+        bn.forward(rng.normal(1.0, 1.0, (100, 2)), training=True)
+    # a wildly shifted batch at inference is normalised by the
+    # *running* stats, not its own
+    shifted = rng.normal(50.0, 1.0, (100, 2))
+    out = bn.forward(shifted, training=False)
+    assert out.mean() > 10  # not re-centered to zero
+
+
+def test_input_gradient_numerically(rng):
+    bn = BatchNorm1D(3)
+    x = rng.standard_normal((12, 3))
+
+    def loss():
+        return float((bn.forward(x, training=True) ** 2).sum() / 2)
+
+    out = bn.forward(x, training=True)
+    dx = bn.backward(out)
+    ref = numerical_grad(loss, x)
+    np.testing.assert_allclose(dx, ref, rtol=1e-3, atol=1e-5)
+
+
+def test_param_gradients_numerically(rng):
+    bn = BatchNorm1D(3)
+    x = rng.standard_normal((10, 3))
+
+    def loss():
+        return float((bn.forward(x, training=True) ** 2).sum() / 2)
+
+    out = bn.forward(x, training=True)
+    bn.backward(out)
+    np.testing.assert_allclose(
+        bn.dgamma, numerical_grad(loss, bn.gamma) / len(x), rtol=1e-4, atol=1e-6
+    )
+    np.testing.assert_allclose(
+        bn.dbeta, numerical_grad(loss, bn.beta) / len(x), rtol=1e-4, atol=1e-6
+    )
+
+
+def test_in_model(rng):
+    model = Sequential(
+        [Dense(4, 16, rng), BatchNorm1D(16), ReLU(), Dense(16, 2, rng)]
+    )
+    x = rng.standard_normal((120, 4))
+    y = (x[:, 0] > 0).astype(int)
+    hist = model.fit(x, y, epochs=20)
+    assert hist[-1] < hist[0]
+    assert model.evaluate(x, y) > 0.85
+
+
+def test_config_roundtrip():
+    bn = BatchNorm1D(5, momentum=0.8)
+    rebuilt = layer_from_config(bn.config())
+    assert isinstance(rebuilt, BatchNorm1D)
+    assert rebuilt.n_features == 5
+    assert rebuilt.momentum == 0.8
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        BatchNorm1D(0)
+    with pytest.raises(ValueError):
+        BatchNorm1D(2, momentum=1.0)
+    with pytest.raises(ValueError):
+        BatchNorm1D(3).forward(rng.standard_normal((5, 4)))

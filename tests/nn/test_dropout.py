@@ -1,0 +1,73 @@
+"""Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Sequential
+from repro.nn.layers import Dense, layer_from_config
+
+
+def test_inference_is_identity():
+    d = Dropout(0.5)
+    x = np.ones((4, 8))
+    np.testing.assert_array_equal(d.forward(x, training=False), x)
+
+
+def test_training_zeroes_and_scales():
+    d = Dropout(0.5, seed=0)
+    x = np.ones((100, 100))
+    out = d.forward(x, training=True)
+    zero_frac = np.mean(out == 0)
+    assert 0.4 < zero_frac < 0.6
+    kept = out[out != 0]
+    np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+
+def test_expected_value_preserved():
+    d = Dropout(0.3, seed=1)
+    x = np.ones((200, 200))
+    out = d.forward(x, training=True)
+    assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+
+def test_backward_uses_same_mask():
+    d = Dropout(0.5, seed=2)
+    x = np.ones((10, 10))
+    out = d.forward(x, training=True)
+    grad = d.backward(np.ones_like(x))
+    np.testing.assert_array_equal((out == 0), (grad == 0))
+
+
+def test_rate_zero_is_identity():
+    d = Dropout(0.0)
+    x = np.random.default_rng(0).standard_normal((5, 5))
+    np.testing.assert_array_equal(d.forward(x, training=True), x)
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+def test_config_roundtrip():
+    d = Dropout(0.25, seed=3)
+    rebuilt = layer_from_config(d.config())
+    assert isinstance(rebuilt, Dropout)
+    assert rebuilt.rate == 0.25
+
+
+def test_in_model_training():
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(4, 16, rng), Dropout(0.2, seed=1), Dense(16, 2, rng)])
+    x = rng.standard_normal((60, 4))
+    y = (x[:, 0] > 0).astype(int)
+    hist = model.fit(x, y, epochs=20)
+    assert hist[-1] < hist[0]
+    # inference is deterministic despite the dropout layer
+    a = model.predict_proba(x)
+    b = model.predict_proba(x)
+    np.testing.assert_array_equal(a, b)

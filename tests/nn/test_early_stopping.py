@@ -1,0 +1,60 @@
+"""Early stopping / validation tracking in Sequential.fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Sequential
+from repro.nn.layers import Dense, ReLU
+
+
+def make_model(seed=0, width=64):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, width, rng), ReLU(), Dense(width, 2, rng)])
+
+
+def make_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+def test_val_history_recorded():
+    x, y = make_data()
+    model = make_model()
+    model.fit(x[:100], y[:100], epochs=5, validation_data=(x[100:], y[100:]))
+    assert len(model.val_history_) == 5
+
+
+def test_patience_requires_validation():
+    x, y = make_data()
+    with pytest.raises(ValueError):
+        make_model().fit(x, y, epochs=3, patience=2)
+
+
+def test_early_stop_triggers_on_overfitting():
+    """A high-capacity net on tiny noisy data overfits; with patience
+    the run stops before the epoch cap and keeps the best weights."""
+    rng = np.random.default_rng(3)
+    x_tr = rng.standard_normal((24, 4))
+    y_tr = rng.integers(0, 2, 24)
+    x_val = rng.standard_normal((60, 4))
+    y_val = rng.integers(0, 2, 60)
+    model = make_model(width=128)
+    hist = model.fit(
+        x_tr, y_tr, epochs=300, batch_size=8, optimizer=Adam(0.01),
+        validation_data=(x_val, y_val), patience=5,
+    )
+    assert len(hist) < 300  # stopped early
+    # restored weights achieve the best recorded validation loss
+    final_val = model.loss_fn.loss(model.forward(x_val, training=False), y_val)
+    assert final_val == pytest.approx(min(model.val_history_), abs=1e-9)
+
+
+def test_no_early_stop_without_patience():
+    x, y = make_data()
+    model = make_model()
+    hist = model.fit(x[:100], y[:100], epochs=8, validation_data=(x[100:], y[100:]))
+    assert len(hist) == 8

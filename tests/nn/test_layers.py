@@ -1,0 +1,189 @@
+"""Layer forward/backward correctness, including numerical gradient
+checks against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Flatten,
+    MaxPool1D,
+    ReLU,
+    layer_from_config,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestConv1D:
+    def test_output_shape(self, rng):
+        conv = Conv1D(2, 4, 3, rng)
+        x = rng.standard_normal((5, 2, 10))
+        assert conv.forward(x).shape == (5, 4, 8)
+
+    def test_matches_naive_convolution(self, rng):
+        conv = Conv1D(1, 1, 3, rng)
+        x = rng.standard_normal((1, 1, 6))
+        out = conv.forward(x)
+        w = conv.w[0, 0]
+        for i in range(4):
+            expect = (x[0, 0, i : i + 3] * w).sum() + conv.b[0]
+            assert out[0, 0, i] == pytest.approx(expect)
+
+    def test_input_gradient_numerically(self, rng):
+        conv = Conv1D(2, 3, 3, rng)
+        x = rng.standard_normal((2, 2, 7))
+
+        def loss():
+            return float((conv.forward(x.copy(), training=False) ** 2).sum() / 2)
+
+        out = conv.forward(x)
+        dx = conv.backward(out)  # dL/dy = y for L = ||y||^2/2
+        ref = numerical_grad(loss, x)
+        np.testing.assert_allclose(dx, ref, rtol=1e-4, atol=1e-6)
+
+    def test_weight_gradient_numerically(self, rng):
+        conv = Conv1D(1, 2, 3, rng)
+        x = rng.standard_normal((3, 1, 6))
+
+        def loss():
+            return float((conv.forward(x, training=False) ** 2).sum() / 2)
+
+        out = conv.forward(x)
+        conv.backward(out)
+        ref_w = numerical_grad(loss, conv.w)
+        np.testing.assert_allclose(conv.dw, ref_w / len(x), rtol=1e-4, atol=1e-6)
+        ref_b = numerical_grad(loss, conv.b)
+        np.testing.assert_allclose(conv.db, ref_b / len(x), rtol=1e-4, atol=1e-6)
+
+    def test_input_validation(self, rng):
+        conv = Conv1D(2, 3, 3, rng)
+        with pytest.raises(ValueError):
+            conv.forward(rng.standard_normal((2, 5, 10)))  # wrong channels
+        with pytest.raises(ValueError):
+            conv.forward(rng.standard_normal((2, 2, 2)))  # shorter than kernel
+        with pytest.raises(ValueError):
+            Conv1D(1, 1, 0)
+
+    def test_config_roundtrip(self, rng):
+        conv = Conv1D(3, 5, 4, rng)
+        rebuilt = layer_from_config(conv.config())
+        assert isinstance(rebuilt, Conv1D)
+        assert rebuilt.w.shape == conv.w.shape
+
+
+class TestMaxPool1D:
+    def test_forward(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0, 3.0, 2.0, 0.0, 5.0, 4.0]]])
+        np.testing.assert_array_equal(pool.forward(x), [[[3.0, 2.0, 5.0]]])
+
+    def test_truncates_remainder(self):
+        pool = MaxPool1D(2)
+        x = np.arange(7.0).reshape(1, 1, 7)
+        assert pool.forward(x).shape == (1, 1, 3)
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0, 3.0, 2.0, 0.0]]])
+        pool.forward(x)
+        dx = pool.backward(np.array([[[10.0, 20.0]]]))
+        np.testing.assert_array_equal(dx, [[[0.0, 10.0, 20.0, 0.0]]])
+
+    def test_gradient_numerically(self, rng):
+        pool = MaxPool1D(3)
+        x = rng.standard_normal((2, 2, 9))
+
+        def loss():
+            return float((pool.forward(x, training=False) ** 2).sum() / 2)
+
+        out = pool.forward(x)
+        dx = pool.backward(out)
+        ref = numerical_grad(loss, x)
+        np.testing.assert_allclose(dx, ref, rtol=1e-4, atol=1e-6)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(4).forward(np.zeros((1, 1, 3)))
+        with pytest.raises(ValueError):
+            MaxPool1D(0)
+
+
+class TestReLU:
+    def test_forward(self):
+        r = ReLU()
+        np.testing.assert_array_equal(
+            r.forward(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_backward(self):
+        r = ReLU()
+        r.forward(np.array([-1.0, 0.5]))
+        np.testing.assert_array_equal(r.backward(np.array([3.0, 3.0])), [0.0, 3.0])
+
+    def test_inference_mode_no_state(self):
+        r = ReLU()
+        r.forward(np.array([1.0]), training=False)
+        assert r._mask is None
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        f = Flatten()
+        x = rng.standard_normal((4, 3, 5))
+        out = f.forward(x)
+        assert out.shape == (4, 15)
+        back = f.backward(out)
+        assert back.shape == x.shape
+        np.testing.assert_array_equal(back, x)
+
+
+class TestDense:
+    def test_forward(self, rng):
+        d = Dense(3, 2, rng)
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(d.forward(x), x @ d.w + d.b)
+
+    def test_gradients_numerically(self, rng):
+        d = Dense(4, 3, rng)
+        x = rng.standard_normal((6, 4))
+
+        def loss():
+            return float((d.forward(x, training=False) ** 2).sum() / 2)
+
+        out = d.forward(x)
+        dx = d.backward(out)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(
+            d.dw, numerical_grad(loss, d.w) / len(x), rtol=1e-4, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            d.db, numerical_grad(loss, d.b) / len(x), rtol=1e-4, atol=1e-6
+        )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dense(3, 2).forward(rng.standard_normal((5, 4)))
+
+
+def test_layer_from_config_unknown():
+    with pytest.raises(ValueError):
+        layer_from_config({"type": "LSTM"})

@@ -1,0 +1,187 @@
+"""Losses, optimisers, Sequential training and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Sequential, af_cnn, softmax
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+def tiny_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+
+def xor_like_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+class TestLoss:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((10, 4)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert (p > 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        z = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0), rtol=1e-10)
+
+    def test_ce_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = SoftmaxCrossEntropy().loss(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_ce_uniform_is_log_k(self):
+        logits = np.zeros((4, 3))
+        loss = SoftmaxCrossEntropy().loss(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3))
+
+    def test_ce_grad_matches_numeric(self, rng):
+        ce = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([1, 0, 3])
+        g = ce.grad(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                lp, lm = logits.copy(), logits.copy()
+                lp[i, j] += eps
+                lm[i, j] -= eps
+                num = (ce.loss(lp, labels) - ce.loss(lm, labels)) / (2 * eps)
+                # ce.loss averages over batch; grad is per-sample
+                assert g[i, j] / len(labels) == pytest.approx(num, abs=1e-5)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().loss(np.zeros((2, 2)), np.array([0, 5]))
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        p = [np.array([1.0, 2.0])]
+        SGD(lr=0.1).step(p, [np.array([1.0, -1.0])])
+        np.testing.assert_allclose(p[0], [0.9, 2.1])
+
+    def test_sgd_momentum_accumulates(self):
+        p = [np.array([0.0])]
+        opt = SGD(lr=0.1, momentum=0.9)
+        opt.step(p, [np.array([1.0])])
+        first = p[0].copy()
+        opt.step(p, [np.array([1.0])])
+        second_step = p[0] - first
+        assert abs(second_step[0]) > 0.1  # momentum adds to plain step
+
+    def test_adam_converges_on_quadratic(self):
+        p = [np.array([5.0])]
+        opt = Adam(lr=0.3)
+        for _ in range(200):
+            opt.step(p, [2 * p[0]])  # grad of x^2
+        assert abs(p[0][0]) < 1e-2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+
+
+class TestSequential:
+    def test_training_reduces_loss(self):
+        x, y = xor_like_data()
+        model = tiny_mlp()
+        hist = model.fit(x, y, epochs=30, batch_size=32, optimizer=Adam(0.01))
+        assert hist[-1] < hist[0]
+        assert model.evaluate(x, y) > 0.9
+
+    def test_predict_proba_normalised(self, rng):
+        model = tiny_mlp()
+        p = model.predict_proba(rng.standard_normal((7, 4)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_weights_roundtrip(self, rng):
+        m1 = tiny_mlp(seed=1)
+        m2 = tiny_mlp(seed=2)
+        x = rng.standard_normal((5, 4))
+        assert not np.allclose(m1.forward(x, training=False), m2.forward(x, training=False))
+        m2.set_weights(m1.get_weights())
+        np.testing.assert_allclose(
+            m1.forward(x, training=False), m2.forward(x, training=False)
+        )
+
+    def test_set_weights_validation(self):
+        m = tiny_mlp()
+        with pytest.raises(ValueError):
+            m.set_weights([np.zeros(2)])
+        w = m.get_weights()
+        w[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            m.set_weights(w)
+
+    def test_config_roundtrip_same_shapes(self):
+        m = tiny_mlp()
+        m2 = Sequential.from_config(m.config())
+        assert [w.shape for w in m.get_weights()] == [w.shape for w in m2.get_weights()]
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_fit_length_mismatch(self):
+        with pytest.raises(ValueError):
+            tiny_mlp().fit(np.zeros((4, 4)), np.zeros(3))
+
+    def test_deterministic_training(self):
+        x, y = xor_like_data(seed=5)
+        a = tiny_mlp(seed=3)
+        b = tiny_mlp(seed=3)
+        a.fit(x, y, epochs=3, seed=11)
+        b.fit(x, y, epochs=3, seed=11)
+        for wa, wb in zip(a.get_weights(), b.get_weights()):
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestAfCnn:
+    def test_architecture_matches_paper(self):
+        """Two Conv1D layers with 32 filters and a dense layer with 32
+        neurons (§III-D), plus the 2-class head."""
+        model = af_cnn(input_length=128)
+        convs = [l for l in model.layers if type(l).__name__ == "Conv1D"]
+        denses = [l for l in model.layers if type(l).__name__ == "Dense"]
+        assert len(convs) == 2
+        assert all(c.out_channels == 32 for c in convs)
+        assert denses[0].out_features == 32
+        assert denses[-1].out_features == 2
+
+    def test_learns_frequency_discrimination(self):
+        """The AF-style task: distinguish slow vs fast oscillations."""
+        rng = np.random.default_rng(0)
+        n, L = 200, 64
+        t = np.arange(L)
+        x = rng.standard_normal((n, 1, L)) * 0.3
+        y = rng.integers(0, 2, n)
+        x[y == 1] += np.sin(t / 2.0)
+        x[y == 0] += np.sin(t / 8.0)
+        model = af_cnn(input_length=L)
+        model.fit(x[:150], y[:150], epochs=5, batch_size=32, optimizer=SGD(0.02, 0.9))
+        assert model.evaluate(x[150:], y[150:]) > 0.9
+
+    def test_too_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            af_cnn(input_length=4)
+
+    def test_short_spectrogram_inputs_supported(self):
+        """Spectrogram time axes are tens of frames; the architecture
+        adapts its kernel/pool sizes."""
+        model = af_cnn(input_length=20, in_channels=65)
+        import numpy as np
+
+        out = model.forward(np.zeros((2, 65, 20)), training=False)
+        assert out.shape == (2, 2)

@@ -1,0 +1,56 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Sequential
+from repro.nn.layers import Dense, ReLU
+from repro.nn.schedules import ConstantLR, CosineDecay, StepDecay, fit_with_schedule
+
+
+def test_constant():
+    s = ConstantLR(0.1)
+    assert s(0) == s(100) == 0.1
+
+
+def test_step_decay():
+    s = StepDecay(1.0, factor=0.5, every=10)
+    assert s(0) == 1.0
+    assert s(9) == 1.0
+    assert s(10) == 0.5
+    assert s(25) == 0.25
+
+
+def test_cosine_endpoints():
+    s = CosineDecay(1.0, total=20, lr_min=0.1)
+    assert s(0) == pytest.approx(1.0)
+    assert s(20) == pytest.approx(0.1)
+    assert s(10) == pytest.approx(0.55)
+    assert s(100) == pytest.approx(0.1)  # clamps past total
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ConstantLR(0)
+    with pytest.raises(ValueError):
+        StepDecay(1.0, factor=0.0)
+    with pytest.raises(ValueError):
+        CosineDecay(1.0, total=0)
+    with pytest.raises(ValueError):
+        CosineDecay(0.1, total=5, lr_min=0.5)
+
+
+def test_fit_with_schedule_trains():
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(4, 16, rng), ReLU(), Dense(16, 2, rng)])
+    x = rng.standard_normal((120, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    opt = SGD(lr=0.1, momentum=0.9)
+    hist = fit_with_schedule(
+        model, x, y, CosineDecay(0.1, total=15), epochs=15, optimizer=opt,
+    )
+    assert len(hist) == 15
+    assert hist[-1] < hist[0]
+    assert opt.lr == pytest.approx(CosineDecay(0.1, total=15)(14))

@@ -1,0 +1,54 @@
+"""Nested-cluster DOT export (the Fig. 10 presentation)."""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime, task, to_dot, wait_on
+
+
+@task(returns=1)
+def leaf(x):
+    return x + 1
+
+
+@task(returns=1)
+def parent(x):
+    return wait_on(leaf(x)) + wait_on(leaf(x + 10))
+
+
+def test_group_nested_clusters():
+    with Runtime(executor="sequential") as rt:
+        wait_on([parent(1), parent(2)])
+        dot = to_dot(rt.graph, title="nested", group_nested=True)
+    assert dot.count("subgraph cluster_t") == 2
+    assert "style=dashed" in dot
+    assert 'label="parent#' in dot
+    # all six tasks present
+    assert dot.count("fillcolor=") == 6
+
+
+def test_group_nested_flat_graph_no_clusters():
+    with Runtime(executor="sequential") as rt:
+        wait_on([leaf(1), leaf(2)])
+        dot = to_dot(rt.graph, title="flat", group_nested=True)
+    assert "subgraph" not in dot
+
+
+def test_two_level_nesting_clusters():
+    @task(returns=1)
+    def grandparent(x):
+        return wait_on(parent(x))
+
+    with Runtime(executor="sequential") as rt:
+        wait_on(grandparent(5))
+        dot = to_dot(rt.graph, title="deep", group_nested=True)
+    # grandparent cluster contains the parent cluster
+    assert dot.count("subgraph cluster_t") == 2
+    assert 'label="grandparent#' in dot
+
+
+def test_default_export_unchanged():
+    with Runtime(executor="sequential") as rt:
+        wait_on(parent(1))
+        dot = to_dot(rt.graph)
+    assert "subgraph" not in dot
+    assert dot.count("fillcolor=") == 3

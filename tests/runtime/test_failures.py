@@ -1,0 +1,115 @@
+"""Failure propagation and cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    CancelledTaskError,
+    Runtime,
+    RuntimeStateError,
+    TaskExecutionError,
+    task,
+    wait_on,
+)
+
+
+@task(returns=1)
+def boom(x):
+    raise ValueError(f"bad value {x}")
+
+
+@task(returns=1)
+def ident(x):
+    return x
+
+
+def test_error_surfaces_on_wait_on_threads():
+    with Runtime(executor="threads", max_workers=2):
+        f = boom(3)
+        with pytest.raises(TaskExecutionError) as excinfo:
+            wait_on(f)
+    assert "boom" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_error_surfaces_on_wait_on_sequential():
+    with Runtime(executor="sequential"):
+        f = boom(3)
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+
+
+def test_downstream_cancelled_after_failure():
+    with Runtime(executor="threads", max_workers=2):
+        f = boom(1)
+        g = ident(f)
+        h = ident(g)
+        with pytest.raises((TaskExecutionError, CancelledTaskError)):
+            wait_on(h)
+
+
+def test_failure_does_not_poison_independent_tasks():
+    with Runtime(executor="threads", max_workers=2):
+        bad = boom(1)
+        good = ident(42)
+        assert wait_on(good) == 42
+        with pytest.raises(TaskExecutionError):
+            wait_on(bad)
+
+
+def test_submit_after_shutdown_rejected():
+    rt = Runtime(executor="sequential")
+    rt.shutdown()
+    with rt_active(rt):
+        with pytest.raises(RuntimeStateError):
+            ident(1)
+
+
+class rt_active:
+    """Push a runtime without the shutdown-on-exit of the context manager."""
+
+    def __init__(self, rt):
+        self.rt = rt
+
+    def __enter__(self):
+        from repro.runtime.engine import push_runtime
+
+        push_runtime(self.rt)
+        return self.rt
+
+    def __exit__(self, *exc):
+        from repro.runtime.engine import pop_runtime
+
+        pop_runtime(self.rt)
+
+
+def test_wrong_arity_of_returns():
+    @task(returns=3)
+    def two_not_three(x):
+        return x, x
+
+    with Runtime(executor="threads", max_workers=1):
+        f, g, h = two_not_three(1)
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+
+
+def test_failed_task_recorded_in_trace():
+    with Runtime(executor="sequential") as rt:
+        f = boom(9)
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+        trace = rt.trace()
+    assert any(r.name == "boom" for r in trace)
+
+
+def test_nested_failure_propagates_to_parent():
+    @task(returns=1)
+    def parent(x):
+        return wait_on(boom(x))
+
+    with Runtime(executor="threads", max_workers=2):
+        f = parent(1)
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)

@@ -1,0 +1,81 @@
+"""Task retry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    Runtime,
+    TaskDefinitionError,
+    TaskExecutionError,
+    task,
+    wait_on,
+)
+
+
+def flaky_maker(failures: int):
+    state = {"left": failures}
+
+    @task(returns=1, retries=failures)
+    def flaky(x):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise OSError("transient")
+        return x * 2
+
+    return flaky
+
+
+def test_retry_recovers_transient_failure():
+    flaky = flaky_maker(2)
+    with Runtime(executor="sequential"):
+        assert wait_on(flaky(21)) == 42
+
+
+def test_retry_exhaustion_fails():
+    state = {"calls": 0}
+
+    @task(returns=1, retries=2)
+    def always_bad():
+        state["calls"] += 1
+        raise ValueError("permanent")
+
+    with Runtime(executor="sequential"):
+        f = always_bad()
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+    assert state["calls"] == 3  # initial + 2 retries
+
+
+def test_retry_under_threads():
+    flaky = flaky_maker(1)
+    with Runtime(executor="threads", max_workers=2):
+        assert wait_on(flaky(5)) == 10
+
+
+def test_retry_zero_is_default():
+    state = {"calls": 0}
+
+    @task(returns=1)
+    def once():
+        state["calls"] += 1
+        raise ValueError("no retry")
+
+    with Runtime(executor="sequential"):
+        f = once()
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+    assert state["calls"] == 1
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(TaskDefinitionError):
+
+        @task(returns=1, retries=-1)
+        def f(x):
+            return x
+
+
+def test_no_runtime_retries_still_apply():
+    flaky = flaky_maker(1)
+    assert flaky(3) == 6

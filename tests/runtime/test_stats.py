@@ -1,0 +1,47 @@
+"""Runtime monitoring surface."""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime, task, wait_on
+
+
+@task(returns=1)
+def double(x):
+    return 2 * x
+
+
+def test_stats_counts():
+    with Runtime(executor="sequential") as rt:
+        futs = [double(i) for i in range(5)]
+        wait_on(futs)
+        stats = rt.stats()
+    assert stats["executor"] == "sequential"
+    assert stats["n_tasks"] == 5
+    assert stats["by_state"] == {"done": 5}
+    assert stats["by_name"] == {"double": 5}
+    assert stats["ready_queue"] == 0
+
+
+def test_stats_reflect_failures():
+    @task(returns=1)
+    def boom():
+        raise RuntimeError("x")
+
+    import pytest
+
+    from repro.runtime import TaskExecutionError
+
+    with Runtime(executor="sequential") as rt:
+        f = boom()
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+        stats = rt.stats()
+    assert stats["by_state"].get("failed") == 1
+
+
+def test_stats_threads_mode():
+    with Runtime(executor="threads", max_workers=3) as rt:
+        wait_on([double(i) for i in range(10)])
+        stats = rt.stats()
+    assert stats["max_workers"] == 3
+    assert stats["by_state"]["done"] == 10

@@ -1,0 +1,140 @@
+"""Basic @task semantics: futures, dependency chaining, wait_on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Future,
+    Runtime,
+    TaskDefinitionError,
+    barrier,
+    is_future,
+    task,
+    wait_on,
+)
+
+
+@task(returns=1)
+def add(a, b):
+    return a + b
+
+
+@task(returns=2)
+def divmod_task(a, b):
+    return a // b, a % b
+
+
+@task()
+def effectless(x):
+    return x * 2  # return value is dropped: returns=0
+
+
+def test_task_returns_future_inside_runtime(seq_runtime):
+    f = add(1, 2)
+    assert is_future(f)
+    assert wait_on(f) == 3
+
+
+def test_task_runs_inline_without_runtime():
+    assert add(1, 2) == 3
+
+
+def test_wait_on_passthrough_without_runtime():
+    assert wait_on(41) == 41
+    assert wait_on([1, (2, 3)]) == [1, (2, 3)]
+
+
+def test_future_chain(seq_runtime):
+    a = add(1, 2)
+    b = add(a, 10)
+    c = add(b, a)
+    assert wait_on(c) == 16
+
+
+def test_multiple_returns(seq_runtime):
+    q, r = divmod_task(17, 5)
+    assert wait_on(q) == 3
+    assert wait_on(r) == 2
+
+
+def test_returns_zero_yields_none(seq_runtime):
+    assert effectless(3) is None
+
+
+def test_wait_on_container(seq_runtime):
+    futs = [add(i, i) for i in range(5)]
+    assert wait_on(futs) == [0, 2, 4, 6, 8]
+
+
+def test_wait_on_nested_container(seq_runtime):
+    obj = {"a": add(1, 1), "b": [add(2, 2), (add(3, 3),)]}
+    out = wait_on(obj)
+    assert out == {"a": 2, "b": [4, (6,)]}
+
+
+def test_numpy_payloads(seq_runtime):
+    x = np.arange(10.0)
+    f = add(x, x)
+    np.testing.assert_allclose(wait_on(f), 2 * x)
+
+
+def test_dependency_graph_edges(seq_runtime):
+    a = add(1, 2)
+    b = add(a, 3)
+    wait_on(b)
+    g = seq_runtime.graph.snapshot()
+    assert g.number_of_nodes() == 2
+    assert g.has_edge(a.task_id, b.task_id)
+
+
+def test_barrier_noop_without_runtime():
+    barrier()  # must not raise
+
+
+def test_barrier_waits_all(thread_runtime):
+    futs = [add(i, 1) for i in range(20)]
+    barrier()
+    assert all(f.done for f in futs)
+
+
+def test_invalid_direction_param_name():
+    with pytest.raises(TaskDefinitionError):
+
+        @task(returns=1, nonexistent="inout")
+        def f(a):
+            return a
+
+
+def test_negative_returns_rejected():
+    with pytest.raises(TaskDefinitionError):
+
+        @task(returns=-1)
+        def f(a):
+            return a
+
+
+def test_future_repr_and_done(seq_runtime):
+    f = add(1, 1)
+    assert f.done  # sequential executes at submission
+    assert isinstance(f, Future)
+
+
+def test_futures_from_different_runtime_are_opaque():
+    with Runtime(executor="sequential") as rt1:
+        f = add(5, 5)
+        assert wait_on(f) == 10
+    # A new runtime treats the stale future as data, not a dependency.
+    with Runtime(executor="sequential"):
+        g = add(f.result(), 1)
+        assert wait_on(g) == 11
+
+
+def test_task_name_override(seq_runtime):
+    @task(returns=1, name="custom_name")
+    def f(a):
+        return a
+
+    f(1)
+    assert "custom_name" in seq_runtime.graph.count_by_name()

@@ -1,0 +1,177 @@
+"""Thread executor correctness and nested task graphs (paper §III-D)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import Constraints, Runtime, barrier, task, wait_on
+
+
+@task(returns=1)
+def slow_add(a, b, delay=0.01):
+    time.sleep(delay)
+    return a + b
+
+
+@task(returns=1)
+def fan_in(parts):
+    return sum(parts)
+
+
+def test_parallel_fan_out_fan_in():
+    with Runtime(executor="threads", max_workers=4):
+        parts = [slow_add(i, 0) for i in range(16)]
+        total = wait_on(fan_in(parts))
+    assert total == sum(range(16))
+
+
+def test_threads_actually_overlap():
+    """16 x 50ms tasks on 8 workers should take well under 16*50ms."""
+    with Runtime(executor="threads", max_workers=8):
+        t0 = time.perf_counter()
+        futs = [slow_add(i, 0, delay=0.05) for i in range(16)]
+        wait_on(futs)
+        elapsed = time.perf_counter() - t0
+    assert elapsed < 0.05 * 16 * 0.8
+
+
+def test_diamond_dependency():
+    with Runtime(executor="threads", max_workers=4):
+        a = slow_add(1, 1)
+        b = slow_add(a, 10)
+        c = slow_add(a, 20)
+        d = wait_on(fan_in([b, c]))
+    assert d == (2 + 10) + (2 + 20)
+
+
+@task(returns=1)
+def nested_sum(values):
+    """A task that itself spawns tasks (nesting)."""
+    futs = [slow_add(v, 1, delay=0.002) for v in values]
+    return wait_on(fan_in(futs))
+
+
+def test_nesting_basic():
+    with Runtime(executor="threads", max_workers=4):
+        out = wait_on(nested_sum([1, 2, 3]))
+    assert out == 9
+
+
+def test_nesting_sequential():
+    with Runtime(executor="sequential"):
+        out = wait_on(nested_sum([1, 2, 3]))
+    assert out == 9
+
+
+def test_nesting_no_deadlock_when_pool_saturated():
+    """More nested parents than workers: help-while-waiting must avoid
+    deadlock even with a single worker thread."""
+    with Runtime(executor="threads", max_workers=1):
+        outs = wait_on([nested_sum([i, i]) for i in range(6)])
+    assert outs == [2 * i + 2 for i in range(6)]
+
+
+def test_two_level_nesting():
+    @task(returns=1)
+    def outer(values):
+        return wait_on(nested_sum(values)) + 100
+
+    with Runtime(executor="threads", max_workers=2):
+        out = wait_on(outer([1, 2]))
+    assert out == 105
+
+
+def test_nested_tasks_recorded_with_parent():
+    with Runtime(executor="threads", max_workers=2) as rt:
+        wait_on(nested_sum([1, 2]))
+        trace = rt.trace()
+    parents = {r.name: r.parent_id for r in trace}
+    assert parents["nested_sum"] is None
+    nested_parent = [r for r in trace if r.name == "slow_add"][0].parent_id
+    root = [r for r in trace if r.name == "nested_sum"][0]
+    assert nested_parent == root.task_id
+
+
+def test_task_returning_future_is_resolved():
+    """A task may return a future of a nested task; the parent future
+    must hold the concrete value."""
+
+    @task(returns=1)
+    def delegate(x):
+        return slow_add(x, 5, delay=0.001)  # returns a Future
+
+    with Runtime(executor="threads", max_workers=2):
+        assert wait_on(delegate(2)) == 7
+
+
+def test_constraints_recorded_in_trace():
+    @task(returns=1, constraints=Constraints(computing_units=8, gpus=1))
+    def heavy(x):
+        return x
+
+    with Runtime(executor="sequential") as rt:
+        wait_on(heavy(1))
+        rec = [r for r in rt.trace() if r.name == "heavy"][0]
+    assert rec.computing_units == 8
+    assert rec.gpus == 1
+
+
+def test_constraints_dict_form():
+    @task(returns=1, constraints={"computing_units": 4})
+    def heavy(x):
+        return x
+
+    with Runtime(executor="sequential"):
+        assert wait_on(heavy(3)) == 3
+
+
+def test_constraints_validation():
+    with pytest.raises(ValueError):
+        Constraints(computing_units=0)
+    with pytest.raises(ValueError):
+        Constraints(gpus=-1)
+
+
+def test_many_tasks_stress():
+    with Runtime(executor="threads", max_workers=8):
+        futs = [slow_add(i, i, delay=0.0) for i in range(300)]
+        total = wait_on(fan_in(futs))
+    assert total == 2 * sum(range(300))
+
+
+def test_concurrent_submission_from_threads():
+    """Submissions from several application threads interleave safely."""
+    results = {}
+
+    def submitter(rt, key):
+        with_rt_futs = [slow_add(key, i, delay=0.001) for i in range(10)]
+        results[key] = sum(rt.wait_on(with_rt_futs))
+
+    with Runtime(executor="threads", max_workers=4) as rt:
+        threads = [
+            threading.Thread(target=submitter, args=(rt, k)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    for k in range(4):
+        assert results[k] == 10 * k + sum(range(10))
+
+
+def test_numpy_parallel_consistency():
+    rng = np.random.default_rng(0)
+    blocks = [rng.standard_normal((50, 50)) for _ in range(8)]
+
+    @task(returns=1)
+    def gram(b):
+        return b.T @ b
+
+    with Runtime(executor="threads", max_workers=4):
+        grams = wait_on([gram(b) for b in blocks])
+    for b, g in zip(blocks, grams):
+        np.testing.assert_allclose(g, b.T @ b)

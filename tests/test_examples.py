@@ -1,0 +1,64 @@
+"""The examples must stay runnable — they are executed as subprocesses
+with a reduced environment so regressions in the public API surface
+show up here."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sum of squares" in out
+    assert "random forest held-out accuracy" in out
+    assert "workflow ran" in out
+
+
+def test_scalability_replay():
+    out = run_example("scalability_replay.py")
+    assert "CascadeSVM training time" in out
+    assert "speedup at 192 cores" in out
+
+
+@pytest.mark.slow
+def test_af_classification():
+    out = run_example("af_classification.py", timeout=600)
+    assert "accuracy" in out
+    assert "CSVM" in out and "Random Forest" in out
+
+
+@pytest.mark.slow
+def test_distributed_cnn():
+    out = run_example("distributed_cnn.py", timeout=600)
+    assert "nesting speedup" in out
+
+
+@pytest.mark.slow
+def test_federated_af():
+    out = run_example("federated_af.py", timeout=600)
+    assert "federated rounds" in out
+    assert "no raw data ever left a device" in out
+
+
+@pytest.mark.slow
+def test_edge_deployment():
+    out = run_example("edge_deployment.py", timeout=600)
+    assert "bandwidth saved" in out
+    assert "model bundle" in out

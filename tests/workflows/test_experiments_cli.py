@@ -1,0 +1,66 @@
+"""Experiment presets and the CLI."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.workflows.experiments import PRESETS, get_preset
+
+
+class TestPresets:
+    def test_all_presets_complete(self):
+        for name, preset in PRESETS.items():
+            assert preset.name == name
+            assert preset.pipeline.scale > 0
+            assert preset.cnn_epochs >= 1
+
+    def test_paper_preset_is_full_size(self):
+        paper = get_preset("paper")
+        assert paper.pipeline.scale == 1.0
+        assert paper.pipeline.decimate == 1
+        assert paper.pipeline.block_size == (500, 500)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            get_preset("huge")
+
+
+class TestCLI:
+    def test_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "table1" in proc.stdout
+        assert "scaling" in proc.stdout
+
+    def test_scaling_command_runs(self):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "scaling",
+                "--algorithm", "rf", "--samples", "600",
+                "--block-rows", "150", "--nodes", "1", "2",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-1500:]
+        assert "simulated MareNostrum IV" in proc.stdout
+
+    @pytest.mark.slow
+    def test_table1_tiny(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "table1", "--preset", "tiny", "--skip-cnn"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr[-1500:]
+        assert "CSVM" in proc.stdout
