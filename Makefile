@@ -1,0 +1,10 @@
+.PHONY: check lint test
+
+check:
+	bash scripts/check.sh
+
+lint:
+	bash scripts/check.sh lint
+
+test:
+	bash scripts/check.sh test

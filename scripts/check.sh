@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Single local CI gate: lint (if ruff is available) + the test suite.
+#
+#   scripts/check.sh         run lint then tests
+#   scripts/check.sh lint    lint only
+#   scripts/check.sh test    tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+run_lint() {
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== ruff check =="
+        ruff check src tests
+    else
+        echo "== ruff not installed; skipping lint (config lives in pyproject.toml) =="
+    fi
+}
+
+run_tests() {
+    echo "== pytest =="
+    PYTHONPATH=src python -m pytest -x -q
+}
+
+case "$mode" in
+    lint) run_lint ;;
+    test) run_tests ;;
+    all)  run_lint; run_tests ;;
+    *)    echo "usage: scripts/check.sh [lint|test]" >&2; exit 2 ;;
+esac

@@ -8,6 +8,7 @@ scalability results without the hardware.
 from repro.cluster.analysis import (
     bottleneck_report,
     critical_path,
+    failure_report,
     gantt_text,
     idle_fraction,
     time_breakdown,
@@ -30,6 +31,8 @@ from repro.cluster.resources import (
     marenostrum4,
 )
 from repro.cluster.simulator import (
+    DeadClusterError,
+    NodeFailure,
     OversubscribedTaskError,
     Placement,
     SimResult,
@@ -49,6 +52,9 @@ __all__ = [
     "SimResult",
     "Placement",
     "OversubscribedTaskError",
+    "NodeFailure",
+    "DeadClusterError",
+    "failure_report",
     "flatten_nested",
     "core_sweep",
     "speedups",

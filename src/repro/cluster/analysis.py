@@ -99,6 +99,38 @@ def idle_fraction(result: SimResult) -> float:
     return 1.0 - result.utilization()
 
 
+def failure_report(result: SimResult, baseline_makespan: float | None = None) -> str:
+    """Human-readable account of what node failures cost a schedule.
+
+    Pass the makespan of the same simulation without failures as
+    ``baseline_makespan`` to get the recovery overhead line.
+    """
+    lines = []
+    if not result.node_failures:
+        lines.append("node failures      : none")
+    for f in result.node_failures:
+        window = (
+            f"down for {f.down_for:.2f}s" if f.down_for is not None else "permanent"
+        )
+        lines.append(f"node failure       : node {f.node} at {f.at:.2f}s ({window})")
+    lines.append(f"killed attempts    : {len(result.failed_placements)}")
+    lines.append(f"lost task time     : {result.lost_task_time:.3f}s")
+    lines.append(f"lost core time     : {result.lost_core_time:.3f} core-s")
+    by_name: dict[str, int] = {}
+    for p in result.failed_placements:
+        by_name[p.name] = by_name.get(p.name, 0) + 1
+    for name in sorted(by_name):
+        lines.append(f"  killed {name}: {by_name[name]}")
+    lines.append(f"makespan           : {result.makespan:.3f}s")
+    if baseline_makespan is not None and baseline_makespan > 0:
+        delta = result.makespan - baseline_makespan
+        lines.append(
+            f"recovery overhead  : +{delta:.3f}s "
+            f"({delta / baseline_makespan * 100:.0f}% over failure-free run)"
+        )
+    return "\n".join(lines)
+
+
 def bottleneck_report(trace: Trace, result: SimResult) -> str:
     """Human-readable summary: critical path vs makespan, busiest task
     types, idle fraction — the paper-style scalability explanation."""

@@ -41,6 +41,34 @@ class Placement:
         return self.t_end - self.t_start
 
 
+@dataclasses.dataclass(frozen=True)
+class NodeFailure:
+    """A node-failure event injected into the simulation.
+
+    The node goes down at time ``at``: every task in flight there is
+    killed (its partial work is lost and it is re-executed elsewhere),
+    and no new task is placed on the node while it is down.  With
+    ``down_for=None`` the failure is permanent; otherwise the node
+    rejoins after that many seconds with all cores free.
+    """
+
+    node: int
+    at: float
+    down_for: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.down_for is not None and self.down_for <= 0:
+            raise ValueError("down_for must be positive (or None for permanent)")
+
+
+class DeadClusterError(RuntimeError):
+    """Tasks remain but every node is down with no revival scheduled."""
+
+
 @dataclasses.dataclass
 class SimResult:
     """Outcome of one simulated execution."""
@@ -48,10 +76,25 @@ class SimResult:
     cluster: ClusterSpec
     placements: dict[int, Placement]
     makespan: float
+    #: Truncated placements of attempts killed by node failures; their
+    #: duration is work the cluster performed and threw away.
+    failed_placements: list[Placement] = dataclasses.field(default_factory=list)
+    #: The failure events the simulation was run with.
+    node_failures: tuple[NodeFailure, ...] = ()
 
     @property
     def n_tasks(self) -> int:
         return len(self.placements)
+
+    @property
+    def lost_task_time(self) -> float:
+        """Task-seconds of partial work destroyed by node failures."""
+        return sum(p.duration for p in self.failed_placements)
+
+    @property
+    def lost_core_time(self) -> float:
+        """Core-seconds of partial work destroyed by node failures."""
+        return sum(p.duration * p.cores for p in self.failed_placements)
 
     def utilization(self) -> float:
         """Busy core-time over available core-time."""
@@ -86,6 +129,7 @@ def simulate(
     cores_per_task: Mapping[str, int] | None = None,
     gpus_per_task: Mapping[str, int] | None = None,
     policy: str = "locality",
+    failures: Iterable[NodeFailure] = (),
 ) -> SimResult:
     """Simulate executing *trace*'s DAG on *cluster*.
 
@@ -99,12 +143,26 @@ def simulate(
       i.e. prefer the node holding the task's inputs;
     * ``"round_robin"``: cycle nodes regardless of data placement —
       pays every transfer; useful to quantify locality's value.
+
+    ``failures`` injects :class:`NodeFailure` events: tasks in flight on
+    a failing node are killed and rescheduled (COMPSs task resubmission
+    after a worker loss), their partial work accumulating in
+    :attr:`SimResult.failed_placements`.  Data previously produced on
+    the failed node stays readable — the model assumes results are
+    replicated off-node (only in-flight work is lost), which keeps the
+    lost-time accounting a lower bound.
     """
     if policy not in ("locality", "round_robin"):
         raise ValueError(f"unknown scheduling policy {policy!r}")
+    failures = tuple(failures)
+    for f in failures:
+        if f.node >= cluster.n_nodes:
+            raise ValueError(
+                f"failure targets node {f.node}, cluster has {cluster.n_nodes}"
+            )
     records = list(trace)
     if not records:
-        return SimResult(cluster, {}, 0.0)
+        return SimResult(cluster, {}, 0.0, node_failures=failures)
     ids = {r.task_id for r in records}
 
     def cores_of(r: TaskRecord) -> int:
@@ -177,24 +235,48 @@ def simulate(
 
     free_cores = [cluster.node.cores] * cluster.n_nodes
     free_gpus = [cluster.node.gpus] * cluster.n_nodes
-    #: per-node running tasks, as (t_end, cores, gpus) — used to
-    #: estimate when a busy node could host a task (deferral decision).
-    running: list[list[tuple[float, int, int]]] = [[] for _ in range(cluster.n_nodes)]
+    alive = [True] * cluster.n_nodes
+    #: per-node running tasks keyed by event seq, as
+    #: (task_id, cores, gpus, t_start, t_end) — consulted both for the
+    #: deferral decision and to know what a node failure kills.
+    running: list[dict[int, tuple[int, int, int, float, float]]] = [
+        {} for _ in range(cluster.n_nodes)
+    ]
     finish_time: dict[int, float] = {}
     location: dict[int, int] = {}
     placements: dict[int, Placement] = {}
-    # completion events: (t_end, task_id, node, cores, gpus)
-    events: list[tuple[float, int, int, int, int]] = []
+    failed_placements: list[Placement] = []
+    # Event heap: (time, kind_rank, seq, payload).  Ranks order
+    # same-instant events deterministically: completions (0) beat
+    # failures (1) beat revivals (2) — a task ending exactly when its
+    # node dies is counted as finished.
+    _DONE, _FAIL, _REVIVE = 0, 1, 2
+    events: list[tuple[float, int, int, object]] = []
+    event_seq = 0
+    #: seqs of completion events voided by a node failure.
+    killed: set[int] = set()
     now = 0.0
     rr_counter = 0
-    deferred: list[tuple[float, int]] = []
+
+    def push_event(t: float, kind: int, payload: object) -> int:
+        nonlocal event_seq
+        event_seq += 1
+        heapq.heappush(events, (t, kind, event_seq, payload))
+        return event_seq
+
+    for f in failures:
+        push_event(f.at, _FAIL, f)
 
     def earliest_hosting(node: int, c: int, g: int) -> float:
         """Earliest time *node* could have c cores and g GPUs free."""
+        if not alive[node]:
+            return float("inf")
         if free_cores[node] >= c and free_gpus[node] >= g:
             return now
         fc, fg = free_cores[node], free_gpus[node]
-        for t_end, cc, gg in sorted(running[node]):
+        for _tid, cc, gg, _t0, t_end in sorted(
+            running[node].values(), key=lambda r: r[4]
+        ):
             fc += cc
             fg += gg
             if fc >= c and fg >= g:
@@ -212,7 +294,7 @@ def simulate(
             t = max(t, t_avail)
         return max(t, 0.0) if deps[tid] else 0.0
 
-    while ready or events or deferred:
+    while ready or events:
         # Try to place every currently ready task.
         progressed = False
         still_ready: list[tuple[float, int]] = []
@@ -228,14 +310,14 @@ def simulate(
                     for i in range(cluster.n_nodes)
                 ]
                 for node in order:
-                    if free_cores[node] >= c and free_gpus[node] >= g:
+                    if alive[node] and free_cores[node] >= c and free_gpus[node] >= g:
                         best_node = node
                         best_start = max(now, data_ready(tid, node))
                         rr_counter += 1
                         break
             else:
                 for node in range(cluster.n_nodes):
-                    if free_cores[node] >= c and free_gpus[node] >= g:
+                    if alive[node] and free_cores[node] >= c and free_gpus[node] >= g:
                         start = max(now, data_ready(tid, node))
                         finish = start + dur_on(tid, node)
                         if finish < best_finish:
@@ -262,8 +344,8 @@ def simulate(
             t_end = best_start + dur_on(tid, best_node)
             free_cores[best_node] -= c
             free_gpus[best_node] -= g
-            running[best_node].append((t_end, c, g))
-            heapq.heappush(events, (t_end, tid, best_node, c, g))
+            seq = push_event(t_end, _DONE, (tid, best_node, c, g))
+            running[best_node][seq] = (tid, c, g, best_start, t_end)
             placements[tid] = Placement(
                 task_id=tid,
                 name=rec.name,
@@ -279,26 +361,85 @@ def simulate(
 
         if not events:
             if ready and not progressed:
+                if not any(alive):
+                    raise DeadClusterError(
+                        "tasks remain but every node is down permanently"
+                    )
                 raise OversubscribedTaskError(
                     "ready tasks cannot be placed and no task is running"
                 )
             continue
 
-        # Advance to the next completion.
-        t_end, tid, node, c, g = heapq.heappop(events)
-        now = max(now, t_end)
-        free_cores[node] += c
-        free_gpus[node] += g
-        running[node].remove((t_end, c, g))
-        finish_time[tid] = t_end
-        location[tid] = node
-        for child in children[tid]:
-            remaining[child] -= 1
-            if remaining[child] == 0:
-                heapq.heappush(ready, (-bottom[child], child))
+        # Advance to the next event.
+        t_event, kind, seq, payload = heapq.heappop(events)
+
+        if kind == _DONE:
+            if seq in killed:
+                # Voided by a node failure: the task never finished, so
+                # the clock does not advance to its planned end time.
+                killed.discard(seq)
+                continue
+            tid, node, c, g = payload
+            now = max(now, t_event)
+            free_cores[node] += c
+            free_gpus[node] += g
+            del running[node][seq]
+            finish_time[tid] = t_event
+            location[tid] = node
+            for child in children[tid]:
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    heapq.heappush(ready, (-bottom[child], child))
+
+        elif kind == _FAIL:
+            failure: NodeFailure = payload
+            now = max(now, t_event)
+            node = failure.node
+            if alive[node]:
+                alive[node] = False
+                free_cores[node] = 0
+                free_gpus[node] = 0
+                # Kill every in-flight task: record the truncated
+                # attempt as lost work and resubmit the task.
+                for run_seq, (tid, c, g, t0, _planned_end) in sorted(
+                    running[node].items()
+                ):
+                    killed.add(run_seq)
+                    failed_placements.append(
+                        Placement(
+                            task_id=tid,
+                            name=by_id[tid].name,
+                            node=node,
+                            t_start=t0,
+                            # a task placed to start later (waiting on a
+                            # transfer) dies with zero work performed
+                            t_end=max(t0, t_event),
+                            cores=c,
+                            gpus=g,
+                        )
+                    )
+                    placements.pop(tid, None)
+                    heapq.heappush(ready, (-bottom[tid], tid))
+                running[node].clear()
+                if failure.down_for is not None:
+                    push_event(t_event + failure.down_for, _REVIVE, node)
+
+        else:  # _REVIVE
+            node = payload
+            now = max(now, t_event)
+            if not alive[node]:
+                alive[node] = True
+                free_cores[node] = cluster.node.cores
+                free_gpus[node] = cluster.node.gpus
 
     makespan = max((p.t_end for p in placements.values()), default=0.0)
-    return SimResult(cluster, placements, makespan)
+    return SimResult(
+        cluster,
+        placements,
+        makespan,
+        failed_placements=failed_placements,
+        node_failures=failures,
+    )
 
 
 def flatten_nested(trace: Trace) -> Trace:

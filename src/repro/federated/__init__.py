@@ -11,6 +11,7 @@ from repro.federated.aggregation import (
 from repro.federated.federation import (
     ClientData,
     FederatedConfig,
+    FederatedRoundError,
     Federation,
     RoundMetrics,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "FederatedConfig",
     "ClientData",
     "RoundMetrics",
+    "FederatedRoundError",
     "fedavg",
     "uniform_average",
     "fedavg_with_momentum",

@@ -12,6 +12,7 @@ combined by a general model), reusing :mod:`repro.nn` models.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable
 
 import numpy as np
@@ -20,6 +21,11 @@ from repro.federated.aggregation import STRATEGIES, fedavg_with_momentum
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
 from repro.runtime import task, wait_on
+from repro.runtime.exceptions import CancelledTaskError, TaskExecutionError
+
+
+class FederatedRoundError(RuntimeError):
+    """Too few client updates survived a round to reach the quorum."""
 
 
 @dataclasses.dataclass
@@ -52,6 +58,12 @@ class FederatedConfig:
     server_momentum: float | None = None
     #: FedProx proximal coefficient; None = plain FedAvg local SGD
     proximal_mu: float | None = None
+    #: Fraction of a round's selected clients whose updates must
+    #: survive for the round to proceed (graceful degradation).  At the
+    #: default 1.0 any client failure fails the round, matching the
+    #: strict behaviour; below 1.0 failed/cancelled client updates are
+    #: dropped from aggregation and logged to the provenance log.
+    quorum: float = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -59,6 +71,8 @@ class FederatedConfig:
             raise ValueError("rounds and local_epochs must be >= 1")
         if not 0.0 < self.client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
         if self.proximal_mu is not None and self.proximal_mu < 0:
             raise ValueError("proximal_mu must be >= 0")
         if self.aggregation not in STRATEGIES:
@@ -119,6 +133,9 @@ class RoundMetrics:
     round: int
     selected_clients: list[int]
     global_accuracy: float | None
+    #: Clients whose updates failed and were excluded by the quorum
+    #: policy (empty under strict quorum=1.0 operation).
+    dropped_clients: list[int] = dataclasses.field(default_factory=list)
 
 
 class Federation:
@@ -139,6 +156,9 @@ class Federation:
         model = Sequential.from_config(model_config, seed=self.config.seed)
         self.global_weights: list[np.ndarray] = model.get_weights()
         self.history: list[RoundMetrics] = []
+        #: One dict per round with failure-management provenance:
+        #: selected/surviving/dropped clients and the errors observed.
+        self.provenance_log: list[dict] = []
         self._velocity: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
@@ -181,6 +201,34 @@ class Federation:
                 for c in selected
             ]
         n_samples = [self.clients[c].n_samples for c in selected]
+        dropped: list[int] = []
+        errors: list[str] = []
+        if cfg.quorum < 1.0:
+            # Graceful degradation: synchronise each client update
+            # individually, dropping failed/cancelled ones, and proceed
+            # with the survivors as long as the quorum holds.
+            survivors: list[int] = []
+            weight_sets = []
+            kept_samples: list[int] = []
+            for c, fut, n in zip(selected, updates, n_samples):
+                try:
+                    weight_sets.append(wait_on(fut))
+                    survivors.append(c)
+                    kept_samples.append(n)
+                except (TaskExecutionError, CancelledTaskError) as exc:
+                    dropped.append(c)
+                    errors.append(f"client {c}: {exc}")
+            required = max(1, math.ceil(cfg.quorum * len(selected)))
+            if len(survivors) < required:
+                raise FederatedRoundError(
+                    f"round {len(self.history)}: only {len(survivors)} of "
+                    f"{len(selected)} client updates survived, quorum "
+                    f"requires {required}"
+                )
+            updates, n_samples = weight_sets, kept_samples
+        else:
+            survivors = list(selected)
+
         if cfg.server_momentum is not None:
             weight_sets = wait_on(updates)
             self.global_weights, self._velocity = fedavg_with_momentum(
@@ -196,7 +244,19 @@ class Federation:
         if eval_fn is not None:
             acc = float(eval_fn(self.global_model()))
         metrics = RoundMetrics(
-            round=len(self.history), selected_clients=selected, global_accuracy=acc
+            round=len(self.history),
+            selected_clients=selected,
+            global_accuracy=acc,
+            dropped_clients=dropped,
+        )
+        self.provenance_log.append(
+            {
+                "round": len(self.history),
+                "selected": list(selected),
+                "survivors": survivors,
+                "dropped_clients": list(dropped),
+                "errors": list(errors),
+            }
         )
         self.history.append(metrics)
         return metrics

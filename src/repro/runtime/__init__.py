@@ -2,13 +2,21 @@
 
 Public surface:
 
-* :func:`task` — decorator turning a function into a task.
+* :func:`task` — decorator turning a function into a task; per-task
+  failure management via ``on_failure`` / ``max_retries`` /
+  ``time_out``, call-site overrides via ``my_task.opts(...)``.
 * :data:`IN` / :data:`INOUT` / :data:`OUT` — parameter directions.
-* :class:`Runtime` — runtime instance (use as a context manager).
+* :class:`Runtime` — runtime instance (use as a context manager);
+  configured by a :class:`RuntimeConfig` (``REPRO_*`` env overrides).
 * :func:`wait_on` — synchronise futures into values
   (``compss_wait_on``).
 * :func:`barrier` — wait for all tasks of the current scope
   (``compss_barrier``).
+* :mod:`repro.runtime.compat` — PyCOMPSs-named aliases
+  (:func:`compss_wait_on`, :func:`compss_barrier`, :func:`compss_open`)
+  so paper snippets run verbatim.
+* :mod:`repro.runtime.faults` — deterministic fault injection for
+  resilience testing.
 * :class:`Constraints` — per-task resource requirements.
 * :func:`to_dot` / :func:`graph_summary` — execution-graph export.
 * :func:`build_provenance` — provenance record of a finished run.
@@ -18,13 +26,25 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.directions import IN, INOUT, OUT, Direction
 from repro.runtime.engine import Runtime, active_runtime
 from repro.runtime.exceptions import (
     CancelledTaskError,
+    FaultInjectedError,
     RuntimeStateError,
     TaskDefinitionError,
     TaskExecutionError,
+    TaskTimeoutError,
+    WorkflowAbortedError,
+)
+from repro.runtime.failures import (
+    CANCEL_SUCCESSORS,
+    FAIL,
+    IGNORE,
+    POLICIES,
+    RETRY,
+    TaskOptions,
 )
 from repro.runtime.future import Future, is_future, resolve_futures
 from repro.runtime.model import Constraints
@@ -32,6 +52,14 @@ from repro.runtime.dot import graph_summary, to_dot
 from repro.runtime.provenance import ProvenanceRecord, build_provenance
 from repro.runtime.task import task
 from repro.runtime.tracing import TaskRecord, Trace
+from repro.runtime import faults
+from repro.runtime.compat import (
+    compss_barrier,
+    compss_delete_file,
+    compss_delete_object,
+    compss_open,
+    compss_wait_on,
+)
 
 __all__ = [
     "task",
@@ -40,6 +68,8 @@ __all__ = [
     "OUT",
     "Direction",
     "Runtime",
+    "RuntimeConfig",
+    "TaskOptions",
     "active_runtime",
     "wait_on",
     "barrier",
@@ -52,10 +82,24 @@ __all__ = [
     "graph_summary",
     "ProvenanceRecord",
     "build_provenance",
+    "faults",
+    "FAIL",
+    "RETRY",
+    "IGNORE",
+    "CANCEL_SUCCESSORS",
+    "POLICIES",
     "TaskDefinitionError",
     "TaskExecutionError",
+    "TaskTimeoutError",
     "RuntimeStateError",
     "CancelledTaskError",
+    "WorkflowAbortedError",
+    "FaultInjectedError",
+    "compss_wait_on",
+    "compss_barrier",
+    "compss_open",
+    "compss_delete_object",
+    "compss_delete_file",
 ]
 
 

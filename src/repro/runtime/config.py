@@ -1,0 +1,121 @@
+"""Runtime configuration.
+
+A :class:`RuntimeConfig` gathers every knob the
+:class:`~repro.runtime.engine.Runtime` accepts — executor, pool size,
+default failure policy, retry backoff, trace collection — into one
+validated, immutable object, replacing the loose keyword arguments of
+earlier releases.  ``RuntimeConfig.from_env()`` applies ``REPRO_*``
+environment overrides so deployments can reconfigure the runtime
+without touching code::
+
+    REPRO_EXECUTOR=sequential REPRO_MAX_RETRIES=5 python workflow.py
+
+Environment variables (all optional):
+
+========================  =====================================
+``REPRO_EXECUTOR``        ``threads`` | ``sequential``
+``REPRO_MAX_WORKERS``     int (thread-pool size)
+``REPRO_NAME``            runtime label
+``REPRO_ON_FAILURE``      default failure policy
+``REPRO_MAX_RETRIES``     default retry budget for ``RETRY`` tasks
+``REPRO_TIME_OUT``        default per-task timeout (seconds)
+``REPRO_RETRY_BACKOFF``   base backoff (seconds; 0 disables)
+``REPRO_RETRY_BACKOFF_CAP``  backoff ceiling (seconds)
+``REPRO_JITTER_SEED``     seed of the deterministic retry jitter
+``REPRO_TRACE``           ``1``/``0`` — collect task records
+========================  =====================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any
+
+from repro.runtime.failures import CANCEL_SUCCESSORS, validate_policy
+
+_EXECUTORS = ("threads", "sequential")
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Validated, immutable runtime configuration."""
+
+    executor: str = "threads"
+    max_workers: int | None = None
+    name: str = "repro-runtime"
+    #: Policy applied when a task exhausts its attempts and declared
+    #: no ``on_failure`` of its own.
+    default_on_failure: str = CANCEL_SUCCESSORS
+    #: Retry budget for ``on_failure="RETRY"`` tasks that declared no
+    #: explicit ``max_retries`` (COMPSs resubmits twice by default).
+    default_max_retries: int = 2
+    #: Default per-task ``time_out`` in seconds (None = no timeout).
+    default_time_out: float | None = None
+    #: Base of the exponential retry backoff in seconds (0 = retry
+    #: immediately).
+    retry_backoff: float = 0.001
+    #: Ceiling of the backoff in seconds.
+    retry_backoff_cap: float = 0.25
+    #: Seed of the deterministic retry jitter.
+    jitter_seed: int = 0
+    #: Record a :class:`~repro.runtime.tracing.TaskRecord` per attempt.
+    collect_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {_EXECUTORS}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        try:
+            validate_policy(self.default_on_failure)
+        except Exception as exc:
+            # config validation speaks ValueError, like every other field
+            raise ValueError(str(exc)) from None
+        if self.default_max_retries < 0:
+            raise ValueError("default_max_retries must be >= 0")
+        if self.default_time_out is not None and self.default_time_out <= 0:
+            raise ValueError("default_time_out must be > 0 seconds")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff values must be >= 0")
+
+    def replace(self, **changes: Any) -> "RuntimeConfig":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None, **overrides: Any) -> "RuntimeConfig":
+        """Defaults, then ``REPRO_*`` environment variables, then
+        explicit keyword *overrides* (strongest)."""
+        env = os.environ if environ is None else environ
+        values: dict[str, Any] = {}
+
+        def take(var: str, field: str, conv) -> None:
+            raw = env.get(var)
+            if raw is not None and raw != "":
+                try:
+                    values[field] = conv(raw)
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(f"invalid {var}={raw!r}: {exc}") from exc
+
+        take("REPRO_EXECUTOR", "executor", str)
+        take("REPRO_MAX_WORKERS", "max_workers", int)
+        take("REPRO_NAME", "name", str)
+        take("REPRO_ON_FAILURE", "default_on_failure", str)
+        take("REPRO_MAX_RETRIES", "default_max_retries", int)
+        take("REPRO_TIME_OUT", "default_time_out", float)
+        take("REPRO_RETRY_BACKOFF", "retry_backoff", float)
+        take("REPRO_RETRY_BACKOFF_CAP", "retry_backoff_cap", float)
+        take("REPRO_JITTER_SEED", "jitter_seed", int)
+        take("REPRO_TRACE", "collect_trace", _parse_bool)
+        values.update(overrides)
+        return cls(**values)
+
+
+def _parse_bool(raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError("expected a boolean (1/0/true/false)")

@@ -27,6 +27,13 @@ class TaskGraph:
             for dep in deps:
                 self._graph.add_edge(dep, task_id)
 
+    def add_retry(self, prev_id: int, new_id: int, name: str, attempt: int, **attrs) -> None:
+        """Add a resubmission attempt node, chained to the failed
+        attempt by a ``kind="retry"`` edge (rendered dashed in DOT)."""
+        with self._lock:
+            self._graph.add_node(new_id, name=name, attempt=attempt, retry_of=prev_id, **attrs)
+            self._graph.add_edge(prev_id, new_id, kind="retry")
+
     def set_attr(self, task_id: int, **attrs) -> None:
         with self._lock:
             self._graph.nodes[task_id].update(attrs)

@@ -46,6 +46,12 @@ def to_dot(
     task name is included as a comment header so the text artefact is
     self-describing even without rendering.
 
+    Failure management is visible in the rendering: failed attempts get
+    a thick dark-red border, ignored failures an orange border,
+    cancelled tasks a dashed outline, and runtime resubmissions appear
+    as separate nodes linked to the failed attempt by a dashed red
+    ``retry`` edge — the graph shows exactly what the scheduler did.
+
     With ``group_nested=True``, tasks spawned inside a parent task are
     drawn inside a dashed cluster box labelled by the parent — the
     presentation of the paper's Fig. 10, where each fold's training
@@ -62,7 +68,22 @@ def to_dot(
 
     def node_line(node: int, data: dict) -> str:
         name = data.get("name", "?")
-        return f'  t{node} [fillcolor="{color_for(name)}", tooltip="{name}#{node}"];'
+        attrs = [f'fillcolor="{color_for(name)}"']
+        tooltip = f"{name}#{node}"
+        attempt = data.get("attempt")
+        if attempt:
+            tooltip += f" attempt={attempt}"
+        state = data.get("state")
+        if state == "failed":
+            attrs.append('color="#a00000"')
+            attrs.append("penwidth=2.0")
+        elif state == "ignored":
+            attrs.append('color="#e07b00"')
+            attrs.append("penwidth=2.0")
+        elif state == "cancelled":
+            attrs.append('style="filled,dashed"')
+        attrs.append(f'tooltip="{tooltip}"')
+        return f'  t{node} [{", ".join(attrs)}];'
 
     if group_nested:
         children: dict[int, list[tuple[int, dict]]] = {}
@@ -90,8 +111,14 @@ def to_dot(
         for node, data in sorted(g.nodes(data=True)):
             lines.append(node_line(node, data))
 
-    for u, v in sorted(g.edges()):
-        lines.append(f"  t{u} -> t{v};")
+    for u, v, edata in sorted(g.edges(data=True), key=lambda e: (e[0], e[1])):
+        if edata.get("kind") == "retry":
+            lines.append(
+                f'  t{u} -> t{v} [style=dashed, color="#a00000", '
+                f'fontsize=7, label="retry"];'
+            )
+        else:
+            lines.append(f"  t{u} -> t{v};")
     lines.append("}")
     return "\n".join(lines)
 

@@ -10,29 +10,51 @@ inline (``sequential`` executor) or on a pool of worker threads
 Worker threads use *help-while-waiting*: any thread blocked in
 ``wait_on`` or a barrier keeps executing ready tasks, so nested task
 graphs (tasks spawning tasks, the paper's "nesting" feature) can never
-deadlock the pool.
+deadlock the pool.  Idle waiters park on a condition variable that is
+notified on every task completion and enqueue, instead of spinning.
+
+Failure management (COMPSs ``on_failure``) lives here too: when a task
+attempt raises — organically, via an injected fault, or through the
+``time_out`` watchdog — the engine either resubmits it (a *new* DAG
+node chained to the failed attempt, so retries are visible in the trace
+and DOT export), substitutes the declared default (``IGNORE``), cancels
+the transitive successors (``CANCEL_SUCCESSORS``, the default), or
+aborts the whole workflow (``FAIL``).
 """
 
 from __future__ import annotations
 
 import collections
+import heapq
 import os
 import threading
 import time
+import warnings
 from typing import Any, Callable, Iterable
 
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.dag import TaskGraph
 from repro.runtime.directions import Direction
 from repro.runtime.exceptions import (
-    CancelledTaskError,
     RuntimeStateError,
     TaskExecutionError,
+    TaskTimeoutError,
+    WorkflowAbortedError,
+)
+from repro.runtime.faults import on_task_execute as _fault_hook
+from repro.runtime.failures import (
+    FAIL,
+    IGNORE,
+    TaskOptions,
+    resolve_options,
+    retry_delay,
 )
 from repro.runtime.future import Future, resolve_futures, scan_futures
 from repro.runtime.model import (
     CANCELLED,
     DONE,
     FAILED,
+    IGNORED,
     PENDING,
     READY,
     RUNNING,
@@ -40,7 +62,7 @@ from repro.runtime.model import (
     TaskSpec,
 )
 from repro.runtime.registry import DataRegistry
-from repro.runtime.tracing import TaskRecord, Trace, TraceCollector, estimate_nbytes
+from repro.runtime.tracing import TaskRecord, TraceCollector, Trace, estimate_nbytes
 
 _tls = threading.local()
 
@@ -90,15 +112,17 @@ class Runtime:
 
     Parameters
     ----------
-    executor:
+    config:
+        A :class:`~repro.runtime.config.RuntimeConfig`.  When omitted,
+        :meth:`RuntimeConfig.from_env` is used, so ``REPRO_*``
+        environment variables apply.
+    executor, max_workers, name:
+        Keyword shortcuts overriding the corresponding config fields.
         ``"threads"`` runs tasks on a worker-thread pool (NumPy kernels
         release the GIL, so block math really runs in parallel);
         ``"sequential"`` executes each task inline at submission time,
         which is deterministic and is what most unit tests use.
-    max_workers:
-        Pool size for the ``threads`` executor (default: CPU count).
-    name:
-        Label used in provenance records and DOT exports.
+        Passing these *positionally* is deprecated.
     """
 
     _ids = 0
@@ -106,18 +130,45 @@ class Runtime:
 
     def __init__(
         self,
-        executor: str = "threads",
+        *deprecated_args: Any,
+        executor: str | None = None,
         max_workers: int | None = None,
-        name: str = "repro-runtime",
+        name: str | None = None,
+        config: RuntimeConfig | None = None,
     ):
-        if executor not in ("threads", "sequential"):
-            raise ValueError(f"unknown executor {executor!r}")
+        if deprecated_args:
+            warnings.warn(
+                "positional Runtime(...) arguments are deprecated; use "
+                "keyword arguments or Runtime(config=RuntimeConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(deprecated_args) > 3:
+                raise TypeError("Runtime() takes at most 3 positional arguments")
+            slots = (executor, max_workers, name)
+            filled = list(slots[: len(deprecated_args)])
+            for i, value in enumerate(deprecated_args):
+                if filled[i] is not None:
+                    raise TypeError("Runtime() got the same argument positionally and by keyword")
+                filled[i] = value
+            executor, max_workers, name = (tuple(filled) + slots[len(deprecated_args):])[:3]
+
+        cfg = config if config is not None else RuntimeConfig.from_env()
+        overrides = {
+            key: value
+            for key, value in (("executor", executor), ("max_workers", max_workers), ("name", name))
+            if value is not None
+        }
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        self.config = cfg
+
         with Runtime._ids_lock:
             Runtime._ids += 1
             self.runtime_id = Runtime._ids
-        self.name = name
-        self.executor = executor
-        self.max_workers = max_workers or (os.cpu_count() or 4)
+        self.name = cfg.name
+        self.executor = cfg.executor
+        self.max_workers = cfg.max_workers or (os.cpu_count() or 4)
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
@@ -125,13 +176,24 @@ class Runtime:
         self._children: dict[int, list[TaskInstance]] = collections.defaultdict(list)
         self._next_task_id = 0
         self._state_lock = threading.Lock()
-        self._ready: collections.deque[TaskInstance] = collections.deque()
+        #: ready heap: (-priority, seq, TaskInstance) — higher priority
+        #: first, FIFO within a priority level.
+        self._ready: list[tuple[int, int, TaskInstance]] = []
+        self._ready_seq = 0
         self._cond = threading.Condition()
         self._shutdown = False
         self._threads: list[threading.Thread] = []
+        self._timers: set[threading.Timer] = set()
         self._epoch = time.perf_counter()
+        self._unfinished_total = 0
+        self._aborted: BaseException | None = None
+        # -- monitoring counters ---------------------------------------
+        self._idle_wakeups = 0
+        self._n_retries = 0
+        self._n_ignored = 0
+        self._n_timeouts = 0
         self.root_scope = Scope(self)
-        if executor == "threads":
+        if self.executor == "threads":
             self._start_workers()
 
     # ------------------------------------------------------------------
@@ -145,14 +207,26 @@ class Runtime:
             t.start()
             self._threads.append(t)
 
+    @property
+    def unfinished(self) -> int:
+        """Tasks submitted (in any scope) that have not completed."""
+        with self._state_lock:
+            return self._unfinished_total
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the runtime.  With ``wait=True`` (default) drains the
-        root scope first so no task is lost."""
+        """Stop the runtime.  With ``wait=True`` (default) drains every
+        live scope first — root *and* nested/detached ones — so no
+        in-flight task is lost."""
         if wait and not self._shutdown:
-            self.root_scope.wait_all()
+            self._help_until(lambda: self.unfinished == 0)
         with self._cond:
             self._shutdown = True
             self._cond.notify_all()
+        with self._state_lock:
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
         for t in self._threads:
             t.join(timeout=5.0)
         self.registry.clear()
@@ -173,12 +247,25 @@ class Runtime:
         spec: TaskSpec,
         args: tuple[Any, ...],
         kwargs: dict[str, Any],
+        options: TaskOptions | None = None,
         label: str | None = None,
     ) -> Any:
         """Submit one task invocation; returns its future(s) (or None
-        when the task declares no return values)."""
+        when the task declares no return values).
+
+        *options* carries call-site overrides (from ``my_task.opts(...)``);
+        *label* is a legacy shortcut kept for the deprecated
+        ``_task_label`` path.
+        """
         if self._shutdown:
             raise RuntimeStateError("runtime has been shut down")
+        if self._aborted is not None:
+            raise WorkflowAbortedError(
+                "workflow aborted by an on_failure='FAIL' task"
+            ) from self._aborted
+
+        resolved = resolve_options(self.config, spec.options, options)
+        effective_label = label if label is not None else resolved.label
 
         scope = _current_scope()
         if scope is None or scope.runtime is not self:
@@ -216,8 +303,9 @@ class Runtime:
                 deps=frozenset(deps),
                 futures=futures,
                 parent_id=parent_id,
-                label=label,
+                label=effective_label,
             )
+            inst.options = resolved
             self._tasks[task_id] = inst
             self.graph.add_task(
                 task_id,
@@ -229,11 +317,12 @@ class Runtime:
             )
             scope.task_submitted(task_id)
             inst._owner_scope = scope  # type: ignore[attr-defined]
+            self._unfinished_total += 1
 
             unresolved = 0
             for dep in deps:
                 dep_inst = self._tasks.get(dep)
-                if dep_inst is not None and dep_inst.state not in (DONE, FAILED, CANCELLED):
+                if dep_inst is not None and dep_inst.state not in (DONE, IGNORED, FAILED, CANCELLED):
                     self._children[dep].append(inst)
                     unresolved += 1
                 elif dep_inst is not None and dep_inst.state in (FAILED, CANCELLED):
@@ -260,14 +349,16 @@ class Runtime:
     # ------------------------------------------------------------------
     def _enqueue(self, inst: TaskInstance) -> None:
         inst.state = READY
+        priority = inst.options.priority if inst.options is not None else 0
         with self._cond:
-            self._ready.append(inst)
+            heapq.heappush(self._ready, (-priority, self._ready_seq, inst))
+            self._ready_seq += 1
             self._cond.notify()
 
     def _pop_ready(self) -> TaskInstance | None:
         with self._cond:
             if self._ready:
-                return self._ready.popleft()
+                return heapq.heappop(self._ready)[2]
             return None
 
     def _worker_loop(self) -> None:
@@ -279,7 +370,7 @@ class Runtime:
                 if self._shutdown and not self._ready:
                     return
                 if self._ready:
-                    inst = self._ready.popleft()
+                    inst = heapq.heappop(self._ready)[2]
             if inst is not None:
                 self._execute(inst)
 
@@ -288,37 +379,96 @@ class Runtime:
 
         Called from any thread that needs to block on runtime progress;
         turning waiters into workers keeps nested graphs deadlock-free.
+        When nothing is runnable the waiter parks on the condition
+        variable (notified on every completion/enqueue) instead of
+        busy-spinning; ``stats()["idle_wakeups"]`` counts the parks.
         """
         while not predicate():
             inst = self._pop_ready()
             if inst is not None:
                 self._execute(inst)
-            else:
-                # Nothing runnable here; yield until state changes.
-                time.sleep(0.0005)
-                if self._shutdown and not predicate():
+                continue
+            with self._cond:
+                if self._ready or predicate():
+                    continue
+                if self._shutdown:
                     raise RuntimeStateError(
                         "runtime shut down while waiting for tasks"
                     )
+                self._idle_wakeups += 1
+                # Timeout is a safety net only: completions notify.
+                self._cond.wait(timeout=0.05)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _run_body(self, inst: TaskInstance, scope: Scope):
+        """Resolve inputs, apply fault injection, run the task body and
+        wait for nested children.  Runs in the executing thread (or the
+        watchdog-supervised body thread for timed tasks)."""
+        _fault_hook(inst.name)
+        args = resolve_futures(inst.args)
+        kwargs = resolve_futures(inst.kwargs)
+        result = inst.spec.func(*args, **kwargs)
+        # Nested tasks must complete before the parent is done.
+        scope.wait_all()
+        result = resolve_futures(result)
+        return args, kwargs, _split_results(inst, result)
+
+    def _run_with_watchdog(self, inst: TaskInstance, scope: Scope, time_out: float):
+        """Run the body in a helper thread and watch the deadline.
+
+        Python threads cannot be killed, so on timeout the body thread
+        is *abandoned* (daemonised, its eventual result discarded) and
+        the task fails with :class:`TaskTimeoutError` — which then goes
+        through the normal ``on_failure``/retry machinery."""
+        outcome: dict[str, Any] = {}
+        finished = threading.Event()
+
+        def body() -> None:
+            _tls.scope = scope
+            try:
+                outcome["value"] = self._run_body(inst, scope)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                outcome["error"] = exc
+            finally:
+                finished.set()
+
+        thread = threading.Thread(
+            target=body, name=f"{self.name}-task-{inst.task_id}-body", daemon=True
+        )
+        thread.start()
+        if not finished.wait(time_out):
+            inst._abandoned = True
+            raise TaskTimeoutError(inst.name, inst.task_id, time_out)
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]
+
     def _execute(self, inst: TaskInstance) -> None:
+        if inst.state == CANCELLED or inst._finalized:
+            return
         inst.state = RUNNING
         outer_scope = _current_scope()
         scope = Scope(self, parent_task_id=inst.task_id)
-        _tls.scope = scope
+        time_out = inst.options.time_out if inst.options is not None else None
         t_start = time.perf_counter() - self._epoch
         try:
-            args = resolve_futures(inst.args)
-            kwargs = resolve_futures(inst.kwargs)
-            result = inst.spec.func(*args, **kwargs)
-            # Nested tasks must complete before the parent is done.
-            scope.wait_all()
-            result = resolve_futures(result)
-            results = _split_results(inst, result)
-        except Exception as exc:  # noqa: BLE001 - propagate via futures
+            if time_out is not None and self.executor == "threads":
+                args, kwargs, results = self._run_with_watchdog(inst, scope, time_out)
+            else:
+                _tls.scope = scope
+                try:
+                    args, kwargs, results = self._run_body(inst, scope)
+                finally:
+                    _tls.scope = outer_scope
+                if time_out is not None:
+                    # Sequential executor cannot preempt: detect the
+                    # overrun after the fact (documented best effort).
+                    elapsed = (time.perf_counter() - self._epoch) - t_start
+                    if elapsed > time_out:
+                        raise TaskTimeoutError(inst.name, inst.task_id, time_out)
+        except Exception as exc:  # noqa: BLE001 - routed to failure policies
             t_end = time.perf_counter() - self._epoch
             _tls.scope = outer_scope
             self._fail(inst, exc, t_start, t_end)
@@ -329,6 +479,31 @@ class Runtime:
         for fut, value in zip(inst.futures, results):
             fut._set_result(value)
 
+        self._record(
+            inst,
+            t_start,
+            t_end,
+            status="done",
+            in_bytes=estimate_nbytes(args) + estimate_nbytes(kwargs),
+            out_bytes=estimate_nbytes(results),
+        )
+        self._complete(inst, DONE)
+
+    # ------------------------------------------------------------------
+    # failure management
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        inst: TaskInstance,
+        t_start: float,
+        t_end: float,
+        status: str,
+        error: BaseException | None = None,
+        in_bytes: int = 0,
+        out_bytes: int = 0,
+    ) -> None:
+        if not self.config.collect_trace:
+            return
         self.collector.record(
             TaskRecord(
                 task_id=inst.task_id,
@@ -338,13 +513,16 @@ class Runtime:
                 t_end=t_end,
                 computing_units=inst.spec.constraints.computing_units,
                 gpus=inst.spec.constraints.gpus,
-                in_bytes=estimate_nbytes(args) + estimate_nbytes(kwargs),
-                out_bytes=estimate_nbytes(results),
+                in_bytes=in_bytes,
+                out_bytes=out_bytes,
                 parent_id=inst.parent_id,
                 label=inst.label,
+                attempt=inst.attempt,
+                retry_of=inst.retry_of,
+                status=status,
+                error=repr(error) if error is not None else None,
             )
         )
-        self._complete(inst, DONE)
 
     def _fail(
         self, inst: TaskInstance, exc: BaseException, t_start: float, t_end: float
@@ -354,22 +532,139 @@ class Runtime:
         else:
             error = TaskExecutionError(inst.name, inst.task_id, exc)
         inst.error = error
+        if isinstance(exc, TaskTimeoutError):
+            with self._state_lock:
+                self._n_timeouts += 1
+
+        options = inst.options
+        can_retry = (
+            options is not None
+            and inst.attempt < options.max_retries
+            and not self._shutdown
+            and self._aborted is None
+        )
+        if can_retry:
+            self._record(inst, t_start, t_end, status="failed", error=exc)
+            self._resubmit(inst)
+            return
+
+        policy = options.on_failure if options is not None else None
+        if policy == IGNORE:
+            self._record(inst, t_start, t_end, status="ignored", error=exc)
+            with self._state_lock:
+                self._n_ignored += 1
+            for fut, value in zip(inst.futures, _split_default(inst)):
+                fut._set_result(value)
+            self._complete(inst, IGNORED)
+            return
+
+        self._record(inst, t_start, t_end, status="failed", error=exc)
         for fut in inst.futures:
             fut._set_error(error)
-        self.collector.record(
-            TaskRecord(
-                task_id=inst.task_id,
-                name=inst.name,
-                deps=tuple(sorted(inst.deps)),
-                t_start=t_start,
-                t_end=t_end,
-                computing_units=inst.spec.constraints.computing_units,
-                gpus=inst.spec.constraints.gpus,
+        self._complete(inst, FAILED)
+        if policy == FAIL:
+            self._abort(error)
+
+    def _resubmit(self, inst: TaskInstance) -> None:
+        """Re-enqueue a failed attempt as a fresh DAG node.
+
+        The new instance reuses the original futures (dependents keep
+        their handles), inherits the options, depends on the failed
+        attempt (so traces and the simulator see the lost time), and
+        adopts the dependents that were waiting on the failed node.
+        """
+        options = inst.options
+        scope: Scope = inst._owner_scope  # type: ignore[attr-defined]
+        with self._state_lock:
+            new_id = self._next_task_id
+            self._next_task_id += 1
+            new = TaskInstance(
+                task_id=new_id,
+                spec=inst.spec,
+                args=inst.args,
+                kwargs=inst.kwargs,
+                deps=frozenset(inst.deps | {inst.task_id}),
+                futures=inst.futures,
                 parent_id=inst.parent_id,
                 label=inst.label,
             )
+            new.options = options
+            new.attempt = inst.attempt + 1
+            new.retry_of = inst.task_id
+            new.root_id = inst.root_id
+            new._remaining = 0  # the failed attempt is complete, deps were done
+            new._owner_scope = scope  # type: ignore[attr-defined]
+            self._tasks[new_id] = new
+            # Futures (and therefore dependents) reference the first
+            # attempt's id, so the root entry must track the latest
+            # attempt: new dependents submitted mid-retry then see a
+            # live (not failed) producer.  Child bookkeeping is keyed
+            # by root id throughout, so no hand-over is needed.
+            self._tasks[new.root_id] = new
+            self.graph.add_retry(
+                inst.task_id,
+                new_id,
+                inst.name,
+                attempt=new.attempt,
+                parent=inst.parent_id,
+                computing_units=inst.spec.constraints.computing_units,
+                gpus=inst.spec.constraints.gpus,
+            )
+            scope.task_submitted(new_id)
+            self._unfinished_total += 1
+            self._n_retries += 1
+            # Close out the failed attempt (dependents follow the root
+            # id, so they transparently wait for the new attempt).
+            inst.try_finalize()
+            inst.state = FAILED
+            self._unfinished_total -= 1
+        scope.task_finished()
+        self.graph.set_attr(inst.task_id, state=FAILED, retried=True)
+
+        delay = retry_delay(
+            options.retry_backoff,
+            new.attempt,
+            task_name=inst.name,
+            root_id=new.root_id,
+            seed=options.jitter_seed,
+            cap=options.retry_backoff_cap,
         )
-        self._complete(inst, FAILED)
+        if self.executor == "sequential":
+            if delay > 0:
+                time.sleep(delay)
+            self._execute(new)
+        elif delay <= 0:
+            self._enqueue(new)
+        else:
+            def fire() -> None:
+                with self._state_lock:
+                    self._timers.discard(timer)
+                if self._shutdown:
+                    new.state = CANCELLED
+                    self._cancel_pending(new)
+                else:
+                    self._enqueue(new)
+
+            timer = threading.Timer(delay, fire)
+            timer.daemon = True
+            with self._state_lock:
+                self._timers.add(timer)
+            timer.start()
+
+    def _abort(self, error: BaseException) -> None:
+        """``on_failure="FAIL"``: stop the workflow — cancel every task
+        that has not started yet; running tasks finish undisturbed."""
+        with self._state_lock:
+            if self._aborted is not None:
+                return
+            self._aborted = error
+            victims = [i for i in self._tasks.values() if i.state in (PENDING, READY)]
+        for inst in victims:
+            if inst.state in (PENDING, READY):
+                inst.state = CANCELLED
+                self._cancel_pending(inst)
+        with self._cond:
+            self._cond.notify_all()
 
     def _cancel(self, inst: TaskInstance) -> None:
         for fut in inst.futures:
@@ -377,13 +672,17 @@ class Runtime:
         self._complete(inst, CANCELLED)
 
     def _complete(self, inst: TaskInstance, state: str) -> None:
+        if not inst.try_finalize():
+            return
         with self._state_lock:
             inst.state = state
-            children = self._children.pop(inst.task_id, [])
+            children = self._children.pop(inst.root_id, [])
+            self._unfinished_total -= 1
         getattr(inst, "_owner_scope").task_finished()
         self.graph.set_attr(inst.task_id, state=state)
+        failure = state in (FAILED, CANCELLED)
         for child in children:
-            if state in (FAILED, CANCELLED):
+            if failure:
                 # Propagate: the child can never run.
                 if child.state in (PENDING, READY):
                     child.state = CANCELLED
@@ -394,10 +693,13 @@ class Runtime:
             self._cond.notify_all()
 
     def _cancel_pending(self, inst: TaskInstance) -> None:
+        if not inst.try_finalize():
+            return
         for fut in inst.futures:
             fut._cancel()
         with self._state_lock:
-            grandchildren = self._children.pop(inst.task_id, [])
+            grandchildren = self._children.pop(inst.root_id, [])
+            self._unfinished_total -= 1
         getattr(inst, "_owner_scope").task_finished()
         self.graph.set_attr(inst.task_id, state=CANCELLED)
         for gc in grandchildren:
@@ -416,23 +718,42 @@ class Runtime:
         return resolve_futures(obj)
 
     def barrier(self) -> None:
-        """Wait until every task submitted from the current scope is done."""
+        """Wait until every task submitted from the current scope is
+        done.  Raises :class:`WorkflowAbortedError` if an
+        ``on_failure="FAIL"`` task aborted the workflow meanwhile."""
         scope = _current_scope()
         if scope is None or scope.runtime is not self:
             scope = self.root_scope
         scope.wait_all()
+        if self._aborted is not None:
+            raise WorkflowAbortedError(
+                "workflow aborted by an on_failure='FAIL' task"
+            ) from self._aborted
 
     def trace(self) -> Trace:
-        """Trace of every task executed so far."""
+        """Trace of every task attempt executed so far."""
         return self.collector.trace()
 
+    @property
+    def aborted(self) -> BaseException | None:
+        """The error that aborted the workflow, if any."""
+        return self._aborted
+
     def stats(self) -> dict:
-        """Live snapshot: task counts by state and by name, queue depth
-        and pool configuration — the runtime's monitoring surface."""
+        """Live snapshot: task counts by state and by name, queue depth,
+        pool configuration and failure-management counters — the
+        runtime's monitoring surface."""
         with self._state_lock:
             by_state: dict[str, int] = {}
             for inst in self._tasks.values():
                 by_state[inst.state] = by_state.get(inst.state, 0) + 1
+            unfinished = self._unfinished_total
+            retries = self._n_retries
+            ignored = self._n_ignored
+            timeouts = self._n_timeouts
+        with self._cond:
+            idle_wakeups = self._idle_wakeups
+            ready_depth = len(self._ready)
         return {
             "executor": self.executor,
             "max_workers": self.max_workers,
@@ -440,7 +761,14 @@ class Runtime:
             "n_edges": self.graph.n_edges,
             "by_state": by_state,
             "by_name": self.graph.count_by_name(),
-            "ready_queue": len(self._ready),
+            "ready_queue": ready_depth,
+            "unfinished": unfinished,
+            "retries": retries,
+            "ignored_failures": ignored,
+            "timeouts": timeouts,
+            "idle_wakeups": idle_wakeups,
+            "aborted": self._aborted is not None,
+            "trace_enabled": self.config.collect_trace,
         }
 
     @property
@@ -529,3 +857,16 @@ def _split_results(inst: TaskInstance, result: Any) -> tuple[Any, ...]:
             ),
         )
     return tuple(result)
+
+
+def _split_default(inst: TaskInstance) -> tuple[Any, ...]:
+    """Shape the declared ``failure_default`` onto the task's return
+    arity: a tuple/list of matching length is split, anything else is
+    replicated per future."""
+    n = inst.spec.returns
+    default = inst.options.failure_default if inst.options is not None else None
+    if n == 0:
+        return ()
+    if isinstance(default, (tuple, list)) and len(default) == n:
+        return tuple(default)
+    return tuple(default for _ in range(n))

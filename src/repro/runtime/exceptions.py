@@ -34,6 +34,41 @@ class TaskExecutionError(RuntimeError):
         self.__cause__ = cause
 
 
+class TaskTimeoutError(TaskExecutionError):
+    """A task exceeded its declared ``time_out``.
+
+    Under the ``threads`` executor the watchdog abandons the running
+    body and fails the task the moment the deadline passes; under the
+    ``sequential`` executor the body cannot be preempted, so the
+    timeout is detected after the body returns (best effort).  Either
+    way the error feeds the task's ``on_failure`` policy, so a timed-out
+    task can be retried or ignored like any other failure.
+    """
+
+    def __init__(self, task_name: str, task_id: int, timeout: float):
+        cause = TimeoutError(f"exceeded time_out={timeout}s")
+        super().__init__(task_name, task_id, cause)
+        self.timeout = timeout
+
+
+class WorkflowAbortedError(RuntimeError):
+    """The workflow was aborted by a task with ``on_failure="FAIL"``.
+
+    COMPSs' ``FAIL`` policy stops the whole workflow: every pending
+    task is cancelled and further submissions are rejected with this
+    error.  The first failure that triggered the abort is attached as
+    ``__cause__``.
+    """
+
+
+class FaultInjectedError(RuntimeError):
+    """An artificial failure raised by :mod:`repro.runtime.faults`.
+
+    Distinguishable from organic task errors so tests and chaos
+    experiments can assert that *only* injected faults occurred.
+    """
+
+
 class CancelledTaskError(RuntimeError):
     """The task was cancelled before it could run (e.g. runtime shutdown
     or an upstream dependency failed)."""

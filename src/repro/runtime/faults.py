@@ -1,0 +1,194 @@
+"""Deterministic fault injection — chaos testing for task workflows.
+
+A :class:`FaultInjector` intercepts task executions by name and makes
+the Nth execution (or a seeded random fraction of executions) fail or
+stall, so resilience claims — "this workflow survives two transient
+failures of ``train``" — become executable tests instead of prose::
+
+    from repro.runtime import Runtime, task, wait_on
+    from repro.runtime.faults import fail_nth, inject
+
+    with Runtime(executor="sequential"), inject(fail_nth("train", 1, 2)):
+        model = train.opts(max_retries=2)(data)   # fails twice, then succeeds
+        wait_on(model)
+
+Executions are counted per task *name* across the whole injector
+lifetime, attempts included — execution 1 is the first attempt, so
+``fail_nth("train", 1, 2)`` makes the runtime's third attempt the
+first one to run clean.  Probabilistic rules draw from a per-name
+generator seeded from ``(seed, name)``, so a given seed produces the
+same failure pattern on every run (per-name execution order is
+deterministic under the ``sequential`` executor).
+
+Injectors nest: the innermost ``inject(...)`` context is consulted
+first, and every active injector sees every execution.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import threading
+import time
+from typing import Callable, Iterator
+
+from repro.runtime.exceptions import FaultInjectedError
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One injection rule, matched against task names.
+
+    ``executions`` is a frozen set of 1-based execution indices the
+    rule fires on; ``None`` means "consult ``probability`` instead"
+    (and a probability of ``None`` then means "every execution").
+    """
+
+    task: str
+    kind: str  # "fail" | "delay"
+    executions: frozenset[int] | None = None
+    probability: float | None = None
+    delay: float = 0.0
+    error: Callable[[], BaseException] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fail", "delay"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.executions is not None and any(n < 1 for n in self.executions):
+            raise ValueError("execution indices are 1-based")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+def fail_nth(task: str, *executions: int, message: str | None = None) -> FaultRule:
+    """Fail the given 1-based executions of *task* with
+    :class:`FaultInjectedError`."""
+    if not executions:
+        raise ValueError("fail_nth needs at least one execution index")
+    text = message or f"injected fault in {task!r}"
+    return FaultRule(
+        task=task,
+        kind="fail",
+        executions=frozenset(executions),
+        error=lambda: FaultInjectedError(text),
+    )
+
+
+def delay_nth(task: str, *executions: int, seconds: float) -> FaultRule:
+    """Stall the given executions of *task* by *seconds* (e.g. to force
+    a ``time_out`` to fire deterministically)."""
+    if not executions:
+        raise ValueError("delay_nth needs at least one execution index")
+    return FaultRule(task=task, kind="delay", executions=frozenset(executions), delay=seconds)
+
+
+def random_failures(task: str, probability: float) -> FaultRule:
+    """Fail each execution of *task* independently with *probability*
+    (drawn from the injector's seeded per-name stream)."""
+    return FaultRule(
+        task=task,
+        kind="fail",
+        probability=probability,
+        error=lambda: FaultInjectedError(f"injected random fault in {task!r}"),
+    )
+
+
+class FaultInjector:
+    """Applies a set of :class:`FaultRule` to task executions.
+
+    Use as a context manager (or via :func:`inject`) to activate; the
+    runtime consults every active injector right before invoking each
+    task body.  ``injector.log`` records ``(task, execution, action)``
+    tuples for every fired rule, so tests can assert exactly which
+    faults were injected.
+    """
+
+    def __init__(self, *rules: FaultRule, seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self.log: list[tuple[str, int, str]] = []
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def executions(self, task: str) -> int:
+        """Executions of *task* seen so far."""
+        with self._lock:
+            return self._counts.get(task, 0)
+
+    def _roll(self, task: str, execution: int) -> float:
+        """Deterministic uniform draw in [0, 1) for one execution."""
+        digest = hashlib.sha256(f"{self.seed}:{task}:{execution}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def on_execute(self, task: str) -> None:
+        """Hook called by the engine; may sleep or raise."""
+        matching = [r for r in self.rules if r.task == task]
+        with self._lock:
+            execution = self._counts.get(task, 0) + 1
+            self._counts[task] = execution
+        if not matching:
+            return
+        for rule in matching:
+            if rule.executions is not None:
+                fires = execution in rule.executions
+            elif rule.probability is not None:
+                fires = self._roll(task, execution) < rule.probability
+            else:
+                fires = True
+            if not fires:
+                continue
+            if rule.kind == "delay":
+                with self._lock:
+                    self.log.append((task, execution, f"delay {rule.delay}s"))
+                time.sleep(rule.delay)
+            else:
+                with self._lock:
+                    self.log.append((task, execution, "fail"))
+                assert rule.error is not None
+                raise rule.error()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        _push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _pop(self)
+
+
+@contextlib.contextmanager
+def inject(*rules: FaultRule, seed: int = 0) -> Iterator[FaultInjector]:
+    """Activate a :class:`FaultInjector` for the enclosed block."""
+    injector = FaultInjector(*rules, seed=seed)
+    with injector:
+        yield injector
+
+
+# ----------------------------------------------------------------------
+# active-injector stack (innermost first)
+# ----------------------------------------------------------------------
+_active: list[FaultInjector] = []
+_active_lock = threading.Lock()
+
+
+def _push(injector: FaultInjector) -> None:
+    with _active_lock:
+        _active.append(injector)
+
+
+def _pop(injector: FaultInjector) -> None:
+    with _active_lock:
+        if injector in _active:
+            _active.remove(injector)
+
+
+def on_task_execute(task: str) -> None:
+    """Engine hook: apply every active injector to one execution."""
+    with _active_lock:
+        injectors = list(reversed(_active))
+    for injector in injectors:
+        injector.on_execute(task)

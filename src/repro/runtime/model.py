@@ -8,6 +8,7 @@ import threading
 from typing import Any, Callable
 
 from repro.runtime.directions import Direction
+from repro.runtime.failures import NO_OPTIONS, TaskOptions
 from repro.runtime.future import Future
 
 #: Task lifecycle states.
@@ -16,6 +17,9 @@ READY = "ready"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: Failed, but the failure was swallowed by ``on_failure="IGNORE"`` —
+#: successors run against the declared default value.
+IGNORED = "ignored"
 CANCELLED = "cancelled"
 
 
@@ -51,6 +55,9 @@ class TaskSpec:
     #: Parameter names of the function, positionally ordered (for
     #: mapping positional args onto declared directions).
     param_names: tuple[str, ...]
+    #: Decorator-level option defaults (``on_failure``, ``max_retries``,
+    #: ``time_out``, ...); call sites override them via ``.opts(...)``.
+    options: TaskOptions = NO_OPTIONS
 
     @property
     def has_writes(self) -> bool:
@@ -71,9 +78,15 @@ class TaskInstance:
         "parent_id",
         "label",
         "error",
+        "options",
+        "attempt",
+        "retry_of",
+        "root_id",
         "_remaining",
         "_lock",
         "_owner_scope",
+        "_abandoned",
+        "_finalized",
     )
 
     def __init__(
@@ -97,14 +110,36 @@ class TaskInstance:
         self.parent_id = parent_id
         self.label = label
         self.error: BaseException | None = None
+        #: Resolved effective options, set by the runtime at submission.
+        self.options = None
+        #: 0-based attempt number; > 0 for runtime resubmissions.
+        self.attempt = 0
+        #: task_id of the previous attempt (None for first attempts).
+        self.retry_of: int | None = None
+        #: task_id of the first attempt (== task_id when attempt == 0).
+        self.root_id = task_id
         self._remaining = len(deps)
         self._lock = threading.Lock()
+        #: True once a timed-out body thread was abandoned.
+        self._abandoned = False
+        #: Guards completion bookkeeping against the run/cancel race.
+        self._finalized = False
 
     def dep_completed(self) -> bool:
         """Mark one dependency as satisfied; True if the task became ready."""
         with self._lock:
             self._remaining -= 1
             return self._remaining == 0
+
+    def try_finalize(self) -> bool:
+        """Claim the right to run this instance's completion
+        bookkeeping (scope/unfinished counters, child propagation).
+        Exactly one caller wins; the loser must do nothing."""
+        with self._lock:
+            if self._finalized:
+                return False
+            self._finalized = True
+            return True
 
     @property
     def name(self) -> str:

@@ -36,6 +36,12 @@ class ProvenanceRecord:
     makespan: float
     total_task_time: float
     results: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Failure-management summary (failed / ignored / retried attempt
+    #: counts, per task name) — empty dict for a clean run.
+    failures: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Free-form run events (e.g. dropped federated clients, injected
+    #: faults, simulated node failures), in occurrence order.
+    events: list[dict[str, Any]] = dataclasses.field(default_factory=list)
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(dataclasses.asdict(self), indent=indent, default=_jsonable)
@@ -55,8 +61,14 @@ def build_provenance(
     trace: Trace,
     parameters: dict[str, Any] | None = None,
     results: dict[str, Any] | None = None,
+    events: list[dict[str, Any]] | None = None,
 ) -> ProvenanceRecord:
-    """Assemble a provenance record from a finished run."""
+    """Assemble a provenance record from a finished run.
+
+    ``events`` carries out-of-band occurrences the trace alone cannot
+    express (dropped federated clients, injected faults, node failures);
+    failure statistics are derived from the trace's attempt records.
+    """
     stats: dict[str, dict[str, float]] = {}
     for name, records in trace.by_name().items():
         durations = np.array([r.duration for r in records])
@@ -85,4 +97,31 @@ def build_provenance(
         makespan=trace.makespan,
         total_task_time=trace.total_task_time,
         results=dict(results or {}),
+        failures=_failure_summary(trace),
+        events=list(events or []),
     )
+
+
+def _failure_summary(trace: Trace) -> dict[str, Any]:
+    """Summarise failure management from attempt records; empty for a
+    clean run so existing provenance consumers see no change."""
+    failed = [r for r in trace if r.status == "failed"]
+    ignored = [r for r in trace if r.status == "ignored"]
+    retried = [r for r in trace if r.attempt > 0]
+    if not failed and not ignored and not retried:
+        return {}
+    by_name: dict[str, dict[str, int]] = {}
+    for kind, records in (
+        ("failed_attempts", failed),
+        ("ignored", ignored),
+        ("retries", retried),
+    ):
+        for r in records:
+            by_name.setdefault(r.name, {"failed_attempts": 0, "ignored": 0, "retries": 0})
+            by_name[r.name][kind] += 1
+    return {
+        "failed_attempts": len(failed),
+        "ignored": len(ignored),
+        "retries": len(retried),
+        "by_name": by_name,
+    }

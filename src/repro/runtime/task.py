@@ -6,6 +6,13 @@ placeholders instead of values.  When no runtime is active the function
 simply runs inline and returns concrete values, matching PyCOMPSs
 scripts executing as plain Python.
 
+Call-site overrides use the chained ``.opts(...)`` API::
+
+    result = train.opts(label="fold-3", max_retries=2, time_out=30.0)(x, y)
+
+which replaces the deprecated ``_task_label`` keyword (still accepted
+for one release, with a :class:`DeprecationWarning`).
+
 Examples
 --------
 >>> from repro.runtime import task, wait_on, Runtime
@@ -21,18 +28,62 @@ Examples
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import inspect
+import warnings
 from typing import Any, Callable
 
 from repro.runtime import engine
 from repro.runtime.directions import Direction, coerce_direction
 from repro.runtime.exceptions import TaskDefinitionError
+from repro.runtime.failures import IGNORE, TaskOptions, _UNSET
 from repro.runtime.future import resolve_futures
 from repro.runtime.model import Constraints, TaskSpec
 
 #: Reserved decorator keywords (everything else is a parameter direction).
-_RESERVED = {"returns", "constraints", "label", "name"}
+_RESERVED = {
+    "returns",
+    "constraints",
+    "label",
+    "name",
+    "retries",
+    "max_retries",
+    "on_failure",
+    "time_out",
+    "failure_default",
+    "priority",
+}
+
+
+def _build_options(
+    *,
+    label: str | None,
+    on_failure: str | None,
+    max_retries: int | None,
+    retries: int | None,
+    time_out: float | None,
+    failure_default: Any,
+    priority: int | None,
+    retry_backoff: float | None = None,
+) -> TaskOptions:
+    """Validate and normalise option keywords (``retries`` is the
+    legacy alias of ``max_retries``)."""
+    if retries is not None and max_retries is not None:
+        raise TaskDefinitionError("pass either retries or max_retries, not both")
+    if retries is not None:
+        if retries < 0:
+            raise TaskDefinitionError("retries must be >= 0")
+        max_retries = retries
+    return TaskOptions(
+        label=label,
+        on_failure=on_failure,
+        max_retries=max_retries,
+        time_out=time_out,
+        failure_default=failure_default,
+        priority=priority,
+        retry_backoff=retry_backoff,
+    )
 
 
 def task(
@@ -42,7 +93,12 @@ def task(
     constraints: Constraints | dict | None = None,
     label: str | None = None,
     name: str | None = None,
-    retries: int = 0,
+    retries: int | None = None,
+    max_retries: int | None = None,
+    on_failure: str | None = None,
+    time_out: float | None = None,
+    failure_default: Any = _UNSET,
+    priority: int | None = None,
     **param_directions: Any,
 ) -> Callable[..., Any]:
     """Declare a function as a task.
@@ -59,10 +115,25 @@ def task(
         Free-form tag recorded in the trace (e.g. the fold index).
     name:
         Override the task name (defaults to the function name).
-    retries:
-        Re-execute the body up to this many extra times if it raises
-        (COMPSs' task resubmission on failure).  Retries happen inside
-        the same task execution, so the DAG is unchanged.
+    max_retries:
+        Runtime-level resubmission budget: each failed attempt is
+        re-enqueued through the scheduler as a fresh DAG node (COMPSs
+        task resubmission), with exponential backoff and deterministic
+        jitter.  ``retries`` is the legacy alias.
+    on_failure:
+        Failure policy applied once attempts are exhausted: ``"FAIL"``,
+        ``"RETRY"``, ``"IGNORE"`` or ``"CANCEL_SUCCESSORS"`` (default,
+        from :class:`~repro.runtime.config.RuntimeConfig`).
+    time_out:
+        Per-task deadline in seconds, enforced by a watchdog under the
+        ``threads`` executor (post-hoc under ``sequential``); overruns
+        raise :class:`~repro.runtime.exceptions.TaskTimeoutError` and
+        feed the same failure policies.
+    failure_default:
+        Value the task's futures resolve to when ``on_failure="IGNORE"``
+        swallows a failure.
+    priority:
+        Scheduling priority (higher runs first among ready tasks).
     **param_directions:
         Per-parameter directions, e.g. ``model=INOUT``.  Unlisted
         parameters default to ``IN``.
@@ -71,21 +142,15 @@ def task(
     def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
         if returns < 0:
             raise TaskDefinitionError("returns must be >= 0")
-        if retries < 0:
-            raise TaskDefinitionError("retries must be >= 0")
-        if retries:
-            inner = func
-
-            @functools.wraps(inner)
-            def func(*a, **k):  # noqa: F811 - deliberate rebinding
-                last: Exception | None = None
-                for _attempt in range(retries + 1):
-                    try:
-                        return inner(*a, **k)
-                    except Exception as exc:  # noqa: BLE001
-                        last = exc
-                assert last is not None
-                raise last
+        options = _build_options(
+            label=label,
+            on_failure=on_failure,
+            max_retries=max_retries,
+            retries=retries,
+            time_out=time_out,
+            failure_default=failure_default,
+            priority=priority,
+        )
 
         sig = inspect.signature(func)
         param_names = tuple(
@@ -126,23 +191,94 @@ def task(
             directions=directions,
             constraints=cons,
             param_names=param_names,
+            options=options,
         )
 
-        @functools.wraps(func)
-        def wrapper(*args: Any, **kwargs: Any):
-            call_label = kwargs.pop("_task_label", label)
+        def invoke(args: tuple, kwargs: dict, call_options: TaskOptions | None):
+            if "_task_label" in kwargs:
+                warnings.warn(
+                    "_task_label is deprecated; use "
+                    f"{spec.name}.opts(label=...)(...) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                kwargs = dict(kwargs)
+                legacy_label = kwargs.pop("_task_label")
+                call_options = dataclasses.replace(
+                    call_options or TaskOptions(), label=legacy_label
+                )
             rt = engine.active_runtime()
             if rt is None:
                 # No runtime: run as a plain function (PyCOMPSs scripts
-                # degrade to sequential Python the same way).
-                result = func(*resolve_futures(args), **resolve_futures(kwargs))
-                return result
-            return rt.submit(spec, args, kwargs, label=call_label)
+                # degrade to sequential Python the same way), honouring
+                # the retry budget and IGNORE policy inline.
+                return _run_inline(spec, call_options, args, kwargs)
+            return rt.submit(spec, args, kwargs, options=call_options)
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            return invoke(args, kwargs, None)
+
+        def opts(
+            *,
+            label: str | None = None,
+            on_failure: str | None = None,
+            max_retries: int | None = None,
+            retries: int | None = None,
+            time_out: float | None = None,
+            failure_default: Any = _UNSET,
+            priority: int | None = None,
+            retry_backoff: float | None = None,
+        ) -> Callable[..., Any]:
+            """Bind call-site option overrides; returns a callable
+            submitting the task with them applied."""
+            call_options = _build_options(
+                label=label,
+                on_failure=on_failure,
+                max_retries=max_retries,
+                retries=retries,
+                time_out=time_out,
+                failure_default=failure_default,
+                priority=priority,
+                retry_backoff=retry_backoff,
+            )
+
+            @functools.wraps(func)
+            def bound(*args: Any, **kwargs: Any):
+                return invoke(args, kwargs, call_options)
+
+            bound.options = call_options  # type: ignore[attr-defined]
+            return bound
 
         wrapper.spec = spec  # type: ignore[attr-defined]
+        wrapper.opts = opts  # type: ignore[attr-defined]
         wrapper.__wrapped__ = func
         return wrapper
 
     if _func is not None:
         return decorate(_func)
     return decorate
+
+
+def _run_inline(
+    spec: TaskSpec, call_options: TaskOptions | None, args: tuple, kwargs: dict
+) -> Any:
+    """Runtime-less execution: plain call with inline retry/IGNORE
+    semantics so scripts behave the same with and without a runtime."""
+    merged = (call_options or TaskOptions()).merged_over(spec.options)
+    budget = merged.max_retries or 0
+    last: BaseException | None = None
+    for _attempt in range(budget + 1):
+        try:
+            return spec.func(*resolve_futures(args), **resolve_futures(kwargs))
+        except Exception as exc:  # noqa: BLE001 - inline failure management
+            last = exc
+    assert last is not None
+    if merged.on_failure == IGNORE:
+        default = None if merged.failure_default is _UNSET else merged.failure_default
+        if spec.returns > 1:
+            if isinstance(default, (tuple, list)) and len(default) == spec.returns:
+                return tuple(default)
+            return tuple(default for _ in range(spec.returns))
+        return default
+    raise last

@@ -38,7 +38,13 @@ def estimate_nbytes(obj: Any) -> int:
 
 @dataclasses.dataclass
 class TaskRecord:
-    """One executed task."""
+    """One executed task *attempt*.
+
+    Runtime resubmissions record every attempt separately: a task that
+    failed twice and succeeded on the third try contributes three
+    records sharing a ``retry_of`` chain, with ``attempt`` 0, 1, 2 and
+    ``status`` ``"failed"``, ``"failed"``, ``"done"``.
+    """
 
     task_id: int
     name: str
@@ -51,10 +57,22 @@ class TaskRecord:
     out_bytes: int = 0
     parent_id: int | None = None
     label: str | None = None
+    #: 0-based attempt number (> 0 for runtime resubmissions).
+    attempt: int = 0
+    #: task_id of the previous attempt, if this record is a retry.
+    retry_of: int | None = None
+    #: "done" | "failed" | "ignored" (failed, swallowed by IGNORE).
+    status: str = "done"
+    #: repr of the causing exception for failed/ignored attempts.
+    error: str | None = None
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -102,6 +120,31 @@ class Trace:
         for rec in self:
             out.setdefault(rec.name, []).append(rec)
         return out
+
+    def records(self, name: str | None = None, status: str | None = None) -> list[TaskRecord]:
+        """Records filtered by task name and/or attempt status."""
+        return [
+            r
+            for r in self
+            if (name is None or r.name == name) and (status is None or r.status == status)
+        ]
+
+    def attempts_of(self, root_id: int) -> list[TaskRecord]:
+        """All attempt records of one logical task, oldest first,
+        following the ``retry_of`` chain from its first attempt."""
+        by_retry_of: dict[int, TaskRecord] = {
+            r.retry_of: r for r in self._records.values() if r.retry_of is not None
+        }
+        chain: list[TaskRecord] = []
+        rec = self._records.get(root_id)
+        while rec is not None:
+            chain.append(rec)
+            rec = by_retry_of.get(rec.task_id)
+        return chain
+
+    @property
+    def n_failed_attempts(self) -> int:
+        return sum(1 for r in self._records.values() if r.status != "done")
 
     def mean_duration(self, name: str) -> float:
         recs = [r for r in self if r.name == name]

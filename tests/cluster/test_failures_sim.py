@@ -1,0 +1,142 @@
+"""Node-failure events in the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    DeadClusterError,
+    NodeFailure,
+    NodeSpec,
+    failure_report,
+    simulate,
+)
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+def synthetic_trace(n_work=8, work_s=1.0, reduce_s=0.5):
+    """n_work independent unit tasks plus one reduction over them all —
+    controlled durations make failure timing exact."""
+    trace = Trace()
+    for i in range(n_work):
+        trace.add(TaskRecord(task_id=i, name="work", deps=(), t_start=0.0, t_end=work_s))
+    trace.add(
+        TaskRecord(
+            task_id=n_work,
+            name="reduce",
+            deps=tuple(range(n_work)),
+            t_start=work_s,
+            t_end=work_s + reduce_s,
+        )
+    )
+    return trace
+
+
+def two_nodes():
+    return ClusterSpec(n_nodes=2, node=NodeSpec(cores=4, name="unit"))
+
+
+def test_failure_reexecutes_inflight_tasks():
+    trace = synthetic_trace()
+    cluster = two_nodes()
+    base = simulate(trace, cluster)
+    assert base.makespan == pytest.approx(1.5)
+    result = simulate(
+        trace,
+        cluster,
+        failures=[NodeFailure(node=0, at=0.5)],  # permanent
+    )
+    # every task still completes exactly once in the final schedule
+    assert set(result.placements) == set(base.placements)
+    # the four tasks in flight on node 0 were killed at t=0.5
+    assert len(result.failed_placements) == 4
+    for p in result.failed_placements:
+        assert p.node == 0
+        assert p.t_end == pytest.approx(0.5)
+        # the re-execution ran on the surviving node
+        assert result.placements[p.task_id].node == 1
+    # node 1 redoes the work after its own wave: 1.0 + 1.0 + 0.5
+    assert result.makespan == pytest.approx(2.5)
+
+
+def test_lost_time_accounting():
+    trace = synthetic_trace()
+    cluster = two_nodes()
+    result = simulate(trace, cluster, failures=[NodeFailure(node=0, at=0.5)])
+    assert result.lost_task_time == pytest.approx(4 * 0.5)
+    assert result.lost_core_time == pytest.approx(4 * 0.5)  # 1 core per task
+    assert result.node_failures == (NodeFailure(node=0, at=0.5),)
+
+
+def test_permanent_failure_of_all_nodes_raises():
+    trace = synthetic_trace()
+    with pytest.raises(DeadClusterError):
+        simulate(
+            trace,
+            two_nodes(),
+            failures=[NodeFailure(node=0, at=0.5), NodeFailure(node=1, at=0.5)],
+        )
+
+
+def test_node_revival_allows_reuse():
+    trace = synthetic_trace()
+    # single node: it must come back for the workflow to finish
+    cluster = ClusterSpec(n_nodes=1, node=NodeSpec(cores=4, name="unit"))
+    base = simulate(trace, cluster)
+    assert base.makespan == pytest.approx(2.5)  # two waves + reduce
+    result = simulate(
+        trace,
+        cluster,
+        failures=[NodeFailure(node=0, at=1.25, down_for=0.25)],
+    )
+    # wave 2 killed at 1.25, node back at 1.5, redo [1.5, 2.5], reduce
+    assert set(result.placements) == set(base.placements)
+    assert result.makespan == pytest.approx(3.0)
+    assert len(result.failed_placements) == 4
+    assert result.lost_task_time == pytest.approx(4 * 0.25)
+
+
+def test_task_finishing_exactly_at_failure_survives():
+    trace = synthetic_trace()
+    cluster = two_nodes()
+    result = simulate(trace, cluster, failures=[NodeFailure(node=0, at=1.0)])
+    # completions at t=1.0 are processed before the failure event, so
+    # no work-task progress is lost; only the just-placed reduce (zero
+    # seconds in) can be killed and re-placed on the surviving node
+    assert all(p.name != "work" for p in result.failed_placements)
+    assert result.lost_task_time == pytest.approx(0.0)
+    assert result.makespan == pytest.approx(1.5)
+
+
+def test_no_failures_matches_baseline():
+    trace = synthetic_trace()
+    cluster = two_nodes()
+    assert simulate(trace, cluster).placements == simulate(
+        trace, cluster, failures=[]
+    ).placements
+
+
+def test_failure_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        simulate(synthetic_trace(), two_nodes(), failures=[NodeFailure(node=9, at=1.0)])
+
+
+def test_node_failure_validation():
+    with pytest.raises(ValueError):
+        NodeFailure(node=-1, at=0.0)
+    with pytest.raises(ValueError):
+        NodeFailure(node=0, at=-1.0)
+    with pytest.raises(ValueError):
+        NodeFailure(node=0, at=0.0, down_for=0.0)
+
+
+def test_failure_report_mentions_losses():
+    trace = synthetic_trace()
+    cluster = two_nodes()
+    base = simulate(trace, cluster)
+    result = simulate(trace, cluster, failures=[NodeFailure(node=0, at=0.5)])
+    report = failure_report(result, baseline_makespan=base.makespan)
+    assert "node failure" in report
+    assert "lost task time" in report
+    assert "recovery overhead" in report

@@ -1,0 +1,106 @@
+"""RuntimeConfig: construction, env overrides, Runtime wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    CANCEL_SUCCESSORS,
+    IGNORE,
+    Runtime,
+    RuntimeConfig,
+    task,
+    wait_on,
+)
+
+
+def test_defaults():
+    cfg = RuntimeConfig()
+    assert cfg.executor == "threads"
+    assert cfg.default_on_failure == CANCEL_SUCCESSORS
+    assert cfg.default_max_retries == 2
+    assert cfg.collect_trace is True
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(executor="fibers")
+    with pytest.raises(ValueError):
+        RuntimeConfig(default_on_failure="EXPLODE")
+    with pytest.raises(ValueError):
+        RuntimeConfig(default_max_retries=-1)
+
+
+def test_replace_returns_new_config():
+    cfg = RuntimeConfig()
+    cfg2 = cfg.replace(executor="sequential", default_max_retries=5)
+    assert cfg2.executor == "sequential"
+    assert cfg2.default_max_retries == 5
+    assert cfg.executor == "threads"  # original untouched
+
+
+def test_from_env_overrides():
+    env = {
+        "REPRO_EXECUTOR": "sequential",
+        "REPRO_MAX_WORKERS": "3",
+        "REPRO_ON_FAILURE": "IGNORE",
+        "REPRO_MAX_RETRIES": "7",
+        "REPRO_TRACE": "0",
+    }
+    cfg = RuntimeConfig.from_env(environ=env)
+    assert cfg.executor == "sequential"
+    assert cfg.max_workers == 3
+    assert cfg.default_on_failure == IGNORE
+    assert cfg.default_max_retries == 7
+    assert cfg.collect_trace is False
+
+
+def test_from_env_explicit_overrides_beat_env():
+    env = {"REPRO_EXECUTOR": "sequential"}
+    cfg = RuntimeConfig.from_env(environ=env, executor="threads")
+    assert cfg.executor == "threads"
+
+
+def test_runtime_accepts_config():
+    cfg = RuntimeConfig(executor="sequential", name="unit-test")
+    with Runtime(config=cfg) as rt:
+        assert rt.config is cfg
+        assert rt.executor == "sequential"
+
+
+def test_runtime_keywords_override_config():
+    cfg = RuntimeConfig(executor="threads", max_workers=8)
+    with Runtime(executor="sequential", config=cfg) as rt:
+        assert rt.executor == "sequential"
+
+
+def test_config_default_failure_policy_applies():
+    cfg = RuntimeConfig(executor="sequential", default_on_failure=IGNORE)
+
+    @task(returns=1, failure_default=-5)
+    def bad():
+        raise ValueError("swallowed by config default")
+
+    with Runtime(config=cfg) as rt:
+        assert wait_on(bad()) == -5
+        assert rt.stats()["ignored_failures"] == 1
+
+
+def test_trace_collection_can_be_disabled():
+    cfg = RuntimeConfig(executor="sequential", collect_trace=False)
+
+    @task(returns=1)
+    def t(x):
+        return x
+
+    with Runtime(config=cfg) as rt:
+        wait_on(t(1))
+        assert len(rt.trace()) == 0
+        assert rt.stats()["trace_enabled"] is False
+
+
+def test_positional_runtime_args_deprecated():
+    with pytest.warns(DeprecationWarning, match="keyword"):
+        rt = Runtime("sequential")
+    with rt:
+        assert rt.executor == "sequential"

@@ -1,0 +1,100 @@
+"""Per-task time_out enforcement."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    IGNORE,
+    Runtime,
+    TaskTimeoutError,
+    task,
+    wait_on,
+)
+
+
+def test_timeout_fires_under_threads():
+    @task(returns=1, time_out=0.05)
+    def sleepy():
+        time.sleep(5.0)
+        return 1
+
+    t0 = time.perf_counter()
+    with Runtime(executor="threads") as rt:
+        f = sleepy()
+        with pytest.raises(TaskTimeoutError) as exc_info:
+            wait_on(f)
+        assert exc_info.value.timeout == 0.05
+        assert rt.stats()["timeouts"] == 1
+    # watchdog must not wait for the abandoned body to finish
+    assert time.perf_counter() - t0 < 4.0
+
+
+def test_timeout_not_triggered_when_fast():
+    @task(returns=1, time_out=5.0)
+    def quick(x):
+        return x + 1
+
+    with Runtime(executor="threads") as rt:
+        assert wait_on(quick(1)) == 2
+        assert rt.stats()["timeouts"] == 0
+
+
+def test_timeout_detected_post_hoc_under_sequential():
+    """The sequential executor cannot interrupt a running body; the
+    overrun is detected after the fact (documented best effort)."""
+
+    @task(returns=1, time_out=0.01)
+    def sleepy():
+        time.sleep(0.05)
+        return 1
+
+    with Runtime(executor="sequential"):
+        f = sleepy()
+        with pytest.raises(TaskTimeoutError):
+            wait_on(f)
+
+
+def test_timeout_feeds_retry_policy():
+    calls = {"n": 0}
+
+    @task(returns=1, time_out=0.05, max_retries=1)
+    def sometimes_slow():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            time.sleep(5.0)
+        return 7
+
+    with Runtime(executor="threads") as rt:
+        assert wait_on(sometimes_slow()) == 7
+        stats = rt.stats()
+        assert stats["timeouts"] == 1
+        assert stats["retries"] == 1
+
+
+def test_timeout_feeds_ignore_policy():
+    @task(returns=1, time_out=0.05, on_failure=IGNORE, failure_default=0)
+    def sleepy():
+        time.sleep(5.0)
+        return 1
+
+    with Runtime(executor="threads") as rt:
+        assert wait_on(sleepy()) == 0
+        assert rt.stats()["ignored_failures"] == 1
+
+
+def test_timeout_records_failed_attempt_in_trace():
+    @task(returns=1, time_out=0.05)
+    def sleepy():
+        time.sleep(5.0)
+        return 1
+
+    with Runtime(executor="threads") as rt:
+        f = sleepy()
+        with pytest.raises(TaskTimeoutError):
+            wait_on(f)
+        (rec,) = rt.trace().records(name="sleepy")
+    assert rec.status == "failed"
+    assert "time_out" in (rec.error or "")
