@@ -1,4 +1,4 @@
-.PHONY: check lint test
+.PHONY: check lint test resilience
 
 check:
 	bash scripts/check.sh
@@ -8,3 +8,6 @@ lint:
 
 test:
 	bash scripts/check.sh test
+
+resilience:
+	bash scripts/check.sh resilience

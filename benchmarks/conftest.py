@@ -26,8 +26,10 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def write_result(results_dir):
+    from repro.runtime import atomic_write
+
     def _write(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write(results_dir / f"{name}.txt", text + "\n")
 
     return _write
 

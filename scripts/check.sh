@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Single local CI gate: lint (if ruff is available) + the test suite.
+# Single local CI gate: lint (if ruff is available) + the test suite +
+# the crash-resume smoke test.
 #
-#   scripts/check.sh         run lint then tests
-#   scripts/check.sh lint    lint only
-#   scripts/check.sh test    tests only
+#   scripts/check.sh             run lint, tests, then the resilience smoke
+#   scripts/check.sh lint        lint only
+#   scripts/check.sh test        tests only
+#   scripts/check.sh resilience  crash-resume smoke test only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +14,7 @@ mode="${1:-all}"
 run_lint() {
     if command -v ruff >/dev/null 2>&1; then
         echo "== ruff check =="
-        ruff check src tests
+        ruff check src tests scripts
     else
         echo "== ruff not installed; skipping lint (config lives in pyproject.toml) =="
     fi
@@ -23,9 +25,15 @@ run_tests() {
     PYTHONPATH=src python -m pytest -x -q
 }
 
+run_resilience() {
+    echo "== resilience smoke (kill -> resume -> bit-identical) =="
+    PYTHONPATH=src python scripts/resilience_smoke.py
+}
+
 case "$mode" in
-    lint) run_lint ;;
-    test) run_tests ;;
-    all)  run_lint; run_tests ;;
-    *)    echo "usage: scripts/check.sh [lint|test]" >&2; exit 2 ;;
+    lint)       run_lint ;;
+    test)       run_tests ;;
+    resilience) run_resilience ;;
+    all)        run_lint; run_tests; run_resilience ;;
+    *)          echo "usage: scripts/check.sh [lint|test|resilience]" >&2; exit 2 ;;
 esac

@@ -11,6 +11,10 @@ Commands:
 * ``faults`` — demonstrate the failure-management subsystem: injected
   task failures recovered by runtime retries, then a simulated node
   failure with its lost-work accounting.
+* ``checkpoint inspect|verify|prune --dir DIR`` — inspect, integrity-
+  check, or garbage-collect a checkpoint store written by a
+  ``Runtime(config=RuntimeConfig(checkpoint_dir=...))`` run (or by the
+  epoch/round/grid checkpoints of the higher layers).
 """
 
 from __future__ import annotations
@@ -180,6 +184,60 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import pathlib
+    import time
+
+    from repro.runtime.checkpoint import CheckpointStore
+
+    root = pathlib.Path(args.dir)
+    if not root.exists():
+        print(f"no checkpoint store at {root}", file=sys.stderr)
+        return 1
+    store = CheckpointStore(root)
+
+    if args.action == "inspect":
+        stats = store.stats()
+        print(f"store    : {stats['root']}")
+        print(f"entries  : {stats['n_entries']} ({stats['total_bytes']} bytes)")
+        for task_name in sorted(stats["by_task"]):
+            print(f"  {task_name}: {stats['by_task'][task_name]}")
+        now = time.time()
+        for entry in store.entries():
+            age = now - entry.created_at
+            print(
+                f"{entry.key[:16]:<16}  task={entry.task}  "
+                f"{entry.nbytes}B  age={age:.0f}s"
+            )
+        return 0
+
+    if args.action == "verify":
+        report = store.verify()
+        print(f"ok       : {len(report.ok)}")
+        print(f"corrupt  : {len(report.corrupt)}")
+        print(f"orphaned : {len(report.orphaned)} (re-indexed)")
+        print(f"missing  : {len(report.missing)} (dropped from manifest)")
+        for name in report.corrupt:
+            print(f"  corrupt: {name}")
+        return 0 if report.clean else 1
+
+    # prune
+    if not (args.task or args.corrupt or args.older_than is not None or args.all):
+        print(
+            "prune needs at least one of --task/--corrupt/--older-than/--all",
+            file=sys.stderr,
+        )
+        return 2
+    removed = store.prune(
+        task=args.task,
+        corrupt=args.corrupt,
+        older_than=args.older_than,
+        everything=args.all,
+    )
+    print(f"removed {len(removed)} entries")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -210,6 +268,23 @@ def main(argv: list[str] | None = None) -> int:
     p4.add_argument("--nodes", type=positive_int, default=2)
     p4.add_argument("--seed", type=int, default=0)
     p4.set_defaults(func=_cmd_faults)
+
+    p5 = sub.add_parser("checkpoint", help="inspect/verify/prune a checkpoint store")
+    p5.add_argument("action", choices=["inspect", "verify", "prune"])
+    p5.add_argument("--dir", required=True, help="checkpoint store directory")
+    p5.add_argument("--task", default=None, help="prune: entries of one task/tag")
+    p5.add_argument(
+        "--corrupt", action="store_true", help="prune: checksum-failing entries"
+    )
+    p5.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="prune: entries older than this many seconds",
+    )
+    p5.add_argument("--all", action="store_true", help="prune: empty the store")
+    p5.set_defaults(func=_cmd_checkpoint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -13,7 +13,12 @@ from repro.cluster.analysis import (
     idle_fraction,
     time_breakdown,
 )
-from repro.cluster.chrometrace import schedule_to_chrome, trace_to_chrome
+from repro.cluster.chrometrace import (
+    save_chrome_schedule,
+    save_chrome_trace,
+    schedule_to_chrome,
+    trace_to_chrome,
+)
 from repro.cluster.costmodel import CostModel, IDENTITY, name_mean_smoother
 from repro.cluster.replay import (
     SweepPoint,
@@ -31,6 +36,8 @@ from repro.cluster.resources import (
     marenostrum4,
 )
 from repro.cluster.simulator import (
+    CheckpointSpec,
+    CheckpointWrite,
     DeadClusterError,
     NodeFailure,
     OversubscribedTaskError,
@@ -54,6 +61,8 @@ __all__ = [
     "OversubscribedTaskError",
     "NodeFailure",
     "DeadClusterError",
+    "CheckpointSpec",
+    "CheckpointWrite",
     "failure_report",
     "flatten_nested",
     "core_sweep",
@@ -70,4 +79,6 @@ __all__ = [
     "bottleneck_report",
     "trace_to_chrome",
     "schedule_to_chrome",
+    "save_chrome_trace",
+    "save_chrome_schedule",
 ]

@@ -121,6 +121,24 @@ def failure_report(result: SimResult, baseline_makespan: float | None = None) ->
         by_name[p.name] = by_name.get(p.name, 0) + 1
     for name in sorted(by_name):
         lines.append(f"  killed {name}: {by_name[name]}")
+    if result.checkpoint_spec is not None:
+        spec = result.checkpoint_spec
+        overhead = result.checkpoint_overhead
+        lines.append(
+            f"checkpoint policy  : every {spec.every} task(s), "
+            f"{spec.write_cost:.3f}s per write"
+        )
+        lines.append(
+            f"checkpoint writes  : {len(result.checkpoint_writes)} "
+            f"({overhead:.3f}s overhead)"
+        )
+        if result.failed_placements:
+            saved = result.lost_task_time
+            verdict = "pays for itself" if overhead <= saved else "costs more than it saves"
+            lines.append(
+                f"overhead vs lost   : {overhead:.3f}s written vs "
+                f"{saved:.3f}s lost work ({verdict})"
+            )
     lines.append(f"makespan           : {result.makespan:.3f}s")
     if baseline_makespan is not None and baseline_makespan > 0:
         delta = result.makespan - baseline_makespan

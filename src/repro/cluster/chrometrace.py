@@ -78,4 +78,33 @@ def schedule_to_chrome(result: SimResult, process_name: str = "simulated-cluster
                 "args": {"cores": p.cores, "gpus": p.gpus},
             }
         )
+    for w in result.checkpoint_writes:
+        events.append(
+            {
+                "name": f"ckpt#{w.task_id}",
+                "cat": "checkpoint",
+                "ph": "X",
+                "pid": 1,
+                "tid": w.node,
+                "ts": w.t_start * 1e6,
+                "dur": max(w.duration, 1e-9) * 1e6,
+                "args": {"task_id": w.task_id},
+            }
+        )
     return json.dumps({"traceEvents": events}, indent=1)
+
+
+def save_chrome_trace(trace: Trace, path, process_name: str = "repro-runtime") -> None:
+    """Render and write a runtime trace to *path*, atomically."""
+    from repro.runtime.atomic_write import atomic_write
+
+    atomic_write(path, trace_to_chrome(trace, process_name=process_name))
+
+
+def save_chrome_schedule(
+    result: SimResult, path, process_name: str = "simulated-cluster"
+) -> None:
+    """Render and write a simulated schedule to *path*, atomically."""
+    from repro.runtime.atomic_write import atomic_write
+
+    atomic_write(path, schedule_to_chrome(result, process_name=process_name))

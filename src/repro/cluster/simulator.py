@@ -69,6 +69,43 @@ class DeadClusterError(RuntimeError):
     """Tasks remain but every node is down with no revival scheduled."""
 
 
+@dataclasses.dataclass(frozen=True)
+class CheckpointSpec:
+    """Periodic checkpoint writes in the simulation.
+
+    Every ``every``-th task placement (counted globally, in scheduling
+    order) pays ``write_cost`` extra seconds before its node frees up —
+    the task's result being persisted to stable storage.  The writes
+    appear in :attr:`SimResult.checkpoint_writes`, so
+    :func:`~repro.cluster.analysis.failure_report` can price the
+    checkpoint overhead against the lost work it would save on a node
+    failure.
+    """
+
+    every: int = 1
+    write_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.write_cost < 0:
+            raise ValueError("write_cost must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointWrite:
+    """One simulated checkpoint write, at the tail of a task."""
+
+    task_id: int
+    node: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
 @dataclasses.dataclass
 class SimResult:
     """Outcome of one simulated execution."""
@@ -81,10 +118,19 @@ class SimResult:
     failed_placements: list[Placement] = dataclasses.field(default_factory=list)
     #: The failure events the simulation was run with.
     node_failures: tuple[NodeFailure, ...] = ()
+    #: Checkpoint writes performed (empty without a checkpoint spec).
+    checkpoint_writes: list[CheckpointWrite] = dataclasses.field(default_factory=list)
+    #: The checkpoint policy the simulation was run with, if any.
+    checkpoint_spec: CheckpointSpec | None = None
 
     @property
     def n_tasks(self) -> int:
         return len(self.placements)
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Seconds spent writing checkpoints (completed writes only)."""
+        return sum(w.duration for w in self.checkpoint_writes)
 
     @property
     def lost_task_time(self) -> float:
@@ -130,6 +176,7 @@ def simulate(
     gpus_per_task: Mapping[str, int] | None = None,
     policy: str = "locality",
     failures: Iterable[NodeFailure] = (),
+    checkpoint: CheckpointSpec | None = None,
 ) -> SimResult:
     """Simulate executing *trace*'s DAG on *cluster*.
 
@@ -151,6 +198,12 @@ def simulate(
     the failed node stays readable — the model assumes results are
     replicated off-node (only in-flight work is lost), which keeps the
     lost-time accounting a lower bound.
+
+    ``checkpoint`` prices a :class:`CheckpointSpec` into the schedule:
+    every ``every``-th placed task runs ``write_cost`` seconds longer
+    (its result being persisted), and the completed writes are recorded
+    in :attr:`SimResult.checkpoint_writes`.  Tasks killed by a node
+    failure never complete their write.
     """
     if policy not in ("locality", "round_robin"):
         raise ValueError(f"unknown scheduling policy {policy!r}")
@@ -162,7 +215,9 @@ def simulate(
             )
     records = list(trace)
     if not records:
-        return SimResult(cluster, {}, 0.0, node_failures=failures)
+        return SimResult(
+            cluster, {}, 0.0, node_failures=failures, checkpoint_spec=checkpoint
+        )
     ids = {r.task_id for r in records}
 
     def cores_of(r: TaskRecord) -> int:
@@ -246,6 +301,8 @@ def simulate(
     location: dict[int, int] = {}
     placements: dict[int, Placement] = {}
     failed_placements: list[Placement] = []
+    checkpoint_writes: list[CheckpointWrite] = []
+    placed_count = 0
     # Event heap: (time, kind_rank, seq, payload).  Ranks order
     # same-instant events deterministically: completions (0) beat
     # failures (1) beat revivals (2) — a task ending exactly when its
@@ -341,10 +398,15 @@ def simulate(
             if best_node < 0:
                 still_ready.append((prio, tid))
                 continue
-            t_end = best_start + dur_on(tid, best_node)
+            ck_cost = 0.0
+            if checkpoint is not None:
+                placed_count += 1
+                if placed_count % checkpoint.every == 0:
+                    ck_cost = checkpoint.write_cost
+            t_end = best_start + dur_on(tid, best_node) + ck_cost
             free_cores[best_node] -= c
             free_gpus[best_node] -= g
-            seq = push_event(t_end, _DONE, (tid, best_node, c, g))
+            seq = push_event(t_end, _DONE, (tid, best_node, c, g, ck_cost))
             running[best_node][seq] = (tid, c, g, best_start, t_end)
             placements[tid] = Placement(
                 task_id=tid,
@@ -379,13 +441,19 @@ def simulate(
                 # the clock does not advance to its planned end time.
                 killed.discard(seq)
                 continue
-            tid, node, c, g = payload
+            tid, node, c, g, ck_cost = payload
             now = max(now, t_event)
             free_cores[node] += c
             free_gpus[node] += g
             del running[node][seq]
             finish_time[tid] = t_event
             location[tid] = node
+            if ck_cost > 0:
+                # a task killed mid-flight never reaches this branch, so
+                # only completed writes are recorded
+                checkpoint_writes.append(
+                    CheckpointWrite(tid, node, t_event - ck_cost, t_event)
+                )
             for child in children[tid]:
                 remaining[child] -= 1
                 if remaining[child] == 0:
@@ -439,6 +507,8 @@ def simulate(
         makespan,
         failed_placements=failed_placements,
         node_failures=failures,
+        checkpoint_writes=checkpoint_writes,
+        checkpoint_spec=checkpoint,
     )
 
 

@@ -265,14 +265,68 @@ class Federation:
         self,
         x_test: np.ndarray | None = None,
         y_test: np.ndarray | None = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        checkpoint_tag: str = "federation",
     ) -> list[RoundMetrics]:
         """Run all configured rounds; evaluates on (x_test, y_test)
-        after each round when provided."""
+        after each round when provided.
+
+        With ``checkpoint_dir`` (a path or a
+        :class:`~repro.runtime.checkpoint.CheckpointStore`), the
+        federation state — global weights, server momentum, history,
+        provenance log and client-selection RNG — is persisted every
+        ``checkpoint_every`` rounds.  A federation killed between rounds
+        and re-run with the same store resumes after the last saved
+        round and converges to bit-identical global weights.
+        """
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         eval_fn = None
         if x_test is not None and y_test is not None:
             eval_fn = lambda model: model.evaluate(x_test, y_test)  # noqa: E731
-        for _ in range(self.config.rounds):
+
+        store = None
+        if checkpoint_dir is not None:
+            from repro.runtime.checkpoint import as_store
+
+            store = as_store(checkpoint_dir)
+
+        start = 0
+        if store is not None:
+            saved = store.get(checkpoint_tag)
+            if saved is not None:
+                state = saved[0]
+                self.global_weights = state["global_weights"]
+                self._velocity = state["velocity"]
+                self.history = list(state["history"])
+                self.provenance_log = list(state["provenance_log"])
+                self._rng.bit_generator.state = state["rng"]
+                start = len(self.history)
+
+        for round_no in range(start, self.config.rounds):
             self.run_round(eval_fn)
+            if store is not None and (
+                (round_no + 1) % checkpoint_every == 0
+                or round_no + 1 == self.config.rounds
+            ):
+                store.put(
+                    checkpoint_tag,
+                    "federation.fit",
+                    (
+                        {
+                            "global_weights": [w.copy() for w in self.global_weights],
+                            "velocity": (
+                                None
+                                if self._velocity is None
+                                else [v.copy() for v in self._velocity]
+                            ),
+                            "history": list(self.history),
+                            "provenance_log": list(self.provenance_log),
+                            "rng": self._rng.bit_generator.state,
+                        },
+                    ),
+                )
         return self.history
 
     def global_model(self) -> Sequential:

@@ -47,6 +47,11 @@ class GridSearchCV:
         Mapping of parameter name to candidate values.
     n_splits:
         K of the inner K-fold.
+    checkpoint_dir:
+        Optional path (or :class:`~repro.runtime.checkpoint.CheckpointStore`)
+        persisting each candidate's CV score as it completes.  A search
+        killed partway and re-run with the same store skips the already
+        scored candidates and evaluates only the remaining grid.
     """
 
     def __init__(
@@ -55,16 +60,51 @@ class GridSearchCV:
         param_grid: dict[str, list[Any]],
         n_splits: int = 5,
         random_state: int | None = 0,
+        checkpoint_dir=None,
     ):
         self.estimator_factory = estimator_factory
         self.param_grid = param_grid
         self.n_splits = n_splits
         self.random_state = random_state
+        self.checkpoint_dir = checkpoint_dir
+
+    def _candidate_key(self, params: dict[str, Any], x: ds.Array, y: ds.Array) -> str:
+        from repro.runtime.checkpoint import fingerprint
+
+        digest = fingerprint(
+            {
+                "params": {k: repr(v) for k, v in params.items()},
+                "n_splits": self.n_splits,
+                "random_state": self.random_state,
+                "x_shape": tuple(x.shape),
+                "y_shape": tuple(y.shape),
+            }
+        )
+        return f"grid:{digest}"
 
     def fit(self, x: ds.Array, y: ds.Array) -> "GridSearchCV":
         candidates = parameter_grid(self.param_grid)
         self.results_: list[GridSearchResult] = []
+        store = None
+        if self.checkpoint_dir is not None:
+            from repro.runtime.checkpoint import as_store
+
+            store = as_store(self.checkpoint_dir)
         for params in candidates:
+            key = None
+            if store is not None:
+                key = self._candidate_key(params, x, y)
+                saved = store.get(key, expect=2)
+                if saved is not None:
+                    mean_acc, fold_accs = saved
+                    self.results_.append(
+                        GridSearchResult(
+                            params=params,
+                            mean_accuracy=float(mean_acc),
+                            fold_accuracies=list(fold_accs),
+                        )
+                    )
+                    continue
             cv = cross_validate(
                 lambda p=params: self.estimator_factory(**p),
                 x,
@@ -79,6 +119,10 @@ class GridSearchCV:
                     fold_accuracies=cv.fold_accuracies,
                 )
             )
+            if store is not None and key is not None:
+                store.put(
+                    key, "grid_search", (cv.mean_accuracy, list(cv.fold_accuracies))
+                )
         best = max(self.results_, key=lambda r: r.mean_accuracy)
         self.best_params_ = best.params
         self.best_score_ = best.mean_accuracy

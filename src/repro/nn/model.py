@@ -82,25 +82,86 @@ class Sequential:
         verbose: bool = False,
         validation_data: tuple[np.ndarray, np.ndarray] | None = None,
         patience: int | None = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        checkpoint_tag: str = "fit",
     ) -> list[float]:
         """Minibatch training; returns the mean loss per epoch.
 
         With ``validation_data`` and ``patience``, training stops early
         when the validation loss has not improved for *patience*
         consecutive epochs, and the best-seen weights are restored.
+
+        With ``checkpoint_dir`` (a path or a
+        :class:`~repro.runtime.checkpoint.CheckpointStore`), the full
+        training state — weights, optimiser buffers, RNG state and
+        histories — is persisted every ``checkpoint_every`` epochs under
+        ``checkpoint_tag``.  Calling ``fit`` again with the same store
+        resumes after the last saved epoch and produces bit-identical
+        weights to an uninterrupted run.
         """
         if len(x) != len(y):
             raise ValueError("x and y length mismatch")
         if patience is not None and validation_data is None:
             raise ValueError("patience requires validation_data")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         optimizer = optimizer or SGD(lr=0.01, momentum=0.9)
         rng = np.random.default_rng(seed)
-        history = []
+        history: list[float] = []
         self.val_history_: list[float] = []
         best_val = np.inf
         best_weights: list[np.ndarray] | None = None
         stale = 0
-        for epoch in range(epochs):
+        stopped = False
+
+        store = None
+        if checkpoint_dir is not None:
+            from repro.runtime.checkpoint import as_store
+
+            store = as_store(checkpoint_dir)
+
+        start_epoch = 0
+        if store is not None:
+            saved = store.get(checkpoint_tag)
+            if saved is not None:
+                state = saved[0]
+                start_epoch = state["epoch"]
+                self.set_weights(state["weights"])
+                params = [p for layer in self.layers for p in layer.params]
+                optimizer.load_state_dict(state["optimizer"], params)
+                rng.bit_generator.state = state["rng"]
+                history = list(state["history"])
+                self.val_history_ = list(state["val_history"])
+                best_val = state["best_val"]
+                best_weights = state["best_weights"]
+                stale = state["stale"]
+                stopped = state["stopped"]
+
+        def _save(epoch_done: int) -> None:
+            params = [p for layer in self.layers for p in layer.params]
+            store.put(
+                checkpoint_tag,
+                "nn.fit",
+                (
+                    {
+                        "epoch": epoch_done,
+                        "weights": self.get_weights(),
+                        "optimizer": optimizer.state_dict(params),
+                        "rng": rng.bit_generator.state,
+                        "history": list(history),
+                        "val_history": list(self.val_history_),
+                        "best_val": best_val,
+                        "best_weights": best_weights,
+                        "stale": stale,
+                        "stopped": stopped,
+                    },
+                ),
+            )
+
+        for epoch in range(start_epoch, epochs):
+            if stopped:
+                break
             order = rng.permutation(len(x))
             losses = []
             for start in range(0, len(x), batch_size):
@@ -120,7 +181,11 @@ class Sequential:
                 elif patience is not None:
                     stale += 1
                     if stale >= patience:
-                        break
+                        stopped = True
+            if store is not None and (
+                (epoch + 1) % checkpoint_every == 0 or epoch + 1 == epochs or stopped
+            ):
+                _save(epoch + 1)
         if best_weights is not None and patience is not None:
             self.set_weights(best_weights)
         return history

@@ -9,6 +9,15 @@ class Optimizer:
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         raise NotImplementedError
 
+    def state_dict(self, params: list[np.ndarray]) -> dict:
+        """Serialisable internal state, keyed by parameter *position*
+        (internal buffers are keyed by ``id(p)``, which does not survive
+        a process restart).  Stateless optimisers return ``{}``."""
+        return {}
+
+    def load_state_dict(self, state: dict, params: list[np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict` onto *params*."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -31,6 +40,21 @@ class SGD(Optimizer):
                 p += v
             else:
                 p -= self.lr * g
+
+    def state_dict(self, params):
+        return {
+            "velocity": {
+                i: self._velocity[id(p)].copy()
+                for i, p in enumerate(params)
+                if id(p) in self._velocity
+            }
+        }
+
+    def load_state_dict(self, state, params):
+        self._velocity = {
+            id(params[i]): np.array(v, copy=True)
+            for i, v in state.get("velocity", {}).items()
+        }
 
 
 class Adam(Optimizer):
@@ -59,3 +83,29 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1 - self.beta2) * g * g
             p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def state_dict(self, params):
+        return {
+            "t": self._t,
+            "m": {
+                i: self._m[id(p)].copy()
+                for i, p in enumerate(params)
+                if id(p) in self._m
+            },
+            "v": {
+                i: self._v[id(p)].copy()
+                for i, p in enumerate(params)
+                if id(p) in self._v
+            },
+        }
+
+    def load_state_dict(self, state, params):
+        self._t = int(state.get("t", 0))
+        self._m = {
+            id(params[i]): np.array(m, copy=True)
+            for i, m in state.get("m", {}).items()
+        }
+        self._v = {
+            id(params[i]): np.array(v, copy=True)
+            for i, v in state.get("v", {}).items()
+        }

@@ -20,23 +20,33 @@ Public surface:
 * :class:`Constraints` — per-task resource requirements.
 * :func:`to_dot` / :func:`graph_summary` — execution-graph export.
 * :func:`build_provenance` — provenance record of a finished run.
+* :class:`CheckpointStore` — crash-consistent persistence of task
+  results; set ``RuntimeConfig(checkpoint_dir=...)`` (or
+  ``REPRO_CHECKPOINT_DIR``) and a killed workflow resumes, re-executing
+  only the tasks whose results are not already in the store.
+* :func:`atomic_write` — temp file + fsync + rename file writes, used
+  by every exporter here and available to applications.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.runtime.atomic_write import atomic_write, atomic_write_text
+from repro.runtime.checkpoint import CheckpointStore, fingerprint, task_signature
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.directions import IN, INOUT, OUT, Direction
 from repro.runtime.engine import Runtime, active_runtime
 from repro.runtime.exceptions import (
     CancelledTaskError,
+    CheckpointError,
     FaultInjectedError,
     RuntimeStateError,
     TaskDefinitionError,
     TaskExecutionError,
     TaskTimeoutError,
     WorkflowAbortedError,
+    WorkflowKilledError,
 )
 from repro.runtime.failures import (
     CANCEL_SUCCESSORS,
@@ -48,7 +58,7 @@ from repro.runtime.failures import (
 )
 from repro.runtime.future import Future, is_future, resolve_futures
 from repro.runtime.model import Constraints
-from repro.runtime.dot import graph_summary, to_dot
+from repro.runtime.dot import graph_summary, save_dot, to_dot
 from repro.runtime.provenance import ProvenanceRecord, build_provenance
 from repro.runtime.task import task
 from repro.runtime.tracing import TaskRecord, Trace
@@ -79,10 +89,16 @@ __all__ = [
     "Trace",
     "TaskRecord",
     "to_dot",
+    "save_dot",
     "graph_summary",
     "ProvenanceRecord",
     "build_provenance",
     "faults",
+    "CheckpointStore",
+    "fingerprint",
+    "task_signature",
+    "atomic_write",
+    "atomic_write_text",
     "FAIL",
     "RETRY",
     "IGNORE",
@@ -94,6 +110,8 @@ __all__ = [
     "RuntimeStateError",
     "CancelledTaskError",
     "WorkflowAbortedError",
+    "WorkflowKilledError",
+    "CheckpointError",
     "FaultInjectedError",
     "compss_wait_on",
     "compss_barrier",

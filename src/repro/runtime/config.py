@@ -23,6 +23,7 @@ Environment variables (all optional):
 ``REPRO_RETRY_BACKOFF_CAP``  backoff ceiling (seconds)
 ``REPRO_JITTER_SEED``     seed of the deterministic retry jitter
 ``REPRO_TRACE``           ``1``/``0`` — collect task records
+``REPRO_CHECKPOINT_DIR``  checkpoint-store directory (enables resume)
 ========================  =====================================
 """
 
@@ -61,6 +62,12 @@ class RuntimeConfig:
     jitter_seed: int = 0
     #: Record a :class:`~repro.runtime.tracing.TaskRecord` per attempt.
     collect_trace: bool = True
+    #: Directory of the :class:`~repro.runtime.checkpoint.CheckpointStore`
+    #: persisting completed task outputs.  When set, the runtime
+    #: transparently skips tasks whose signature is already in the store
+    #: (crash/resume), and checkpoints every completed pure task.
+    #: ``None`` (default) disables checkpointing entirely.
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -108,6 +115,7 @@ class RuntimeConfig:
         take("REPRO_RETRY_BACKOFF_CAP", "retry_backoff_cap", float)
         take("REPRO_JITTER_SEED", "jitter_seed", int)
         take("REPRO_TRACE", "collect_trace", _parse_bool)
+        take("REPRO_CHECKPOINT_DIR", "checkpoint_dir", str)
         values.update(overrides)
         return cls(**values)
 

@@ -51,6 +51,9 @@ def to_dot(
     cancelled tasks a dashed outline, and runtime resubmissions appear
     as separate nodes linked to the failed attempt by a dashed red
     ``retry`` edge — the graph shows exactly what the scheduler did.
+    Tasks replayed from the checkpoint store on resume get a doubled
+    green border (state ``"restored"``), so a resumed run's graph shows
+    which suffix of the DAG actually executed.
 
     With ``group_nested=True``, tasks spawned inside a parent task are
     drawn inside a dashed cluster box labelled by the parent — the
@@ -82,6 +85,11 @@ def to_dot(
             attrs.append("penwidth=2.0")
         elif state == "cancelled":
             attrs.append('style="filled,dashed"')
+        elif state == "restored":
+            attrs.append('color="#2e7d32"')
+            attrs.append("penwidth=2.0")
+            attrs.append("peripheries=2")
+            tooltip += " restored"
         attrs.append(f'tooltip="{tooltip}"')
         return f'  t{node} [{", ".join(attrs)}];'
 
@@ -121,6 +129,18 @@ def to_dot(
             lines.append(f"  t{u} -> t{v};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def save_dot(
+    graph: TaskGraph | nx.DiGraph,
+    path,
+    title: str = "workflow",
+    group_nested: bool = False,
+) -> None:
+    """Render the graph and write the DOT text to *path*, atomically."""
+    from repro.runtime.atomic_write import atomic_write
+
+    atomic_write(path, to_dot(graph, title=title, group_nested=group_nested))
 
 
 def graph_summary(graph: TaskGraph | nx.DiGraph) -> dict:

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import collections
 import heapq
+import logging
 import os
 import threading
 import time
 import warnings
 from typing import Any, Callable, Iterable
 
+from repro.runtime import checkpoint as ckpt
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.dag import TaskGraph
 from repro.runtime.directions import Direction
@@ -40,6 +42,7 @@ from repro.runtime.exceptions import (
     TaskExecutionError,
     TaskTimeoutError,
     WorkflowAbortedError,
+    WorkflowKilledError,
 )
 from repro.runtime.faults import on_task_execute as _fault_hook
 from repro.runtime.failures import (
@@ -57,6 +60,7 @@ from repro.runtime.model import (
     IGNORED,
     PENDING,
     READY,
+    RESTORED,
     RUNNING,
     TaskInstance,
     TaskSpec,
@@ -65,6 +69,8 @@ from repro.runtime.registry import DataRegistry
 from repro.runtime.tracing import TaskRecord, TraceCollector, Trace, estimate_nbytes
 
 _tls = threading.local()
+
+_ckpt_logger = logging.getLogger("repro.runtime.checkpoint")
 
 
 def _current_scope() -> "Scope | None":
@@ -187,11 +193,25 @@ class Runtime:
         self._epoch = time.perf_counter()
         self._unfinished_total = 0
         self._aborted: BaseException | None = None
+        self._killed: BaseException | None = None
         # -- monitoring counters ---------------------------------------
         self._idle_wakeups = 0
         self._n_retries = 0
         self._n_ignored = 0
         self._n_timeouts = 0
+        # -- checkpoint/restart ----------------------------------------
+        #: Store persisting completed task outputs (None = disabled).
+        self.checkpoint_store: ckpt.CheckpointStore | None = (
+            ckpt.CheckpointStore(cfg.checkpoint_dir) if cfg.checkpoint_dir else None
+        )
+        #: root task id -> signature, for lineage-based future keys.
+        self._signatures: dict[int, str] = {}
+        #: function-identity cache (source hashing is not free).
+        self._identities: dict[int, str] = {}
+        #: call-lineage counters: base signature -> occurrences so far.
+        self._sig_counts: collections.Counter[str] = collections.Counter()
+        self._n_restored = 0
+        self._n_checkpoint_writes = 0
         self.root_scope = Scope(self)
         if self.executor == "threads":
             self._start_workers()
@@ -306,6 +326,15 @@ class Runtime:
                 label=effective_label,
             )
             inst.options = resolved
+            restored_values: tuple | None = None
+            if self.checkpoint_store is not None:
+                signature = self._task_signature(spec, args, kwargs, resolved)
+                if signature is not None:
+                    inst.signature = signature
+                    self._signatures[task_id] = signature
+                    restored_values = self.checkpoint_store.get(
+                        signature, expect=spec.returns
+                    )
             self._tasks[task_id] = inst
             self.graph.add_task(
                 task_id,
@@ -320,17 +349,23 @@ class Runtime:
             self._unfinished_total += 1
 
             unresolved = 0
-            for dep in deps:
-                dep_inst = self._tasks.get(dep)
-                if dep_inst is not None and dep_inst.state not in (DONE, IGNORED, FAILED, CANCELLED):
-                    self._children[dep].append(inst)
-                    unresolved += 1
-                elif dep_inst is not None and dep_inst.state in (FAILED, CANCELLED):
-                    # upstream already failed: cancel immediately below.
-                    inst.state = CANCELLED
+            if restored_values is None:
+                for dep in deps:
+                    dep_inst = self._tasks.get(dep)
+                    if dep_inst is not None and dep_inst.state not in (DONE, IGNORED, FAILED, CANCELLED):
+                        self._children[dep].append(inst)
+                        unresolved += 1
+                    elif dep_inst is not None and dep_inst.state in (FAILED, CANCELLED):
+                        # upstream already failed: cancel immediately below.
+                        inst.state = CANCELLED
             inst._remaining = unresolved
 
-        if inst.state == CANCELLED:
+        if restored_values is not None:
+            # Replay from the checkpoint store: the task never runs (its
+            # inputs need not even exist), its futures resolve to the
+            # persisted outputs and the DAG records a "restored" node.
+            self._restore(inst, restored_values)
+        elif inst.state == CANCELLED:
             self._cancel(inst)
         elif self.executor == "sequential":
             # Submission order is a topological order, so deps are done.
@@ -343,6 +378,64 @@ class Runtime:
         if spec.returns == 1:
             return futures[0]
         return futures
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart
+    # ------------------------------------------------------------------
+    def _task_signature(self, spec, args, kwargs, resolved) -> str | None:
+        """Deterministic signature of this invocation, or ``None`` when
+        it is not checkpointable: opted out, impure (INOUT/OUT writes —
+        replaying the result would skip the side effect), no return
+        values, or an argument that cannot be fingerprinted.
+
+        Called under ``_state_lock``: the occurrence counter makes
+        repeated identical calls distinct ("call lineage"), which is
+        deterministic for the sequential executor and for any program
+        whose submission order is fixed.
+        """
+        if not resolved.checkpoint or spec.returns == 0 or spec.has_writes:
+            return None
+        ident = self._identities.get(id(spec))
+        if ident is None:
+            ident = ckpt.function_identity(spec.func, name=spec.name)
+            self._identities[id(spec)] = ident
+        try:
+            base = ckpt.task_signature(ident, args, kwargs, resolve=self._future_key)
+        except ckpt.UnfingerprintableError:
+            return None
+        occurrence = self._sig_counts[base]
+        self._sig_counts[base] += 1
+        return f"{base}#{occurrence}"
+
+    def _future_key(self, fut: Future) -> str:
+        """Stable key of a future argument: producer signature + index.
+
+        Lineage instead of value — the producer's output need not exist
+        (nor ever be recomputed) for a downstream task to be matched
+        against the store on resume.
+        """
+        if fut._runtime_id != self.runtime_id:
+            raise ckpt.UnfingerprintableError("future from another runtime")
+        sig = self._signatures.get(fut.task_id)
+        if sig is None:
+            raise ckpt.UnfingerprintableError(
+                "future produced by a non-checkpointable task"
+            )
+        return f"{sig}@{fut.index}"
+
+    def _restore(self, inst: TaskInstance, values: tuple) -> None:
+        """Complete *inst* from checkpointed values without running it."""
+        t = time.perf_counter() - self._epoch
+        for fut, value in zip(inst.futures, values):
+            fut._set_result(value)
+        self._record(inst, t, t, status=RESTORED, out_bytes=estimate_nbytes(values))
+        with self._state_lock:
+            self._n_restored += 1
+        self._complete(inst, DONE)
+        # _complete stamped state="done"; the graph remembers that this
+        # node was replayed, for the DOT export and provenance.
+        self.graph.set_attr(inst.task_id, state=RESTORED, restored=True)
+        _ckpt_logger.debug("restored %s#%d from checkpoint", inst.name, inst.task_id)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -372,7 +465,21 @@ class Runtime:
                 if self._ready:
                     inst = heapq.heappop(self._ready)[2]
             if inst is not None:
-                self._execute(inst)
+                try:
+                    self._execute(inst)
+                except WorkflowKilledError as exc:
+                    # A kill on a worker thread must not die silently
+                    # (the workflow would hang): record it so every
+                    # waiter re-raises, then let this worker exit.
+                    self._kill(exc)
+                    return
+
+    def _kill(self, error: BaseException) -> None:
+        with self._state_lock:
+            if self._killed is None:
+                self._killed = error
+        with self._cond:
+            self._cond.notify_all()
 
     def _help_until(self, predicate: Callable[[], bool]) -> None:
         """Run ready tasks (if any) until *predicate* holds.
@@ -384,6 +491,8 @@ class Runtime:
         busy-spinning; ``stats()["idle_wakeups"]`` counts the parks.
         """
         while not predicate():
+            if self._killed is not None:
+                raise self._killed
             inst = self._pop_ready()
             if inst is not None:
                 self._execute(inst)
@@ -478,6 +587,19 @@ class Runtime:
 
         for fut, value in zip(inst.futures, results):
             fut._set_result(value)
+
+        if inst.signature is not None and self.checkpoint_store is not None:
+            try:
+                self.checkpoint_store.put(inst.signature, inst.name, results)
+                with self._state_lock:
+                    self._n_checkpoint_writes += 1
+            except Exception as exc:  # noqa: BLE001 - checkpointing is best effort
+                _ckpt_logger.warning(
+                    "checkpoint write failed for %s#%d: %s",
+                    inst.name,
+                    inst.task_id,
+                    exc,
+                )
 
         self._record(
             inst,
@@ -592,6 +714,8 @@ class Runtime:
             new.attempt = inst.attempt + 1
             new.retry_of = inst.task_id
             new.root_id = inst.root_id
+            # A successful retry checkpoints under the same signature.
+            new.signature = inst.signature
             new._remaining = 0  # the failed attempt is complete, deps were done
             new._owner_scope = scope  # type: ignore[attr-defined]
             self._tasks[new_id] = new
@@ -751,6 +875,8 @@ class Runtime:
             retries = self._n_retries
             ignored = self._n_ignored
             timeouts = self._n_timeouts
+            restored = self._n_restored
+            checkpoint_writes = self._n_checkpoint_writes
         with self._cond:
             idle_wakeups = self._idle_wakeups
             ready_depth = len(self._ready)
@@ -766,6 +892,9 @@ class Runtime:
             "retries": retries,
             "ignored_failures": ignored,
             "timeouts": timeouts,
+            "restored": restored,
+            "checkpoint_writes": checkpoint_writes,
+            "checkpointing": self.checkpoint_store is not None,
             "idle_wakeups": idle_wakeups,
             "aborted": self._aborted is not None,
             "trace_enabled": self.config.collect_trace,

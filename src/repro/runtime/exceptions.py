@@ -72,3 +72,23 @@ class FaultInjectedError(RuntimeError):
 class CancelledTaskError(RuntimeError):
     """The task was cancelled before it could run (e.g. runtime shutdown
     or an upstream dependency failed)."""
+
+
+class WorkflowKilledError(BaseException):
+    """A simulated process kill raised by
+    :func:`repro.runtime.faults.kill_after_n_tasks`.
+
+    Deliberately a :class:`BaseException`: the engine's failure policies
+    catch :class:`Exception`, so a kill tears straight through retries
+    and ``on_failure`` handling — exactly like SIGKILL would — leaving
+    only the persisted checkpoint entries behind.  Tests catch it at the
+    workflow boundary and then resume from a fresh runtime.
+    """
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint store operation failed.
+
+    Raised for unusable stores (e.g. the directory is a file) — *not*
+    for corrupt entries, which are logged and recomputed transparently.
+    """

@@ -76,6 +76,10 @@ class TaskOptions:
     failure_default: Any = _UNSET
     priority: int | None = None
     retry_backoff: float | None = None
+    #: Opt this task out of (or explicitly into) result checkpointing
+    #: when the runtime has a checkpoint store; ``None`` inherits
+    #: (default: checkpointed when pure — no INOUT/OUT, returns > 0).
+    checkpoint: bool | None = None
 
     def __post_init__(self) -> None:
         if self.on_failure is not None:
@@ -103,6 +107,7 @@ class TaskOptions:
             retry_backoff=(
                 self.retry_backoff if self.retry_backoff is not None else base.retry_backoff
             ),
+            checkpoint=self.checkpoint if self.checkpoint is not None else base.checkpoint,
         )
 
 
@@ -123,6 +128,9 @@ class ResolvedOptions:
     retry_backoff: float
     retry_backoff_cap: float
     jitter_seed: int
+    #: Whether this instance may be checkpointed/restored (still gated
+    #: on the task being pure and the runtime having a store).
+    checkpoint: bool = True
 
 
 def resolve_options(config, spec_options: TaskOptions, call_options: TaskOptions | None) -> ResolvedOptions:
@@ -146,6 +154,7 @@ def resolve_options(config, spec_options: TaskOptions, call_options: TaskOptions
         ),
         retry_backoff_cap=config.retry_backoff_cap,
         jitter_seed=config.jitter_seed,
+        checkpoint=opts.checkpoint if opts.checkpoint is not None else True,
     )
 
 

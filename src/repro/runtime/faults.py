@@ -33,27 +33,32 @@ import threading
 import time
 from typing import Callable, Iterator
 
-from repro.runtime.exceptions import FaultInjectedError
+from repro.runtime.exceptions import FaultInjectedError, WorkflowKilledError
 
 
 @dataclasses.dataclass(frozen=True)
 class FaultRule:
     """One injection rule, matched against task names.
 
+    ``task`` is a task name, or ``"*"`` to match every task.
     ``executions`` is a frozen set of 1-based execution indices the
     rule fires on; ``None`` means "consult ``probability`` instead"
     (and a probability of ``None`` then means "every execution").
+    ``after`` is the global (all task names pooled) execution count a
+    ``"kill"`` rule lets complete before firing.  ``"corrupt"`` rules
+    fire on checkpoint *writes* rather than task executions.
     """
 
     task: str
-    kind: str  # "fail" | "delay"
+    kind: str  # "fail" | "delay" | "kill" | "corrupt"
     executions: frozenset[int] | None = None
     probability: float | None = None
     delay: float = 0.0
     error: Callable[[], BaseException] | None = None
+    after: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail", "delay"):
+        if self.kind not in ("fail", "delay", "kill", "corrupt"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.executions is not None and any(n < 1 for n in self.executions):
             raise ValueError("execution indices are 1-based")
@@ -61,6 +66,13 @@ class FaultRule:
             raise ValueError("probability must be in [0, 1]")
         if self.delay < 0:
             raise ValueError("delay must be >= 0")
+        if self.after is not None and self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.kind == "kill" and self.after is None:
+            raise ValueError("kill rules need an 'after' task count")
+
+    def matches(self, task: str) -> bool:
+        return self.task == "*" or self.task == task
 
 
 def fail_nth(task: str, *executions: int, message: str | None = None) -> FaultRule:
@@ -83,6 +95,46 @@ def delay_nth(task: str, *executions: int, seconds: float) -> FaultRule:
     if not executions:
         raise ValueError("delay_nth needs at least one execution index")
     return FaultRule(task=task, kind="delay", executions=frozenset(executions), delay=seconds)
+
+
+def kill_after_n_tasks(n: int, message: str | None = None) -> FaultRule:
+    """Simulate a process kill once *n* task executions have started.
+
+    The (n+1)-th task execution — counted across *all* task names —
+    raises :class:`~repro.runtime.exceptions.WorkflowKilledError`, a
+    ``BaseException`` that tears through the engine's failure policies
+    like SIGKILL would.  Pair with a checkpointed runtime and the
+    ``sequential`` executor to make crash/resume paths provable::
+
+        try:
+            with Runtime(executor="sequential", config=cfg):
+                run_workflow()
+        except WorkflowKilledError:
+            pass          # "the process died"
+        with Runtime(executor="sequential", config=cfg):
+            run_workflow()  # resumes from the checkpoint store
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    text = message or f"workflow killed after {n} task executions"
+    return FaultRule(
+        task="*", kind="kill", after=n, error=lambda: WorkflowKilledError(text)
+    )
+
+
+def corrupt_nth(task: str, *writes: int) -> FaultRule:
+    """Corrupt the given 1-based checkpoint *writes* of *task*.
+
+    Fires on the checkpoint-write hook (not on task execution): after
+    the store persists the entry, its payload bytes are flipped in
+    place, so the next resume sees a checksum mismatch and must detect,
+    log and recompute the entry.  ``task="*"`` corrupts any task's
+    writes; named-blob writes (epoch/round checkpoints) match on their
+    tag.
+    """
+    if not writes:
+        raise ValueError("corrupt_nth needs at least one write index")
+    return FaultRule(task=task, kind="corrupt", executions=frozenset(writes))
 
 
 def random_failures(task: str, probability: float) -> FaultRule:
@@ -111,6 +163,8 @@ class FaultInjector:
         self.seed = seed
         self.log: list[tuple[str, int, str]] = []
         self._counts: dict[str, int] = {}
+        self._total = 0
+        self._ckpt_counts: dict[str, int] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -119,6 +173,12 @@ class FaultInjector:
         with self._lock:
             return self._counts.get(task, 0)
 
+    @property
+    def total_executions(self) -> int:
+        """Task executions seen so far across all names."""
+        with self._lock:
+            return self._total
+
     def _roll(self, task: str, execution: int) -> float:
         """Deterministic uniform draw in [0, 1) for one execution."""
         digest = hashlib.sha256(f"{self.seed}:{task}:{execution}".encode()).digest()
@@ -126,13 +186,22 @@ class FaultInjector:
 
     def on_execute(self, task: str) -> None:
         """Hook called by the engine; may sleep or raise."""
-        matching = [r for r in self.rules if r.task == task]
+        matching = [r for r in self.rules if r.kind != "corrupt" and r.matches(task)]
         with self._lock:
             execution = self._counts.get(task, 0) + 1
             self._counts[task] = execution
+            self._total += 1
+            total = self._total
         if not matching:
             return
         for rule in matching:
+            if rule.kind == "kill":
+                if total > rule.after:
+                    with self._lock:
+                        self.log.append((task, execution, "kill"))
+                    assert rule.error is not None
+                    raise rule.error()
+                continue
             if rule.executions is not None:
                 fires = execution in rule.executions
             elif rule.probability is not None:
@@ -150,6 +219,26 @@ class FaultInjector:
                     self.log.append((task, execution, "fail"))
                 assert rule.error is not None
                 raise rule.error()
+
+    def on_checkpoint(self, task: str, path: str) -> None:
+        """Hook called by the checkpoint store after persisting an entry
+        for *task* (or a named blob, matched on its tag)."""
+        with self._lock:
+            write = self._ckpt_counts.get(task, 0) + 1
+            self._ckpt_counts[task] = write
+        for rule in self.rules:
+            if rule.kind != "corrupt" or not rule.matches(task):
+                continue
+            if rule.executions is not None:
+                fires = write in rule.executions
+            elif rule.probability is not None:
+                fires = self._roll(f"ckpt:{task}", write) < rule.probability
+            else:
+                fires = True
+            if fires:
+                with self._lock:
+                    self.log.append((task, write, "corrupt"))
+                _flip_last_byte(path)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "FaultInjector":
@@ -192,3 +281,21 @@ def on_task_execute(task: str) -> None:
         injectors = list(reversed(_active))
     for injector in injectors:
         injector.on_execute(task)
+
+
+def on_checkpoint_write(task: str, path: str) -> None:
+    """Checkpoint-store hook: let active injectors corrupt the freshly
+    written entry file (``corrupt_nth`` rules)."""
+    with _active_lock:
+        injectors = list(reversed(_active))
+    for injector in injectors:
+        injector.on_checkpoint(task, path)
+
+
+def _flip_last_byte(path: str) -> None:
+    """In-place single-byte corruption of a file's payload tail."""
+    with open(path, "r+b") as fh:
+        fh.seek(-1, 2)
+        byte = fh.read(1)
+        fh.seek(-1, 2)
+        fh.write(bytes([byte[0] ^ 0xFF]))

@@ -21,6 +21,9 @@ FAILED = "failed"
 #: successors run against the declared default value.
 IGNORED = "ignored"
 CANCELLED = "cancelled"
+#: Completed without executing: the result was replayed from the
+#: checkpoint store (trace/graph status of resumed tasks).
+RESTORED = "restored"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +85,7 @@ class TaskInstance:
         "attempt",
         "retry_of",
         "root_id",
+        "signature",
         "_remaining",
         "_lock",
         "_owner_scope",
@@ -118,6 +122,8 @@ class TaskInstance:
         self.retry_of: int | None = None
         #: task_id of the first attempt (== task_id when attempt == 0).
         self.root_id = task_id
+        #: Deterministic checkpoint signature (None = not checkpointable).
+        self.signature: str | None = None
         self._remaining = len(deps)
         self._lock = threading.Lock()
         #: True once a timed-out body thread was abandoned.

@@ -42,9 +42,18 @@ class ProvenanceRecord:
     #: Free-form run events (e.g. dropped federated clients, injected
     #: faults, simulated node failures), in occurrence order.
     events: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Checkpoint-resume summary (counts of tasks replayed from the
+    #: checkpoint store, per task name) — empty dict for a cold run.
+    restored: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(dataclasses.asdict(self), indent=indent, default=_jsonable)
+
+    def save(self, path) -> None:
+        """Write the record to *path* as JSON, atomically."""
+        from repro.runtime.atomic_write import atomic_write
+
+        atomic_write(path, self.to_json())
 
 
 def _jsonable(obj: Any) -> Any:
@@ -71,9 +80,14 @@ def build_provenance(
     """
     stats: dict[str, dict[str, float]] = {}
     for name, records in trace.by_name().items():
-        durations = np.array([r.duration for r in records])
+        # Restored attempts never ran — their zero durations would skew
+        # the timing statistics; they are summarised separately below.
+        executed = [r for r in records if r.status != "restored"]
+        if not executed:
+            continue
+        durations = np.array([r.duration for r in executed])
         stats[name] = {
-            "count": float(len(records)),
+            "count": float(len(executed)),
             "mean_s": float(durations.mean()),
             "min_s": float(durations.min()),
             "max_s": float(durations.max()),
@@ -99,6 +113,7 @@ def build_provenance(
         results=dict(results or {}),
         failures=_failure_summary(trace),
         events=list(events or []),
+        restored=_restored_summary(trace),
     )
 
 
@@ -125,3 +140,15 @@ def _failure_summary(trace: Trace) -> dict[str, Any]:
         "retries": len(retried),
         "by_name": by_name,
     }
+
+
+def _restored_summary(trace: Trace) -> dict[str, Any]:
+    """Summarise checkpoint replay from the trace; empty for a cold run
+    so existing provenance consumers see no change."""
+    restored = [r for r in trace if r.status == "restored"]
+    if not restored:
+        return {}
+    by_name: dict[str, int] = {}
+    for r in restored:
+        by_name[r.name] = by_name.get(r.name, 0) + 1
+    return {"count": len(restored), "by_name": by_name}

@@ -53,6 +53,7 @@ _RESERVED = {
     "time_out",
     "failure_default",
     "priority",
+    "checkpoint",
 }
 
 
@@ -66,6 +67,7 @@ def _build_options(
     failure_default: Any,
     priority: int | None,
     retry_backoff: float | None = None,
+    checkpoint: bool | None = None,
 ) -> TaskOptions:
     """Validate and normalise option keywords (``retries`` is the
     legacy alias of ``max_retries``)."""
@@ -83,6 +85,7 @@ def _build_options(
         failure_default=failure_default,
         priority=priority,
         retry_backoff=retry_backoff,
+        checkpoint=checkpoint,
     )
 
 
@@ -99,6 +102,7 @@ def task(
     time_out: float | None = None,
     failure_default: Any = _UNSET,
     priority: int | None = None,
+    checkpoint: bool | None = None,
     **param_directions: Any,
 ) -> Callable[..., Any]:
     """Declare a function as a task.
@@ -134,6 +138,10 @@ def task(
         swallows a failure.
     priority:
         Scheduling priority (higher runs first among ready tasks).
+    checkpoint:
+        Set ``False`` to exclude this task from result checkpointing on
+        runtimes with a checkpoint store (use for nondeterministic or
+        side-effecting tasks).  Pure tasks default to checkpointed.
     **param_directions:
         Per-parameter directions, e.g. ``model=INOUT``.  Unlisted
         parameters default to ``IN``.
@@ -150,6 +158,7 @@ def task(
             time_out=time_out,
             failure_default=failure_default,
             priority=priority,
+            checkpoint=checkpoint,
         )
 
         sig = inspect.signature(func)
@@ -229,6 +238,7 @@ def task(
             failure_default: Any = _UNSET,
             priority: int | None = None,
             retry_backoff: float | None = None,
+            checkpoint: bool | None = None,
         ) -> Callable[..., Any]:
             """Bind call-site option overrides; returns a callable
             submitting the task with them applied."""
@@ -241,6 +251,7 @@ def task(
                 failure_default=failure_default,
                 priority=priority,
                 retry_backoff=retry_backoff,
+                checkpoint=checkpoint,
             )
 
             @functools.wraps(func)

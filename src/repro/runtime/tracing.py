@@ -61,7 +61,8 @@ class TaskRecord:
     attempt: int = 0
     #: task_id of the previous attempt, if this record is a retry.
     retry_of: int | None = None
-    #: "done" | "failed" | "ignored" (failed, swallowed by IGNORE).
+    #: "done" | "failed" | "ignored" (failed, swallowed by IGNORE) |
+    #: "restored" (replayed from the checkpoint store, zero duration).
     status: str = "done"
     #: repr of the causing exception for failed/ignored attempts.
     error: str | None = None
@@ -72,7 +73,12 @@ class TaskRecord:
 
     @property
     def ok(self) -> bool:
-        return self.status == "done"
+        return self.status in ("done", "restored")
+
+    @property
+    def executed(self) -> bool:
+        """True if the task body actually ran (restored attempts did not)."""
+        return self.status != "restored"
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -144,7 +150,19 @@ class Trace:
 
     @property
     def n_failed_attempts(self) -> int:
-        return sum(1 for r in self._records.values() if r.status != "done")
+        return sum(
+            1 for r in self._records.values() if r.status not in ("done", "restored")
+        )
+
+    @property
+    def n_restored(self) -> int:
+        """Tasks replayed from the checkpoint store instead of executed."""
+        return sum(1 for r in self._records.values() if r.status == "restored")
+
+    @property
+    def n_executed(self) -> int:
+        """Attempts whose body actually ran (everything but restored)."""
+        return sum(1 for r in self._records.values() if r.status != "restored")
 
     def mean_duration(self, name: str) -> float:
         recs = [r for r in self if r.name == name]
@@ -176,6 +194,17 @@ class Trace:
     def from_json(cls, text: str) -> "Trace":
         records = [TaskRecord(**{**d, "deps": tuple(d["deps"])}) for d in json.loads(text)]
         return cls(records)
+
+    def save(self, path) -> None:
+        """Write the trace to *path* as JSON, atomically."""
+        from repro.runtime.atomic_write import atomic_write
+
+        atomic_write(path, self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
 
 
 class TraceCollector:

@@ -1,0 +1,97 @@
+"""Round checkpoints in Federation.fit: resume to bit-identical weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated import ClientData, FederatedConfig, Federation
+from repro.nn import Sequential
+from repro.nn.layers import Dense, ReLU
+from repro.runtime import Runtime
+
+
+def make_config(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 8, rng), ReLU(), Dense(8, 2, rng)]).config()
+
+
+def make_clients(n_clients=3, per_client=40, seed=0):
+    rng = np.random.default_rng(seed)
+    clients = []
+    for _ in range(n_clients):
+        x = rng.standard_normal((per_client, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        clients.append(ClientData(x, y))
+    return clients
+
+
+def weights_equal(a, b):
+    return len(a) == len(b) and all(np.array_equal(w1, w2) for w1, w2 in zip(a, b))
+
+
+def run_federation(rounds, checkpoint_dir=None, fed_cfg=None):
+    cfg = fed_cfg or FederatedConfig(
+        rounds=rounds, local_epochs=1, lr=0.1, client_fraction=0.67, seed=0
+    )
+    fed = Federation(make_config(), make_clients(), cfg)
+    with Runtime(executor="sequential"):
+        fed.fit(checkpoint_dir=checkpoint_dir)
+    return fed
+
+
+def test_resume_matches_uninterrupted_run(tmp_path):
+    baseline = run_federation(rounds=4)
+
+    run_federation(rounds=2, checkpoint_dir=tmp_path)  # "killed" after 2
+    resumed = run_federation(rounds=4, checkpoint_dir=tmp_path)
+
+    assert len(resumed.history) == 4
+    assert weights_equal(resumed.global_weights, baseline.global_weights)
+    # client selections per round replayed identically (RNG state saved)
+    assert [m.selected_clients for m in resumed.history] == [
+        m.selected_clients for m in baseline.history
+    ]
+
+
+def test_resume_restores_history_and_provenance(tmp_path):
+    run_federation(rounds=2, checkpoint_dir=tmp_path)
+    resumed = run_federation(rounds=3, checkpoint_dir=tmp_path)
+    assert [m.round for m in resumed.history] == [0, 1, 2]
+    assert [p["round"] for p in resumed.provenance_log] == [0, 1, 2]
+
+
+def test_fully_trained_federation_does_not_retrain(tmp_path):
+    done = run_federation(rounds=3, checkpoint_dir=tmp_path)
+    again = run_federation(rounds=3, checkpoint_dir=tmp_path)
+    assert weights_equal(again.global_weights, done.global_weights)
+    assert len(again.history) == 3
+
+
+def test_server_momentum_state_survives_resume(tmp_path):
+    def cfg(rounds):
+        return FederatedConfig(
+            rounds=rounds, local_epochs=1, lr=0.1, server_momentum=0.9, seed=0
+        )
+
+    baseline = run_federation(rounds=4, fed_cfg=cfg(4))
+    run_federation(rounds=2, checkpoint_dir=tmp_path, fed_cfg=cfg(2))
+    resumed = run_federation(rounds=4, checkpoint_dir=tmp_path, fed_cfg=cfg(4))
+    assert weights_equal(resumed.global_weights, baseline.global_weights)
+
+
+def test_without_store_fit_twice_keeps_training():
+    """No checkpoint store: a second fit() continues (legacy behavior)."""
+    fed = Federation(
+        make_config(), make_clients(), FederatedConfig(rounds=2, lr=0.1, seed=0)
+    )
+    with Runtime(executor="sequential"):
+        fed.fit()
+        fed.fit()
+    assert len(fed.history) == 4
+
+
+def test_checkpoint_every_validation(tmp_path):
+    fed = Federation(make_config(), make_clients(), FederatedConfig(rounds=2))
+    with pytest.raises(ValueError):
+        fed.fit(checkpoint_dir=tmp_path, checkpoint_every=0)

@@ -1,0 +1,93 @@
+"""Candidate-level resume in GridSearchCV."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml import GridSearchCV, KNeighborsClassifier
+from tests.ml.conftest import as_ds, make_blobs
+
+
+class CountingFactory:
+    """Estimator factory that counts how many estimators it built."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, **params):
+        self.calls += 1
+        return KNeighborsClassifier(**params)
+
+
+def test_completed_candidates_are_skipped_on_refit(tmp_path):
+    x, y = make_blobs(n=120, d=4, sep=2.0, seed=2)
+    dx, dy = as_ds(x, y)
+    grid = {"n_neighbors": [1, 5, 15]}
+
+    first = CountingFactory()
+    gs1 = GridSearchCV(first, grid, n_splits=3, checkpoint_dir=tmp_path).fit(dx, dy)
+    # 3 candidates x 3 folds + 1 refit
+    assert first.calls == 10
+
+    second = CountingFactory()
+    gs2 = GridSearchCV(second, grid, n_splits=3, checkpoint_dir=tmp_path).fit(dx, dy)
+    # every candidate score replayed from the store; only the refit runs
+    assert second.calls == 1
+    assert gs2.best_params_ == gs1.best_params_
+    assert gs2.best_score_ == gs1.best_score_
+    assert [r.fold_accuracies for r in gs2.results_] == [
+        r.fold_accuracies for r in gs1.results_
+    ]
+
+
+def test_partial_store_evaluates_only_the_remaining_grid(tmp_path):
+    x, y = make_blobs(n=120, d=4, sep=2.0, seed=2)
+    dx, dy = as_ds(x, y)
+
+    narrow = CountingFactory()
+    GridSearchCV(narrow, {"n_neighbors": [1, 5]}, n_splits=3, checkpoint_dir=tmp_path).fit(
+        dx, dy
+    )
+    assert narrow.calls == 7  # 2 x 3 folds + refit
+
+    widened = CountingFactory()
+    GridSearchCV(
+        widened, {"n_neighbors": [1, 5, 15]}, n_splits=3, checkpoint_dir=tmp_path
+    ).fit(dx, dy)
+    # the two scored candidates replay; only n_neighbors=15 evaluates
+    assert widened.calls == 4  # 1 x 3 folds + refit
+
+
+def test_key_distinguishes_search_settings(tmp_path):
+    """Changing K-fold settings or the data shape invalidates reuse."""
+    x, y = make_blobs(n=120, d=4, sep=2.0, seed=2)
+    dx, dy = as_ds(x, y)
+    grid = {"n_neighbors": [3]}
+
+    GridSearchCV(CountingFactory(), grid, n_splits=3, checkpoint_dir=tmp_path).fit(dx, dy)
+
+    other_splits = CountingFactory()
+    GridSearchCV(other_splits, grid, n_splits=4, checkpoint_dir=tmp_path).fit(dx, dy)
+    assert other_splits.calls == 5  # 4 folds + refit, no reuse
+
+    x2, y2 = make_blobs(n=80, d=4, sep=2.0, seed=2)
+    dx2, dy2 = as_ds(x2, y2)
+    other_data = CountingFactory()
+    GridSearchCV(other_data, grid, n_splits=3, checkpoint_dir=tmp_path).fit(dx2, dy2)
+    assert other_data.calls == 4  # 3 folds + refit, no reuse
+
+
+def test_scores_are_exact_across_resume(tmp_path):
+    x, y = make_blobs(n=100, d=3, sep=2.5, seed=7)
+    dx, dy = as_ds(x, y)
+    grid = {"n_neighbors": [1, 7]}
+    gs1 = GridSearchCV(
+        lambda **p: KNeighborsClassifier(**p), grid, n_splits=3, checkpoint_dir=tmp_path
+    ).fit(dx, dy)
+    gs2 = GridSearchCV(
+        lambda **p: KNeighborsClassifier(**p), grid, n_splits=3, checkpoint_dir=tmp_path
+    ).fit(dx, dy)
+    for r1, r2 in zip(gs1.results_, gs2.results_):
+        assert r1.params == r2.params
+        assert r1.mean_accuracy == r2.mean_accuracy
+        assert np.allclose(r1.fold_accuracies, r2.fold_accuracies)

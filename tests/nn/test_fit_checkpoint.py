@@ -1,0 +1,150 @@
+"""Epoch checkpoints in Sequential.fit: kill, resume, bit-identical."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Sequential
+from repro.nn.layers import Dense, ReLU
+from repro.nn.optim import SGD
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+
+def make_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = ((x[:, 0] + x[:, 2]) > 0).astype(int)
+    return x, y
+
+
+def weights_equal(a, b):
+    return len(a) == len(b) and all(np.array_equal(w1, w2) for w1, w2 in zip(a, b))
+
+
+@pytest.mark.parametrize("make_opt", [lambda: SGD(0.05, 0.9), lambda: Adam(0.01)])
+def test_resume_is_bit_identical(tmp_path, make_opt):
+    x, y = make_data()
+
+    baseline = make_model()
+    hist_full = baseline.fit(x, y, epochs=6, batch_size=16, optimizer=make_opt())
+
+    # the same run, killed after 3 epochs...
+    interrupted = make_model()
+    interrupted.fit(
+        x, y, epochs=3, batch_size=16, optimizer=make_opt(), checkpoint_dir=tmp_path
+    )
+    # ...and restarted with the *original* epoch budget.  The fresh
+    # model and fresh optimizer stand in for a new process.
+    resumed = make_model()
+    hist_resumed = resumed.fit(
+        x, y, epochs=6, batch_size=16, optimizer=make_opt(), checkpoint_dir=tmp_path
+    )
+
+    assert hist_resumed == hist_full
+    assert weights_equal(resumed.get_weights(), baseline.get_weights())
+
+
+def test_resume_skips_completed_epochs(tmp_path):
+    x, y = make_data()
+    model = make_model()
+    model.fit(x, y, epochs=4, batch_size=16, checkpoint_dir=tmp_path)
+
+    # budget already exhausted: nothing to train, state reloaded as-is
+    again = make_model()
+    hist = again.fit(x, y, epochs=4, batch_size=16, checkpoint_dir=tmp_path)
+    assert len(hist) == 4
+    assert weights_equal(again.get_weights(), model.get_weights())
+
+
+def test_checkpoint_every_n(tmp_path):
+    from repro.runtime.checkpoint import CheckpointStore
+
+    x, y = make_data()
+    make_model().fit(
+        x, y, epochs=5, batch_size=16, checkpoint_dir=tmp_path, checkpoint_every=2
+    )
+    store = CheckpointStore(tmp_path)
+    # one rolling entry, overwritten in place (epochs 2, 4, 5-final)
+    assert store.stats()["n_entries"] == 1
+    saved = store.get("fit")
+    assert saved is not None
+    assert saved[0]["epoch"] == 5
+
+
+def test_checkpoint_every_validation(tmp_path):
+    x, y = make_data()
+    with pytest.raises(ValueError):
+        make_model().fit(x, y, epochs=2, checkpoint_dir=tmp_path, checkpoint_every=0)
+
+
+def test_distinct_tags_do_not_collide(tmp_path):
+    x, y = make_data()
+    m1 = make_model(seed=1)
+    m1.fit(x, y, epochs=2, checkpoint_dir=tmp_path, checkpoint_tag="run-a")
+    m2 = make_model(seed=2)
+    m2.fit(x, y, epochs=2, checkpoint_dir=tmp_path, checkpoint_tag="run-b")
+
+    r1 = make_model(seed=1)
+    r1.fit(x, y, epochs=2, checkpoint_dir=tmp_path, checkpoint_tag="run-a")
+    assert weights_equal(r1.get_weights(), m1.get_weights())
+    assert not weights_equal(m1.get_weights(), m2.get_weights())
+
+
+def test_early_stopped_run_stays_stopped_on_resume(tmp_path):
+    """A fit that early-stopped must not keep training when re-run."""
+    rng = np.random.default_rng(3)
+    x_tr = rng.standard_normal((24, 4))
+    y_tr = rng.integers(0, 2, 24)
+    x_val = rng.standard_normal((60, 4))
+    y_val = rng.integers(0, 2, 60)
+
+    model = make_model()
+    hist = model.fit(
+        x_tr, y_tr, epochs=300, batch_size=8, optimizer=Adam(0.01),
+        validation_data=(x_val, y_val), patience=5, checkpoint_dir=tmp_path,
+    )
+    assert len(hist) < 300
+
+    resumed = make_model()
+    hist2 = resumed.fit(
+        x_tr, y_tr, epochs=300, batch_size=8, optimizer=Adam(0.01),
+        validation_data=(x_val, y_val), patience=5, checkpoint_dir=tmp_path,
+    )
+    assert hist2 == hist
+    assert resumed.val_history_ == model.val_history_
+    assert weights_equal(resumed.get_weights(), model.get_weights())
+
+
+def test_optimizer_state_roundtrip():
+    """state_dict/load_state_dict reproduce momentum and Adam buffers."""
+    rng = np.random.default_rng(0)
+    params = [rng.standard_normal((3, 3)), rng.standard_normal(3)]
+    grads = [np.ones((3, 3)), np.ones(3)]
+
+    for opt_factory in (lambda: SGD(0.1, 0.9), lambda: Adam(0.05)):
+        a = opt_factory()
+        source_params = [p.copy() for p in params]
+        a.step(source_params, grads)
+        state = a.state_dict(source_params)
+
+        b = opt_factory()
+        target_params = [p.copy() for p in params]
+        b.step(target_params, grads)
+        b.load_state_dict(state, target_params)
+
+        a.step(source_params, grads)
+        b.step(target_params, grads)
+        for pa, pb in zip(source_params, target_params):
+            np.testing.assert_array_equal(pa, pb)
+
+
+def test_plain_sgd_state_dict_is_empty():
+    opt = SGD(0.1, momentum=0.0)
+    params = [np.zeros(2)]
+    opt.step(params, [np.ones(2)])
+    assert opt.state_dict(params) == {"velocity": {}}

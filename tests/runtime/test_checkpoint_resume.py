@@ -1,0 +1,315 @@
+"""Crash/resume through the runtime: kill, restart, restore, recompute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime, barrier, task, wait_on
+from repro.runtime import faults
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.directions import INOUT
+from repro.runtime.dot import to_dot
+from repro.runtime.exceptions import WorkflowKilledError
+from repro.runtime.provenance import build_provenance
+
+CALLS: list[str] = []
+
+
+@task(returns=1)
+def load(i):
+    CALLS.append(f"load-{i}")
+    return np.arange(8.0) + i
+
+
+@task(returns=1)
+def step(block):
+    CALLS.append("step")
+    return np.asarray(block) * 2.0
+
+
+@task(returns=1)
+def merge(a, b):
+    CALLS.append("merge")
+    return float(np.asarray(a).sum() + np.asarray(b).sum())
+
+
+def run_chain(executor="sequential", config=None):
+    with Runtime(executor=executor, config=config) as rt:
+        total = wait_on(merge(step(load(0)), step(load(1))))
+        return total, rt.trace(), rt.stats(), rt.graph
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+    yield
+
+
+def cfg(tmp_path, **kw):
+    return RuntimeConfig(executor="sequential", checkpoint_dir=str(tmp_path / "ckpt"), **kw)
+
+
+class TestResume:
+    def test_cold_run_writes_then_warm_run_restores(self, tmp_path):
+        config = cfg(tmp_path)
+        total1, trace1, stats1, _ = run_chain(config=config)
+        assert stats1["checkpointing"] is True
+        assert stats1["checkpoint_writes"] == 5
+        assert stats1["restored"] == 0
+        executed_cold = len(CALLS)
+
+        CALLS.clear()
+        total2, trace2, stats2, _ = run_chain(config=config)
+        assert total2 == total1
+        assert CALLS == []  # nothing re-executed
+        assert stats2["restored"] == 5
+        assert stats2["checkpoint_writes"] == 0
+        assert trace2.n_restored == 5
+        assert trace2.n_executed == 0
+        assert trace1.n_executed == executed_cold
+
+    def test_restored_records_have_zero_duration_and_ok(self, tmp_path):
+        config = cfg(tmp_path)
+        run_chain(config=config)
+        _, trace, _, _ = run_chain(config=config)
+        for rec in trace:
+            assert rec.status == "restored"
+            assert rec.ok
+            assert not rec.executed
+            assert rec.duration == 0.0
+        assert trace.n_failed_attempts == 0
+
+    def test_kill_then_resume_executes_only_the_rest(self, tmp_path):
+        config = cfg(tmp_path)
+        with pytest.raises(WorkflowKilledError):
+            with faults.inject(faults.kill_after_n_tasks(3)):
+                run_chain(config=config)
+        survived = len(CALLS)
+        assert survived == 3
+
+        CALLS.clear()
+        total, trace, stats, _ = run_chain(config=config)
+        # the three completed tasks are replayed, the other two run
+        assert stats["restored"] == 3
+        assert len(CALLS) == 2
+        assert trace.n_restored == 3
+        assert trace.n_executed == 2
+        # ...and the result matches a clean run
+        clean_total, _, _, _ = run_chain()
+        assert total == clean_total
+
+    def test_corrupted_entry_is_recomputed(self, tmp_path, caplog):
+        config = cfg(tmp_path)
+        run_chain(config=config)
+        # corrupt exactly one entry on disk
+        store_dir = tmp_path / "ckpt" / "entries"
+        victim = sorted(store_dir.glob("*.ckpt"))[0]
+        faults._flip_last_byte(str(victim))
+
+        CALLS.clear()
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            total, trace, stats, _ = run_chain(config=config)
+        assert any("corrupt" in r.message for r in caplog.records)
+        # One entry recomputes.  Depending on which entry was corrupted,
+        # the recomputed task's downstream signatures still match (keys
+        # are lineage-based), so everything else restores.
+        assert stats["restored"] == 4
+        assert len(CALLS) == 1
+        assert stats["checkpoint_writes"] == 1  # the recomputed entry
+        clean_total, _, _, _ = run_chain()
+        assert total == clean_total
+
+    def test_injected_corruption_via_corrupt_nth(self, tmp_path, caplog):
+        config = cfg(tmp_path)
+        with faults.inject(faults.corrupt_nth("step", 1)) as injector:
+            run_chain(config=config)
+        assert ("step", 1, "corrupt") in injector.log
+
+        CALLS.clear()
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            _, _, stats, _ = run_chain(config=config)
+        assert stats["restored"] == 4
+        assert CALLS == ["step"]
+
+    def test_without_store_nothing_checkpoints(self, tmp_path):
+        _, _, stats, _ = run_chain()
+        assert stats["checkpointing"] is False
+        assert stats["checkpoint_writes"] == 0
+        assert stats["restored"] == 0
+
+    def test_threads_executor_also_resumes(self, tmp_path):
+        config = RuntimeConfig(executor="threads", checkpoint_dir=str(tmp_path / "ckpt"))
+        total1, _, _, _ = run_chain(executor="threads", config=config)
+        CALLS.clear()
+        total2, _, stats, _ = run_chain(executor="threads", config=config)
+        assert total2 == total1
+        assert CALLS == []
+        assert stats["restored"] == 5
+
+    def test_threads_executor_kill_reaches_the_driver(self, tmp_path):
+        # A kill firing on a worker thread must re-raise in the waiting
+        # driver thread, not silently kill the worker and hang wait_on.
+        config = RuntimeConfig(executor="threads", checkpoint_dir=str(tmp_path / "ckpt"))
+        with pytest.raises(WorkflowKilledError):
+            with faults.inject(faults.kill_after_n_tasks(2)):
+                run_chain(executor="threads", config=config)
+
+        CALLS.clear()
+        with Runtime(executor="threads", config=config) as rt:
+            total = wait_on(merge(step(load(0)), step(load(1))))
+            barrier()  # drain in-flight siblings before snapshotting
+            trace, stats = rt.trace(), rt.stats()
+        clean_total, _, _, _ = run_chain()
+        assert total == clean_total
+        assert stats["restored"] >= 2
+        assert trace.n_restored + trace.n_executed == 5
+
+
+class TestEligibility:
+    def test_opt_out_per_task(self, tmp_path):
+        @task(returns=1, checkpoint=False)
+        def roll(n):
+            CALLS.append("roll")
+            return n * 3
+
+        config = cfg(tmp_path)
+        with Runtime(config=config):
+            assert wait_on(roll(2)) == 6
+        with Runtime(config=config) as rt:
+            assert wait_on(roll(2)) == 6
+            assert rt.stats()["restored"] == 0
+        assert CALLS == ["roll", "roll"]
+
+    def test_tasks_with_writes_never_checkpoint(self, tmp_path):
+        class Bag:
+            def __init__(self):
+                self.items = []
+
+        @task(returns=1, acc=INOUT)
+        def accumulate(acc, v):
+            acc.items.append(v)
+            return sum(acc.items)
+
+        config = cfg(tmp_path)
+        bag1, bag2 = Bag(), Bag()
+        with Runtime(config=config):
+            assert wait_on(accumulate(bag1, 5)) == 5
+        with Runtime(config=config) as rt:
+            assert wait_on(accumulate(bag2, 5)) == 5
+            assert rt.stats()["checkpoint_writes"] == 0
+        # the side effect happened both times (never replayed away)
+        assert bag1.items == [5] and bag2.items == [5]
+
+    def test_zero_return_tasks_never_checkpoint(self, tmp_path):
+        @task(returns=0)
+        def fire(x):
+            CALLS.append("fire")
+
+        config = cfg(tmp_path)
+        with Runtime(config=config) as rt:
+            fire(1)
+            rt.barrier()
+            assert rt.stats()["checkpoint_writes"] == 0
+
+    def test_unfingerprintable_argument_skips_checkpointing(self, tmp_path):
+        @task(returns=1)
+        def probe(fn):
+            CALLS.append("probe")
+            return fn(3)
+
+        config = cfg(tmp_path)
+        for _ in range(2):
+            with Runtime(config=config) as rt:
+                assert wait_on(probe(lambda v: v + 1)) == 4
+                assert rt.stats()["checkpoint_writes"] == 0
+        assert CALLS == ["probe", "probe"]
+
+    def test_repeated_identical_calls_stay_distinct(self, tmp_path):
+        @task(returns=1)
+        def draw(seed):
+            CALLS.append("draw")
+            return len(CALLS)
+
+        config = cfg(tmp_path)
+        with Runtime(config=config):
+            a, b = wait_on([draw(0), draw(0)])
+        assert (a, b) == (1, 2)  # two executions, not one cached
+        CALLS.clear()
+        with Runtime(config=config):
+            a2, b2 = wait_on([draw(0), draw(0)])
+        # call lineage replays each occurrence with its own value
+        assert (a2, b2) == (1, 2)
+        assert CALLS == []
+
+
+class TestRetryInteraction:
+    def test_successful_retry_checkpoints_once(self, tmp_path):
+        @task(returns=1, max_retries=2)
+        def flaky(x):
+            CALLS.append("flaky")
+            return x + 1
+
+        config = cfg(tmp_path)
+        with faults.inject(faults.fail_nth("flaky", 1)):
+            with Runtime(config=config) as rt:
+                assert wait_on(flaky(1)) == 2
+                assert rt.stats()["checkpoint_writes"] == 1
+        CALLS.clear()
+        with Runtime(config=config) as rt:
+            assert wait_on(flaky(1)) == 2
+            assert rt.stats()["restored"] == 1
+        assert CALLS == []
+
+
+class TestReporting:
+    def test_provenance_separates_restored_from_executed(self, tmp_path):
+        config = cfg(tmp_path)
+        run_chain(config=config)
+        _, trace, _, graph = run_chain(config=config)
+        record = build_provenance("chain", graph, trace)
+        assert record.restored["count"] == 5
+        assert record.restored["by_name"] == {"load": 2, "step": 2, "merge": 1}
+        # restored-only names contribute no timing rows
+        assert record.task_stats == {}
+
+    def test_dot_marks_restored_nodes(self, tmp_path):
+        config = cfg(tmp_path)
+        run_chain(config=config)
+        _, _, _, graph = run_chain(config=config)
+        dot = to_dot(graph)
+        assert dot.count("peripheries=2") == 5
+        assert "restored" in dot
+
+    def test_trace_roundtrips_restored_status(self, tmp_path):
+        config = cfg(tmp_path)
+        run_chain(config=config)
+        _, trace, _, _ = run_chain(config=config)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        from repro.runtime.tracing import Trace
+
+        loaded = Trace.load(path)
+        assert loaded.n_restored == 5
+        assert [r.status for r in loaded] == [r.status for r in trace]
+
+
+class TestFaultRules:
+    def test_kill_rule_requires_after(self):
+        with pytest.raises(ValueError):
+            faults.FaultRule(task="*", kind="kill")
+
+    def test_kill_after_n_validates(self):
+        with pytest.raises(ValueError):
+            faults.kill_after_n_tasks(-1)
+
+    def test_corrupt_nth_needs_indices(self):
+        with pytest.raises(ValueError):
+            faults.corrupt_nth("step")
+
+    def test_kill_fires_on_the_n_plus_first_execution(self, tmp_path):
+        config = cfg(tmp_path)
+        with pytest.raises(WorkflowKilledError):
+            with faults.inject(faults.kill_after_n_tasks(0)):
+                run_chain(config=config)
+        assert CALLS == []  # the very first execution died
