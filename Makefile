@@ -1,4 +1,4 @@
-.PHONY: check lint test resilience
+.PHONY: check lint test resilience stress
 
 check:
 	bash scripts/check.sh
@@ -11,3 +11,6 @@ test:
 
 resilience:
 	bash scripts/check.sh resilience
+
+stress:
+	PYTHONPATH=src python -m repro stress --seeds 20

@@ -29,20 +29,31 @@ N_TASKS = 200
 
 def test_sequential_task_overhead(benchmark):
     def run():
-        with Runtime(executor="sequential"):
-            return wait_on([_noop(i) for i in range(N_TASKS)])
+        with Runtime(executor="sequential") as rt:
+            out = wait_on([_noop(i) for i in range(N_TASKS)])
+            wakeups = rt.stats()["idle_wakeups"]
+        return out, wakeups
 
-    out = benchmark(run)
+    out, wakeups = benchmark(run)
     assert out == list(range(N_TASKS))
+    # Sequential execution is saturated by definition (every wait finds
+    # its value already computed): a quiesced run must never have
+    # parked a thread.  Any nonzero count is a scheduler regression.
+    assert wakeups == 0
 
 
 def test_threads_task_overhead(benchmark):
     def run():
-        with Runtime(executor="threads", max_workers=4):
-            return wait_on([_noop(i) for i in range(N_TASKS)])
+        with Runtime(executor="threads", max_workers=4) as rt:
+            out = wait_on([_noop(i) for i in range(N_TASKS)])
+            wakeups = rt.stats()["idle_wakeups"]
+        return out, wakeups
 
-    out = benchmark(run)
+    out, wakeups = benchmark(run)
     assert out == list(range(N_TASKS))
+    # Every park must be attributable to an event wait, never a poll:
+    # bounded by the number of tasks, independent of wall-clock time.
+    assert wakeups <= N_TASKS
 
 
 def test_threads_amortise_numeric_work(benchmark):

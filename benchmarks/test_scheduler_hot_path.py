@@ -1,0 +1,168 @@
+"""Scheduler hot-path microbenchmarks.
+
+Not a paper figure — the perf trajectory of the runtime itself.  The
+paper's scalability claims (Figs. 11a-c) assume per-task runtime
+overhead is small relative to task work; these benchmarks pin down
+that overhead for the local executors and fail loudly if the
+scheduling hot path regresses:
+
+* **submit latency** — cost of one task submission (dependency
+  detection + enqueue), with the pool draining concurrently;
+* **many-small-tasks throughput** — end-to-end tasks/second for a
+  flood of no-op tasks, the fine-grained-task regime the event-driven
+  scheduler is built for;
+* **dependency-chain latency** — per-edge cost when every task gates
+  the next (scheduler wake-up path, no parallelism to hide it);
+* **wakeup discipline** — scheduler counters of the same runs:
+  parked-thread wakeups must scale with completions, never with time
+  (the no-poll invariant).
+
+Results are written to ``BENCH_scheduler.json`` at the repository root
+so successive PRs can compare runs (see CHANGES.md for the history).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+import pytest
+
+from repro.runtime import Runtime, task, wait_on
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_scheduler.json"
+
+N_FLOOD = 2000
+N_CHAIN = 400
+REPEATS = 5
+
+_metrics: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_file():
+    """Persist every metric recorded this session to BENCH_scheduler.json."""
+    yield
+    if not _metrics:
+        return
+    from repro.runtime import atomic_write
+
+    payload = {
+        "bench": "scheduler_hot_path",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {"n_flood": N_FLOOD, "n_chain": N_CHAIN, "repeats": REPEATS},
+        "metrics": _metrics,
+    }
+    atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@task(returns=1)
+def _noop(x):
+    return x
+
+
+def _timed(fn, repeats: int = REPEATS) -> list[float]:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _record(name: str, **fields) -> None:
+    _metrics[name] = fields
+
+
+def test_submit_latency_threads():
+    """Per-submission cost under the threads executor, pool draining
+    concurrently with the submitting thread."""
+    per_submit_us = []
+    for _ in range(REPEATS):
+        with Runtime(executor="threads", max_workers=4):
+            t0 = time.perf_counter()
+            futs = [_noop(i) for i in range(N_FLOOD)]
+            t1 = time.perf_counter()
+            out = wait_on(futs)
+        assert out == list(range(N_FLOOD))
+        per_submit_us.append((t1 - t0) / N_FLOOD * 1e6)
+    _record(
+        "submit_latency_threads",
+        unit="us/task",
+        median=statistics.median(per_submit_us),
+        min=min(per_submit_us),
+        samples=per_submit_us,
+    )
+
+
+def test_many_small_tasks_throughput():
+    """End-to-end submit+schedule+drain throughput for a flood of
+    no-op tasks — the fine-grained-task regime."""
+    stats = {}
+
+    def run():
+        with Runtime(executor="threads", max_workers=4) as rt:
+            out = wait_on([_noop(i) for i in range(N_FLOOD)])
+            stats.update(rt.stats())
+        assert len(out) == N_FLOOD
+
+    samples = _timed(run)
+    best = min(samples)
+    sched = stats.get("scheduler", {})
+    _record(
+        "many_small_tasks",
+        unit="tasks/s",
+        tasks_per_s=N_FLOOD / best,
+        wall_s=best,
+        idle_wakeups=stats.get("idle_wakeups"),
+        worker_parks=sched.get("worker_parks"),
+        samples=[N_FLOOD / s for s in samples],
+    )
+    # The no-poll invariant: wakeups are caused by events (completions,
+    # enqueues), never by timers, so they are bounded by task count and
+    # can never scale with wall-clock time.
+    assert stats.get("idle_wakeups", 0) <= N_FLOOD
+
+
+def test_submit_latency_sequential():
+    """Per-task cost of the sequential executor (submission == run)."""
+    per_task_us = []
+    for _ in range(REPEATS):
+        with Runtime(executor="sequential"):
+            t0 = time.perf_counter()
+            out = wait_on([_noop(i) for i in range(N_FLOOD)])
+            dt = time.perf_counter() - t0
+        assert len(out) == N_FLOOD
+        per_task_us.append(dt / N_FLOOD * 1e6)
+    _record(
+        "submit_latency_sequential",
+        unit="us/task",
+        median=statistics.median(per_task_us),
+        min=min(per_task_us),
+        samples=per_task_us,
+    )
+
+
+def test_dependency_chain_latency():
+    """Per-edge scheduling latency: a serial chain leaves no
+    parallelism, so the wake-up path *is* the cost."""
+    per_edge_us = []
+    for _ in range(REPEATS):
+        with Runtime(executor="threads", max_workers=2):
+            t0 = time.perf_counter()
+            f = _noop(0)
+            for _ in range(N_CHAIN):
+                f = _noop(f)
+            assert wait_on(f) == 0
+            dt = time.perf_counter() - t0
+        per_edge_us.append(dt / N_CHAIN * 1e6)
+    _record(
+        "dependency_chain",
+        unit="us/edge",
+        median=statistics.median(per_edge_us),
+        min=min(per_edge_us),
+        samples=per_edge_us,
+    )

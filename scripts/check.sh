@@ -2,10 +2,11 @@
 # Single local CI gate: lint (if ruff is available) + the test suite +
 # the crash-resume smoke test.
 #
-#   scripts/check.sh             run lint, tests, then the resilience smoke
+#   scripts/check.sh             run lint, tests, resilience smoke, stress
 #   scripts/check.sh lint        lint only
 #   scripts/check.sh test        tests only
 #   scripts/check.sh resilience  crash-resume smoke test only
+#   scripts/check.sh stress      scheduler concurrency stress (fixed seeds)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,10 +31,18 @@ run_resilience() {
     PYTHONPATH=src python scripts/resilience_smoke.py
 }
 
+run_stress() {
+    # Small fixed seed set for the CI gate (one seed per scenario
+    # family + a second mixed round); `make stress` runs 20 seeds.
+    echo "== scheduler concurrency stress (fixed seeds) =="
+    PYTHONPATH=src python -m repro stress --seed 0 --seed 1 --seed 2 --seed 3 --seed 4 --seed 7
+}
+
 case "$mode" in
     lint)       run_lint ;;
     test)       run_tests ;;
     resilience) run_resilience ;;
-    all)        run_lint; run_tests; run_resilience ;;
-    *)          echo "usage: scripts/check.sh [lint|test|resilience]" >&2; exit 2 ;;
+    stress)     run_stress ;;
+    all)        run_lint; run_tests; run_resilience; run_stress ;;
+    *)          echo "usage: scripts/check.sh [lint|test|resilience|stress]" >&2; exit 2 ;;
 esac

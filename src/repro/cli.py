@@ -15,6 +15,9 @@ Commands:
   check, or garbage-collect a checkpoint store written by a
   ``Runtime(config=RuntimeConfig(checkpoint_dir=...))`` run (or by the
   epoch/round/grid checkpoints of the higher layers).
+* ``stress [--seeds N]`` — the scheduler concurrency stress harness
+  (seeded random schedules; fails on hangs, lost wakeups, wrong values
+  or state-machine violations).  ``make stress`` is the same thing.
 """
 
 from __future__ import annotations
@@ -238,6 +241,18 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from repro.runtime import stress
+
+    seeds = args.seed if args.seed else range(args.seeds)
+    reports = stress.run_suite(
+        seeds, n_ops=args.ops, workers=args.workers, timeout=args.timeout
+    )
+    failed = [r for r in reports if not r.ok]
+    print(f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -285,6 +300,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     p5.add_argument("--all", action="store_true", help="prune: empty the store")
     p5.set_defaults(func=_cmd_checkpoint)
+
+    p6 = sub.add_parser("stress", help="scheduler concurrency stress harness")
+    p6.add_argument("--seeds", type=int, default=20, help="run seeds 0..N-1")
+    p6.add_argument(
+        "--seed", type=int, action="append", default=None, help="specific seed(s)"
+    )
+    p6.add_argument("--ops", type=int, default=120, help="operations per seed")
+    p6.add_argument("--workers", type=int, default=4, help="pool size")
+    p6.add_argument(
+        "--timeout", type=float, default=60.0, help="per-seed hang watchdog (s)"
+    )
+    p6.set_defaults(func=_cmd_stress)
 
     args = parser.parse_args(argv)
     return args.func(args)

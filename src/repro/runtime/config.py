@@ -24,6 +24,7 @@ Environment variables (all optional):
 ``REPRO_JITTER_SEED``     seed of the deterministic retry jitter
 ``REPRO_TRACE``           ``1``/``0`` — collect task records
 ``REPRO_CHECKPOINT_DIR``  checkpoint-store directory (enables resume)
+``REPRO_DEBUG_INVARIANTS``  ``1``/``0`` — validate state transitions
 ========================  =====================================
 """
 
@@ -68,6 +69,12 @@ class RuntimeConfig:
     #: (crash/resume), and checkpoints every completed pure task.
     #: ``None`` (default) disables checkpointing entirely.
     checkpoint_dir: str | None = None
+    #: Validate every task state transition against the lifecycle
+    #: state machine and record violations (see
+    #: ``Runtime.check_invariants``).  Cheap but not free; enabled by
+    #: the concurrency stress harness (:mod:`repro.runtime.stress`),
+    #: off by default in production.
+    debug_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -116,6 +123,7 @@ class RuntimeConfig:
         take("REPRO_JITTER_SEED", "jitter_seed", int)
         take("REPRO_TRACE", "collect_trace", _parse_bool)
         take("REPRO_CHECKPOINT_DIR", "checkpoint_dir", str)
+        take("REPRO_DEBUG_INVARIANTS", "debug_invariants", _parse_bool)
         values.update(overrides)
         return cls(**values)
 

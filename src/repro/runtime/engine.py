@@ -10,8 +10,30 @@ inline (``sequential`` executor) or on a pool of worker threads
 Worker threads use *help-while-waiting*: any thread blocked in
 ``wait_on`` or a barrier keeps executing ready tasks, so nested task
 graphs (tasks spawning tasks, the paper's "nesting" feature) can never
-deadlock the pool.  Idle waiters park on a condition variable that is
-notified on every task completion and enqueue, instead of spinning.
+deadlock the pool.
+
+The scheduler is **event-driven**: idle threads park on a condition
+variable with *no timeout* and are woken only by events — a task
+enqueue (targeted ``notify``), a completion/cancellation (broadcast),
+a kill, an abort, or shutdown.  Every state change a parked thread's
+predicate can depend on is followed by a notification issued *after*
+the change is visible, and parked threads re-check their predicate
+under the condition's lock before waiting, so no wakeup can be lost
+(see ``docs/architecture.md`` for the full argument).  A waiter that
+parked and then exits with work still queued re-issues one ``notify``
+(the hand-off baton), so a targeted wakeup absorbed by a thread that
+did not consume the ready task is always passed on.
+
+The submission path is split across locks so concurrent submitters do
+not serialise on one global lock: dependency detection runs under a
+dedicated ``_dep_lock`` (keeping registry write-chains and task-id
+order consistent), checkpoint-signature hashing under ``_sig_lock``,
+the ready queue under the scheduler condition, and only the cheap
+bookkeeping (task registration, scope counts) under ``_state_lock``.
+A dependency discovered through the registry may name a task that has
+allocated its id but not yet finished registering; it is counted as
+unresolved and its completion — which necessarily happens after its
+registration — releases the child like any other.
 
 Failure management (COMPSs ``on_failure``) lives here too: when a task
 attempt raises — organically, via an injected fault, or through the
@@ -62,11 +84,21 @@ from repro.runtime.model import (
     READY,
     RESTORED,
     RUNNING,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
     TaskInstance,
     TaskSpec,
 )
 from repro.runtime.registry import DataRegistry
-from repro.runtime.tracing import TaskRecord, TraceCollector, Trace, estimate_nbytes
+from repro.runtime.tracing import (
+    SchedulerCounters,
+    TaskRecord,
+    Trace,
+    TraceCollector,
+    estimate_nbytes,
+)
+
+_logger = logging.getLogger("repro.runtime")
 
 _tls = threading.local()
 
@@ -101,6 +133,14 @@ class Scope:
     def task_finished(self) -> None:
         with self._lock:
             self._unfinished -= 1
+            negative = self._unfinished < 0
+        if negative:
+            # A task was "finished" more often than submitted: double
+            # completion bookkeeping.  Record instead of raising — the
+            # stress harness turns this into a hard failure.
+            self.runtime._record_violation(
+                f"scope(parent={self.parent_task_id}) pending count went negative"
+            )
 
     @property
     def pending(self) -> int:
@@ -178,14 +218,33 @@ class Runtime:
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
+        #: every attempt, keyed by its own task id (retries included).
         self._tasks: dict[int, TaskInstance] = {}
+        #: root task id -> *latest* attempt.  Futures and dependency
+        #: edges reference root ids, so dependents submitted mid-retry
+        #: must see the live attempt, while ``_tasks`` keeps every
+        #: attempt distinct for ``stats()`` and the trace.
+        self._by_root: dict[int, TaskInstance] = {}
         self._children: dict[int, list[TaskInstance]] = collections.defaultdict(list)
         self._next_task_id = 0
+        #: Guards cheap bookkeeping only: task registration, unfinished
+        #: counts, timers, abort/kill flags.  Never held while acquiring
+        #: the scheduler condition.
         self._state_lock = threading.Lock()
+        #: Serialises dependency detection: task-id allocation plus the
+        #: registry read/write pass, so INOUT write-chains stay ordered
+        #: by task id even under concurrent submission.
+        self._dep_lock = threading.Lock()
+        #: Guards checkpoint-signature state (occurrence counters,
+        #: identity cache, signature table) — hashing itself runs
+        #: outside every lock.
+        self._sig_lock = threading.Lock()
         #: ready heap: (-priority, seq, TaskInstance) — higher priority
-        #: first, FIFO within a priority level.
+        #: first, FIFO within a priority level.  Guarded by ``_cond``.
         self._ready: list[tuple[int, int, TaskInstance]] = []
         self._ready_seq = 0
+        #: The scheduler condition: workers and waiters park here with
+        #: no timeout; every producer of work or progress notifies it.
         self._cond = threading.Condition()
         self._shutdown = False
         self._threads: list[threading.Thread] = []
@@ -195,10 +254,14 @@ class Runtime:
         self._aborted: BaseException | None = None
         self._killed: BaseException | None = None
         # -- monitoring counters ---------------------------------------
-        self._idle_wakeups = 0
+        self._counters = SchedulerCounters()
         self._n_retries = 0
         self._n_ignored = 0
         self._n_timeouts = 0
+        # -- invariant tracking ----------------------------------------
+        self._violations: list[str] = []
+        self._violations_lock = threading.Lock()
+        self._debug = cfg.debug_invariants
         # -- checkpoint/restart ----------------------------------------
         #: Store persisting completed task outputs (None = disabled).
         self.checkpoint_store: ckpt.CheckpointStore | None = (
@@ -241,6 +304,7 @@ class Runtime:
             self._help_until(lambda: self.unfinished == 0)
         with self._cond:
             self._shutdown = True
+            self._counters.broadcasts += 1
             self._cond.notify_all()
         with self._state_lock:
             timers = list(self._timers)
@@ -292,17 +356,28 @@ class Runtime:
             scope = self.root_scope
         parent_id = scope.parent_task_id
 
-        with self._state_lock:
+        # -- phase 1 (no lock): argument scan ---------------------------
+        future_deps = [
+            fut.task_id
+            for fut in scan_futures((args, kwargs))
+            if fut._runtime_id == self.runtime_id
+        ]
+        bound = _bind_arguments(spec, args, kwargs)
+
+        # -- phase 2 (dep lock): id allocation + registry pass ----------
+        # The lock keeps registry write-chains ordered by task id; a
+        # contended acquisition is counted as submit-path contention.
+        contended = not self._dep_lock.acquire(blocking=False)
+        if contended:
+            self._dep_lock.acquire()
+        try:
+            if contended:
+                self._counters.submit_contentions += 1
             task_id = self._next_task_id
             self._next_task_id += 1
 
-            deps: set[int] = set()
-            # (1) read-after-write through futures in the arguments.
-            for fut in scan_futures((args, kwargs)):
-                if fut._runtime_id == self.runtime_id:
-                    deps.add(fut.task_id)
-            # (2) dependencies through mutated objects (INOUT/OUT).
-            bound = _bind_arguments(spec, args, kwargs)
+            deps: set[int] = set(future_deps)
+            # dependencies through mutated objects (INOUT/OUT).
             for pname, value in bound.items():
                 direction = spec.directions.get(pname, Direction.IN)
                 for obj in _identity_candidates(value):
@@ -311,53 +386,74 @@ class Runtime:
                         deps.add(writer)
                     if direction is not Direction.IN:
                         self.registry.record_write(obj, task_id)
+        finally:
+            self._dep_lock.release()
 
-            futures = tuple(
-                Future(task_id, i, self.runtime_id) for i in range(spec.returns)
-            )
-            inst = TaskInstance(
-                task_id=task_id,
-                spec=spec,
-                args=args,
-                kwargs=kwargs,
-                deps=frozenset(deps),
-                futures=futures,
-                parent_id=parent_id,
-                label=effective_label,
-            )
-            inst.options = resolved
-            restored_values: tuple | None = None
-            if self.checkpoint_store is not None:
-                signature = self._task_signature(spec, args, kwargs, resolved)
-                if signature is not None:
-                    inst.signature = signature
+        futures = tuple(
+            Future(task_id, i, self.runtime_id) for i in range(spec.returns)
+        )
+        inst = TaskInstance(
+            task_id=task_id,
+            spec=spec,
+            args=args,
+            kwargs=kwargs,
+            deps=frozenset(deps),
+            futures=futures,
+            parent_id=parent_id,
+            label=effective_label,
+        )
+        inst.options = resolved
+
+        # -- phase 3 (sig lock inside): checkpoint signature ------------
+        restored_values: tuple | None = None
+        if self.checkpoint_store is not None:
+            signature = self._task_signature(spec, args, kwargs, resolved)
+            if signature is not None:
+                inst.signature = signature
+                with self._sig_lock:
                     self._signatures[task_id] = signature
-                    restored_values = self.checkpoint_store.get(
-                        signature, expect=spec.returns
-                    )
+                restored_values = self.checkpoint_store.get(
+                    signature, expect=spec.returns
+                )
+
+        # -- phase 4 (graph lock inside): DAG node ----------------------
+        # Added before registration so cancellation/completion paths
+        # reached through ``_children`` always find the node.
+        self.graph.add_task(
+            task_id,
+            spec.name,
+            deps,
+            parent=parent_id,
+            computing_units=spec.constraints.computing_units,
+            gpus=spec.constraints.gpus,
+        )
+
+        # -- phase 5 (state lock): registration -------------------------
+        with self._state_lock:
             self._tasks[task_id] = inst
-            self.graph.add_task(
-                task_id,
-                spec.name,
-                deps,
-                parent=parent_id,
-                computing_units=spec.constraints.computing_units,
-                gpus=spec.constraints.gpus,
-            )
+            self._by_root[task_id] = inst
             scope.task_submitted(task_id)
             inst._owner_scope = scope  # type: ignore[attr-defined]
             self._unfinished_total += 1
 
             unresolved = 0
+            upstream_failed = False
             if restored_values is None:
                 for dep in deps:
-                    dep_inst = self._tasks.get(dep)
-                    if dep_inst is not None and dep_inst.state not in (DONE, IGNORED, FAILED, CANCELLED):
+                    dep_inst = self._by_root.get(dep)
+                    if dep_inst is None:
+                        # The dep allocated its id (phase 2 of its own
+                        # submission) but has not registered yet; it
+                        # cannot have completed, so it is unresolved and
+                        # its completion will find us in ``_children``.
                         self._children[dep].append(inst)
                         unresolved += 1
-                    elif dep_inst is not None and dep_inst.state in (FAILED, CANCELLED):
+                    elif dep_inst.state not in TERMINAL_STATES:
+                        self._children[dep].append(inst)
+                        unresolved += 1
+                    elif dep_inst.state in (FAILED, CANCELLED):
                         # upstream already failed: cancel immediately below.
-                        inst.state = CANCELLED
+                        upstream_failed = True
             inst._remaining = unresolved
 
         if restored_values is not None:
@@ -365,8 +461,8 @@ class Runtime:
             # inputs need not even exist), its futures resolve to the
             # persisted outputs and the DAG records a "restored" node.
             self._restore(inst, restored_values)
-        elif inst.state == CANCELLED:
-            self._cancel(inst)
+        elif upstream_failed:
+            self._cancel_pending(inst)
         elif self.executor == "sequential":
             # Submission order is a topological order, so deps are done.
             self._execute(inst)
@@ -388,23 +484,28 @@ class Runtime:
         replaying the result would skip the side effect), no return
         values, or an argument that cannot be fingerprinted.
 
-        Called under ``_state_lock``: the occurrence counter makes
+        Hashing (function identity + argument fingerprints) runs
+        outside every lock — it is the expensive part — and only the
+        occurrence counter is taken under ``_sig_lock``: it makes
         repeated identical calls distinct ("call lineage"), which is
         deterministic for the sequential executor and for any program
         whose submission order is fixed.
         """
         if not resolved.checkpoint or spec.returns == 0 or spec.has_writes:
             return None
-        ident = self._identities.get(id(spec))
+        with self._sig_lock:
+            ident = self._identities.get(id(spec))
         if ident is None:
             ident = ckpt.function_identity(spec.func, name=spec.name)
-            self._identities[id(spec)] = ident
+            with self._sig_lock:
+                self._identities[id(spec)] = ident
         try:
             base = ckpt.task_signature(ident, args, kwargs, resolve=self._future_key)
         except ckpt.UnfingerprintableError:
             return None
-        occurrence = self._sig_counts[base]
-        self._sig_counts[base] += 1
+        with self._sig_lock:
+            occurrence = self._sig_counts[base]
+            self._sig_counts[base] += 1
         return f"{base}#{occurrence}"
 
     def _future_key(self, fut: Future) -> str:
@@ -416,7 +517,8 @@ class Runtime:
         """
         if fut._runtime_id != self.runtime_id:
             raise ckpt.UnfingerprintableError("future from another runtime")
-        sig = self._signatures.get(fut.task_id)
+        with self._sig_lock:
+            sig = self._signatures.get(fut.task_id)
         if sig is None:
             raise ckpt.UnfingerprintableError(
                 "future produced by a non-checkpointable task"
@@ -441,11 +543,15 @@ class Runtime:
     # scheduling
     # ------------------------------------------------------------------
     def _enqueue(self, inst: TaskInstance) -> None:
-        inst.state = READY
+        self._set_state(inst, READY)
         priority = inst.options.priority if inst.options is not None else 0
         with self._cond:
             heapq.heappush(self._ready, (-priority, self._ready_seq, inst))
             self._ready_seq += 1
+            # One new task, one targeted wakeup: any woken thread —
+            # worker or helping waiter — will consume it (or pass the
+            # baton on exit, see _help_until).
+            self._counters.notifies += 1
             self._cond.notify()
 
     def _pop_ready(self) -> TaskInstance | None:
@@ -454,59 +560,112 @@ class Runtime:
                 return heapq.heappop(self._ready)[2]
             return None
 
+    def _broadcast(self) -> None:
+        """Wake every parked thread.  Issued after any state change a
+        waiter predicate can depend on (completion, cancellation, kill,
+        abort): the change is made visible *before* the broadcast, and
+        parked threads re-check under the condition's lock before
+        waiting, so progress notifications cannot be lost."""
+        with self._cond:
+            self._counters.broadcasts += 1
+            self._cond.notify_all()
+
     def _worker_loop(self) -> None:
         while True:
-            inst = None
             with self._cond:
+                # Event-driven: park with no timeout.  Every producer
+                # of work notifies; shutdown broadcasts.  A worker only
+                # exits once the queue is drained after shutdown.
                 while not self._ready and not self._shutdown:
-                    self._cond.wait(timeout=0.1)
-                if self._shutdown and not self._ready:
+                    self._counters.worker_parks += 1
+                    self._cond.wait()
+                if not self._ready:
                     return
-                if self._ready:
-                    inst = heapq.heappop(self._ready)[2]
-            if inst is not None:
-                try:
-                    self._execute(inst)
-                except WorkflowKilledError as exc:
-                    # A kill on a worker thread must not die silently
-                    # (the workflow would hang): record it so every
-                    # waiter re-raises, then let this worker exit.
-                    self._kill(exc)
-                    return
+                inst = heapq.heappop(self._ready)[2]
+            try:
+                self._execute(inst)
+            except BaseException as exc:  # noqa: BLE001
+                # _execute already routed kills/BaseExceptions through
+                # _kill; this is belt-and-braces so a worker can never
+                # die silently and strand parked waiters.
+                self._kill(exc)
+                return
 
     def _kill(self, error: BaseException) -> None:
+        """Record a workflow kill and wake every parked thread so
+        ``wait_on``/``barrier`` re-raise instead of hanging.  The first
+        kill wins; later ones only re-broadcast."""
         with self._state_lock:
             if self._killed is None:
                 self._killed = error
-        with self._cond:
-            self._cond.notify_all()
+        self._broadcast()
+
+    def _record_violation(self, message: str) -> None:
+        """Log and remember a broken runtime invariant (negative scope
+        count, illegal state transition).  Violations never raise on
+        the hot path; ``check_invariants()`` surfaces them and the
+        stress harness fails on any."""
+        with self._violations_lock:
+            self._violations.append(message)
+        _logger.warning("runtime invariant violated: %s", message)
+
+    def _set_state(self, inst: TaskInstance, new_state: str) -> None:
+        """Transition *inst*, validating against the lifecycle state
+        machine when ``debug_invariants`` is on."""
+        if self._debug:
+            old = inst.state
+            if old != new_state and new_state not in VALID_TRANSITIONS.get(old, frozenset()):
+                self._record_violation(
+                    f"illegal transition {old} -> {new_state} "
+                    f"for {inst.name}#{inst.task_id}"
+                )
+        inst.state = new_state
 
     def _help_until(self, predicate: Callable[[], bool]) -> None:
         """Run ready tasks (if any) until *predicate* holds.
 
         Called from any thread that needs to block on runtime progress;
         turning waiters into workers keeps nested graphs deadlock-free.
-        When nothing is runnable the waiter parks on the condition
-        variable (notified on every completion/enqueue) instead of
-        busy-spinning; ``stats()["idle_wakeups"]`` counts the parks.
+        When nothing is runnable the waiter parks on the scheduler
+        condition with **no timeout**: completions broadcast, enqueues
+        notify, and a kill/abort/shutdown broadcast always reaches a
+        parked thread, so a timeout safety net is unnecessary.
+        ``stats()["idle_wakeups"]`` counts the parks.
+
+        A parked waiter may absorb a targeted enqueue ``notify`` and
+        then exit because its own predicate turned true; the ``finally``
+        clause re-notifies if work is still queued (the baton hand-off)
+        so that wakeup is never lost to the other parked threads.
         """
-        while not predicate():
-            if self._killed is not None:
-                raise self._killed
-            inst = self._pop_ready()
-            if inst is not None:
-                self._execute(inst)
-                continue
-            with self._cond:
-                if self._ready or predicate():
+        parked = False
+        try:
+            while not predicate():
+                if self._killed is not None:
+                    raise self._killed
+                inst = self._pop_ready()
+                if inst is not None:
+                    self._execute(inst)
                     continue
-                if self._shutdown:
-                    raise RuntimeStateError(
-                        "runtime shut down while waiting for tasks"
-                    )
-                self._idle_wakeups += 1
-                # Timeout is a safety net only: completions notify.
-                self._cond.wait(timeout=0.05)
+                with self._cond:
+                    # Re-check under the lock: any notifier changes
+                    # state before notifying under this same lock, so
+                    # passing these checks and then waiting cannot miss
+                    # a wakeup.
+                    if self._ready or predicate() or self._killed is not None:
+                        continue
+                    if self._shutdown:
+                        raise RuntimeStateError(
+                            "runtime shut down while waiting for tasks"
+                        )
+                    parked = True
+                    self._counters.idle_wakeups += 1
+                    self._cond.wait()
+        finally:
+            if parked:
+                with self._cond:
+                    if self._ready:
+                        self._counters.notifies += 1
+                        self._cond.notify()
 
     # ------------------------------------------------------------------
     # execution
@@ -555,9 +714,14 @@ class Runtime:
         return outcome["value"]
 
     def _execute(self, inst: TaskInstance) -> None:
-        if inst.state == CANCELLED or inst._finalized:
-            return
-        inst.state = RUNNING
+        prev_state = inst.claim_run()
+        if prev_state is None:
+            return  # cancelled (or finalized) before it could start
+        if self._debug and RUNNING not in VALID_TRANSITIONS.get(prev_state, frozenset()):
+            self._record_violation(
+                f"illegal transition {prev_state} -> {RUNNING} "
+                f"for {inst.name}#{inst.task_id}"
+            )
         outer_scope = _current_scope()
         scope = Scope(self, parent_task_id=inst.task_id)
         time_out = inst.options.time_out if inst.options is not None else None
@@ -577,11 +741,33 @@ class Runtime:
                     elapsed = (time.perf_counter() - self._epoch) - t_start
                     if elapsed > time_out:
                         raise TaskTimeoutError(inst.name, inst.task_id, time_out)
+        except WorkflowKilledError as exc:
+            # Simulated process death: tears through the failure
+            # policies, but every parked thread must still learn about
+            # it — no silently-dead worker, no hung waiter.
+            _tls.scope = outer_scope
+            self._kill(exc)
+            raise
         except Exception as exc:  # noqa: BLE001 - routed to failure policies
             t_end = time.perf_counter() - self._epoch
             _tls.scope = outer_scope
             self._fail(inst, exc, t_start, t_end)
             return
+        except BaseException as exc:  # noqa: BLE001
+            # KeyboardInterrupt & friends escaping a task body: fail
+            # the task terminally (retrying an interrupt would be
+            # wrong) and kill the workflow so every waiter re-raises
+            # instead of hanging on a dead worker thread.
+            t_end = time.perf_counter() - self._epoch
+            _tls.scope = outer_scope
+            self._kill(exc)
+            error = TaskExecutionError(inst.name, inst.task_id, exc)
+            inst.error = error
+            self._record(inst, t_start, t_end, status="failed", error=exc)
+            for fut in inst.futures:
+                fut._set_error(error)
+            self._complete(inst, FAILED)
+            raise
         t_end = time.perf_counter() - self._epoch
         _tls.scope = outer_scope
 
@@ -664,6 +850,7 @@ class Runtime:
             and inst.attempt < options.max_retries
             and not self._shutdown
             and self._aborted is None
+            and self._killed is None
         )
         if can_retry:
             self._record(inst, t_start, t_end, status="failed", error=exc)
@@ -722,9 +909,11 @@ class Runtime:
             # Futures (and therefore dependents) reference the first
             # attempt's id, so the root entry must track the latest
             # attempt: new dependents submitted mid-retry then see a
-            # live (not failed) producer.  Child bookkeeping is keyed
-            # by root id throughout, so no hand-over is needed.
-            self._tasks[new.root_id] = new
+            # live (not failed) producer.  ``_tasks`` keeps the failed
+            # attempt under its own id — each attempt stays a distinct
+            # instance, so ``stats()`` counts it exactly once.  Child
+            # bookkeeping is keyed by root id, so no hand-over needed.
+            self._by_root[new.root_id] = new
             self.graph.add_retry(
                 inst.task_id,
                 new_id,
@@ -740,7 +929,7 @@ class Runtime:
             # Close out the failed attempt (dependents follow the root
             # id, so they transparently wait for the new attempt).
             inst.try_finalize()
-            inst.state = FAILED
+            self._set_state(inst, FAILED)
             self._unfinished_total -= 1
         scope.task_finished()
         self.graph.set_attr(inst.task_id, state=FAILED, retried=True)
@@ -763,8 +952,7 @@ class Runtime:
             def fire() -> None:
                 with self._state_lock:
                     self._timers.discard(timer)
-                if self._shutdown:
-                    new.state = CANCELLED
+                if self._shutdown or self._killed is not None or self._aborted is not None:
                     self._cancel_pending(new)
                 else:
                     self._enqueue(new)
@@ -777,59 +965,77 @@ class Runtime:
 
     def _abort(self, error: BaseException) -> None:
         """``on_failure="FAIL"``: stop the workflow — cancel every task
-        that has not started yet; running tasks finish undisturbed."""
+        that has not started yet; running tasks finish undisturbed.
+        ``try_cancel`` (inside ``_cancel_pending``) arbitrates the race
+        against workers picking victims up concurrently: exactly one
+        side wins per task."""
         with self._state_lock:
             if self._aborted is not None:
                 return
             self._aborted = error
             victims = [i for i in self._tasks.values() if i.state in (PENDING, READY)]
         for inst in victims:
-            if inst.state in (PENDING, READY):
-                inst.state = CANCELLED
-                self._cancel_pending(inst)
-        with self._cond:
-            self._cond.notify_all()
-
-    def _cancel(self, inst: TaskInstance) -> None:
-        for fut in inst.futures:
-            fut._cancel()
-        self._complete(inst, CANCELLED)
+            self._cancel_pending(inst)
+        self._broadcast()
 
     def _complete(self, inst: TaskInstance, state: str) -> None:
         if not inst.try_finalize():
             return
+        self._set_state(inst, state)
         with self._state_lock:
-            inst.state = state
             children = self._children.pop(inst.root_id, [])
             self._unfinished_total -= 1
         getattr(inst, "_owner_scope").task_finished()
         self.graph.set_attr(inst.task_id, state=state)
         failure = state in (FAILED, CANCELLED)
+        to_enqueue: list[TaskInstance] = []
         for child in children:
             if failure:
                 # Propagate: the child can never run.
-                if child.state in (PENDING, READY):
-                    child.state = CANCELLED
-                    self._cancel_pending(child)
+                self._cancel_pending(child)
             elif child.dep_completed() and child.state == PENDING:
-                self._enqueue(child)
-        with self._cond:
-            self._cond.notify_all()
+                to_enqueue.append(child)
+        for child in to_enqueue:
+            self._enqueue(child)
+        # Wake every waiter whose predicate (futures done, scope
+        # drained, unfinished == 0) may have just turned true.  The
+        # state changes above happened before this broadcast, and
+        # waiters re-check under the condition before parking, so the
+        # wakeup cannot be lost.
+        self._broadcast()
 
     def _cancel_pending(self, inst: TaskInstance) -> None:
-        if not inst.try_finalize():
-            return
-        for fut in inst.futures:
-            fut._cancel()
-        with self._state_lock:
-            grandchildren = self._children.pop(inst.root_id, [])
-            self._unfinished_total -= 1
-        getattr(inst, "_owner_scope").task_finished()
-        self.graph.set_attr(inst.task_id, state=CANCELLED)
-        for gc in grandchildren:
-            if gc.state in (PENDING, READY):
-                gc.state = CANCELLED
-                self._cancel_pending(gc)
+        """Cancel *inst* and, transitively, every dependent waiting on
+        it.  Iterative worklist (failure chains can be deep); each node
+        is claimed via ``try_cancel`` so the bookkeeping runs exactly
+        once even when racing a worker or a second cancellation, and a
+        single broadcast at the end wakes waiters parked on any of the
+        now-cancelled futures or scopes."""
+        worklist = [inst]
+        cancelled_any = False
+        while worklist:
+            cur = worklist.pop()
+            prev = cur.try_cancel()
+            if prev is None:
+                continue  # already running or finalized: not ours
+            if self._debug and prev != CANCELLED and CANCELLED not in VALID_TRANSITIONS.get(
+                prev, frozenset()
+            ):
+                self._record_violation(
+                    f"illegal transition {prev} -> {CANCELLED} "
+                    f"for {cur.name}#{cur.task_id}"
+                )
+            cancelled_any = True
+            for fut in cur.futures:
+                fut._cancel()
+            with self._state_lock:
+                children = self._children.pop(cur.root_id, [])
+                self._unfinished_total -= 1
+            getattr(cur, "_owner_scope").task_finished()
+            self.graph.set_attr(cur.task_id, state=CANCELLED)
+            worklist.extend(children)
+        if cancelled_any:
+            self._broadcast()
 
     # ------------------------------------------------------------------
     # synchronisation & introspection
@@ -865,8 +1071,15 @@ class Runtime:
 
     def stats(self) -> dict:
         """Live snapshot: task counts by state and by name, queue depth,
-        pool configuration and failure-management counters — the
-        runtime's monitoring surface."""
+        pool configuration, failure-management counters and scheduler
+        telemetry — the runtime's monitoring surface.
+
+        ``by_state`` counts every *attempt* exactly once: a task that
+        failed once and succeeded on retry contributes one ``failed``
+        and one ``done`` (``_tasks`` holds each attempt under its own
+        id; the root alias lives in ``_by_root``, so nothing is counted
+        twice and no failed attempt is shadowed).
+        """
         with self._state_lock:
             by_state: dict[str, int] = {}
             for inst in self._tasks.values():
@@ -878,8 +1091,10 @@ class Runtime:
             restored = self._n_restored
             checkpoint_writes = self._n_checkpoint_writes
         with self._cond:
-            idle_wakeups = self._idle_wakeups
+            scheduler = self._counters.snapshot()
             ready_depth = len(self._ready)
+        with self._violations_lock:
+            violations = len(self._violations)
         return {
             "executor": self.executor,
             "max_workers": self.max_workers,
@@ -895,17 +1110,51 @@ class Runtime:
             "restored": restored,
             "checkpoint_writes": checkpoint_writes,
             "checkpointing": self.checkpoint_store is not None,
-            "idle_wakeups": idle_wakeups,
+            "idle_wakeups": scheduler["idle_wakeups"],
+            "scheduler": scheduler,
+            "invariant_violations": violations,
             "aborted": self._aborted is not None,
             "trace_enabled": self.config.collect_trace,
         }
+
+    def check_invariants(self, quiesced: bool = False) -> list[str]:
+        """Recorded invariant violations, plus — with ``quiesced=True``,
+        for a runtime known to be idle — structural checks: the ready
+        queue must be empty, no task may be mid-flight, and the
+        unfinished count must be zero.  Returns problem descriptions
+        (empty list = healthy); the stress harness fails on any."""
+        with self._violations_lock:
+            problems = list(self._violations)
+        if quiesced:
+            with self._state_lock:
+                unfinished = self._unfinished_total
+                instances = list(self._tasks.values())
+            if unfinished != 0:
+                problems.append(f"quiesced runtime has unfinished count {unfinished}")
+            with self._cond:
+                depth = len(self._ready)
+            if depth:
+                problems.append(f"quiesced runtime has {depth} tasks still queued")
+            for inst in instances:
+                if inst.state not in TERMINAL_STATES:
+                    problems.append(
+                        f"quiesced runtime holds {inst.name}#{inst.task_id} "
+                        f"in non-terminal state {inst.state!r}"
+                    )
+        return problems
 
     @property
     def n_tasks(self) -> int:
         return self.graph.n_tasks
 
     def task_state(self, task_id: int) -> str:
-        return self._tasks[task_id].state
+        """State of a task id.  For a retried task's root id this is the
+        *latest* attempt's state (what callers holding the original
+        futures observe); attempt ids resolve to their own instance."""
+        inst = self._by_root.get(task_id)
+        if inst is None:
+            inst = self._tasks[task_id]
+        return inst.state
 
 
 # ----------------------------------------------------------------------
@@ -946,25 +1195,40 @@ def _bind_arguments(
     spec: TaskSpec, args: tuple[Any, ...], kwargs: dict[str, Any]
 ) -> dict[str, Any]:
     """Map positional + keyword args to parameter names (best effort;
-    *args overflow is ignored for direction purposes)."""
+    *args overflow is ignored for direction purposes).  Declared
+    defaults are bound too: a direction-annotated parameter left at its
+    default still records its read/write against the default object
+    (Python evaluates defaults once, so its identity is stable across
+    calls — exactly what the INOUT version chain needs)."""
     bound: dict[str, Any] = {}
     for name, value in zip(spec.param_names, args):
         bound[name] = value
     bound.update(kwargs)
+    for name, value in spec.param_defaults.items():
+        bound.setdefault(name, value)
     return bound
 
 
+_SCALARS = (int, float, str, bytes, bool, type(None))
+
+
 def _identity_candidates(value: Any) -> Iterable[Any]:
-    """Objects whose identity may carry INOUT version chains."""
-    if isinstance(value, (int, float, str, bytes, bool, type(None))):
+    """Objects whose identity may carry INOUT version chains.
+
+    Containers are traversed one level deep — both sequences and dict
+    *values* (a dict of model shards passed as INOUT must depend on the
+    writers of every shard, not only on writers of the dict object
+    itself).  Scalars are filtered out: their identity is meaningless
+    (interning) and they cannot be mutated in place."""
+    if isinstance(value, _SCALARS):
         return ()
     if isinstance(value, (list, tuple)):
         out = [value]
-        out.extend(
-            v
-            for v in value
-            if not isinstance(v, (int, float, str, bytes, bool, type(None)))
-        )
+        out.extend(v for v in value if not isinstance(v, _SCALARS))
+        return out
+    if isinstance(value, dict):
+        out = [value]
+        out.extend(v for v in value.values() if not isinstance(v, _SCALARS))
         return out
     return (value,)
 

@@ -25,6 +25,24 @@ CANCELLED = "cancelled"
 #: checkpoint store (trace/graph status of resumed tasks).
 RESTORED = "restored"
 
+#: States from which an instance never moves again.
+TERMINAL_STATES = frozenset({DONE, FAILED, IGNORED, CANCELLED})
+
+#: The task lifecycle state machine.  ``PENDING -> RUNNING`` is the
+#: sequential executor (submission executes inline, skipping READY);
+#: ``PENDING -> DONE`` is a checkpoint restore (the body never runs).
+#: The stress harness validates transitions against this table when
+#: ``RuntimeConfig(debug_invariants=True)``.
+VALID_TRANSITIONS: dict[str, frozenset[str]] = {
+    PENDING: frozenset({READY, RUNNING, DONE, CANCELLED}),
+    READY: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, IGNORED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    IGNORED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class Constraints:
@@ -58,6 +76,11 @@ class TaskSpec:
     #: Parameter names of the function, positionally ordered (for
     #: mapping positional args onto declared directions).
     param_names: tuple[str, ...]
+    #: Declared parameter defaults, so direction-annotated parameters
+    #: left at their default still take part in dependency detection
+    #: (an INOUT parameter at its default records a write like any
+    #: explicitly-passed argument).
+    param_defaults: dict[str, Any] = dataclasses.field(default_factory=dict)
     #: Decorator-level option defaults (``on_failure``, ``max_retries``,
     #: ``time_out``, ...); call sites override them via ``.opts(...)``.
     options: TaskOptions = NO_OPTIONS
@@ -136,6 +159,35 @@ class TaskInstance:
         with self._lock:
             self._remaining -= 1
             return self._remaining == 0
+
+    def claim_run(self) -> str | None:
+        """Atomically claim the right to execute this instance.
+
+        Returns the previous state on success (the claimer must run the
+        body), or ``None`` when the instance was already cancelled or
+        finalized.  Mutually exclusive with :meth:`try_cancel` under
+        ``_lock``, closing the race between a worker picking a task up
+        and an abort cancelling it."""
+        with self._lock:
+            if self._finalized or self.state == CANCELLED:
+                return None
+            prev = self.state
+            self.state = RUNNING
+            return prev
+
+    def try_cancel(self) -> str | None:
+        """Atomically claim cancellation of a not-yet-running instance.
+
+        Returns the previous state on success (the claimer must run the
+        cancellation bookkeeping exactly once), or ``None`` when the
+        instance already started running or was already finalized."""
+        with self._lock:
+            if self._finalized or self.state == RUNNING:
+                return None
+            prev = self.state
+            self.state = CANCELLED
+            self._finalized = True
+            return prev
 
     def try_finalize(self) -> bool:
         """Claim the right to run this instance's completion

@@ -1,0 +1,463 @@
+"""Deterministic concurrency stress harness for the event-driven
+scheduler.
+
+Each *seed* expands into a randomized-but-reproducible schedule of
+submissions, barging waiters, nested scopes, INOUT write chains,
+retries with live backoff timers, and — depending on the seed's mode —
+an abort (``on_failure="FAIL"``), a workflow kill
+(:class:`WorkflowKilledError` *or* a raw ``KeyboardInterrupt`` escaping
+a task body), or a shutdown race.  A run fails on any of:
+
+* **hangs** — a watchdog thread bounds every seed's wall clock; on
+  expiry the stacks of all live threads are dumped (the classic
+  signature of a lost wakeup is every thread parked in
+  ``Condition.wait``);
+* **lost wakeups / wrong values** — every future's value is checked
+  against a reference interpretation of the same schedule;
+* **negative scope counts / illegal state transitions** — the runtime
+  runs with ``debug_invariants=True`` and any recorded violation fails
+  the seed;
+* **structural leaks** — after a clean drain the runtime must be
+  quiesced: empty ready queue, zero unfinished, every task terminal
+  (``Runtime.check_invariants(quiesced=True)``).
+
+Run it via ``python -m repro stress`` or ``make stress``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import itertools
+import random
+import sys
+import threading
+import time
+import traceback
+from typing import Any
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.directions import INOUT
+from repro.runtime.engine import Runtime, pop_runtime, push_runtime
+from repro.runtime.exceptions import (
+    CancelledTaskError,
+    RuntimeStateError,
+    TaskExecutionError,
+    WorkflowAbortedError,
+    WorkflowKilledError,
+)
+from repro.runtime.task import task
+
+#: seed % 4 selects the scenario family.
+MODES = ("mixed", "abort", "kill", "shutdown")
+
+#: Distinguishes flaky-task bookkeeping across runs in one process.
+_RUN_IDS = itertools.count()
+
+_flaky_lock = threading.Lock()
+_flaky_seen: dict[tuple, int] = {}
+
+
+# ----------------------------------------------------------------------
+# task vocabulary
+# ----------------------------------------------------------------------
+@task(returns=1)
+def _add(a, b):
+    return a + b
+
+
+@task(returns=1, on_failure="RETRY", max_retries=3)
+def _flaky_add(a, b, key=None, failures=0):
+    """Fails its first *failures* attempts, then behaves like ``_add``.
+
+    Exercises the resubmission path (fresh DAG node, backoff timer,
+    future hand-over) under concurrency."""
+    with _flaky_lock:
+        seen = _flaky_seen.get(key, 0)
+        if seen < failures:
+            _flaky_seen[key] = seen + 1
+            raise RuntimeError(f"injected flake {key} (attempt {seen})")
+    return a + b
+
+
+@task(returns=1)
+def _nested_sum(values):
+    """Submits one child task per element and synchronises inside the
+    task body — the paper's nesting pattern, and the scheduler's
+    help-while-waiting path under load."""
+    from repro.runtime import wait_on
+
+    futs = [_add(v, 1) for v in values]
+    return sum(wait_on(futs))
+
+
+@task(box=INOUT)
+def _bump(box, by):
+    box.value += by
+
+
+@task(returns=1)
+def _boom(kind):
+    if kind == "kill":
+        raise WorkflowKilledError("stress-injected kill")
+    if kind == "interrupt":
+        raise KeyboardInterrupt("stress-injected interrupt")
+    raise ValueError("stress-injected failure")
+
+
+_boom_abort = _boom.opts(on_failure="FAIL")
+
+
+class _Box:
+    """Mutable INOUT target; the runtime orders writers by identity."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class StressReport:
+    seed: int
+    mode: str
+    ok: bool
+    n_tasks: int
+    duration: float
+    problems: list[str] = dataclasses.field(default_factory=list)
+
+    def line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        head = (
+            f"seed {self.seed:>4}  mode={self.mode:<8} "
+            f"tasks={self.n_tasks:>4}  {self.duration * 1000:7.1f}ms  {status}"
+        )
+        if self.problems:
+            head += "".join(f"\n    - {p}" for p in self.problems)
+        return head
+
+
+def _dump_stacks() -> str:
+    lines = []
+    for tid, frame in sys._current_frames().items():
+        name = next(
+            (t.name for t in threading.enumerate() if t.ident == tid), str(tid)
+        )
+        lines.append(f"--- thread {name} ---")
+        lines.append("".join(traceback.format_stack(frame)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+def _run_scenario(seed: int, n_ops: int, workers: int) -> StressReport:
+    t0 = time.perf_counter()
+    rng = random.Random(seed)
+    mode = MODES[seed % len(MODES)]
+    run_id = next(_RUN_IDS)
+    problems: list[str] = []
+
+    cfg = RuntimeConfig(
+        executor="threads",
+        max_workers=workers,
+        name=f"stress-{seed}",
+        debug_invariants=True,
+        retry_backoff=0.0005,
+        retry_backoff_cap=0.002,
+        collect_trace=False,
+    )
+    rt = Runtime(config=cfg)
+    push_runtime(rt)
+
+    #: (future, expected value) for every verifiable submission.
+    tracked: list[tuple[Any, int]] = []
+    tracked_lock = threading.Lock()
+    box = _Box()
+    box_expected = 0
+    clean_drain = False
+
+    def pick_operand() -> tuple[Any, int]:
+        """An int literal or an earlier future, with its expected value."""
+        with tracked_lock:
+            if tracked and rng.random() < 0.5:
+                return tracked[rng.randrange(len(tracked))]
+        value = rng.randint(-50, 50)
+        return value, value
+
+    def submit_one(i: int) -> None:
+        nonlocal box_expected
+        roll = rng.random()
+        if roll < 0.45:
+            (a, av), (b, bv) = pick_operand(), pick_operand()
+            if rng.random() < 0.25:
+                fut = _add.opts(priority=rng.randint(-5, 5))(a, b)
+            else:
+                fut = _add(a, b)
+            with tracked_lock:
+                tracked.append((fut, av + bv))
+        elif roll < 0.60:
+            (a, av), (b, bv) = pick_operand(), pick_operand()
+            fut = _flaky_add(
+                a, b, key=(run_id, i), failures=rng.randint(1, 2)
+            )
+            with tracked_lock:
+                tracked.append((fut, av + bv))
+        elif roll < 0.72:
+            values = [rng.randint(-20, 20) for _ in range(rng.randint(2, 5))]
+            fut = _nested_sum(values)
+            with tracked_lock:
+                tracked.append((fut, sum(values) + len(values)))
+        elif roll < 0.85:
+            by = rng.randint(1, 9)
+            _bump(box, by)
+            box_expected += by
+        else:
+            # Barging waiter on the submitting thread: synchronise a
+            # random earlier future mid-stream and check it now.
+            with tracked_lock:
+                if not tracked:
+                    return
+                fut, expected = tracked[rng.randrange(len(tracked))]
+            got = rt.wait_on(fut)
+            if got != expected:
+                problems.append(
+                    f"mid-stream wait_on returned {got!r}, expected {expected!r}"
+                )
+
+    def verify_values() -> None:
+        with tracked_lock:
+            snapshot = list(tracked)
+        for fut, expected in snapshot:
+            got = rt.wait_on(fut)
+            if got != expected:
+                problems.append(
+                    f"future of task {fut.task_id} resolved to {got!r}, "
+                    f"expected {expected!r}"
+                )
+        if box.value != box_expected:
+            problems.append(
+                f"INOUT box ended at {box.value}, expected {box_expected}"
+            )
+
+    def barging_waiters(n: int) -> list[threading.Thread]:
+        """Concurrent threads synchronising random futures while the
+        pool is still churning — the waiter/worker race.  Each thread's
+        sub-seed is drawn on the submitting thread, so the schedule
+        stays a pure function of the seed."""
+
+        def wait_some(sub_seed: int) -> None:
+            local = random.Random(sub_seed)
+            for _ in range(10):
+                with tracked_lock:
+                    if not tracked:
+                        return
+                    fut, expected = tracked[local.randrange(len(tracked))]
+                try:
+                    got = rt.wait_on(fut)
+                except (WorkflowAbortedError, WorkflowKilledError,
+                        CancelledTaskError, TaskExecutionError,
+                        RuntimeStateError, KeyboardInterrupt):
+                    return  # expected under abort/kill/shutdown seeds
+                if got != expected:
+                    problems.append(
+                        f"barging waiter saw {got!r} for task {fut.task_id}, "
+                        f"expected {expected!r}"
+                    )
+
+        threads = [
+            threading.Thread(
+                target=wait_some,
+                args=(rng.randint(0, 2**31),),
+                name=f"stress-waiter-{j}",
+                daemon=True,
+            )
+            for j in range(n)
+        ]
+        for t in threads:
+            t.start()
+        return threads
+
+    try:
+        if mode == "mixed":
+            waiters = barging_waiters(2)
+            for i in range(n_ops):
+                submit_one(i)
+            for t in waiters:
+                t.join()
+            rt.barrier()
+            verify_values()
+            clean_drain = True
+
+        elif mode == "abort":
+            # Retries with live backoff timers racing the abort.
+            for i in range(n_ops // 2):
+                submit_one(i)
+            waiters = barging_waiters(2)
+            _boom_abort("fail")
+            try:
+                for i in range(n_ops // 2, n_ops):
+                    submit_one(i)
+            except (WorkflowAbortedError, CancelledTaskError, TaskExecutionError):
+                pass  # submissions/waits racing the abort may observe it
+            try:
+                rt.barrier()
+                problems.append("abort seed: barrier() did not raise")
+            except WorkflowAbortedError:
+                pass
+            for t in waiters:
+                t.join()
+            rt.shutdown(wait=True)
+            clean_drain = True
+
+        elif mode == "kill":
+            kind = "kill" if rng.random() < 0.5 else "interrupt"
+            for i in range(n_ops // 2):
+                submit_one(i)
+            waiters = barging_waiters(2)
+            _boom(kind)
+            try:
+                rt.barrier()
+                problems.append(f"kill seed ({kind}): barrier() did not raise")
+            except (WorkflowKilledError, KeyboardInterrupt):
+                pass
+            for t in waiters:
+                t.join()
+            rt.shutdown(wait=False)
+
+        else:  # shutdown
+            waiters = barging_waiters(2)
+            for i in range(n_ops):
+                submit_one(i)
+            for t in waiters:
+                t.join()
+            rt.shutdown(wait=True)
+            verify_values()
+            try:
+                _add(1, 1)
+                problems.append("submit after shutdown did not raise")
+            except RuntimeStateError:
+                pass
+            clean_drain = True
+    finally:
+        pop_runtime(rt)
+
+    problems.extend(rt.check_invariants(quiesced=clean_drain))
+    stats = rt.stats()
+    if clean_drain and stats["ready_queue"]:
+        problems.append(f"ready queue not drained: {stats['ready_queue']}")
+    if mode in ("mixed", "shutdown"):
+        rt.shutdown(wait=False)
+
+    return StressReport(
+        seed=seed,
+        mode=mode,
+        ok=not problems,
+        n_tasks=stats["n_tasks"],
+        duration=time.perf_counter() - t0,
+        problems=problems,
+    )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_seed(
+    seed: int, n_ops: int = 120, workers: int = 4, timeout: float = 60.0
+) -> StressReport:
+    """Run one seed under a hang watchdog.
+
+    The scenario runs on a daemon thread; if it does not finish within
+    *timeout* seconds the seed fails with a full stack dump of every
+    live thread — a scheduler hang (lost wakeup, stuck shutdown) shows
+    up here instead of wedging the suite."""
+    outcome: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            outcome["report"] = _run_scenario(seed, n_ops, workers)
+        except BaseException as exc:  # noqa: BLE001 - relayed to the report
+            outcome["error"] = exc
+            outcome["trace"] = traceback.format_exc()
+
+    thread = threading.Thread(target=target, name=f"stress-seed-{seed}", daemon=True)
+    t0 = time.perf_counter()
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        return StressReport(
+            seed=seed,
+            mode=MODES[seed % len(MODES)],
+            ok=False,
+            n_tasks=0,
+            duration=time.perf_counter() - t0,
+            problems=[f"HANG: seed did not finish within {timeout}s", _dump_stacks()],
+        )
+    if "error" in outcome:
+        return StressReport(
+            seed=seed,
+            mode=MODES[seed % len(MODES)],
+            ok=False,
+            n_tasks=0,
+            duration=time.perf_counter() - t0,
+            problems=[
+                f"scenario raised {outcome['error']!r}",
+                outcome.get("trace", ""),
+            ],
+        )
+    return outcome["report"]
+
+
+def run_suite(
+    seeds,
+    n_ops: int = 120,
+    workers: int = 4,
+    timeout: float = 60.0,
+    verbose: bool = True,
+) -> list[StressReport]:
+    reports = []
+    for seed in seeds:
+        report = run_seed(seed, n_ops=n_ops, workers=workers, timeout=timeout)
+        reports.append(report)
+        if verbose:
+            print(report.line(), flush=True)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro stress",
+        description="concurrency stress harness for the task scheduler",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, help="run seeds 0..N-1 (default 20)"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=None,
+        help="run specific seed(s) instead (repeatable)",
+    )
+    parser.add_argument("--ops", type=int, default=120, help="operations per seed")
+    parser.add_argument("--workers", type=int, default=4, help="pool size")
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-seed hang watchdog (s)"
+    )
+    args = parser.parse_args(argv)
+
+    seeds = args.seed if args.seed else range(args.seeds)
+    reports = run_suite(
+        seeds, n_ops=args.ops, workers=args.workers, timeout=args.timeout
+    )
+    failed = [r for r in reports if not r.ok]
+    print(
+        f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed",
+        flush=True,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

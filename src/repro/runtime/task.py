@@ -171,6 +171,12 @@ def task(
                 inspect.Parameter.POSITIONAL_OR_KEYWORD,
             )
         )
+        param_defaults = {
+            p.name: p.default
+            for p in sig.parameters.values()
+            if p.default is not inspect.Parameter.empty
+            and p.kind is not inspect.Parameter.VAR_KEYWORD
+        }
         directions: dict[str, Direction] = {}
         for pname, value in param_directions.items():
             if pname in _RESERVED:
@@ -200,6 +206,7 @@ def task(
             directions=directions,
             constraints=cons,
             param_names=param_names,
+            param_defaults=param_defaults,
             options=options,
         )
 

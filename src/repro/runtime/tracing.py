@@ -37,6 +37,42 @@ def estimate_nbytes(obj: Any) -> int:
 
 
 @dataclasses.dataclass
+class SchedulerCounters:
+    """Monotonic scheduler event counters — the runtime's wakeup and
+    contention telemetry, exposed via ``Runtime.stats()["scheduler"]``.
+
+    The event-driven scheduler parks idle threads on condition
+    variables and wakes them on events only (enqueue, completion,
+    kill, shutdown), never on timers.  These counters make that
+    invariant measurable: every wakeup is attributable to an event, so
+    parks and wakeups are bounded by task counts and can never scale
+    with wall-clock time (a polling scheduler fails that bound
+    immediately).
+
+    Fields are plain ints mutated *while holding the runtime lock that
+    guards the corresponding event*, which keeps increments exact
+    without a dedicated counter lock on the hot path.
+    """
+
+    #: Times a thread blocked in ``wait_on``/``barrier`` found neither
+    #: ready work nor a satisfied predicate and parked.
+    idle_wakeups: int = 0
+    #: Times a pool worker found the ready queue empty and parked.
+    worker_parks: int = 0
+    #: Targeted (single-thread) wakeups issued: one per enqueue, plus
+    #: hand-off batons from waiters that exit with work still queued.
+    notifies: int = 0
+    #: Broadcast wakeups issued (completion, kill, abort, shutdown).
+    broadcasts: int = 0
+    #: Submissions that found the dependency-detection lock held by a
+    #: concurrent submission (lock contention on the submit path).
+    submit_contentions: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
 class TaskRecord:
     """One executed task *attempt*.
 
