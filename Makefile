@@ -1,4 +1,4 @@
-.PHONY: check lint test resilience stress
+.PHONY: check lint test inventory resilience stress backend
 
 check:
 	bash scripts/check.sh
@@ -9,8 +9,14 @@ lint:
 test:
 	bash scripts/check.sh test
 
+inventory:
+	bash scripts/check.sh inventory
+
 resilience:
 	bash scripts/check.sh resilience
 
 stress:
 	PYTHONPATH=src python -m repro stress --seeds 20
+
+backend:
+	bash scripts/check.sh backend

@@ -2,11 +2,13 @@
 # Single local CI gate: lint (if ruff is available) + the test suite +
 # the crash-resume smoke test.
 #
-#   scripts/check.sh             run lint, tests, resilience smoke, stress
+#   scripts/check.sh             run every gate below
 #   scripts/check.sh lint        lint only
 #   scripts/check.sh test        tests only
+#   scripts/check.sh inventory   every src/repro module must have a test file
 #   scripts/check.sh resilience  crash-resume smoke test only
 #   scripts/check.sh stress      scheduler concurrency stress (fixed seeds)
+#   scripts/check.sh backend     tier-1 + stress under REPRO_BACKEND=processes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,11 @@ run_tests() {
     PYTHONPATH=src python -m pytest -x -q
 }
 
+run_inventory() {
+    echo "== test inventory (every module needs a test file) =="
+    python scripts/test_inventory.py
+}
+
 run_resilience() {
     echo "== resilience smoke (kill -> resume -> bit-identical) =="
     PYTHONPATH=src python scripts/resilience_smoke.py
@@ -38,11 +45,25 @@ run_stress() {
     PYTHONPATH=src python -m repro stress --seed 0 --seed 1 --seed 2 --seed 3 --seed 4 --seed 7
 }
 
+run_backend() {
+    # The same gates again with task bodies dispatched to worker
+    # processes: the differential guarantee is that nothing observable
+    # changes.  REPRO_BACKEND is read by RuntimeConfig.from_env, so the
+    # whole suite switches backend without touching a line of test code.
+    echo "== pytest under REPRO_BACKEND=processes =="
+    REPRO_BACKEND=processes PYTHONPATH=src python -m pytest -x -q
+    echo "== stress under the processes backend (fixed seeds) =="
+    PYTHONPATH=src python -m repro stress --backend processes \
+        --seed 0 --seed 1 --seed 2 --seed 3
+}
+
 case "$mode" in
     lint)       run_lint ;;
     test)       run_tests ;;
+    inventory)  run_inventory ;;
     resilience) run_resilience ;;
     stress)     run_stress ;;
-    all)        run_lint; run_tests; run_resilience; run_stress ;;
-    *)          echo "usage: scripts/check.sh [lint|test|resilience|stress]" >&2; exit 2 ;;
+    backend)    run_backend ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_backend ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|backend]" >&2; exit 2 ;;
 esac

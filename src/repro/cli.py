@@ -246,7 +246,11 @@ def _cmd_stress(args: argparse.Namespace) -> int:
 
     seeds = args.seed if args.seed else range(args.seeds)
     reports = stress.run_suite(
-        seeds, n_ops=args.ops, workers=args.workers, timeout=args.timeout
+        seeds,
+        n_ops=args.ops,
+        workers=args.workers,
+        timeout=args.timeout,
+        backend=args.backend,
     )
     failed = [r for r in reports if not r.ok]
     print(f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed")
@@ -310,6 +314,12 @@ def main(argv: list[str] | None = None) -> int:
     p6.add_argument("--workers", type=int, default=4, help="pool size")
     p6.add_argument(
         "--timeout", type=float, default=60.0, help="per-seed hang watchdog (s)"
+    )
+    p6.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="execution backend to stress",
     )
     p6.set_defaults(func=_cmd_stress)
 

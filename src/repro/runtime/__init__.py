@@ -8,6 +8,11 @@ Public surface:
 * :data:`IN` / :data:`INOUT` / :data:`OUT` — parameter directions.
 * :class:`Runtime` — runtime instance (use as a context manager);
   configured by a :class:`RuntimeConfig` (``REPRO_*`` env overrides).
+  ``RuntimeConfig(backend="processes")`` (or ``REPRO_BACKEND``)
+  dispatches task bodies to persistent worker processes
+  (:mod:`repro.runtime.backends`); :func:`current_attempt` exposes the
+  retry attempt inside a task body on either backend, and
+  :func:`shutdown_workers` tears the shared worker pool down.
 * :func:`wait_on` — synchronise futures into values
   (``compss_wait_on``).
 * :func:`barrier` — wait for all tasks of the current scope
@@ -33,6 +38,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.runtime.atomic_write import atomic_write, atomic_write_text
+from repro.runtime.backends import current_attempt, shutdown_workers
 from repro.runtime.checkpoint import CheckpointStore, fingerprint, task_signature
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.directions import IN, INOUT, OUT, Direction
@@ -41,6 +47,7 @@ from repro.runtime.exceptions import (
     CancelledTaskError,
     CheckpointError,
     FaultInjectedError,
+    NodeFailureError,
     RuntimeStateError,
     TaskDefinitionError,
     TaskExecutionError,
@@ -109,6 +116,9 @@ __all__ = [
     "TaskTimeoutError",
     "RuntimeStateError",
     "CancelledTaskError",
+    "NodeFailureError",
+    "current_attempt",
+    "shutdown_workers",
     "WorkflowAbortedError",
     "WorkflowKilledError",
     "CheckpointError",

@@ -1,0 +1,633 @@
+"""Execution backends: where a task body actually runs.
+
+The engine (:mod:`repro.runtime.engine`) owns *scheduling* — dependency
+release, help-while-waiting, retries, checkpoint replay — and delegates
+the single step "invoke this task body with these resolved arguments"
+to an :class:`ExecutorBackend`:
+
+* :class:`ThreadBackend` (``RuntimeConfig(backend="threads")``, the
+  default) calls the function in the scheduling thread, exactly as the
+  engine always has.  NumPy kernels release the GIL, nested tasks see
+  the live runtime, INOUT arguments are mutated in place.
+* :class:`ProcessPoolBackend` (``backend="processes"``, or
+  ``REPRO_BACKEND=processes``) ships the call to a persistent worker
+  *process* over a pipe — the COMPSs executor-process model — so pure
+  Python task bodies (SMO loops, feature extraction) escape the GIL on
+  multi-core machines.
+
+Serialization layer (process backend)
+-------------------------------------
+Calls are framed as pickle **protocol 5** with out-of-band buffers:
+NumPy blocks travel as raw buffer frames after the payload instead of
+being copied into the pickle stream (:func:`_encode` / :func:`_decode`).
+Functions are never pickled — a task is transported as its
+``(module, qualname)`` and re-imported inside the worker, unwrapping
+the ``@task`` decorator to the raw body.
+
+Not every task can cross a process boundary.  The backend falls back to
+an **inline** call (thread-backend semantics, same results) when:
+
+* the task declares INOUT/OUT writes — mutations of the caller's
+  objects cannot propagate back from another address space;
+* the function is defined in a local scope (``<locals>`` in its
+  qualname) — not importable by the worker;
+* an argument or the result does not pickle;
+* the worker cannot resolve the function (e.g. ``__main__`` tasks of a
+  script the worker did not import).
+
+Tasks that *nest* (submit sub-tasks) are dispatchable: inside a worker
+there is no active runtime, so nested ``@task`` calls degrade to plain
+inline calls and ``wait_on`` is a pass-through — same values, computed
+within the worker.
+
+Worker lifecycle
+----------------
+Workers are spawned lazily (``spawn`` context: safe with the
+multithreaded coordinator), warmed up with a ping, and kept in one
+module-level pool shared by every Runtime so short-lived runtimes (the
+test suite creates hundreds) do not pay respawn costs.  A worker that
+dies mid-call — crash, OOM kill, or the ``kill_worker`` fault injector
+— is detected by the broken pipe and surfaces as
+:class:`~repro.runtime.exceptions.NodeFailureError` in the dispatching
+thread, which feeds the ordinary ``on_failure``/retry machinery.
+``shutdown_workers()`` (also registered ``atexit``) terminates the pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import logging
+import os
+import pickle
+import signal
+import struct
+import sys
+import threading
+from typing import Any
+
+from repro.runtime.exceptions import NodeFailureError
+
+_logger = logging.getLogger("repro.runtime.backends")
+
+#: Seconds to wait for a fresh worker's warm-up ping reply.
+_SPAWN_TIMEOUT = 30.0
+
+BACKENDS = ("threads", "processes")
+
+
+# ----------------------------------------------------------------------
+# attempt-local state (both sides of the pipe)
+# ----------------------------------------------------------------------
+_exec_tls = threading.local()
+
+
+def current_attempt() -> int:
+    """0-based retry attempt of the task body running on this thread.
+
+    Valid on the coordinator (thread backend / inline fallback) *and*
+    inside worker processes, so task bodies that want deterministic
+    attempt-dependent behaviour — "fail twice, then succeed" — need no
+    process-shared counters."""
+    return getattr(_exec_tls, "attempt", 0)
+
+
+def _call_with_attempt(func, args, kwargs, attempt: int):
+    prev = getattr(_exec_tls, "attempt", None)
+    _exec_tls.attempt = attempt
+    try:
+        return func(*args, **kwargs)
+    finally:
+        if prev is None:
+            del _exec_tls.attempt
+        else:
+            _exec_tls.attempt = prev
+
+
+# ----------------------------------------------------------------------
+# serialization: pickle protocol 5 + out-of-band buffers over a pipe
+# ----------------------------------------------------------------------
+def _encode(obj: Any) -> list[bytes]:
+    """Frame *obj* as ``[count-header, payload, buffer...]``.
+
+    NumPy arrays (anything exporting :class:`pickle.PickleBuffer`) stay
+    out of the pickle stream and travel as raw trailing frames — no
+    intermediate copy into the payload bytes."""
+    buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    frames = [struct.pack("<I", len(buffers)), payload]
+    frames.extend(buf.raw() for buf in buffers)
+    return frames
+
+
+def _decode(frames: list[bytes]) -> Any:
+    return pickle.loads(frames[1], buffers=frames[2:])
+
+
+def _send_frames(conn, frames: list[bytes]) -> None:
+    for frame in frames:
+        conn.send_bytes(frame)
+
+
+def _recv_frames(conn) -> list[bytes]:
+    """Receive one framed message.  Raises ``EOFError``/``OSError`` when
+    the peer died — connection errors mean *crash*, never bad data."""
+    header = conn.recv_bytes()
+    (n_buffers,) = struct.unpack("<I", header)
+    frames = [header, conn.recv_bytes()]
+    for _ in range(n_buffers):
+        frames.append(conn.recv_bytes())
+    return frames
+
+
+def _send(conn, obj: Any) -> None:
+    _send_frames(conn, _encode(obj))
+
+
+def _recv(conn) -> Any:
+    return _decode(_recv_frames(conn))
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _resolve_task_function(module_name: str, qualname: str):
+    """Import ``module_name`` and walk to ``qualname``, unwrapping a
+    ``@task`` decorator to the raw body (the module attribute is the
+    wrapper; ``wrapper.spec.func`` is the function to call)."""
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    spec = getattr(obj, "spec", None)
+    func = getattr(spec, "func", None)
+    if callable(func):
+        return func
+    if callable(obj):
+        return obj
+    raise TypeError(f"{module_name}.{qualname} is not callable")
+
+
+def _safe_send(conn, reply: tuple, fallback: tuple) -> None:
+    """Send *reply*; if it does not serialize (unpicklable exception or
+    result), send the pre-built *fallback* instead.  The worker must
+    answer every request exactly once or the coordinator would read it
+    as a crash."""
+    try:
+        frames = _encode(reply)
+    except Exception:
+        frames = _encode(fallback)
+    _send_frames(conn, frames)
+
+
+def _worker_main(conn, search_path: list[str]) -> None:
+    """Loop of one worker process: serve ``run`` requests until told to
+    exit or the pipe closes."""
+    # The coordinator owns interrupt handling; a Ctrl-C against the
+    # process group must not tear down workers mid-reply.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    for entry in search_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+    pid = os.getpid()
+    while True:
+        try:
+            request = _recv(conn)
+        except (EOFError, OSError):
+            return  # coordinator went away
+        kind = request[0]
+        if kind == "exit":
+            return
+        if kind == "ping":
+            _send(conn, ("pong", pid))
+            continue
+        _, module_name, qualname, args, kwargs, attempt, kill_self = request
+        if kill_self:
+            # Fault injection: die like a crashed node, no reply, no
+            # cleanup — the coordinator sees the broken pipe.
+            os.kill(pid, signal.SIGKILL)
+        try:
+            func = _resolve_task_function(module_name, qualname)
+        except Exception as exc:  # noqa: BLE001 - reported, not fatal
+            _send(conn, ("unresolvable", f"{type(exc).__name__}: {exc}", pid))
+            continue
+        try:
+            value = _call_with_attempt(func, args, kwargs, attempt)
+        except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+            fallback = (
+                "raised",
+                RuntimeError(f"worker exception did not pickle: {exc!r}"),
+                pid,
+            )
+            _safe_send(conn, ("raised", exc, pid), fallback)
+            continue
+        _safe_send(conn, ("ok", value, pid), ("badresult", repr(value)[:200], pid))
+
+
+class _WorkerDied(Exception):
+    """Internal: the pipe to a worker broke (crash or kill)."""
+
+
+_spawn_lock = threading.Lock()
+
+
+def _start_without_main_reimport(process) -> None:
+    """Start a spawn-context process *without* re-importing the
+    parent's ``__main__`` module in the child.
+
+    The default spawn bootstrap re-runs the parent's main script so
+    objects pickled from ``__main__`` can be rebuilt — but this backend
+    never pickles anything from ``__main__`` (tasks travel by
+    ``(module, qualname)`` and ``__main__`` tasks run inline), so the
+    re-import is pure cost *and* a hazard: an unguarded workflow script
+    would recursively execute on every worker spawn.  The preparation
+    data is patched for the duration of ``start()`` (under a lock —
+    concurrent spawns see the same, idempotent patch)."""
+    from multiprocessing import spawn as mp_spawn
+
+    with _spawn_lock:
+        original = mp_spawn.get_preparation_data
+
+        def stripped(name):
+            data = original(name)
+            data.pop("init_main_from_path", None)
+            data.pop("init_main_from_name", None)
+            return data
+
+        mp_spawn.get_preparation_data = stripped
+        try:
+            process.start()
+        finally:
+            mp_spawn.get_preparation_data = original
+
+
+class _Worker:
+    """Coordinator-side handle of one worker process."""
+
+    def __init__(self, ctx):
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, list(sys.path)),
+            name="repro-backend-worker",
+            daemon=True,
+        )
+        _start_without_main_reimport(self.process)
+        child_conn.close()
+        self.conn = parent_conn
+        self.pid: int | None = self.process.pid
+
+    def warm_up(self, timeout: float = _SPAWN_TIMEOUT) -> None:
+        _send(self.conn, ("ping",))
+        if not self.conn.poll(timeout):
+            self.close()
+            raise TimeoutError(f"worker {self.pid} did not answer warm-up ping")
+        reply = _recv(self.conn)
+        self.pid = reply[1]
+
+    def call(self, frames: list[bytes]) -> list[bytes]:
+        """Send one encoded request, block for the reply frames.  Raises
+        :class:`_WorkerDied` when the worker process is gone."""
+        try:
+            _send_frames(self.conn, frames)
+            return _recv_frames(self.conn)
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise _WorkerDied(str(exc)) from exc
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def close(self, timeout: float = 1.0) -> None:
+        try:
+            _send(self.conn, ("exit",))
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Lazily-grown pool of persistent worker processes.
+
+    One module-level instance is shared by every
+    :class:`ProcessPoolBackend` (see :func:`get_worker_pool`): workers
+    outlive individual Runtimes, so a suite creating hundreds of
+    short-lived runtimes pays the spawn + import cost once per worker,
+    not once per runtime.  Concurrency *limits* are per-backend
+    (``max_workers`` semaphore), not per-pool."""
+
+    def __init__(self, ctx_method: str = "spawn"):
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context(ctx_method)
+        self._idle: list[_Worker] = []
+        self._all: list[_Worker] = []
+        self._lock = threading.Lock()
+        self.spawned = 0
+        self.closed = False
+
+    def acquire(self) -> _Worker:
+        """An idle live worker, or a freshly spawned + warmed-up one."""
+        while True:
+            with self._lock:
+                if self.closed:
+                    raise RuntimeError("worker pool is shut down")
+                worker = self._idle.pop() if self._idle else None
+            if worker is None:
+                break
+            if worker.alive():
+                return worker
+            self._forget(worker)
+            worker.close(timeout=0.1)
+        worker = _Worker(self._ctx)
+        try:
+            worker.warm_up()
+        except BaseException:
+            worker.close(timeout=0.1)
+            raise
+        with self._lock:
+            self._all.append(worker)
+            self.spawned += 1
+        return worker
+
+    def release(self, worker: _Worker) -> None:
+        if not worker.alive():
+            self.discard(worker)
+            return
+        with self._lock:
+            if not self.closed:
+                self._idle.append(worker)
+                return
+        worker.close(timeout=0.1)
+
+    def discard(self, worker: _Worker) -> None:
+        """Drop a dead (or poisoned) worker for good."""
+        self._forget(worker)
+        worker.close(timeout=0.1)
+
+    def _forget(self, worker: _Worker) -> None:
+        with self._lock:
+            if worker in self._all:
+                self._all.remove(worker)
+            if worker in self._idle:
+                self._idle.remove(worker)
+
+    @property
+    def n_idle(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @property
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._all)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self.closed = True
+            workers = list(self._all)
+            self._all.clear()
+            self._idle.clear()
+        for worker in workers:
+            worker.close()
+
+
+_pool: WorkerPool | None = None
+_pool_lock = threading.Lock()
+
+
+def get_worker_pool() -> WorkerPool:
+    """The shared worker pool, created on first use."""
+    global _pool
+    with _pool_lock:
+        if _pool is None or _pool.closed:
+            _pool = WorkerPool()
+        return _pool
+
+
+def shutdown_workers() -> None:
+    """Terminate every pooled worker process (re-created on demand)."""
+    with _pool_lock:
+        pool = _pool
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_workers)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class ExecutorBackend:
+    """Strategy interface: run one resolved task body.
+
+    ``run`` receives the task's :class:`~repro.runtime.model.TaskSpec`
+    and fully-resolved (future-free) arguments and returns
+    ``(result, pid)`` — the pid of the OS process that executed the
+    body, recorded in the trace.  ``kill_worker=True`` asks the backend
+    to simulate a worker crash for this call (the ``kill_worker`` fault
+    injector); every backend must surface it as
+    :class:`~repro.runtime.exceptions.NodeFailureError`.
+    """
+
+    name = "abstract"
+
+    def run(
+        self,
+        spec,
+        args: tuple,
+        kwargs: dict,
+        *,
+        attempt: int = 0,
+        kill_worker: bool = False,
+    ) -> tuple[Any, int]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def stats(self) -> dict:
+        return {"backend": self.name}
+
+
+class ThreadBackend(ExecutorBackend):
+    """In-process execution: the body runs on the calling thread.
+
+    This is the engine's historical behaviour, unchanged — nesting,
+    help-while-waiting and INOUT mutation all work because everything
+    shares the coordinator's address space."""
+
+    name = "threads"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._n_tasks = 0
+
+    def run(self, spec, args, kwargs, *, attempt=0, kill_worker=False):
+        if kill_worker:
+            # No real worker process to kill: simulate the observable
+            # outcome (the dispatching side sees a dead node) so fault
+            # schedules behave identically across backends.
+            raise NodeFailureError(os.getpid(), task_name=spec.name, simulated=True)
+        with self._lock:
+            self._n_tasks += 1
+        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"backend": self.name, "tasks_run": self._n_tasks}
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Dispatch task bodies to persistent worker processes.
+
+    ``max_workers`` bounds the calls in flight (a semaphore over the
+    shared :class:`WorkerPool`); non-dispatchable calls fall back to an
+    inline invocation with identical semantics (see the module
+    docstring for the rules)."""
+
+    name = "processes"
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max(1, int(max_workers))
+        self._slots = threading.BoundedSemaphore(self.max_workers)
+        self._lock = threading.Lock()
+        self._counts = {
+            "dispatched": 0,
+            "inline": 0,
+            "serialization_fallbacks": 0,
+            "unresolvable": 0,
+            "result_fallbacks": 0,
+            "worker_crashes": 0,
+        }
+        #: spec ids proven non-dispatchable (writes, locals, resolution
+        #: failure) — skip the round trip next time.
+        self._inline_only: set[int] = set()
+
+    # -- dispatch rules -------------------------------------------------
+    def _dispatchable(self, spec) -> bool:
+        if id(spec) in self._inline_only:
+            return False
+        func = spec.func
+        module = getattr(func, "__module__", None)
+        qualname = getattr(func, "__qualname__", "")
+        ok = (
+            not spec.has_writes  # INOUT mutations cannot cross processes
+            # Workers never import the coordinator's main script (see
+            # _start_without_main_reimport), so __main__ tasks run here.
+            and module not in (None, "__main__", "__mp_main__")
+            and "<locals>" not in qualname
+        )
+        if not ok:
+            with self._lock:
+                self._inline_only.add(id(spec))
+        return ok
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counts[key] += 1
+
+    def _run_inline(self, spec, args, kwargs, attempt, kill_worker):
+        if kill_worker:
+            raise NodeFailureError(os.getpid(), task_name=spec.name, simulated=True)
+        self._count("inline")
+        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid()
+
+    # -- execution ------------------------------------------------------
+    def run(self, spec, args, kwargs, *, attempt=0, kill_worker=False):
+        if not self._dispatchable(spec):
+            return self._run_inline(spec, args, kwargs, attempt, kill_worker)
+        request = (
+            "run",
+            spec.func.__module__,
+            spec.func.__qualname__,
+            args,
+            kwargs,
+            attempt,
+            kill_worker,
+        )
+        try:
+            frames = _encode(request)
+        except Exception:  # unpicklable argument: run where the data is
+            self._count("serialization_fallbacks")
+            return self._run_inline(spec, args, kwargs, attempt, kill_worker)
+
+        with self._slots:
+            pool = get_worker_pool()
+            worker = pool.acquire()
+            pid = worker.pid or -1
+            try:
+                reply_frames = worker.call(frames)
+            except _WorkerDied as exc:
+                pool.discard(worker)
+                self._count("worker_crashes")
+                raise NodeFailureError(
+                    pid, task_name=spec.name, simulated=kill_worker
+                ) from exc
+            pool.release(worker)
+
+        try:
+            reply = _decode(reply_frames)
+        except Exception as exc:  # noqa: BLE001 - a data error, not a crash
+            raise RuntimeError(
+                f"undecodable reply from worker {pid} for task "
+                f"{spec.name!r}: {exc!r}"
+            ) from exc
+        kind = reply[0]
+        if kind == "ok":
+            self._count("dispatched")
+            return reply[1], reply[2]
+        if kind == "raised":
+            self._count("dispatched")
+            error = reply[1]
+            try:
+                error._repro_worker_pid = reply[2]
+            except Exception:  # noqa: BLE001 - slots/immutable exceptions
+                pass
+            raise error
+        if kind == "unresolvable":
+            # Worker could not import the function (e.g. __main__ task):
+            # remember and run locally from now on.
+            _logger.debug(
+                "task %r not resolvable in worker (%s); running inline",
+                spec.name,
+                reply[1],
+            )
+            with self._lock:
+                self._inline_only.add(id(spec))
+            self._count("unresolvable")
+            return self._run_inline(spec, args, kwargs, attempt, False)
+        if kind == "badresult":
+            # Result did not pickle; recompute locally (pure tasks only
+            # are dispatched, so re-running is safe).
+            with self._lock:
+                self._inline_only.add(id(spec))
+            self._count("result_fallbacks")
+            return self._run_inline(spec, args, kwargs, attempt, False)
+        raise RuntimeError(f"unknown worker reply {kind!r}")
+
+    def stats(self) -> dict:
+        pool = _pool
+        with self._lock:
+            counts = dict(self._counts)
+        return {
+            "backend": self.name,
+            "max_workers": self.max_workers,
+            "pool_workers": pool.n_workers if pool is not None else 0,
+            **counts,
+        }
+
+
+def create_backend(name: str, max_workers: int) -> ExecutorBackend:
+    """Instantiate the backend selected by ``RuntimeConfig.backend``."""
+    if name == "threads":
+        return ThreadBackend()
+    if name == "processes":
+        return ProcessPoolBackend(max_workers)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

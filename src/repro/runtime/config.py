@@ -14,7 +14,9 @@ Environment variables (all optional):
 
 ========================  =====================================
 ``REPRO_EXECUTOR``        ``threads`` | ``sequential``
-``REPRO_MAX_WORKERS``     int (thread-pool size)
+``REPRO_BACKEND``         ``threads`` | ``processes`` (where task
+                          bodies run; see :mod:`repro.runtime.backends`)
+``REPRO_MAX_WORKERS``     int (worker-pool size)
 ``REPRO_NAME``            runtime label
 ``REPRO_ON_FAILURE``      default failure policy
 ``REPRO_MAX_RETRIES``     default retry budget for ``RETRY`` tasks
@@ -37,6 +39,7 @@ from typing import Any
 from repro.runtime.failures import CANCEL_SUCCESSORS, validate_policy
 
 _EXECUTORS = ("threads", "sequential")
+_BACKENDS = ("threads", "processes")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +47,12 @@ class RuntimeConfig:
     """Validated, immutable runtime configuration."""
 
     executor: str = "threads"
+    #: Execution backend: where task *bodies* run.  ``"threads"`` (the
+    #: default) calls them in-process; ``"processes"`` dispatches pure,
+    #: importable tasks to persistent worker processes over pipes
+    #: (pickle protocol 5, NumPy blocks out-of-band) and falls back to
+    #: an inline call otherwise — see :mod:`repro.runtime.backends`.
+    backend: str = "threads"
     max_workers: int | None = None
     name: str = "repro-runtime"
     #: Policy applied when a task exhausts its attempts and declared
@@ -79,6 +88,8 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {_EXECUTORS}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {_BACKENDS}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         try:
@@ -113,6 +124,7 @@ class RuntimeConfig:
                     raise ValueError(f"invalid {var}={raw!r}: {exc}") from exc
 
         take("REPRO_EXECUTOR", "executor", str)
+        take("REPRO_BACKEND", "backend", str)
         take("REPRO_MAX_WORKERS", "max_workers", int)
         take("REPRO_NAME", "name", str)
         take("REPRO_ON_FAILURE", "default_on_failure", str)

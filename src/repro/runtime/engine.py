@@ -5,7 +5,12 @@ submissions (made implicitly by calling ``@task``-decorated functions),
 derives data dependencies from the arguments (futures and versioned
 INOUT objects), builds the task graph, and executes tasks either
 inline (``sequential`` executor) or on a pool of worker threads
-(``threads`` executor).
+(``threads`` executor).  *Where the task body runs* is a separate
+axis: the scheduling thread hands the resolved call to an
+:class:`~repro.runtime.backends.ExecutorBackend` — in-process by
+default, or on persistent worker processes with
+``RuntimeConfig(backend="processes")`` (see
+:mod:`repro.runtime.backends`).
 
 Worker threads use *help-while-waiting*: any thread blocked in
 ``wait_on`` or a barrier keeps executing ready tasks, so nested task
@@ -56,6 +61,7 @@ import warnings
 from typing import Any, Callable, Iterable
 
 from repro.runtime import checkpoint as ckpt
+from repro.runtime.backends import create_backend
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.dag import TaskGraph
 from repro.runtime.directions import Direction
@@ -67,6 +73,7 @@ from repro.runtime.exceptions import (
     WorkflowKilledError,
 )
 from repro.runtime.faults import on_task_execute as _fault_hook
+from repro.runtime.faults import worker_kill_requested as _worker_kill_hook
 from repro.runtime.failures import (
     FAIL,
     IGNORE,
@@ -162,13 +169,16 @@ class Runtime:
         A :class:`~repro.runtime.config.RuntimeConfig`.  When omitted,
         :meth:`RuntimeConfig.from_env` is used, so ``REPRO_*``
         environment variables apply.
-    executor, max_workers, name:
+    executor, max_workers, name, backend:
         Keyword shortcuts overriding the corresponding config fields.
-        ``"threads"`` runs tasks on a worker-thread pool (NumPy kernels
-        release the GIL, so block math really runs in parallel);
-        ``"sequential"`` executes each task inline at submission time,
-        which is deterministic and is what most unit tests use.
-        Passing these *positionally* is deprecated.
+        ``executor="threads"`` runs tasks on a worker-thread pool
+        (NumPy kernels release the GIL, so block math really runs in
+        parallel); ``"sequential"`` executes each task inline at
+        submission time, which is deterministic and is what most unit
+        tests use.  ``backend="processes"`` additionally dispatches
+        task *bodies* to persistent worker processes
+        (:mod:`repro.runtime.backends`).  Passing these *positionally*
+        is deprecated.
     """
 
     _ids = 0
@@ -180,6 +190,7 @@ class Runtime:
         executor: str | None = None,
         max_workers: int | None = None,
         name: str | None = None,
+        backend: str | None = None,
         config: RuntimeConfig | None = None,
     ):
         if deprecated_args:
@@ -202,7 +213,12 @@ class Runtime:
         cfg = config if config is not None else RuntimeConfig.from_env()
         overrides = {
             key: value
-            for key, value in (("executor", executor), ("max_workers", max_workers), ("name", name))
+            for key, value in (
+                ("executor", executor),
+                ("max_workers", max_workers),
+                ("name", name),
+                ("backend", backend),
+            )
             if value is not None
         }
         if overrides:
@@ -215,6 +231,13 @@ class Runtime:
         self.name = cfg.name
         self.executor = cfg.executor
         self.max_workers = cfg.max_workers or (os.cpu_count() or 4)
+        #: Execution backend: runs resolved task bodies (in-process or
+        #: on worker processes) and reports the executing pid.  The
+        #: sequential executor's contract is run-inline-at-submission
+        #: (deterministic, nested tasks become DAG nodes), so backend
+        #: selection only applies to the pooled executor.
+        self.backend_name = cfg.backend if self.executor == "threads" else "threads"
+        self._backend = create_backend(self.backend_name, self.max_workers)
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
@@ -313,6 +336,7 @@ class Runtime:
             timer.cancel()
         for t in self._threads:
             t.join(timeout=5.0)
+        self._backend.shutdown()
         self.registry.clear()
 
     def __enter__(self) -> "Runtime":
@@ -671,13 +695,18 @@ class Runtime:
     # execution
     # ------------------------------------------------------------------
     def _run_body(self, inst: TaskInstance, scope: Scope):
-        """Resolve inputs, apply fault injection, run the task body and
-        wait for nested children.  Runs in the executing thread (or the
-        watchdog-supervised body thread for timed tasks)."""
+        """Resolve inputs, apply fault injection, run the task body via
+        the execution backend and wait for nested children.  Runs in
+        the scheduling thread (or the watchdog-supervised body thread
+        for timed tasks)."""
         _fault_hook(inst.name)
+        kill_worker = _worker_kill_hook(inst.name)
         args = resolve_futures(inst.args)
         kwargs = resolve_futures(inst.kwargs)
-        result = inst.spec.func(*args, **kwargs)
+        result, pid = self._backend.run(
+            inst.spec, args, kwargs, attempt=inst.attempt, kill_worker=kill_worker
+        )
+        inst.worker_pid = pid
         # Nested tasks must complete before the parent is done.
         scope.wait_all()
         result = resolve_futures(result)
@@ -829,6 +858,7 @@ class Runtime:
                 retry_of=inst.retry_of,
                 status=status,
                 error=repr(error) if error is not None else None,
+                pid=inst.worker_pid,
             )
         )
 
@@ -840,6 +870,11 @@ class Runtime:
         else:
             error = TaskExecutionError(inst.name, inst.task_id, exc)
         inst.error = error
+        # Exceptions transported back from (or raised about) a worker
+        # process carry the executing pid; attribute the attempt to it.
+        remote_pid = getattr(exc, "_repro_worker_pid", None)
+        if remote_pid is not None:
+            inst.worker_pid = remote_pid
         if isinstance(exc, TaskTimeoutError):
             with self._state_lock:
                 self._n_timeouts += 1
@@ -1097,6 +1132,8 @@ class Runtime:
             violations = len(self._violations)
         return {
             "executor": self.executor,
+            "backend": self.backend_name,
+            "backend_stats": self._backend.stats(),
             "max_workers": self.max_workers,
             "n_tasks": self.graph.n_tasks,
             "n_edges": self.graph.n_edges,

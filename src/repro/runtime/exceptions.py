@@ -86,6 +86,36 @@ class WorkflowKilledError(BaseException):
     """
 
 
+class NodeFailureError(RuntimeError):
+    """A worker process died while executing a task.
+
+    Raised on the dispatching thread by the ``processes`` backend when
+    the pipe to a worker breaks mid-call (crash, OOM kill, or the
+    ``kill_worker`` fault injector), and by the ``threads`` backend as a
+    *simulated* node failure so fault schedules behave identically
+    across backends.  It is an ordinary :class:`Exception`: the task
+    attempt fails and flows through the ``on_failure``/retry machinery
+    — a retried attempt simply lands on a fresh worker, which is the
+    COMPSs resubmit-on-node-failure behaviour.
+    """
+
+    def __init__(self, pid: int, task_name: str | None = None, simulated: bool = False):
+        flavour = "simulated worker" if simulated else "worker"
+        suffix = f" while running {task_name!r}" if task_name else ""
+        super().__init__(f"{flavour} process {pid} died{suffix}")
+        self.pid = pid
+        self.task_name = task_name
+        self.simulated = simulated
+        #: Uniform pid hand-back channel read by the engine's trace
+        #: recording (worker exceptions carry the same attribute).
+        self._repro_worker_pid = pid
+
+    def __reduce__(self):
+        # args holds the formatted message, not the ctor signature — a
+        # plain exception reduce would rebuild with pid=<message>.
+        return (NodeFailureError, (self.pid, self.task_name, self.simulated))
+
+
 class CheckpointError(RuntimeError):
     """A checkpoint store operation failed.
 

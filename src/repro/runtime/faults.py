@@ -47,10 +47,15 @@ class FaultRule:
     ``after`` is the global (all task names pooled) execution count a
     ``"kill"`` rule lets complete before firing.  ``"corrupt"`` rules
     fire on checkpoint *writes* rather than task executions.
+    ``"kill_worker"`` rules do not raise: they ask the execution
+    backend to crash the worker *process* running the matched execution
+    (SIGKILL under the ``processes`` backend, a simulated
+    :class:`~repro.runtime.exceptions.NodeFailureError` under
+    ``threads``).
     """
 
     task: str
-    kind: str  # "fail" | "delay" | "kill" | "corrupt"
+    kind: str  # "fail" | "delay" | "kill" | "corrupt" | "kill_worker"
     executions: frozenset[int] | None = None
     probability: float | None = None
     delay: float = 0.0
@@ -58,7 +63,7 @@ class FaultRule:
     after: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail", "delay", "kill", "corrupt"):
+        if self.kind not in ("fail", "delay", "kill", "corrupt", "kill_worker"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.executions is not None and any(n < 1 for n in self.executions):
             raise ValueError("execution indices are 1-based")
@@ -137,6 +142,26 @@ def corrupt_nth(task: str, *writes: int) -> FaultRule:
     return FaultRule(task=task, kind="corrupt", executions=frozenset(writes))
 
 
+def kill_worker(task: str, *executions: int) -> FaultRule:
+    """Crash the worker *process* running the given 1-based executions
+    of *task* — the node-failure experiment.
+
+    Under the ``processes`` backend the worker SIGKILLs itself mid-task;
+    the coordinator detects the broken pipe and fails the attempt with
+    :class:`~repro.runtime.exceptions.NodeFailureError`, which feeds the
+    ordinary ``on_failure``/retry machinery (a retry lands on a fresh
+    worker).  Under the ``threads`` backend the same
+    :class:`NodeFailureError` is raised directly (``simulated=True``),
+    so differential tests see identical failure schedules::
+
+        with inject(kill_worker("train", 1)):   # first execution dies
+            model = train.opts(max_retries=1)(data)   # retry succeeds
+    """
+    if not executions:
+        raise ValueError("kill_worker needs at least one execution index")
+    return FaultRule(task=task, kind="kill_worker", executions=frozenset(executions))
+
+
 def random_failures(task: str, probability: float) -> FaultRule:
     """Fail each execution of *task* independently with *probability*
     (drawn from the injector's seeded per-name stream)."""
@@ -185,8 +210,14 @@ class FaultInjector:
         return int.from_bytes(digest[:8], "big") / 2**64
 
     def on_execute(self, task: str) -> None:
-        """Hook called by the engine; may sleep or raise."""
-        matching = [r for r in self.rules if r.kind != "corrupt" and r.matches(task)]
+        """Hook called by the engine; may sleep or raise.  Counts the
+        execution (``kill_worker`` rules consult the same counter via
+        :meth:`worker_kill_pending` without re-counting)."""
+        matching = [
+            r
+            for r in self.rules
+            if r.kind not in ("corrupt", "kill_worker") and r.matches(task)
+        ]
         with self._lock:
             execution = self._counts.get(task, 0) + 1
             self._counts[task] = execution
@@ -219,6 +250,28 @@ class FaultInjector:
                     self.log.append((task, execution, "fail"))
                 assert rule.error is not None
                 raise rule.error()
+
+    def worker_kill_pending(self, task: str) -> bool:
+        """Should the backend crash the worker running *task*'s current
+        execution?  Called by the engine right after :func:`on_execute`
+        counted the execution, so indices line up with ``fail_nth``."""
+        with self._lock:
+            execution = self._counts.get(task, 0)
+        fired = False
+        for rule in self.rules:
+            if rule.kind != "kill_worker" or not rule.matches(task):
+                continue
+            if rule.executions is not None:
+                fires = execution in rule.executions
+            elif rule.probability is not None:
+                fires = self._roll(f"kw:{task}", execution) < rule.probability
+            else:
+                fires = True
+            if fires:
+                with self._lock:
+                    self.log.append((task, execution, "kill_worker"))
+                fired = True
+        return fired
 
     def on_checkpoint(self, task: str, path: str) -> None:
         """Hook called by the checkpoint store after persisting an entry
@@ -281,6 +334,14 @@ def on_task_execute(task: str) -> None:
         injectors = list(reversed(_active))
     for injector in injectors:
         injector.on_execute(task)
+
+
+def worker_kill_requested(task: str) -> bool:
+    """Engine hook: does any active injector want the worker process
+    running *task*'s current execution crashed?"""
+    with _active_lock:
+        injectors = list(reversed(_active))
+    return any([inj.worker_kill_pending(task) for inj in injectors])
 
 
 def on_checkpoint_write(task: str, path: str) -> None:

@@ -109,6 +109,7 @@ class TaskInstance:
         "retry_of",
         "root_id",
         "signature",
+        "worker_pid",
         "_remaining",
         "_lock",
         "_owner_scope",
@@ -147,6 +148,10 @@ class TaskInstance:
         self.root_id = task_id
         #: Deterministic checkpoint signature (None = not checkpointable).
         self.signature: str | None = None
+        #: pid of the OS process that ran (or crashed running) this
+        #: attempt's body — the coordinator pid for the thread backend,
+        #: a pool worker's pid when the process backend dispatched it.
+        self.worker_pid: int | None = None
         self._remaining = len(deps)
         self._lock = threading.Lock()
         #: True once a timed-out body thread was abandoned.

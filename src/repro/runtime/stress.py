@@ -36,6 +36,7 @@ import time
 import traceback
 from typing import Any
 
+from repro.runtime.backends import current_attempt
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.directions import INOUT
 from repro.runtime.engine import Runtime, pop_runtime, push_runtime
@@ -51,11 +52,8 @@ from repro.runtime.task import task
 #: seed % 4 selects the scenario family.
 MODES = ("mixed", "abort", "kill", "shutdown")
 
-#: Distinguishes flaky-task bookkeeping across runs in one process.
+#: Distinguishes flaky-task submissions across runs in one process.
 _RUN_IDS = itertools.count()
-
-_flaky_lock = threading.Lock()
-_flaky_seen: dict[tuple, int] = {}
 
 
 # ----------------------------------------------------------------------
@@ -71,12 +69,14 @@ def _flaky_add(a, b, key=None, failures=0):
     """Fails its first *failures* attempts, then behaves like ``_add``.
 
     Exercises the resubmission path (fresh DAG node, backoff timer,
-    future hand-over) under concurrency."""
-    with _flaky_lock:
-        seen = _flaky_seen.get(key, 0)
-        if seen < failures:
-            _flaky_seen[key] = seen + 1
-            raise RuntimeError(f"injected flake {key} (attempt {seen})")
+    future hand-over) under concurrency.  Flakiness is keyed on
+    :func:`~repro.runtime.backends.current_attempt`, which is valid on
+    the coordinator *and* inside backend worker processes — a shared
+    seen-counter would not survive the process boundary (*key* only
+    keeps distinct submissions from sharing a checkpoint signature)."""
+    attempt = current_attempt()
+    if attempt < failures:
+        raise RuntimeError(f"injected flake {key} (attempt {attempt})")
     return a + b
 
 
@@ -152,7 +152,9 @@ def _dump_stacks() -> str:
 # ----------------------------------------------------------------------
 # scenario
 # ----------------------------------------------------------------------
-def _run_scenario(seed: int, n_ops: int, workers: int) -> StressReport:
+def _run_scenario(
+    seed: int, n_ops: int, workers: int, backend: str = "threads"
+) -> StressReport:
     t0 = time.perf_counter()
     rng = random.Random(seed)
     mode = MODES[seed % len(MODES)]
@@ -161,6 +163,7 @@ def _run_scenario(seed: int, n_ops: int, workers: int) -> StressReport:
 
     cfg = RuntimeConfig(
         executor="threads",
+        backend=backend,
         max_workers=workers,
         name=f"stress-{seed}",
         debug_invariants=True,
@@ -364,7 +367,11 @@ def _run_scenario(seed: int, n_ops: int, workers: int) -> StressReport:
 # driver
 # ----------------------------------------------------------------------
 def run_seed(
-    seed: int, n_ops: int = 120, workers: int = 4, timeout: float = 60.0
+    seed: int,
+    n_ops: int = 120,
+    workers: int = 4,
+    timeout: float = 60.0,
+    backend: str = "threads",
 ) -> StressReport:
     """Run one seed under a hang watchdog.
 
@@ -376,7 +383,7 @@ def run_seed(
 
     def target() -> None:
         try:
-            outcome["report"] = _run_scenario(seed, n_ops, workers)
+            outcome["report"] = _run_scenario(seed, n_ops, workers, backend)
         except BaseException as exc:  # noqa: BLE001 - relayed to the report
             outcome["error"] = exc
             outcome["trace"] = traceback.format_exc()
@@ -415,10 +422,13 @@ def run_suite(
     workers: int = 4,
     timeout: float = 60.0,
     verbose: bool = True,
+    backend: str = "threads",
 ) -> list[StressReport]:
     reports = []
     for seed in seeds:
-        report = run_seed(seed, n_ops=n_ops, workers=workers, timeout=timeout)
+        report = run_seed(
+            seed, n_ops=n_ops, workers=workers, timeout=timeout, backend=backend
+        )
         reports.append(report)
         if verbose:
             print(report.line(), flush=True)
@@ -445,11 +455,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeout", type=float, default=60.0, help="per-seed hang watchdog (s)"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="execution backend to stress (default threads)",
+    )
     args = parser.parse_args(argv)
 
     seeds = args.seed if args.seed else range(args.seeds)
     reports = run_suite(
-        seeds, n_ops=args.ops, workers=args.workers, timeout=args.timeout
+        seeds,
+        n_ops=args.ops,
+        workers=args.workers,
+        timeout=args.timeout,
+        backend=args.backend,
     )
     failed = [r for r in reports if not r.ok]
     print(

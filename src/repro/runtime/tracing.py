@@ -102,6 +102,9 @@ class TaskRecord:
     status: str = "done"
     #: repr of the causing exception for failed/ignored attempts.
     error: str | None = None
+    #: pid of the process that ran this attempt's body (None in traces
+    #: recorded before backends existed, or for restored attempts).
+    pid: int | None = None
 
     @property
     def duration(self) -> float:

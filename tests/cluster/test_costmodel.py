@@ -1,0 +1,98 @@
+"""Unit tests of :mod:`repro.cluster.costmodel`."""
+
+from __future__ import annotations
+
+from repro.cluster.costmodel import IDENTITY, CostModel, name_mean_smoother
+from repro.runtime.tracing import TaskRecord
+
+
+def _record(name="fit", duration=2.0, gpus=0, task_id=1):
+    return TaskRecord(
+        task_id=task_id,
+        name=name,
+        deps=(),
+        t_start=10.0,
+        t_end=10.0 + duration,
+        gpus=gpus,
+    )
+
+
+def test_identity_returns_recorded_duration():
+    assert IDENTITY.duration(_record(duration=2.5)) == 2.5
+
+
+def test_global_scale():
+    assert CostModel(scale=3.0).duration(_record(duration=2.0)) == 6.0
+
+
+def test_per_name_scale_applies_only_to_named_tasks():
+    model = CostModel(per_name_scale={"fit": 40.0})
+    assert model.duration(_record(name="fit", duration=1.0)) == 40.0
+    assert model.duration(_record(name="merge", duration=1.0)) == 1.0
+
+
+def test_scales_compose():
+    model = CostModel(scale=2.0, per_name_scale={"fit": 5.0})
+    assert model.duration(_record(name="fit", duration=1.5)) == 15.0
+
+
+def test_gpu_sync_overhead_per_extra_gpu():
+    model = CostModel(gpu_sync_overhead=0.25)
+    assert model.duration(_record(duration=1.0, gpus=0)) == 1.0
+    assert model.duration(_record(duration=1.0, gpus=1)) == 1.0
+    # 4 GPUs -> 3 extra, overhead added after scaling
+    assert model.duration(_record(duration=1.0, gpus=4)) == 1.75
+
+
+def test_node_speed_divides_everything():
+    model = CostModel(scale=2.0, gpu_sync_overhead=0.5)
+    slow = model.duration(_record(duration=1.0, gpus=2), node_speed=0.5)
+    fast = model.duration(_record(duration=1.0, gpus=2), node_speed=2.0)
+    assert slow == 2 * (2.0 + 0.5)
+    assert fast == (2.0 + 0.5) / 2
+
+
+def test_base_duration_replaces_recorded_before_scaling():
+    model = CostModel(scale=10.0, base_duration=lambda r: 0.3)
+    assert model.duration(_record(duration=99.0)) == 3.0
+
+
+def test_base_duration_none_keeps_recorded():
+    model = CostModel(scale=2.0, base_duration=lambda r: None)
+    assert model.duration(_record(duration=4.0)) == 8.0
+
+
+def test_override_wins_and_skips_scaling():
+    model = CostModel(
+        scale=100.0,
+        per_name_scale={"fit": 7.0},
+        base_duration=lambda r: 42.0,
+        override=lambda r: 1.5,
+    )
+    assert model.duration(_record(name="fit", duration=9.0)) == 1.5
+    # node speed still applies to forced durations
+    assert model.duration(_record(name="fit"), node_speed=3.0) == 0.5
+
+
+def test_override_none_falls_through_to_scaling():
+    model = CostModel(scale=2.0, override=lambda r: None)
+    assert model.duration(_record(duration=3.0)) == 6.0
+
+
+def test_name_mean_smoother_averages_across_traces():
+    trace_a = [_record("fit", 1.0, task_id=1), _record("fit", 3.0, task_id=2)]
+    trace_b = [_record("fit", 5.0, task_id=3), _record("merge", 10.0, task_id=4)]
+    hook = name_mean_smoother(trace_a, trace_b)
+    assert hook(_record("fit")) == 3.0  # mean of 1, 3, 5
+    assert hook(_record("merge")) == 10.0
+    assert hook(_record("unknown")) is None
+
+
+def test_name_mean_smoother_as_base_duration():
+    trace = [_record("fit", 2.0, task_id=1), _record("fit", 4.0, task_id=2)]
+    model = CostModel(scale=2.0, base_duration=name_mean_smoother(trace))
+    # noisy recorded durations both collapse to the 3.0 mean
+    assert model.duration(_record("fit", duration=2.0)) == 6.0
+    assert model.duration(_record("fit", duration=4.0)) == 6.0
+    # unknown name: hook returns None, recorded duration survives
+    assert model.duration(_record("other", duration=1.0)) == 2.0

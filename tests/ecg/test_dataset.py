@@ -1,0 +1,93 @@
+"""Persistence and structure tests for :mod:`repro.ecg.dataset`
+(generation itself is covered by ``test_generator_dataset.py``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import ECGConfig
+from repro.ecg.dataset import (
+    DURATION_RANGE,
+    PAPER_N_AF,
+    PAPER_N_NORMAL,
+    Dataset,
+    Record,
+    generate_dataset,
+    load_npz,
+    save_npz,
+)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_dataset(4, 3, n_other=1, seed=7, cfg=ECGConfig(), duration_range=(2.0, 4.0))
+
+
+def test_paper_constants_match_section_iii_a():
+    assert (PAPER_N_NORMAL, PAPER_N_AF) == (5154, 771)
+    assert DURATION_RANGE == (9.0, 61.0)
+
+
+def test_npz_roundtrip_preserves_everything(tmp_path, small_dataset):
+    path = tmp_path / "ds.npz"
+    save_npz(small_dataset, path)
+    loaded = load_npz(path)
+    assert len(loaded) == len(small_dataset)
+    assert list(loaded.labels) == list(small_dataset.labels)
+    for orig, back in zip(small_dataset.records, loaded.records):
+        assert back.fs == orig.fs
+        assert back.duration == orig.duration
+        np.testing.assert_array_equal(back.signal, orig.signal)
+
+
+def test_npz_roundtrip_variable_lengths(tmp_path, small_dataset):
+    # the flat+offsets layout must not mix neighbouring records up
+    lengths = [len(r.signal) for r in small_dataset.records]
+    assert len(set(lengths)) > 1, "fixture should have variable-length records"
+    path = tmp_path / "ds.npz"
+    save_npz(small_dataset, path)
+    loaded = load_npz(path)
+    assert [len(r.signal) for r in loaded.records] == lengths
+
+
+def test_npz_loaded_signals_are_independent_copies(tmp_path, small_dataset):
+    path = tmp_path / "ds.npz"
+    save_npz(small_dataset, path)
+    loaded = load_npz(path)
+    first = loaded.records[0].signal
+    before = loaded.records[1].signal.copy()
+    first[:] = 0.0
+    np.testing.assert_array_equal(loaded.records[1].signal, before)
+
+
+def test_npz_roundtrip_empty_dataset(tmp_path):
+    path = tmp_path / "empty.npz"
+    save_npz(Dataset([]), path)
+    assert len(load_npz(path)) == 0
+
+
+def test_class_counts_and_subset(small_dataset):
+    counts = small_dataset.class_counts()
+    assert counts == {"N": 4, "AF": 3, "O": 1}
+    af = small_dataset.subset("AF")
+    assert len(af) == 3
+    assert set(af.labels) == {"AF"}
+
+
+def test_shuffled_is_a_permutation(small_dataset):
+    shuffled = small_dataset.shuffled(seed=1)
+    assert len(shuffled) == len(small_dataset)
+    assert shuffled.class_counts() == small_dataset.class_counts()
+    assert sorted(len(r.signal) for r in shuffled.records) == sorted(
+        len(r.signal) for r in small_dataset.records
+    )
+
+
+def test_max_length_matches_longest_record(small_dataset):
+    assert small_dataset.max_length() == max(len(s) for s in small_dataset.signals)
+
+
+def test_record_duration_property():
+    rec = Record(signal=np.zeros(600), label="N", fs=300.0)
+    assert rec.duration == 2.0

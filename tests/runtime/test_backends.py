@@ -1,0 +1,238 @@
+"""Unit tests of :mod:`repro.runtime.backends`: serialization framing,
+worker pool lifecycle, dispatch/fallback rules, crash detection and the
+``kill_worker`` fault injector."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    NodeFailureError,
+    Runtime,
+    RuntimeConfig,
+    TaskExecutionError,
+    current_attempt,
+    faults,
+    task,
+    wait_on,
+)
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    ThreadBackend,
+    _decode,
+    _encode,
+    create_backend,
+    get_worker_pool,
+)
+
+
+# ----------------------------------------------------------------------
+# module-level (worker-importable) probes
+# ----------------------------------------------------------------------
+@task(returns=1)
+def _probe(x):
+    """Which process ran me, on which attempt?"""
+    return (os.getpid(), current_attempt(), x)
+
+
+@task(returns=1, on_failure="RETRY", max_retries=3)
+def _flaky_probe(n_failures):
+    """Deterministically fail the first *n_failures* attempts."""
+    if current_attempt() < n_failures:
+        raise ValueError(f"flaky attempt {current_attempt()}")
+    return os.getpid()
+
+
+@task(returns=1)
+def _raise_value_error(msg):
+    raise ValueError(msg)
+
+
+@task(returns=2)
+def _two_sums(block):
+    a = np.asarray(block)
+    return float(a.sum()), float((a * 2).sum())
+
+
+def _processes_cfg(**kw):
+    return RuntimeConfig(backend="processes", max_workers=2, **kw)
+
+
+# ----------------------------------------------------------------------
+# serialization framing
+# ----------------------------------------------------------------------
+def test_encode_decode_roundtrip_numpy_out_of_band():
+    payload = {"x": np.arange(1024.0), "meta": ("a", 3)}
+    frames = _encode(payload)
+    # count header + pickle payload + at least one raw buffer frame:
+    # protocol-5 out-of-band export kept the array out of the pickle
+    n_buffers = int.from_bytes(frames[0], "little")
+    assert n_buffers >= 1
+    assert len(frames) == 2 + n_buffers
+    assert len(frames[1]) < payload["x"].nbytes  # array not in payload
+    decoded = _decode(frames)
+    assert decoded["meta"] == ("a", 3)
+    assert np.array_equal(decoded["x"], payload["x"])
+
+
+def test_encode_rejects_unpicklable():
+    import threading
+
+    with pytest.raises(Exception):
+        _encode(threading.Lock())
+
+
+# ----------------------------------------------------------------------
+# backend construction
+# ----------------------------------------------------------------------
+def test_create_backend():
+    assert isinstance(create_backend("threads", 4), ThreadBackend)
+    assert isinstance(create_backend("processes", 4), ProcessPoolBackend)
+    with pytest.raises(ValueError):
+        create_backend("mpi", 4)
+
+
+def test_config_validates_backend():
+    with pytest.raises(ValueError):
+        RuntimeConfig(backend="bogus")
+
+
+def test_backend_from_env():
+    cfg = RuntimeConfig.from_env(environ={"REPRO_BACKEND": "processes"})
+    assert cfg.backend == "processes"
+    assert RuntimeConfig.from_env(environ={}).backend == "threads"
+
+
+def test_thread_backend_runs_in_coordinator():
+    backend = ThreadBackend()
+    spec = _probe.spec
+    (pid, attempt, x), run_pid = backend.run(spec, (7,), {}, attempt=2)
+    assert pid == run_pid == os.getpid()
+    assert attempt == 2
+    assert x == 7
+    assert backend.stats()["tasks_run"] == 1
+
+
+def test_thread_backend_simulates_worker_kill():
+    backend = ThreadBackend()
+    with pytest.raises(NodeFailureError) as err:
+        backend.run(_probe.spec, (1,), {}, kill_worker=True)
+    assert err.value.simulated
+    assert err.value.pid == os.getpid()
+
+
+# ----------------------------------------------------------------------
+# process dispatch
+# ----------------------------------------------------------------------
+def test_dispatched_task_runs_in_worker_with_attempt():
+    with Runtime(config=_processes_cfg()):
+        pid, attempt, x = wait_on(_probe(11))
+    assert pid != os.getpid()
+    assert attempt == 0
+    assert x == 11
+
+
+def test_multi_return_task_dispatches():
+    with Runtime(config=_processes_cfg()):
+        s1, s2 = wait_on(list(_two_sums(np.ones(8))))
+    assert (s1, s2) == (8.0, 16.0)
+
+
+def test_worker_exception_transports_with_pid():
+    with Runtime(config=_processes_cfg()) as rt:
+        fut = _raise_value_error.opts(max_retries=0)("boom-42")
+        with pytest.raises(TaskExecutionError) as err:
+            wait_on(fut)
+        trace = rt.trace()
+    cause = err.value.__cause__
+    assert isinstance(cause, ValueError)
+    assert "boom-42" in str(cause)
+    record = next(iter(trace.records(name="_raise_value_error")))
+    assert record.status == "failed"
+    assert record.pid is not None and record.pid != os.getpid()
+
+
+def test_retries_run_with_increasing_attempts_across_workers():
+    with Runtime(config=_processes_cfg()) as rt:
+        pid = wait_on(_flaky_probe(2))
+        trace = rt.trace()
+    assert pid != os.getpid()
+    records = sorted(trace.records(name="_flaky_probe"), key=lambda r: r.attempt)
+    assert [r.status for r in records] == ["failed", "failed", "done"]
+
+
+def test_worker_pool_is_shared_across_runtimes():
+    pool = get_worker_pool()
+    with Runtime(config=_processes_cfg()):
+        wait_on(_probe(1))
+    spawned_after_first = pool.spawned
+    with Runtime(config=_processes_cfg()):
+        wait_on(_probe(2))
+    assert pool.spawned == spawned_after_first  # workers were reused
+
+
+# ----------------------------------------------------------------------
+# kill_worker fault injection
+# ----------------------------------------------------------------------
+def test_kill_worker_crash_recovers_by_retry_under_processes():
+    """The worker process is SIGKILLed mid-task; the coordinator sees
+    the broken pipe, fails the attempt with NodeFailureError, and the
+    failure-policy retry lands on a fresh worker and succeeds."""
+    with faults.inject(faults.kill_worker("_probe", 1)) as injector:
+        with Runtime(config=_processes_cfg()) as rt:
+            pid, attempt, _ = wait_on(_probe.opts(max_retries=2)(5))
+            trace = rt.trace()
+            stats = rt.stats()
+    assert injector.log == [("_probe", 1, "kill_worker")]
+    assert attempt == 1  # first attempt died, retry succeeded
+    records = sorted(trace.records(name="_probe"), key=lambda r: r.attempt)
+    assert [r.status for r in records] == ["failed", "done"]
+    # the dead worker's pid is attributed to the failed attempt and
+    # differs from the pid that completed the retry
+    assert records[0].pid not in (None, os.getpid())
+    assert records[0].pid != records[1].pid == pid
+    assert "NodeFailureError" in records[0].error
+    assert stats["backend_stats"]["worker_crashes"] == 1
+
+
+def test_kill_worker_parity_under_threads():
+    """The same fault schedule under the thread backend produces the
+    same observable outcome via a simulated NodeFailureError."""
+    with faults.inject(faults.kill_worker("_probe", 1)) as injector:
+        with Runtime(config=RuntimeConfig(backend="threads")) as rt:
+            pid, attempt, _ = wait_on(_probe.opts(max_retries=2)(5))
+            trace = rt.trace()
+    assert injector.log == [("_probe", 1, "kill_worker")]
+    assert attempt == 1
+    records = sorted(trace.records(name="_probe"), key=lambda r: r.attempt)
+    assert [r.status for r in records] == ["failed", "done"]
+    assert "NodeFailureError" in records[0].error
+    assert pid == os.getpid()
+
+
+def test_kill_worker_exhausting_retries_fails_task():
+    with faults.inject(faults.kill_worker("_probe", 1, 2)):
+        with Runtime(config=_processes_cfg()):
+            fut = _probe.opts(max_retries=1)(9)
+            with pytest.raises(TaskExecutionError) as err:
+                wait_on(fut)
+    assert isinstance(err.value.__cause__, NodeFailureError)
+
+
+def test_kill_worker_rule_validates():
+    with pytest.raises(ValueError):
+        faults.kill_worker("_probe")
+    rule = faults.kill_worker("_probe", 2)
+    assert rule.kind == "kill_worker"
+    assert rule.executions == frozenset({2})
+
+
+def test_node_failure_error_is_picklable():
+    err = NodeFailureError(123, task_name="train", simulated=True)
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.pid == 123
+    assert "123" in str(clone)
