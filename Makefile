@@ -1,4 +1,4 @@
-.PHONY: check lint test inventory resilience stress backend
+.PHONY: check lint test inventory resilience stress obs backend
 
 check:
 	bash scripts/check.sh
@@ -17,6 +17,9 @@ resilience:
 
 stress:
 	PYTHONPATH=src python -m repro stress --seeds 20
+
+obs:
+	bash scripts/check.sh obs
 
 backend:
 	bash scripts/check.sh backend

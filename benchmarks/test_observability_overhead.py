@@ -1,0 +1,251 @@
+"""Instrumentation overhead microbenchmark.
+
+The telemetry layer sits on the scheduler hot path (every lifecycle
+transition emits an event when anyone is listening), so the whole
+design only holds if it is cheap.  Three measurements, recorded to
+``BENCH_observability.json`` at the repository root:
+
+* **submit latency** (the asserted contract, same shape as the
+  ``BENCH_scheduler.json`` baseline): per-submission cost with
+  telemetry off must be indistinguishable from an uninstrumented
+  runtime (the falsy-bus fast path skips event construction
+  entirely), and with metrics on it must pay less than 10%.  The
+  submissions are gated behind a blocked dependency so the timed
+  window measures what *submission* pays (the ``submitted`` event +
+  one registry update) — on a single-core box an undammed flood would
+  attribute the worker-side events to the submit window too via GIL
+  crosstalk, which the end-to-end measurement below covers instead;
+* **end-to-end flood** wall time, which additionally pays the
+  ``ready``/``dispatched``/``running``/``done`` events per task
+  against a ~50us no-op task — the worst case by construction (real
+  task bodies dwarf it).  Recorded for trend tracking with a loose
+  sanity bound;
+* **per-event unit cost** of bus dispatch + registry update for the
+  most expensive (terminal) event kind.
+
+Repeats interleave the on/off configurations so CPU-frequency drift
+and cache state hit both arms equally; min-of-N is compared, the
+standard trick for shaving scheduler noise off microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Runtime, RuntimeConfig, task, wait_on
+from repro.runtime import observability as obs
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_observability.json"
+
+N_FLOOD = 2000
+REPEATS = 9
+# Headroom over the "within noise" claim: single-core CI boxes jitter a
+# few percent run to run even with interleaving + min-of-N.
+OFF_BOUND = 1.05
+ON_BOUND = 1.10
+FLOOD_SANITY_BOUND = 1.6
+
+_metrics: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_file():
+    """Persist every metric recorded this session to BENCH_observability.json."""
+    yield
+    if not _metrics:
+        return
+    from repro.runtime import atomic_write
+
+    payload = {
+        "bench": "observability_overhead",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_flood": N_FLOOD,
+            "repeats": REPEATS,
+            "off_bound": OFF_BOUND,
+            "on_bound": ON_BOUND,
+            "flood_sanity_bound": FLOOD_SANITY_BOUND,
+        },
+        "metrics": _metrics,
+    }
+    atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+_GATE = threading.Event()
+
+
+@task(returns=1)
+def _noop(x):
+    return x
+
+
+@task(returns=1)
+def _gate():
+    _GATE.wait()
+    return 0
+
+
+@task(returns=1)
+def _gated_noop(gate, x):
+    return x
+
+
+def _gated_submit(observability: str) -> float:
+    """Per-submission seconds while every submitted task is dammed
+    behind a blocked dependency (workers idle during the window)."""
+    _GATE.clear()
+    cfg = RuntimeConfig(executor="threads", max_workers=4, observability=observability)
+    with Runtime(config=cfg) as rt:
+        gate = _gate()
+        time.sleep(0.02)  # let the gate task occupy its worker
+        # GC pauses landing inside the window would otherwise dominate
+        # the noise floor (a gen2 collection costs ~ms); the collector
+        # is re-enabled before the drain.
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            futs = [_gated_noop(gate, i) for i in range(N_FLOOD)]
+            t1 = time.perf_counter()
+        finally:
+            gc.enable()
+        _GATE.set()
+        out = wait_on(futs)
+        if observability:
+            rt.shutdown()  # drain barrier: reconcile needs a quiesced bus
+            assert obs.reconcile(rt) == []
+    assert len(out) == N_FLOOD
+    return (t1 - t0) / N_FLOOD
+
+
+def _flood(observability: str) -> float:
+    """End-to-end submit+schedule+drain seconds for a no-op flood."""
+    cfg = RuntimeConfig(executor="threads", max_workers=4, observability=observability)
+    with Runtime(config=cfg) as rt:
+        t0 = time.perf_counter()
+        out = wait_on([_noop(i) for i in range(N_FLOOD)])
+        dt = time.perf_counter() - t0
+        if observability:
+            rt.shutdown()  # drain barrier: reconcile needs a quiesced bus
+            assert obs.reconcile(rt) == []
+    assert len(out) == N_FLOOD
+    return dt
+
+
+def _flood_submit_baseline() -> float:
+    """Per-submission seconds in the exact shape of the PR-3
+    ``submit_latency_threads`` benchmark (pool draining concurrently,
+    telemetry off) — the denominator the <10% bound is stated
+    against."""
+    cfg = RuntimeConfig(executor="threads", max_workers=4)
+    with Runtime(config=cfg):
+        t0 = time.perf_counter()
+        futs = [_noop(i) for i in range(N_FLOOD)]
+        t1 = time.perf_counter()
+        out = wait_on(futs)
+    assert len(out) == N_FLOOD
+    return (t1 - t0) / N_FLOOD
+
+
+def test_submit_latency_overhead_bounds():
+    """The asserted contract: per-submit latency with telemetry off is
+    indistinguishable from the baseline, and the absolute cost metrics
+    on adds per submission (one ``submitted`` event + one registry
+    counter bump, measured as a min-of-N delta in the gated window) is
+    <10% of the PR-3-shaped submit-latency measurement."""
+    arms: dict[str, list[float]] = {"baseline": [], "off": [], "on": []}
+    _gated_submit("")  # warm up code paths outside the timed repeats
+    _gated_submit("metrics")
+    for _ in range(REPEATS):
+        for name, flags in (("baseline", ""), ("off", ""), ("on", "metrics")):
+            arms[name].append(_gated_submit(flags))
+    pr3_submit = min(_flood_submit_baseline() for _ in range(5))
+
+    base = min(arms["baseline"])
+    off_ratio = min(arms["off"]) / base
+    added = max(min(arms["on"]) - base, 0.0)
+    on_ratio = 1.0 + added / pr3_submit
+    _metrics["submit_latency_overhead"] = {
+        "unit": "us/task (min of repeats)",
+        "n_tasks": N_FLOOD,
+        "gated_baseline_us": base * 1e6,
+        "gated_metrics_off_us": min(arms["off"]) * 1e6,
+        "gated_metrics_on_us": min(arms["on"]) * 1e6,
+        "added_per_submit_us": added * 1e6,
+        "pr3_submit_baseline_us": pr3_submit * 1e6,
+        "off_ratio": off_ratio,
+        "on_ratio": on_ratio,
+        "samples_us": {k: [s * 1e6 for s in v] for k, v in arms.items()},
+    }
+    # metrics off IS the baseline configuration; both arms run the
+    # identical code path, so this is a pure noise measurement that
+    # keeps the bus-truthiness fast path honest.
+    assert off_ratio < OFF_BOUND, f"metrics-off overhead {off_ratio:.3f} >= {OFF_BOUND}"
+    assert on_ratio < ON_BOUND, f"metrics-on overhead {on_ratio:.3f} >= {ON_BOUND}"
+
+
+def test_flood_end_to_end_overhead():
+    """Worst-case end-to-end cost: all five lifecycle events per task
+    against a no-op body, workers and submitter sharing one core."""
+    baseline: list[float] = []
+    metrics_on: list[float] = []
+    _flood("")
+    _flood("metrics")
+    for _ in range(5):
+        baseline.append(_flood(""))
+        metrics_on.append(_flood("metrics"))
+    base, on = min(baseline), min(metrics_on)
+    on_ratio = on / base
+    _metrics["flood_end_to_end"] = {
+        "unit": "s (min of repeats)",
+        "n_tasks": N_FLOOD,
+        "baseline_s": base,
+        "metrics_on_s": on,
+        "on_ratio": on_ratio,
+        "per_task_cost_us": (on - base) / N_FLOOD * 1e6,
+        "baseline_samples": baseline,
+        "metrics_on_samples": metrics_on,
+    }
+    assert on_ratio < FLOOD_SANITY_BOUND, (
+        f"end-to-end overhead {on_ratio:.3f} >= {FLOOD_SANITY_BOUND}"
+    )
+
+
+def test_event_emission_unit_cost():
+    """Per-event cost of the bus + registry, measured directly (no
+    scheduler around it) on the most expensive event kind (terminal,
+    three histogram observes): the number that must stay small
+    relative to the ~40us submit path."""
+    reg = obs.MetricsRegistry(max_workers=4)
+    bus = obs.EventBus()
+    bus.subscribe(reg.handle)
+    n = 20000
+    events = [
+        obs.TaskEvent(
+            kind=obs.DONE, t=float(i), task_id=i, root_id=i, name="bench",
+            state="done", ran=True, duration=1e-4, queue_wait=1e-5, overhead=1e-5,
+            worker="w-0",
+        )
+        for i in range(n)
+    ]
+    samples = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for ev in events:
+            bus.emit(ev)
+        samples.append((time.perf_counter() - t0) / n * 1e6)
+    _metrics["event_emission"] = {
+        "unit": "us/event",
+        "median": statistics.median(samples),
+        "min": min(samples),
+        "samples": samples,
+    }
+    assert min(samples) < 10.0

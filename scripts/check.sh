@@ -9,6 +9,7 @@
 #   scripts/check.sh resilience  crash-resume smoke test only
 #   scripts/check.sh stress      scheduler concurrency stress (fixed seeds)
 #   scripts/check.sh backend     tier-1 + stress under REPRO_BACKEND=processes
+#   scripts/check.sh obs         observability smoke (metrics/trace exports)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +46,14 @@ run_stress() {
     PYTHONPATH=src python -m repro stress --seed 0 --seed 1 --seed 2 --seed 3 --seed 4 --seed 7
 }
 
+run_obs() {
+    # Real run with telemetry on: metrics reconcile with stats, the
+    # Prometheus exposition parses, the chrome-trace export validates,
+    # the critical path is bounded and the trace CLI works.
+    echo "== observability smoke (metrics + trace exports) =="
+    PYTHONPATH=src python scripts/obs_smoke.py
+}
+
 run_backend() {
     # The same gates again with task bodies dispatched to worker
     # processes: the differential guarantee is that nothing observable
@@ -64,6 +73,7 @@ case "$mode" in
     resilience) run_resilience ;;
     stress)     run_stress ;;
     backend)    run_backend ;;
-    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_backend ;;
-    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|backend]" >&2; exit 2 ;;
+    obs)        run_obs ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend]" >&2; exit 2 ;;
 esac

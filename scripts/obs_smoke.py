@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Observability smoke test: run a tiny-but-real AF pipeline stage with
+telemetry on, then prove every export is well-formed and consistent.
+
+Run from the repo root (``make obs`` does this)::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+
+The script runs the feature-extraction + PCA stages of the AF workflow
+(real DAG dependencies through the distributed PCA) on the threads
+executor with metrics enabled, and asserts:
+
+1. ``reconcile`` finds no disagreement between the live metrics
+   registry, ``Runtime.stats()`` and the trace,
+2. the Prometheus exposition parses and its totals match the trace,
+3. the chrome-trace export validates (lanes, flow events, phases) and
+   carries one lane per worker that actually ran a task,
+4. the critical path is bounded: at least the longest single task,
+   at most the makespan,
+5. the ``repro trace`` CLI (summarize / critical-path / chrome) works
+   end to end on the saved trace file.
+
+Exit code 0 means all five hold.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.cluster.chrometrace import trace_to_chrome, validate_chrome_json
+from repro.runtime import Runtime, RuntimeConfig, observability as obs
+from repro.runtime.tracing import Trace
+from repro.workflows.af_pipeline import (
+    PipelineConfig,
+    extract_features,
+    prepare_dataset,
+    reduce_dimensions,
+)
+
+TINY = PipelineConfig(
+    scale=0.004,
+    seed=0,
+    block_size=(16, 64),
+    n_splits=3,
+    decimate=8,
+    stft_batch=8,
+)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    cfg = RuntimeConfig(executor="threads", max_workers=2, observability="metrics")
+    with Runtime(config=cfg) as rt:
+        dataset = prepare_dataset(TINY)
+        feats, _labels = extract_features(dataset, TINY)
+        reduced, _pca = reduce_dimensions(feats, TINY)
+        reduced.collect()
+        rt.shutdown()
+
+        stats = rt.stats()
+        trace = rt.trace()
+        snap = rt.metrics()
+        prom = rt.metrics_text()
+
+    # -- 1. registry / stats / trace agree ------------------------------
+    problems = obs.reconcile(rt) + obs.reconcile_trace(rt, trace)
+    if problems:
+        fail("reconcile: " + "; ".join(problems))
+    print(f"ok: metrics reconcile with stats ({stats['n_tasks']} tasks)")
+
+    # -- 2. Prometheus exposition parses and matches the trace ----------
+    parsed = obs.parse_prometheus(prom)
+    n_done = parsed[("repro_tasks_total", (("state", "done"),))]
+    if n_done != trace.n_executed + trace.n_restored:
+        fail(f"prometheus done={n_done} != trace {trace.n_executed}")
+    print(f"ok: prometheus exposition parses ({len(parsed)} series)")
+
+    # -- 3. chrome trace validates with one lane per active worker ------
+    text = trace_to_chrome(trace)
+    events = validate_chrome_json(text)
+    xs = [e for e in events if e["ph"] == "X"]
+    lanes = {(e["pid"], e["tid"]) for e in xs}
+    workers = {r.worker for r in trace if r.worker is not None}
+    if len(xs) != len(trace):
+        fail(f"chrome trace has {len(xs)} slices for {len(trace)} records")
+    if len(lanes) != len(workers):
+        fail(f"{len(lanes)} lanes for {len(workers)} workers")
+    flows = sum(1 for e in events if e["ph"] == "s")
+    if flows == 0:
+        fail("no flow events despite DAG dependencies")
+    print(f"ok: chrome trace valid ({len(xs)} slices, {len(lanes)} lanes, {flows} flows)")
+
+    # -- 4. critical-path bounds ----------------------------------------
+    cp = obs.critical_path(trace)
+    longest = max(r.duration for r in trace)
+    if not (longest <= cp.length * (1 + 1e-9)):
+        fail(f"critical path {cp.length} shorter than longest task {longest}")
+    if not (cp.length <= trace.makespan * (1 + 1e-6)):
+        fail(f"critical path {cp.length} exceeds makespan {trace.makespan}")
+    print(
+        f"ok: critical path bounded ({cp.length:.3f}s of {trace.makespan:.3f}s"
+        f" makespan, {len(cp.records)} tasks)"
+    )
+
+    # -- 5. the trace CLI end to end ------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_file = Path(tmp) / "trace.json"
+        trace.save(trace_file)
+        for action in ("summarize", "critical-path"):
+            rc = cli_main([ "trace", action, str(trace_file)])
+            if rc != 0:
+                fail(f"repro trace {action} exited {rc}")
+        chrome_file = Path(tmp) / "trace.chrome.json"
+        rc = cli_main(["trace", "chrome", str(trace_file), "--output", str(chrome_file)])
+        if rc != 0:
+            fail(f"repro trace chrome exited {rc}")
+        validate_chrome_json(chrome_file.read_text())
+        # the saved trace round-trips with spans intact
+        back = Trace.load(trace_file)
+        if any(r.t_submit is None for r in back):
+            fail("saved trace lost span timestamps")
+    print("ok: repro trace CLI (summarize, critical-path, chrome)")
+
+    print("observability smoke: ALL OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,7 +53,6 @@ EXTRA_COVERAGE = {
     "runtime/future.py": "tests/runtime/test_task_basic.py",
     "runtime/provenance.py": "tests/runtime/test_checkpoint_resume.py",
     "runtime/registry.py": "tests/runtime/test_directions.py",
-    "runtime/tracing.py": "tests/runtime/test_graph_trace_dot.py",
 }
 
 

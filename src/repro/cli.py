@@ -18,6 +18,13 @@ Commands:
 * ``stress [--seeds N]`` — the scheduler concurrency stress harness
   (seeded random schedules; fails on hangs, lost wakeups, wrong values
   or state-machine violations).  ``make stress`` is the same thing.
+  ``--metrics`` additionally reconciles the metrics registry against
+  ``stats()`` after every cleanly-drained seed.
+* ``trace summarize|chrome|critical-path FILE`` — analyse a trace JSON
+  written by ``Trace.save``: makespan/work/overhead breakdown, a
+  chrome://tracing export (per-worker lanes, dependency flow arrows,
+  retry/restore markers), or the longest duration-weighted dependency
+  chain.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import sys
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.runtime import Runtime
+    from repro.runtime import Runtime, RuntimeConfig
     from repro.workflows import run_classical, run_cnn, side_by_side, table1_block
     from repro.workflows.af_pipeline import prepare_dataset
     from repro.workflows.experiments import get_preset
@@ -37,7 +44,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     dataset = prepare_dataset(preset.pipeline)
     print(f"dataset: {dataset.class_counts()} (balanced)")
     blocks = []
-    with Runtime(executor="threads"):
+    overrides = {"executor": "threads"}
+    if args.progress:
+        overrides["observability"] = "progress"
+    config = RuntimeConfig.from_env(**overrides)
+    with Runtime(config=config):
         for algo in ("csvm", "knn", "rf"):
             res = run_classical(algo, preset.pipeline, dataset)
             print(f"{algo}: {res.accuracy * 100:.1f}%")
@@ -244,6 +255,11 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.runtime import stress
 
+    observability = ",".join(
+        flag
+        for flag, enabled in (("metrics", args.metrics), ("progress", args.progress))
+        if enabled
+    )
     seeds = args.seed if args.seed else range(args.seeds)
     reports = stress.run_suite(
         seeds,
@@ -251,10 +267,42 @@ def _cmd_stress(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout=args.timeout,
         backend=args.backend,
+        observability=observability,
     )
     failed = [r for r in reports if not r.ok]
     print(f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed")
     return 1 if failed else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime import observability as obs
+    from repro.runtime.tracing import Trace
+
+    try:
+        trace = Trace.load(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load trace {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if not len(trace):
+        print(f"trace {args.file} holds no records", file=sys.stderr)
+        return 1
+
+    if args.action == "summarize":
+        print(obs.format_summary(obs.summarize_trace(trace)))
+        return 0
+
+    if args.action == "critical-path":
+        cp = obs.critical_path(trace)
+        print(obs.format_critical_path(cp, top=args.top))
+        return 0
+
+    # chrome
+    from repro.cluster.chrometrace import save_chrome_trace
+
+    out = args.output or f"{args.file}.chrome.json"
+    save_chrome_trace(trace, out)
+    print(f"wrote {out} ({len(trace)} task events; open in about:tracing)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -264,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
     p1 = sub.add_parser("table1", help="four-model accuracy comparison")
     p1.add_argument("--preset", default="tiny", choices=["tiny", "small", "paper"])
     p1.add_argument("--skip-cnn", action="store_true")
+    p1.add_argument(
+        "--progress", action="store_true", help="live task progress on stderr"
+    )
     p1.set_defaults(func=_cmd_table1)
 
     p2 = sub.add_parser("scaling", help="record + replay a scalability sweep")
@@ -321,7 +372,30 @@ def main(argv: list[str] | None = None) -> int:
         default="threads",
         help="execution backend to stress",
     )
+    p6.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry and reconcile it against "
+        "stats() after every cleanly-drained seed",
+    )
+    p6.add_argument(
+        "--progress", action="store_true", help="live task progress on stderr"
+    )
     p6.set_defaults(func=_cmd_stress)
+
+    p7 = sub.add_parser("trace", help="analyse/export a saved runtime trace")
+    p7.add_argument("action", choices=["summarize", "chrome", "critical-path"])
+    p7.add_argument("file", help="trace JSON written by Trace.save")
+    p7.add_argument(
+        "--output", default=None, help="chrome: output path (default FILE.chrome.json)"
+    )
+    p7.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="critical-path: show only the last N chain tasks",
+    )
+    p7.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -31,6 +31,12 @@ Public surface:
   only the tasks whose results are not already in the store.
 * :func:`atomic_write` — temp file + fsync + rename file writes, used
   by every exporter here and available to applications.
+* :mod:`repro.runtime.observability` — lifecycle event bus, metrics
+  registry (``Runtime.metrics()`` / Prometheus exposition), live
+  progress reporting and trace analysis (:func:`critical_path`,
+  :func:`summarize_trace`); enabled with
+  ``RuntimeConfig(observability="metrics,progress")`` or
+  ``REPRO_METRICS=1`` / ``REPRO_OBSERVABILITY``.
 """
 
 from __future__ import annotations
@@ -65,6 +71,16 @@ from repro.runtime.failures import (
 )
 from repro.runtime.future import Future, is_future, resolve_futures
 from repro.runtime.model import Constraints
+from repro.runtime.observability import (
+    CriticalPath,
+    EventBus,
+    MetricsRegistry,
+    ProgressReporter,
+    TaskEvent,
+    critical_path,
+    summarize_trace,
+    to_prometheus,
+)
 from repro.runtime.dot import graph_summary, save_dot, to_dot
 from repro.runtime.provenance import ProvenanceRecord, build_provenance
 from repro.runtime.task import task
@@ -95,6 +111,14 @@ __all__ = [
     "is_future",
     "Trace",
     "TaskRecord",
+    "TaskEvent",
+    "EventBus",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "CriticalPath",
+    "critical_path",
+    "summarize_trace",
+    "to_prometheus",
     "to_dot",
     "save_dot",
     "graph_summary",

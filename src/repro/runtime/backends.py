@@ -64,6 +64,7 @@ import signal
 import struct
 import sys
 import threading
+import time
 from typing import Any
 
 from repro.runtime.exceptions import NodeFailureError
@@ -506,6 +507,10 @@ class ProcessPoolBackend(ExecutorBackend):
             "result_fallbacks": 0,
             "worker_crashes": 0,
         }
+        #: Cumulative seconds spent encoding requests and decoding
+        #: replies on the coordinator side — the serialization share of
+        #: dispatch overhead (``stats()["serialization_seconds"]``).
+        self._serialization_seconds = 0.0
         #: spec ids proven non-dispatchable (writes, locals, resolution
         #: failure) — skip the round trip next time.
         self._inline_only: set[int] = set()
@@ -552,11 +557,15 @@ class ProcessPoolBackend(ExecutorBackend):
             attempt,
             kill_worker,
         )
+        t0 = time.perf_counter()
         try:
             frames = _encode(request)
         except Exception:  # unpicklable argument: run where the data is
             self._count("serialization_fallbacks")
             return self._run_inline(spec, args, kwargs, attempt, kill_worker)
+        finally:
+            with self._lock:
+                self._serialization_seconds += time.perf_counter() - t0
 
         with self._slots:
             pool = get_worker_pool()
@@ -572,6 +581,7 @@ class ProcessPoolBackend(ExecutorBackend):
                 ) from exc
             pool.release(worker)
 
+        t0 = time.perf_counter()
         try:
             reply = _decode(reply_frames)
         except Exception as exc:  # noqa: BLE001 - a data error, not a crash
@@ -579,6 +589,9 @@ class ProcessPoolBackend(ExecutorBackend):
                 f"undecodable reply from worker {pid} for task "
                 f"{spec.name!r}: {exc!r}"
             ) from exc
+        finally:
+            with self._lock:
+                self._serialization_seconds += time.perf_counter() - t0
         kind = reply[0]
         if kind == "ok":
             self._count("dispatched")
@@ -616,10 +629,12 @@ class ProcessPoolBackend(ExecutorBackend):
         pool = _pool
         with self._lock:
             counts = dict(self._counts)
+            serialization_seconds = self._serialization_seconds
         return {
             "backend": self.name,
             "max_workers": self.max_workers,
             "pool_workers": pool.n_workers if pool is not None else 0,
+            "serialization_seconds": serialization_seconds,
             **counts,
         }
 

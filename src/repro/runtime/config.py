@@ -27,6 +27,10 @@ Environment variables (all optional):
 ``REPRO_TRACE``           ``1``/``0`` — collect task records
 ``REPRO_CHECKPOINT_DIR``  checkpoint-store directory (enables resume)
 ``REPRO_DEBUG_INVARIANTS``  ``1``/``0`` — validate state transitions
+``REPRO_OBSERVABILITY``   observability flags (``metrics``,
+                          ``progress``, ``all``; comma-separated)
+``REPRO_METRICS``         ``1``/``0`` — shorthand adding/removing the
+                          ``metrics`` flag
 ========================  =====================================
 """
 
@@ -84,6 +88,14 @@ class RuntimeConfig:
     #: the concurrency stress harness (:mod:`repro.runtime.stress`),
     #: off by default in production.
     debug_invariants: bool = False
+    #: Observability flags: ``""`` (default, off), or a comma/space
+    #: separated subset of ``metrics`` (attach a
+    #: :class:`~repro.runtime.observability.MetricsRegistry` to the
+    #: event bus; ``Runtime.metrics()`` returns live series) and
+    #: ``progress`` (render a live progress line to stderr).  ``all``
+    #: enables everything.  Lifecycle timestamps are always stamped;
+    #: these flags only control bus subscribers.
+    observability: str = ""
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -103,6 +115,9 @@ class RuntimeConfig:
             raise ValueError("default_time_out must be > 0 seconds")
         if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
             raise ValueError("retry backoff values must be >= 0")
+        from repro.runtime.observability import parse_flags
+
+        parse_flags(self.observability)  # raises ValueError on unknown flags
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
         """A copy with *changes* applied (re-validated)."""
@@ -136,6 +151,21 @@ class RuntimeConfig:
         take("REPRO_TRACE", "collect_trace", _parse_bool)
         take("REPRO_CHECKPOINT_DIR", "checkpoint_dir", str)
         take("REPRO_DEBUG_INVARIANTS", "debug_invariants", _parse_bool)
+        take("REPRO_OBSERVABILITY", "observability", str)
+        metrics_raw = env.get("REPRO_METRICS")
+        if metrics_raw is not None and metrics_raw != "":
+            try:
+                metrics_on = _parse_bool(metrics_raw)
+            except ValueError as exc:
+                raise ValueError(f"invalid REPRO_METRICS={metrics_raw!r}: {exc}") from exc
+            from repro.runtime.observability import parse_flags
+
+            flags = set(parse_flags(values.get("observability", "")))
+            if metrics_on:
+                flags.add("metrics")
+            else:
+                flags.discard("metrics")
+            values["observability"] = ",".join(sorted(flags))
         values.update(overrides)
         return cls(**values)
 

@@ -96,6 +96,7 @@ from repro.runtime.model import (
     TaskInstance,
     TaskSpec,
 )
+from repro.runtime import observability as obs
 from repro.runtime.registry import DataRegistry
 from repro.runtime.tracing import (
     SchedulerCounters,
@@ -103,6 +104,8 @@ from repro.runtime.tracing import (
     Trace,
     TraceCollector,
     estimate_nbytes,
+    overhead_of,
+    queue_wait_of,
 )
 
 _logger = logging.getLogger("repro.runtime")
@@ -241,6 +244,19 @@ class Runtime:
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
+        #: Lifecycle event bus (see :mod:`repro.runtime.observability`).
+        #: Falsy while nothing is subscribed, so un-observed runtimes
+        #: skip event construction entirely.
+        self.events = obs.EventBus()
+        self._metrics: obs.MetricsRegistry | None = None
+        self._progress: obs.ProgressReporter | None = None
+        obs_flags = obs.parse_flags(cfg.observability)
+        if "metrics" in obs_flags:
+            self._metrics = obs.MetricsRegistry(max_workers=self.max_workers)
+            self.events.subscribe(self._metrics.handle)
+        if "progress" in obs_flags:
+            self._progress = obs.ProgressReporter(label=cfg.name)
+            self.events.subscribe(self._progress.handle)
         #: every attempt, keyed by its own task id (retries included).
         self._tasks: dict[int, TaskInstance] = {}
         #: root task id -> *latest* attempt.  Futures and dependency
@@ -323,7 +339,8 @@ class Runtime:
         """Stop the runtime.  With ``wait=True`` (default) drains every
         live scope first — root *and* nested/detached ones — so no
         in-flight task is lost."""
-        if wait and not self._shutdown:
+        was_shutdown = self._shutdown
+        if wait and not was_shutdown:
             self._help_until(lambda: self.unfinished == 0)
         with self._cond:
             self._shutdown = True
@@ -338,6 +355,8 @@ class Runtime:
             t.join(timeout=5.0)
         self._backend.shutdown()
         self.registry.clear()
+        if not was_shutdown and self._progress is not None:
+            self._progress.close()
 
     def __enter__(self) -> "Runtime":
         push_runtime(self)
@@ -346,6 +365,74 @@ class Runtime:
     def __exit__(self, exc_type, exc, tb) -> None:
         pop_runtime(self)
         self.shutdown(wait=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """Monotonic seconds since this runtime's epoch (the clock of
+        every trace timestamp and lifecycle event)."""
+        return time.perf_counter() - self._epoch
+
+    def _emit(self, kind: str, inst: TaskInstance, t: float, state: str | None = None) -> None:
+        """Publish one lifecycle event (no-op while nothing listens)."""
+        events = self.events
+        if not events:
+            return
+        ran = inst.t_body_start is not None
+        duration = queue_wait = overhead = None
+        # `ran` first: it short-circuits the set lookup for the
+        # submit/ready/dispatch events that dominate emission volume
+        if ran and inst.t_end is not None and kind in obs.TERMINAL_KINDS:
+            duration = inst.t_end - inst.t_body_start
+            queue_wait = queue_wait_of(inst.t_ready, inst.t_dispatch)
+            overhead = overhead_of(
+                inst.t_submit, inst.t_ready, inst.t_dispatch, inst.t_body_start
+            )
+        # positional TaskEvent construction: this is the hot path
+        events.emit(
+            obs.TaskEvent(
+                kind,
+                t,
+                inst.task_id,
+                inst.root_id,
+                inst.name,
+                inst.attempt,
+                state if state is not None else inst.state,
+                inst.worker_pid,
+                inst.worker_name,
+                inst.retry_of,
+                ran,
+                duration,
+                queue_wait,
+                overhead,
+            )
+        )
+
+    def subscribe(self, fn) -> None:
+        """Attach *fn* to the lifecycle event bus (``fn(event)`` is
+        called inline on the emitting thread — keep it cheap)."""
+        self.events.subscribe(fn)
+
+    def metrics(self) -> dict:
+        """Point-in-time metrics snapshot (counters, gauges,
+        histograms) including backend counters; ``{"enabled": False}``
+        shape when the runtime was built without the ``metrics``
+        observability flag."""
+        snap = (
+            self._metrics.snapshot()
+            if self._metrics is not None
+            else obs.empty_snapshot()
+        )
+        return obs.merge_backend_stats(snap, self._backend.stats())
+
+    def metrics_text(self) -> str:
+        """The metrics snapshot as Prometheus text exposition."""
+        return obs.to_prometheus(self.metrics())
+
+    def save_metrics(self, path) -> None:
+        """Atomically dump the metrics snapshot to *path* as JSON."""
+        obs.save_metrics_json(self.metrics(), path)
 
     # ------------------------------------------------------------------
     # submission & dependency detection
@@ -427,6 +514,7 @@ class Runtime:
             label=effective_label,
         )
         inst.options = resolved
+        inst.t_submit = self._now()
 
         # -- phase 3 (sig lock inside): checkpoint signature ------------
         restored_values: tuple | None = None
@@ -479,6 +567,8 @@ class Runtime:
                         # upstream already failed: cancel immediately below.
                         upstream_failed = True
             inst._remaining = unresolved
+
+        self._emit(obs.SUBMITTED, inst, inst.t_submit)
 
         if restored_values is not None:
             # Replay from the checkpoint store: the task never runs (its
@@ -551,13 +641,14 @@ class Runtime:
 
     def _restore(self, inst: TaskInstance, values: tuple) -> None:
         """Complete *inst* from checkpointed values without running it."""
-        t = time.perf_counter() - self._epoch
+        t = self._now()
+        inst.t_end = t
         for fut, value in zip(inst.futures, values):
             fut._set_result(value)
         self._record(inst, t, t, status=RESTORED, out_bytes=estimate_nbytes(values))
         with self._state_lock:
             self._n_restored += 1
-        self._complete(inst, DONE)
+        self._complete(inst, DONE, event_kind=obs.RESTORED)
         # _complete stamped state="done"; the graph remembers that this
         # node was replayed, for the DOT export and provenance.
         self.graph.set_attr(inst.task_id, state=RESTORED, restored=True)
@@ -567,7 +658,9 @@ class Runtime:
     # scheduling
     # ------------------------------------------------------------------
     def _enqueue(self, inst: TaskInstance) -> None:
+        inst.t_ready = self._now()
         self._set_state(inst, READY)
+        self._emit(obs.READY, inst, inst.t_ready)
         priority = inst.options.priority if inst.options is not None else 0
         with self._cond:
             heapq.heappush(self._ready, (-priority, self._ready_seq, inst))
@@ -699,6 +792,12 @@ class Runtime:
         the execution backend and wait for nested children.  Runs in
         the scheduling thread (or the watchdog-supervised body thread
         for timed tasks)."""
+        if not inst._abandoned:
+            # The span from here to t_end is attributed to the body:
+            # fault injection (simulated body behaviour), argument
+            # resolution, the backend call and nested children.
+            inst.t_body_start = self._now()
+            self._emit(obs.RUNNING, inst, inst.t_body_start)
         _fault_hook(inst.name)
         kill_worker = _worker_kill_hook(inst.name)
         args = resolve_futures(inst.args)
@@ -754,7 +853,10 @@ class Runtime:
         outer_scope = _current_scope()
         scope = Scope(self, parent_task_id=inst.task_id)
         time_out = inst.options.time_out if inst.options is not None else None
-        t_start = time.perf_counter() - self._epoch
+        t_start = self._now()
+        inst.t_dispatch = t_start
+        inst.worker_name = threading.current_thread().name
+        self._emit(obs.DISPATCHED, inst, t_start)
         try:
             if time_out is not None and self.executor == "threads":
                 args, kwargs, results = self._run_with_watchdog(inst, scope, time_out)
@@ -767,7 +869,7 @@ class Runtime:
                 if time_out is not None:
                     # Sequential executor cannot preempt: detect the
                     # overrun after the fact (documented best effort).
-                    elapsed = (time.perf_counter() - self._epoch) - t_start
+                    elapsed = self._now() - t_start
                     if elapsed > time_out:
                         raise TaskTimeoutError(inst.name, inst.task_id, time_out)
         except WorkflowKilledError as exc:
@@ -778,7 +880,7 @@ class Runtime:
             self._kill(exc)
             raise
         except Exception as exc:  # noqa: BLE001 - routed to failure policies
-            t_end = time.perf_counter() - self._epoch
+            t_end = self._now()
             _tls.scope = outer_scope
             self._fail(inst, exc, t_start, t_end)
             return
@@ -792,12 +894,14 @@ class Runtime:
             self._kill(exc)
             error = TaskExecutionError(inst.name, inst.task_id, exc)
             inst.error = error
+            inst.t_end = t_end
             self._record(inst, t_start, t_end, status="failed", error=exc)
             for fut in inst.futures:
                 fut._set_error(error)
             self._complete(inst, FAILED)
             raise
-        t_end = time.perf_counter() - self._epoch
+        t_end = self._now()
+        inst.t_end = t_end
         _tls.scope = outer_scope
 
         for fut, value in zip(inst.futures, results):
@@ -841,13 +945,21 @@ class Runtime:
     ) -> None:
         if not self.config.collect_trace:
             return
+        # The record's span is the body run; when the body never
+        # started (resolution/fault failure, restore) fall back to the
+        # caller's stamp (dispatch time) so duration stays well-formed.
+        body_start = inst.t_body_start if inst.t_body_start is not None else t_start
         self.collector.record(
             TaskRecord(
                 task_id=inst.task_id,
                 name=inst.name,
                 deps=tuple(sorted(inst.deps)),
-                t_start=t_start,
+                t_start=body_start,
                 t_end=t_end,
+                t_submit=inst.t_submit,
+                t_ready=inst.t_ready,
+                t_dispatch=inst.t_dispatch,
+                worker=inst.worker_name,
                 computing_units=inst.spec.constraints.computing_units,
                 gpus=inst.spec.constraints.gpus,
                 in_bytes=in_bytes,
@@ -870,6 +982,7 @@ class Runtime:
         else:
             error = TaskExecutionError(inst.name, inst.task_id, exc)
         inst.error = error
+        inst.t_end = t_end
         # Exceptions transported back from (or raised about) a worker
         # process carry the executing pid; attribute the attempt to it.
         remote_pid = getattr(exc, "_repro_worker_pid", None)
@@ -922,6 +1035,7 @@ class Runtime:
         with self._state_lock:
             new_id = self._next_task_id
             self._next_task_id += 1
+            t_retry = self._now()
             new = TaskInstance(
                 task_id=new_id,
                 spec=inst.spec,
@@ -963,11 +1077,18 @@ class Runtime:
             self._n_retries += 1
             # Close out the failed attempt (dependents follow the root
             # id, so they transparently wait for the new attempt).
+            new.t_submit = t_retry
             inst.try_finalize()
             self._set_state(inst, FAILED)
             self._unfinished_total -= 1
         scope.task_finished()
         self.graph.set_attr(inst.task_id, state=FAILED, retried=True)
+        # The old attempt bypasses _complete (dependents follow the
+        # root id), so its terminal event is emitted here; the new
+        # attempt is a fresh submission from the bus's point of view.
+        self._emit(obs.FAILED, inst, inst.t_end if inst.t_end is not None else t_retry)
+        self._emit(obs.RETRY, new, t_retry)
+        self._emit(obs.SUBMITTED, new, t_retry)
 
         delay = retry_delay(
             options.retry_backoff,
@@ -1013,10 +1134,14 @@ class Runtime:
             self._cancel_pending(inst)
         self._broadcast()
 
-    def _complete(self, inst: TaskInstance, state: str) -> None:
+    def _complete(self, inst: TaskInstance, state: str, event_kind: str | None = None) -> None:
         if not inst.try_finalize():
             return
         self._set_state(inst, state)
+        if self.events:
+            if inst.t_end is None:
+                inst.t_end = self._now()
+            self._emit(event_kind if event_kind is not None else state, inst, inst.t_end)
         with self._state_lock:
             children = self._children.pop(inst.root_id, [])
             self._unfinished_total -= 1
@@ -1068,6 +1193,9 @@ class Runtime:
                 self._unfinished_total -= 1
             getattr(cur, "_owner_scope").task_finished()
             self.graph.set_attr(cur.task_id, state=CANCELLED)
+            if self.events:
+                cur.t_end = self._now()
+                self._emit(obs.CANCELLED, cur, cur.t_end)
             worklist.extend(children)
         if cancelled_any:
             self._broadcast()

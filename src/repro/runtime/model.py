@@ -110,6 +110,12 @@ class TaskInstance:
         "root_id",
         "signature",
         "worker_pid",
+        "t_submit",
+        "t_ready",
+        "t_dispatch",
+        "t_body_start",
+        "t_end",
+        "worker_name",
         "_remaining",
         "_lock",
         "_owner_scope",
@@ -152,6 +158,17 @@ class TaskInstance:
         #: attempt's body — the coordinator pid for the thread backend,
         #: a pool worker's pid when the process backend dispatched it.
         self.worker_pid: int | None = None
+        #: Lifecycle span timestamps (monotonic, relative to the
+        #: runtime's epoch), stamped by the engine as the attempt moves
+        #: through ``submitted -> ready -> dispatched -> running ->
+        #: terminal``.  None until the corresponding transition.
+        self.t_submit: float | None = None
+        self.t_ready: float | None = None
+        self.t_dispatch: float | None = None
+        self.t_body_start: float | None = None
+        self.t_end: float | None = None
+        #: Name of the worker thread that claimed this attempt.
+        self.worker_name: str | None = None
         self._remaining = len(deps)
         self._lock = threading.Lock()
         #: True once a timed-out body thread was abandoned.

@@ -1,0 +1,908 @@
+"""Runtime observability: lifecycle events, metrics, progress, analysis.
+
+The engine (:mod:`repro.runtime.engine`) emits a :class:`TaskEvent` on
+every task lifecycle transition — ``submitted -> ready -> dispatched ->
+running -> done/failed/restored`` (plus ``cancelled``, ``ignored`` and
+``retry``) — through a lock-cheap :class:`EventBus`.  When nothing is
+subscribed the bus is falsy and the engine skips event construction
+entirely, so an un-observed runtime pays only a few monotonic-clock
+reads per task (see ``benchmarks/test_observability_overhead.py``).
+
+Built on the bus:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed log-bucket time
+  histograms (tasks by state, per-task-name latency, queue wait,
+  scheduler overhead, worker busy time).  Enabled with
+  ``RuntimeConfig(observability="metrics")`` or ``REPRO_METRICS=1`` and
+  exposed as ``Runtime.metrics()`` (snapshot dict),
+  ``Runtime.metrics_text()`` (Prometheus exposition) and
+  ``Runtime.save_metrics(path)`` (atomic JSON dump).
+* :class:`ProgressReporter` — a live running/done/failed + ETA line on
+  stderr (or a callback), enabled with ``observability="progress"``.
+
+Independent of the bus, this module analyses finished
+:class:`~repro.runtime.tracing.Trace` objects: :func:`critical_path`
+finds the longest duration-weighted dependency chain (what bounds the
+makespan no matter how many workers are added) and
+:func:`summarize_trace` breaks a run into makespan vs. work vs.
+queue-wait vs. runtime overhead.  ``python -m repro trace`` is the CLI
+front-end for both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from bisect import bisect_left
+import sys
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.runtime.tracing import Trace, TaskRecord
+
+# ----------------------------------------------------------------------
+# event kinds
+# ----------------------------------------------------------------------
+SUBMITTED = "submitted"
+READY = "ready"
+DISPATCHED = "dispatched"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+IGNORED = "ignored"
+CANCELLED = "cancelled"
+RESTORED = "restored"
+#: A failed attempt was resubmitted as a fresh DAG node.
+RETRY = "retry"
+
+#: Kinds after which the attempt never changes state again.
+TERMINAL_KINDS = frozenset({DONE, FAILED, IGNORED, CANCELLED, RESTORED})
+
+EVENT_KINDS = frozenset(
+    {SUBMITTED, READY, DISPATCHED, RUNNING, RETRY} | TERMINAL_KINDS
+)
+
+#: Valid ``RuntimeConfig(observability=...)`` flags.
+OBSERVABILITY_FLAGS = ("metrics", "progress")
+
+
+def parse_flags(raw: str | None) -> frozenset[str]:
+    """Parse an ``observability`` config string into a flag set.
+
+    Accepts a comma/space-separated subset of ``metrics``/``progress``,
+    or ``all`` for every flag; ``""``/``None``/``off`` disable
+    everything.  Raises :class:`ValueError` on unknown flags (config
+    validation surfaces typos instead of silently observing nothing).
+    """
+    if not raw:
+        return frozenset()
+    tokens = [t for t in raw.replace(",", " ").split() if t]
+    flags: set[str] = set()
+    for token in tokens:
+        t = token.strip().lower()
+        if t in ("off", "none"):
+            continue
+        if t == "all":
+            flags.update(OBSERVABILITY_FLAGS)
+        elif t in OBSERVABILITY_FLAGS:
+            flags.add(t)
+        else:
+            raise ValueError(
+                f"unknown observability flag {token!r}; expected a subset "
+                f"of {OBSERVABILITY_FLAGS} (or 'all'/'off')"
+            )
+    return frozenset(flags)
+
+
+@dataclasses.dataclass(slots=True)
+class TaskEvent:
+    """One task-lifecycle transition, stamped with a monotonic
+    timestamp relative to the runtime's epoch (same clock as
+    :class:`~repro.runtime.tracing.TaskRecord` timestamps).
+
+    Treat instances as immutable — they are shared by every subscriber
+    on the bus.  (Not ``frozen=True``: frozen dataclasses construct
+    through ``object.__setattr__``, ~3x slower, and construction sits
+    on the scheduler hot path.)
+
+    ``duration``/``queue_wait``/``overhead`` are only populated on
+    terminal events of attempts whose body actually ran
+    (``ran=True``); ``state`` is the attempt's lifecycle state (note a
+    restored attempt's state is ``"done"`` while its kind is
+    ``"restored"``)."""
+
+    kind: str
+    t: float
+    task_id: int
+    root_id: int
+    name: str
+    attempt: int = 0
+    state: str | None = None
+    pid: int | None = None
+    worker: str | None = None
+    retry_of: int | None = None
+    #: True when the task body was actually invoked for this attempt.
+    ran: bool = False
+    duration: float | None = None
+    queue_wait: float | None = None
+    overhead: float | None = None
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out, cheap when unused.
+
+    ``bool(bus)`` is False while nothing is subscribed, so emitters can
+    skip event construction with one attribute read.  The subscriber
+    tuple is copy-on-write: :meth:`emit` reads it without a lock (a
+    tuple reference is atomic under the GIL) and calls each subscriber
+    inline on the emitting thread.  A subscriber that raises is
+    dropped after logging — observability must never take down the
+    scheduler."""
+
+    def __init__(self) -> None:
+        self._subs: tuple[Callable[[TaskEvent], None], ...] = ()
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return bool(self._subs)
+
+    def subscribe(self, fn: Callable[[TaskEvent], None]) -> Callable[[TaskEvent], None]:
+        with self._lock:
+            self._subs = self._subs + (fn,)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[TaskEvent], None]) -> None:
+        with self._lock:
+            self._subs = tuple(s for s in self._subs if s is not fn)
+
+    def emit(self, event: TaskEvent) -> None:
+        for fn in self._subs:
+            try:
+                fn(event)
+            except Exception:  # noqa: BLE001 - observers must not kill the runtime
+                import logging
+
+                logging.getLogger("repro.runtime.observability").exception(
+                    "event subscriber %r failed; unsubscribing", fn
+                )
+                self.unsubscribe(fn)
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+#: Fixed log-scale histogram bounds (seconds): 1-2.5-5 per decade from
+#: 1 µs to 500 s.  Fixed bounds keep every exposition mergeable across
+#: runs and processes (the Prometheus histogram contract).
+DURATION_BUCKETS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 3) for m in (1.0, 2.5, 5.0)
+)
+
+
+class Histogram:
+    """A fixed-bucket time histogram (not thread-safe on its own; the
+    registry serialises access)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DURATION_BUCKETS):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last bucket = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives the first bound >= value, i.e. the smallest
+        # bucket whose ``le`` covers it (boundary values land low).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        cumulative: list[list[Any]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            cumulative.append([bound, running])
+        cumulative.append(["+Inf", running + self.counts[-1]])
+        return {"buckets": cumulative, "sum": self.sum, "count": self.count}
+
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms populated from the event bus.
+
+    One instance is attached per Runtime when
+    ``RuntimeConfig(observability="metrics")`` is set; its ``handle``
+    method is the bus subscriber.  All series use the ``repro_``
+    namespace and Prometheus naming conventions so
+    :func:`to_prometheus` output scrapes cleanly.
+
+    Reconciliation invariants (checked by :func:`reconcile` and the
+    stress harness): after a drained run,
+    ``repro_tasks_total{state=S}`` equals ``Runtime.stats()``'s
+    ``by_state[S]`` for every terminal state,
+    ``repro_tasks_submitted_total`` equals the DAG node count,
+    ``repro_retries_total`` equals ``stats()["retries"]`` and
+    ``repro_tasks_restored_total`` equals ``stats()["restored"]``.
+    """
+
+    def __init__(self, max_workers: int | None = None, clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.started_at = clock()
+        self.max_workers = max_workers
+        self._counters: dict[tuple[str, _LabelKey], float] = {}
+        self._gauges: dict[tuple[str, _LabelKey], float] = {}
+        self._hists: dict[tuple[str, _LabelKey], Histogram] = {}
+        # Hot-path caches: series keys and histogram references are
+        # interned once so `handle` does plain dict increments instead
+        # of rebuilding key tuples for every event.
+        self._k_submitted = ("repro_tasks_submitted_total", ())
+        self._k_enqueued = ("repro_tasks_enqueued_total", ())
+        self._k_retries = ("repro_retries_total", ())
+        self._k_running = ("repro_tasks_running", ())
+        self._state_keys: dict[str, tuple[str, _LabelKey]] = {}
+        self._busy_keys: dict[str, tuple[str, _LabelKey]] = {}
+        self._dur_hists: dict[str, Histogram] = {}
+        self._qw_hist: Histogram | None = None
+        self._oh_hist: Histogram | None = None
+
+    # -- manual instrumentation ----------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        with self._lock:
+            self._gauges[(name, _labels_key(labels))] = value
+
+    def add_gauge(self, name: str, delta: float, **labels: str) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0.0) + delta
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = Histogram()
+            hist.observe(value)
+
+    # -- the bus subscriber --------------------------------------------
+    def handle(self, event: TaskEvent) -> None:
+        # Scheduler hot path: every branch does plain dict increments
+        # on interned keys — no tuple construction, no method calls for
+        # the common kinds.
+        kind = event.kind
+        counters = self._counters
+        with self._lock:
+            if kind == SUBMITTED:
+                key = self._k_submitted
+                counters[key] = counters.get(key, 0.0) + 1
+            elif kind == READY:
+                key = self._k_enqueued
+                counters[key] = counters.get(key, 0.0) + 1
+            elif kind == RUNNING:
+                key = self._k_running
+                self._gauges[key] = self._gauges.get(key, 0.0) + 1
+            elif kind == RETRY:
+                key = self._k_retries
+                counters[key] = counters.get(key, 0.0) + 1
+            elif kind in TERMINAL_KINDS:
+                state = event.state or kind
+                key = self._state_keys.get(state)
+                if key is None:
+                    key = self._state_keys[state] = (
+                        "repro_tasks_total", (("state", state),)
+                    )
+                counters[key] = counters.get(key, 0.0) + 1
+                if kind == RESTORED:
+                    self._bump_counter("repro_tasks_restored_total", ())
+                if state == "failed":
+                    self._bump_counter(
+                        "repro_task_failures_total", (("task", event.name),)
+                    )
+                if event.ran:
+                    key = self._k_running
+                    self._gauges[key] = self._gauges.get(key, 0.0) - 1
+                    duration = event.duration
+                    if duration is not None:
+                        name = event.name
+                        hist = self._dur_hists.get(name)
+                        if hist is None:
+                            hist = self._dur_hists[name] = self._hists.setdefault(
+                                ("repro_task_duration_seconds", (("task", name),)),
+                                Histogram(),
+                            )
+                        hist.observe(duration)
+                        worker = event.worker or "main"
+                        key = self._busy_keys.get(worker)
+                        if key is None:
+                            key = self._busy_keys[worker] = (
+                                "repro_worker_busy_seconds_total",
+                                (("worker", worker),),
+                            )
+                        counters[key] = counters.get(key, 0.0) + duration
+                    if event.queue_wait is not None:
+                        hist = self._qw_hist
+                        if hist is None:
+                            hist = self._qw_hist = self._hists.setdefault(
+                                ("repro_task_queue_wait_seconds", ()), Histogram()
+                            )
+                        hist.observe(event.queue_wait)
+                    if event.overhead is not None:
+                        hist = self._oh_hist
+                        if hist is None:
+                            hist = self._oh_hist = self._hists.setdefault(
+                                ("repro_task_overhead_seconds", ()), Histogram()
+                            )
+                        hist.observe(event.overhead)
+
+    def _bump_counter(self, name: str, labels: _LabelKey, value: float = 1.0) -> None:
+        key = (name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    # -- snapshot -------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable point-in-time view of every series."""
+        with self._lock:
+            uptime = max(self._clock() - self.started_at, 1e-9)
+            counters = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ]
+            busy = sum(
+                value
+                for (name, _), value in self._counters.items()
+                if name == "repro_worker_busy_seconds_total"
+            )
+            hists = [
+                {"name": name, "labels": dict(labels), **hist.snapshot()}
+                for (name, labels), hist in sorted(self._hists.items())
+            ]
+        if self.max_workers:
+            gauges.append(
+                {
+                    "name": "repro_worker_utilization",
+                    "labels": {},
+                    "value": busy / (uptime * self.max_workers),
+                }
+            )
+        return {
+            "enabled": True,
+            "uptime_seconds": uptime,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+
+
+def empty_snapshot() -> dict[str, Any]:
+    """The snapshot shape of a runtime with metrics disabled."""
+    return {
+        "enabled": False,
+        "uptime_seconds": 0.0,
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+    }
+
+
+def merge_backend_stats(snapshot: dict[str, Any], backend_stats: dict) -> dict[str, Any]:
+    """Fold an :class:`ExecutorBackend`'s counters into *snapshot* as
+    ``repro_backend_*`` series (dispatch/fallback counts, serialization
+    seconds), so one exposition covers scheduler and backend."""
+    snapshot["backend"] = dict(backend_stats)
+    for key, value in sorted(backend_stats.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in ("max_workers", "pool_workers"):
+            snapshot["gauges"].append(
+                {"name": f"repro_backend_{key}", "labels": {}, "value": float(value)}
+            )
+        else:
+            snapshot["counters"].append(
+                {
+                    "name": f"repro_backend_{key}_total",
+                    "labels": {},
+                    "value": float(value),
+                }
+            )
+    return snapshot
+
+
+def metric_value(
+    snapshot: dict[str, Any], name: str, default: float | None = None, **labels: str
+) -> float | None:
+    """Value of one series in a snapshot (counters and gauges)."""
+    want = {k: str(v) for k, v in labels.items()}
+    for section in ("counters", "gauges"):
+        for series in snapshot.get(section, ()):
+            if series["name"] == name and series["labels"] == want:
+                return series["value"]
+    return default
+
+
+def save_metrics_json(snapshot: dict[str, Any], path) -> None:
+    """Atomically dump a metrics snapshot to *path* as JSON."""
+    from repro.runtime.atomic_write import atomic_write
+
+    atomic_write(path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot as the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for series in snapshot.get("counters", ()):
+        type_line(series["name"], "counter")
+        lines.append(
+            f"{series['name']}{_format_labels(series['labels'])} {series['value']:g}"
+        )
+    for series in snapshot.get("gauges", ()):
+        type_line(series["name"], "gauge")
+        lines.append(
+            f"{series['name']}{_format_labels(series['labels'])} {series['value']:g}"
+        )
+    for series in snapshot.get("histograms", ()):
+        name = series["name"]
+        type_line(name, "histogram")
+        labels = dict(series["labels"])
+        for bound, count in series["buckets"]:
+            le = "+Inf" if bound == "+Inf" else f"{bound:g}"
+            lines.append(
+                f"{name}_bucket{_format_labels({**labels, 'le': le})} {count}"
+            )
+        lines.append(f"{name}_sum{_format_labels(labels)} {series['sum']:g}")
+        lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, _LabelKey], float]:
+    """Parse a text exposition back into ``(name, labels) -> value``.
+
+    A deliberately strict mini-parser used by the ``obs`` CI gate and
+    the tests to prove the exposition is well-formed; raises
+    :class:`ValueError` on any malformed line."""
+    out: dict[tuple[str, _LabelKey], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value_text = line.rpartition(" ")
+        if not head:
+            raise ValueError(f"line {lineno}: no value in {line!r}")
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value {value_text!r}") from exc
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            if not rest.endswith("}"):
+                raise ValueError(f"line {lineno}: unterminated labels in {line!r}")
+            labels: dict[str, str] = {}
+            body = rest[:-1]
+            if body:
+                for part in body.split(","):
+                    k, eq, v = part.partition("=")
+                    if not eq or not (v.startswith('"') and v.endswith('"')):
+                        raise ValueError(f"line {lineno}: bad label {part!r}")
+                    labels[k.strip()] = v[1:-1]
+            key = (name, _labels_key(labels))
+        else:
+            key = (head, ())
+        if not key[0].replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"line {lineno}: bad metric name {key[0]!r}")
+        out[key] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# reconciliation
+# ----------------------------------------------------------------------
+def reconcile(runtime) -> list[str]:
+    """Cross-check a drained runtime's metrics against ``stats()``.
+
+    Returns a list of discrepancy descriptions (empty = consistent).
+    Only meaningful once the runtime is quiesced — mid-flight, events
+    and stats are sampled at different instants.  The stress harness
+    runs this after every clean drain when metrics are enabled."""
+    snapshot = runtime.metrics()
+    if not snapshot.get("enabled"):
+        return ["metrics are not enabled on this runtime"]
+    stats = runtime.stats()
+    problems: list[str] = []
+
+    by_state: dict[str, int] = stats["by_state"]
+    for state, expected in sorted(by_state.items()):
+        got = metric_value(snapshot, "repro_tasks_total", default=0.0, state=state)
+        if got != expected:
+            problems.append(
+                f"repro_tasks_total{{state={state}}} is {got:g}, "
+                f"stats()['by_state'] says {expected}"
+            )
+    metric_states = {
+        series["labels"].get("state")
+        for series in snapshot["counters"]
+        if series["name"] == "repro_tasks_total"
+    }
+    for state in sorted(metric_states - set(by_state)):
+        problems.append(f"metrics count state {state!r} absent from stats()")
+
+    checks = (
+        ("repro_tasks_submitted_total", stats["n_tasks"], "n_tasks"),
+        ("repro_retries_total", stats["retries"], "retries"),
+        ("repro_tasks_restored_total", stats["restored"], "restored"),
+    )
+    for name, expected, label in checks:
+        got = metric_value(snapshot, name, default=0.0)
+        if got != expected:
+            problems.append(f"{name} is {got:g}, stats()[{label!r}] says {expected}")
+
+    running = metric_value(snapshot, "repro_tasks_running", default=0.0)
+    if running:
+        problems.append(f"repro_tasks_running gauge is {running:g} after drain")
+    return problems
+
+
+def reconcile_trace(runtime, trace: Trace | None = None) -> list[str]:
+    """Cross-check metrics attempt counts against the recorded trace
+    (requires ``collect_trace=True``)."""
+    snapshot = runtime.metrics()
+    if not snapshot.get("enabled"):
+        return ["metrics are not enabled on this runtime"]
+    trace = trace if trace is not None else runtime.trace()
+    problems: list[str] = []
+    restored = metric_value(snapshot, "repro_tasks_restored_total", default=0.0)
+    if restored != trace.n_restored:
+        problems.append(
+            f"repro_tasks_restored_total is {restored:g}, trace says {trace.n_restored}"
+        )
+    failed = sum(
+        series["value"]
+        for series in snapshot["counters"]
+        if series["name"] == "repro_task_failures_total"
+    )
+    trace_failed = sum(1 for r in trace if r.status == "failed")
+    if failed != trace_failed:
+        problems.append(
+            f"repro_task_failures_total sums to {failed:g}, "
+            f"trace has {trace_failed} failed attempts"
+        )
+    durations = sum(
+        series["count"]
+        for series in snapshot["histograms"]
+        if series["name"] == "repro_task_duration_seconds"
+    )
+    # every recorded attempt that ran contributes one duration sample;
+    # cancelled attempts never run and are not recorded.
+    ran = sum(1 for r in trace if r.status != "restored")
+    if durations != ran:
+        problems.append(
+            f"duration histogram holds {durations} samples, "
+            f"trace has {ran} executed attempts"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# live progress
+# ----------------------------------------------------------------------
+class ProgressReporter:
+    """Bus subscriber rendering live workflow progress.
+
+    Renders ``done/submitted`` counts, running/failed tallies, task
+    rate and an ETA — to *stream* (default ``sys.stderr``) as a
+    ``\\r``-rewritten line, or to *callback* as snapshot dicts (no
+    terminal output when a callback is given).  Rendering is throttled
+    to one line per *min_interval* seconds; :meth:`close` emits the
+    final state unconditionally."""
+
+    def __init__(
+        self,
+        stream=None,
+        callback: Callable[[dict], None] | None = None,
+        min_interval: float = 0.1,
+        clock=time.monotonic,
+        label: str = "repro",
+    ):
+        self._stream = stream
+        self._callback = callback
+        self._min_interval = min_interval
+        self._clock = clock
+        self._label = label
+        self._lock = threading.Lock()
+        self._t0 = clock()
+        self._last_render = 0.0
+        self._wrote_line = False
+        self.counts = {
+            "submitted": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+            "ignored": 0,
+            "cancelled": 0,
+            "restored": 0,
+            "retries": 0,
+        }
+
+    # -- subscriber -----------------------------------------------------
+    def handle(self, event: TaskEvent) -> None:
+        kind = event.kind
+        with self._lock:
+            c = self.counts
+            if kind == SUBMITTED:
+                c["submitted"] += 1
+            elif kind == RUNNING:
+                c["running"] += 1
+            elif kind == RETRY:
+                c["retries"] += 1
+            elif kind in TERMINAL_KINDS:
+                if event.ran:
+                    c["running"] -= 1
+                if kind == RESTORED:
+                    c["restored"] += 1
+                    c["done"] += 1
+                elif kind == DONE:
+                    c["done"] += 1
+                elif kind == FAILED:
+                    c["failed"] += 1
+                elif kind == IGNORED:
+                    c["ignored"] += 1
+                elif kind == CANCELLED:
+                    c["cancelled"] += 1
+            else:
+                return
+            now = self._clock()
+            if now - self._last_render < self._min_interval:
+                return
+            self._last_render = now
+            snap = self._snapshot_locked(now)
+        self._render(snap)
+
+    # -- snapshots ------------------------------------------------------
+    def _snapshot_locked(self, now: float) -> dict:
+        c = dict(self.counts)
+        finished = c["done"] + c["failed"] + c["ignored"] + c["cancelled"]
+        elapsed = max(now - self._t0, 1e-9)
+        rate = finished / elapsed
+        remaining = max(c["submitted"] - finished, 0)
+        eta = remaining / rate if rate > 0 and remaining else 0.0
+        return {
+            **c,
+            "finished": finished,
+            "elapsed": elapsed,
+            "rate": rate,
+            "eta": eta,
+        }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return self._snapshot_locked(self._clock())
+
+    # -- rendering ------------------------------------------------------
+    def _render(self, snap: dict, final: bool = False) -> None:
+        if self._callback is not None:
+            self._callback(snap)
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        parts = [
+            f"{self._label}: {snap['finished']}/{snap['submitted']} tasks",
+            f"{snap['running']} running",
+        ]
+        if snap["failed"]:
+            parts.append(f"{snap['failed']} failed")
+        if snap["cancelled"]:
+            parts.append(f"{snap['cancelled']} cancelled")
+        if snap["restored"]:
+            parts.append(f"{snap['restored']} restored")
+        parts.append(f"{snap['rate']:.0f} t/s")
+        if not final and snap["eta"]:
+            parts.append(f"eta {snap['eta']:.1f}s")
+        line = " · ".join(parts)
+        try:
+            stream.write("\r" + line.ljust(78))
+            if final:
+                stream.write("\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # closed stream: progress is best-effort
+        self._wrote_line = not final
+
+    def close(self) -> None:
+        """Render the final state (with a newline on terminal streams)."""
+        with self._lock:
+            snap = self._snapshot_locked(self._clock())
+        self._render(snap, final=True)
+
+
+# ----------------------------------------------------------------------
+# trace analysis: critical path & summary
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CriticalPath:
+    """The longest duration-weighted dependency chain of a trace.
+
+    ``length`` (the sum of chain durations) lower-bounds the makespan
+    of any re-execution of the same DAG, however many workers are
+    available; ``makespan - length`` is the headroom scheduling can
+    still recover.  For a real trace, ``length <= makespan`` (chain
+    tasks cannot overlap) and ``length >= max(single task duration)``.
+    """
+
+    records: list[TaskRecord]
+    length: float
+    makespan: float
+    work: float
+
+    @property
+    def task_ids(self) -> list[int]:
+        return [r.task_id for r in self.records]
+
+    def by_name(self) -> dict[str, float]:
+        """Seconds each task name contributes to the chain, largest first."""
+        out: dict[str, float] = {}
+        for rec in self.records:
+            out[rec.name] = out.get(rec.name, 0.0) + rec.duration
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """Longest duration-weighted chain through the recorded DAG.
+
+    Dependencies always point at earlier task ids (retries included:
+    the resubmitted node depends on the failed attempt, so lost time
+    sits on the chain), so one ascending pass computes the longest
+    path ending at every node."""
+    records = {r.task_id: r for r in trace}
+    longest: dict[int, float] = {}
+    predecessor: dict[int, int | None] = {}
+    for tid in sorted(records):
+        rec = records[tid]
+        best, best_dep = 0.0, None
+        for dep in rec.deps:
+            via = longest.get(dep)
+            if via is not None and via > best:
+                best, best_dep = via, dep
+        longest[tid] = best + rec.duration
+        predecessor[tid] = best_dep
+    if not longest:
+        return CriticalPath(records=[], length=0.0, makespan=0.0, work=0.0)
+    end = max(longest, key=lambda tid: longest[tid])
+    chain: list[TaskRecord] = []
+    cursor: int | None = end
+    while cursor is not None:
+        chain.append(records[cursor])
+        cursor = predecessor[cursor]
+    chain.reverse()
+    return CriticalPath(
+        records=chain,
+        length=longest[end],
+        makespan=trace.makespan,
+        work=trace.total_task_time,
+    )
+
+
+def summarize_trace(trace: Trace) -> dict[str, Any]:
+    """Makespan / work / wait / overhead breakdown of a finished trace."""
+    by_status: dict[str, int] = {}
+    by_name: dict[str, dict[str, float]] = {}
+    queue_wait = 0.0
+    overhead = 0.0
+    for rec in trace:
+        by_status[rec.status] = by_status.get(rec.status, 0) + 1
+        entry = by_name.setdefault(
+            rec.name, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        entry["count"] += 1
+        entry["total"] += rec.duration
+        entry["max"] = max(entry["max"], rec.duration)
+        queue_wait += rec.queue_wait
+        overhead += rec.overhead
+    for entry in by_name.values():
+        entry["mean"] = entry["total"] / entry["count"] if entry["count"] else 0.0
+    cp = critical_path(trace)
+    makespan = trace.makespan
+    work = trace.total_task_time
+    return {
+        "n_records": len(trace),
+        "n_executed": trace.n_executed,
+        "n_restored": trace.n_restored,
+        "n_failed_attempts": trace.n_failed_attempts,
+        "makespan": makespan,
+        "work": work,
+        "queue_wait": queue_wait,
+        "overhead": overhead,
+        "parallelism": (work / makespan) if makespan > 0 else 0.0,
+        "critical_path": cp.length,
+        "critical_path_tasks": len(cp.records),
+        "by_status": by_status,
+        "by_name": dict(
+            sorted(by_name.items(), key=lambda kv: -kv[1]["total"])
+        ),
+    }
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+def format_summary(summary: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace` output."""
+    lines = [
+        f"records        : {summary['n_records']} "
+        f"(executed {summary['n_executed']}, restored {summary['n_restored']}, "
+        f"failed attempts {summary['n_failed_attempts']})",
+        f"makespan       : {_fmt_s(summary['makespan'])}",
+        f"work           : {_fmt_s(summary['work'])} "
+        f"(parallelism {summary['parallelism']:.2f}x)",
+        f"queue wait     : {_fmt_s(summary['queue_wait'])}",
+        f"runtime overhd : {_fmt_s(summary['overhead'])}",
+        f"critical path  : {_fmt_s(summary['critical_path'])} "
+        f"across {summary['critical_path_tasks']} tasks",
+        "by task name:",
+    ]
+    for name, entry in summary["by_name"].items():
+        lines.append(
+            f"  {name:<24} x{int(entry['count']):<5} "
+            f"total {_fmt_s(entry['total']):>10}  "
+            f"mean {_fmt_s(entry['mean']):>10}  max {_fmt_s(entry['max']):>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_critical_path(cp: CriticalPath, top: int | None = None) -> str:
+    """Human-readable rendering of a :class:`CriticalPath`."""
+    lines = [
+        f"critical path: {_fmt_s(cp.length)} across {len(cp.records)} tasks "
+        f"(makespan {_fmt_s(cp.makespan)}, "
+        f"{(cp.length / cp.makespan * 100) if cp.makespan else 0:.0f}% of makespan)",
+        "attribution by task name:",
+    ]
+    for name, seconds in cp.by_name().items():
+        lines.append(f"  {name:<24} {_fmt_s(seconds):>10}")
+    lines.append("chain (oldest first):")
+    shown: Iterable[TaskRecord] = cp.records if top is None else cp.records[-top:]
+    for rec in shown:
+        lines.append(
+            f"  #{rec.task_id:<5} {rec.name:<24} {_fmt_s(rec.duration):>10}"
+            + (f"  [{rec.status}]" if rec.status != "done" else "")
+        )
+    return "\n".join(lines)

@@ -153,7 +153,11 @@ def _dump_stacks() -> str:
 # scenario
 # ----------------------------------------------------------------------
 def _run_scenario(
-    seed: int, n_ops: int, workers: int, backend: str = "threads"
+    seed: int,
+    n_ops: int,
+    workers: int,
+    backend: str = "threads",
+    observability: str = "",
 ) -> StressReport:
     t0 = time.perf_counter()
     rng = random.Random(seed)
@@ -170,6 +174,7 @@ def _run_scenario(
         retry_backoff=0.0005,
         retry_backoff_cap=0.002,
         collect_trace=False,
+        observability=observability,
     )
     rt = Runtime(config=cfg)
     push_runtime(rt)
@@ -350,6 +355,12 @@ def _run_scenario(
     stats = rt.stats()
     if clean_drain and stats["ready_queue"]:
         problems.append(f"ready queue not drained: {stats['ready_queue']}")
+    if clean_drain and "metrics" in observability:
+        # Metrics must reconcile exactly with stats() on a drained run:
+        # every lifecycle event was emitted exactly once.
+        from repro.runtime.observability import reconcile
+
+        problems.extend(reconcile(rt))
     if mode in ("mixed", "shutdown"):
         rt.shutdown(wait=False)
 
@@ -372,6 +383,7 @@ def run_seed(
     workers: int = 4,
     timeout: float = 60.0,
     backend: str = "threads",
+    observability: str = "",
 ) -> StressReport:
     """Run one seed under a hang watchdog.
 
@@ -383,7 +395,9 @@ def run_seed(
 
     def target() -> None:
         try:
-            outcome["report"] = _run_scenario(seed, n_ops, workers, backend)
+            outcome["report"] = _run_scenario(
+                seed, n_ops, workers, backend, observability
+            )
         except BaseException as exc:  # noqa: BLE001 - relayed to the report
             outcome["error"] = exc
             outcome["trace"] = traceback.format_exc()
@@ -423,11 +437,17 @@ def run_suite(
     timeout: float = 60.0,
     verbose: bool = True,
     backend: str = "threads",
+    observability: str = "",
 ) -> list[StressReport]:
     reports = []
     for seed in seeds:
         report = run_seed(
-            seed, n_ops=n_ops, workers=workers, timeout=timeout, backend=backend
+            seed,
+            n_ops=n_ops,
+            workers=workers,
+            timeout=timeout,
+            backend=backend,
+            observability=observability,
         )
         reports.append(report)
         if verbose:
@@ -461,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
         default="threads",
         help="execution backend to stress (default threads)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry and reconcile it against "
+        "stats() after every cleanly-drained seed",
+    )
     args = parser.parse_args(argv)
 
     seeds = args.seed if args.seed else range(args.seeds)
@@ -470,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         timeout=args.timeout,
         backend=args.backend,
+        observability="metrics" if args.metrics else "",
     )
     failed = [r for r in reports if not r.ok]
     print(

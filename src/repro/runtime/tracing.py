@@ -22,18 +22,45 @@ def estimate_nbytes(obj: Any) -> int:
     """Rough payload size of a task argument or result.
 
     NumPy arrays dominate all our workloads, so everything else gets a
-    small constant.  Containers are summed one level deep (ds-array
-    blocks arrive as lists of arrays).
+    small constant.  Containers (lists/tuples/sets/dicts) are summed
+    recursively — ds-array blocks arrive as lists of lists of arrays,
+    so nesting depth must not matter.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
-    if isinstance(obj, (list, tuple)):
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return obj.nbytes if isinstance(obj, memoryview) else len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
         return sum(estimate_nbytes(v) for v in obj)
     if isinstance(obj, dict):
         return sum(estimate_nbytes(v) for v in obj.values())
     return 64
+
+
+def queue_wait_of(t_ready: float | None, t_dispatch: float | None) -> float:
+    """Seconds an attempt sat in the ready queue before a worker
+    claimed it (0.0 when the span was not recorded)."""
+    if t_ready is None or t_dispatch is None:
+        return 0.0
+    return max(t_dispatch - t_ready, 0.0)
+
+
+def overhead_of(
+    t_submit: float | None,
+    t_ready: float | None,
+    t_dispatch: float | None,
+    t_start: float,
+) -> float:
+    """Runtime-attributable seconds between submission and body start,
+    excluding ready-queue wait: dependency detection, signature
+    hashing, scheduling, argument resolution and backend dispatch
+    (serialization under the processes backend)."""
+    if t_submit is None:
+        return 0.0
+    span = max(t_start - t_submit, 0.0)
+    return max(span - queue_wait_of(t_ready, t_dispatch), 0.0)
 
 
 @dataclasses.dataclass
@@ -105,10 +132,30 @@ class TaskRecord:
     #: pid of the process that ran this attempt's body (None in traces
     #: recorded before backends existed, or for restored attempts).
     pid: int | None = None
+    #: Lifecycle span timestamps (same monotonic clock as ``t_start``;
+    #: None in traces recorded before the observability layer).
+    #: Submission → ready (deps satisfied) → dispatch (worker claimed).
+    t_submit: float | None = None
+    t_ready: float | None = None
+    t_dispatch: float | None = None
+    #: Name of the worker thread that drove this attempt.
+    worker: str | None = None
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent in the ready queue before a worker claimed
+        this attempt (0.0 when the span was not recorded)."""
+        return queue_wait_of(self.t_ready, self.t_dispatch)
+
+    @property
+    def overhead(self) -> float:
+        """Runtime-attributable seconds between submit and body start,
+        excluding queue wait (0.0 when the span was not recorded)."""
+        return overhead_of(self.t_submit, self.t_ready, self.t_dispatch, self.t_start)
 
     @property
     def ok(self) -> bool:
@@ -210,17 +257,31 @@ class Trace:
         return float(np.mean([r.duration for r in recs]))
 
     def scaled(self, factor: float) -> "Trace":
-        """A copy with every duration multiplied by *factor*.
+        """A copy with every duration *and* inter-task gap multiplied
+        by *factor*, re-anchored to the trace's own start so absolute
+        (epoch-like) timestamps don't explode: every timestamp maps to
+        ``t0 + (t - t0) * factor``.  The scaled makespan is exactly
+        ``makespan * factor``.
 
         Used to extrapolate small local runs to paper-scale problem
         sizes before replaying on the simulated cluster.
         """
+        if not self._records:
+            return Trace()
+        t0 = min(r.t_start for r in self._records.values())
+
+        def remap(t: float | None) -> float | None:
+            return None if t is None else t0 + (t - t0) * factor
+
         out = Trace()
         for rec in self:
             scaled = dataclasses.replace(
                 rec,
-                t_start=rec.t_start * factor,
-                t_end=rec.t_start * factor + rec.duration * factor,
+                t_start=remap(rec.t_start),
+                t_end=remap(rec.t_end),
+                t_submit=remap(rec.t_submit),
+                t_ready=remap(rec.t_ready),
+                t_dispatch=remap(rec.t_dispatch),
             )
             out.add(scaled)
         return out
@@ -231,7 +292,14 @@ class Trace:
 
     @classmethod
     def from_json(cls, text: str) -> "Trace":
-        records = [TaskRecord(**{**d, "deps": tuple(d["deps"])}) for d in json.loads(text)]
+        """Parse a trace, ignoring record keys this version doesn't
+        know (forward compatibility with traces written by newer
+        versions)."""
+        known = TaskRecord.__dataclass_fields__.keys()
+        records = [
+            TaskRecord(**{k: v for k, v in {**d, "deps": tuple(d["deps"])}.items() if k in known})
+            for d in json.loads(text)
+        ]
         return cls(records)
 
     def save(self, path) -> None:

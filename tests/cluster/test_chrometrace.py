@@ -11,6 +11,7 @@ from repro.cluster import (
     simulate,
     trace_to_chrome,
 )
+from repro.cluster.chrometrace import validate_chrome_json
 from repro.runtime import Runtime, task, wait_on
 from repro.runtime.tracing import TaskRecord, Trace
 
@@ -30,20 +31,98 @@ def test_runtime_trace_export():
         wait_on(_leaf(5))      # task 0: ensures the parent id is non-zero
         wait_on(_parent(1))
         text = trace_to_chrome(rt.trace())
-    blob = json.loads(text)
-    events = blob["traceEvents"]
+    events = validate_chrome_json(text)
     xs = [e for e in events if e["ph"] == "X"]
     assert len(xs) == 3
     for e in xs:
         assert e["dur"] >= 0
         assert "deps" in e["args"]
-    # nested leaf shares its parent's lane
-    parent_ev = next(e for e in xs if e["name"].startswith("_parent"))
-    parent_id = int(parent_ev["name"].split("#")[1])
-    child_ev = next(
-        e for e in xs if e["name"].startswith("_leaf") and e["tid"] == parent_id
+        assert e["args"]["status"] == "done"
+    # the sequential executor runs everything on one thread: every
+    # attempt lands on the same worker lane of the same process row
+    assert len({(e["pid"], e["tid"]) for e in xs}) == 1
+    # each lane is named after its worker thread via metadata
+    names = [e for e in events if e.get("name") == "thread_name"]
+    assert len(names) == 1
+
+
+def test_trace_export_flow_events_follow_deps():
+    @task(returns=1)
+    def chain(x):
+        return x + 1
+
+    with Runtime(executor="sequential") as rt:
+        f = chain(0)
+        f = chain(f)
+        wait_on(f)
+        trace = rt.trace()
+        text = trace_to_chrome(trace)
+    events = validate_chrome_json(text)
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 1 and len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"]
+    assert finishes[0]["bp"] == "e"
+    # the arrow leaves the producer at its end and lands at (or after)
+    # the consumer's start
+    producer = trace[0]
+    assert starts[0]["ts"] == producer.t_end * 1e6
+    assert finishes[0]["ts"] >= starts[0]["ts"]
+
+
+def test_trace_export_retry_and_failure_instants():
+    tr = Trace(
+        [
+            TaskRecord(task_id=0, name="a", deps=(), t_start=0.0, t_end=1.0,
+                       status="failed", error="boom"),
+            TaskRecord(task_id=1, name="a", deps=(0,), t_start=1.0, t_end=2.0,
+                       attempt=1, retry_of=0),
+            TaskRecord(task_id=2, name="b", deps=(), t_start=0.0, t_end=0.0,
+                       status="restored"),
+        ]
     )
-    assert child_ev["tid"] == parent_id
+    events = validate_chrome_json(trace_to_chrome(tr))
+    instants = [e for e in events if e["ph"] == "i"]
+    cats = sorted(e["cat"] for e in instants)
+    assert cats == ["checkpoint", "failure", "retry"]
+    retry_ev = next(e for e in instants if e["cat"] == "retry")
+    assert retry_ev["args"] == {"retry_of": 0, "attempt": 1}
+
+
+def test_trace_export_per_worker_and_per_pid_lanes():
+    tr = Trace(
+        [
+            TaskRecord(task_id=0, name="a", deps=(), t_start=0.0, t_end=1.0,
+                       pid=100, worker="w-0"),
+            TaskRecord(task_id=1, name="b", deps=(), t_start=0.0, t_end=1.0,
+                       pid=100, worker="w-1"),
+            TaskRecord(task_id=2, name="c", deps=(), t_start=0.0, t_end=1.0,
+                       pid=200, worker="w-0"),
+        ]
+    )
+    events = validate_chrome_json(trace_to_chrome(tr))
+    xs = {e["name"].split("#")[0]: (e["pid"], e["tid"]) for e in events if e["ph"] == "X"}
+    # distinct workers get distinct lanes; distinct pids distinct rows
+    assert xs["a"][0] == xs["b"][0] == 100
+    assert xs["a"][1] != xs["b"][1]
+    assert xs["c"][0] == 200
+    process_names = [e for e in events if e.get("name") == "process_name"]
+    assert len(process_names) == 2
+
+
+def test_validate_chrome_json_rejects_malformed():
+    import pytest
+
+    with pytest.raises(ValueError):
+        validate_chrome_json(json.dumps({"traceEvents": [{"ph": "X", "pid": 1}]}))
+    with pytest.raises(ValueError):
+        validate_chrome_json(json.dumps({"no": "events"}))
+    with pytest.raises(ValueError):
+        validate_chrome_json(
+            json.dumps(
+                {"traceEvents": [{"ph": "s", "id": 7, "pid": 1, "tid": 0, "ts": 0}]}
+            )
+        )
 
 
 def test_schedule_export():

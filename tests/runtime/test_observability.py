@@ -1,0 +1,453 @@
+"""Tests for :mod:`repro.runtime.observability`: event bus, metrics
+registry, Prometheus exposition, progress reporting, critical-path
+analysis, and the engine's lifecycle-event emission."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.runtime import Runtime, RuntimeConfig, faults, task, wait_on
+from repro.runtime import observability as obs
+from repro.runtime.tracing import TaskRecord, Trace
+
+
+@task(returns=1)
+def _add(a, b):
+    return a + b
+
+
+@task(returns=1)
+def _inc(x):
+    return x + 1
+
+
+# ----------------------------------------------------------------------
+# parse_flags
+# ----------------------------------------------------------------------
+def test_parse_flags():
+    assert obs.parse_flags("") == frozenset()
+    assert obs.parse_flags(None) == frozenset()
+    assert obs.parse_flags("off") == frozenset()
+    assert obs.parse_flags("metrics") == {"metrics"}
+    assert obs.parse_flags("metrics,progress") == {"metrics", "progress"}
+    assert obs.parse_flags("metrics progress") == {"metrics", "progress"}
+    assert obs.parse_flags("all") == {"metrics", "progress"}
+    assert obs.parse_flags("METRICS") == {"metrics"}
+    with pytest.raises(ValueError, match="unknown observability flag"):
+        obs.parse_flags("metrics,bogus")
+
+
+def test_config_validates_observability():
+    RuntimeConfig(observability="metrics")  # fine
+    with pytest.raises(ValueError, match="unknown observability flag"):
+        RuntimeConfig(observability="telemetry")
+
+
+def test_config_env_observability_and_metrics_shorthand():
+    cfg = RuntimeConfig.from_env({"REPRO_OBSERVABILITY": "progress"})
+    assert cfg.observability == "progress"
+    cfg = RuntimeConfig.from_env({"REPRO_METRICS": "1"})
+    assert obs.parse_flags(cfg.observability) == {"metrics"}
+    cfg = RuntimeConfig.from_env(
+        {"REPRO_OBSERVABILITY": "metrics,progress", "REPRO_METRICS": "0"}
+    )
+    assert obs.parse_flags(cfg.observability) == {"progress"}
+    with pytest.raises(ValueError, match="REPRO_METRICS"):
+        RuntimeConfig.from_env({"REPRO_METRICS": "maybe"})
+
+
+# ----------------------------------------------------------------------
+# EventBus
+# ----------------------------------------------------------------------
+def _ev(kind="done", **kw):
+    defaults = dict(kind=kind, t=0.0, task_id=0, root_id=0, name="t")
+    defaults.update(kw)
+    return obs.TaskEvent(**defaults)
+
+
+def test_event_bus_truthiness_and_fanout():
+    bus = obs.EventBus()
+    assert not bus
+    seen = []
+    fn = bus.subscribe(seen.append)
+    assert bus
+    bus.emit(_ev())
+    assert len(seen) == 1
+    bus.unsubscribe(fn)
+    assert not bus
+    bus.emit(_ev())
+    assert len(seen) == 1
+
+
+def test_event_bus_drops_raising_subscriber():
+    bus = obs.EventBus()
+    calls = []
+
+    def bad(event):
+        calls.append("bad")
+        raise RuntimeError("observer bug")
+
+    bus.subscribe(bad)
+    bus.subscribe(lambda e: calls.append("good"))
+    bus.emit(_ev())
+    bus.emit(_ev())
+    # the raising subscriber ran once, was dropped, and never blocked
+    # the healthy one
+    assert calls == ["bad", "good", "good"]
+    assert bus  # good subscriber still attached
+
+
+# ----------------------------------------------------------------------
+# Histogram / registry primitives
+# ----------------------------------------------------------------------
+def test_histogram_buckets_are_cumulative():
+    h = obs.Histogram(bounds=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert [c for _, c in snap["buckets"]] == [1, 3, 4, 5]
+    assert snap["buckets"][-1][0] == "+Inf"
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(5.0605)
+
+
+def test_histogram_boundary_value_falls_in_lower_bucket():
+    h = obs.Histogram(bounds=(1.0, 2.0))
+    h.observe(1.0)  # le="1" bucket includes exactly 1.0
+    assert h.snapshot()["buckets"][0] == [1.0, 1]
+
+
+def test_registry_manual_series_and_snapshot():
+    reg = obs.MetricsRegistry(max_workers=2)
+    reg.inc("repro_things_total", 3, kind="a")
+    reg.set_gauge("repro_depth", 7)
+    reg.observe("repro_latency_seconds", 0.5)
+    snap = reg.snapshot()
+    assert obs.metric_value(snap, "repro_things_total", kind="a") == 3
+    assert obs.metric_value(snap, "repro_depth") == 7
+    assert obs.metric_value(snap, "repro_missing", default=-1) == -1
+    (hist,) = snap["histograms"]
+    assert hist["count"] == 1
+    json.dumps(snap)  # snapshot must be JSON-serialisable
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+def test_prometheus_roundtrip():
+    reg = obs.MetricsRegistry(max_workers=4)
+    reg.handle(_ev(obs.SUBMITTED))
+    reg.handle(_ev(obs.RUNNING))
+    reg.handle(_ev(obs.DONE, state="done", ran=True, duration=0.01,
+                   queue_wait=0.001, overhead=0.0005, worker="w-0"))
+    text = obs.to_prometheus(reg.snapshot())
+    parsed = obs.parse_prometheus(text)
+    assert parsed[("repro_tasks_submitted_total", ())] == 1
+    assert parsed[("repro_tasks_total", (("state", "done"),))] == 1
+    assert parsed[("repro_tasks_running", ())] == 0
+    assert parsed[("repro_task_duration_seconds_count", (("task", "t"),))] == 1
+    # histogram exposition carries cumulative le buckets and a sum
+    assert ("repro_task_duration_seconds_sum", (("task", "t"),)) in parsed
+    assert any(name == "repro_task_duration_seconds_bucket" for name, _ in parsed)
+    assert "# TYPE repro_task_duration_seconds histogram" in text
+
+
+def test_parse_prometheus_rejects_malformed():
+    with pytest.raises(ValueError):
+        obs.parse_prometheus("repro_x{unterminated 1")
+    with pytest.raises(ValueError):
+        obs.parse_prometheus("repro_x notanumber")
+    with pytest.raises(ValueError):
+        obs.parse_prometheus('repro_x{label=unquoted} 1')
+
+
+def test_merge_backend_stats_prefixes_series():
+    snap = obs.empty_snapshot()
+    merged = obs.merge_backend_stats(
+        snap, {"backend": "threads", "tasks_run": 5, "max_workers": 4}
+    )
+    assert obs.metric_value(merged, "repro_backend_tasks_run_total") == 5
+    assert obs.metric_value(merged, "repro_backend_max_workers") == 4
+    assert merged["backend"]["backend"] == "threads"
+
+
+# ----------------------------------------------------------------------
+# runtime integration: events, metrics(), reconcile
+# ----------------------------------------------------------------------
+def test_event_sequence_for_one_task():
+    events = []
+    with Runtime(executor="sequential") as rt:
+        rt.subscribe(events.append)
+        wait_on(_add(1, 2))
+    kinds = [e.kind for e in events]
+    # sequential executor runs at submission: no READY hop
+    assert kinds == ["submitted", "dispatched", "running", "done"]
+    by_kind = {e.kind: e for e in events}
+    ts = [e.t for e in events]
+    assert ts == sorted(ts)
+    done = by_kind["done"]
+    assert done.ran and done.duration is not None and done.duration >= 0
+    assert done.state == "done"
+    assert done.queue_wait == 0.0  # never queued
+    assert by_kind["dispatched"].worker is not None
+
+
+def test_event_sequence_threads_includes_ready():
+    events = []
+    cfg = RuntimeConfig(executor="threads", max_workers=2)
+    with Runtime(config=cfg) as rt:
+        rt.subscribe(events.append)
+        wait_on(_add(1, 2))
+        rt.shutdown()
+    kinds = [e.kind for e in events]
+    assert kinds[:2] == ["submitted", "ready"]
+    assert set(kinds) == {"submitted", "ready", "dispatched", "running", "done"}
+
+
+def test_metrics_disabled_snapshot_shape():
+    with Runtime(executor="sequential") as rt:
+        wait_on(_add(1, 1))
+        snap = rt.metrics()
+    assert snap["enabled"] is False
+    # no lifecycle series, but backend stats are still merged in
+    assert all(c["name"].startswith("repro_backend_") for c in snap["counters"])
+    assert "backend" in snap
+    # exposition of a disabled runtime still renders (backend series only)
+    obs.parse_prometheus(rt.metrics_text())
+
+
+def test_metrics_reconcile_with_stats_and_trace():
+    cfg = RuntimeConfig(executor="threads", max_workers=2, observability="metrics")
+    with Runtime(config=cfg) as rt:
+        futs = [_add(i, 1) for i in range(25)]
+        futs += [_inc(futs[i]) for i in range(5)]
+        wait_on(futs)
+        rt.shutdown()
+        assert obs.reconcile(rt) == []
+        assert obs.reconcile_trace(rt) == []
+        snap = rt.metrics()
+    assert obs.metric_value(snap, "repro_tasks_submitted_total") == 30
+    assert obs.metric_value(snap, "repro_tasks_total", state="done") == 30
+    assert obs.metric_value(snap, "repro_tasks_running") == 0
+    util = obs.metric_value(snap, "repro_worker_utilization")
+    assert util is not None and 0 <= util <= 1
+
+
+def test_metrics_count_retries_and_failures():
+    @task(returns=1, on_failure="RETRY", max_retries=2)
+    def flaky(x):
+        from repro.runtime.backends import current_attempt
+
+        if current_attempt() < 1:
+            raise RuntimeError("first attempt fails")
+        return x
+
+    cfg = RuntimeConfig(
+        executor="threads", max_workers=2, observability="metrics", retry_backoff=0.0
+    )
+    with Runtime(config=cfg) as rt:
+        assert wait_on(flaky(5)) == 5
+        rt.shutdown()
+        assert obs.reconcile(rt) == []
+        snap = rt.metrics()
+    assert obs.metric_value(snap, "repro_retries_total") == 1
+    assert obs.metric_value(snap, "repro_tasks_total", state="failed") == 1
+    assert obs.metric_value(snap, "repro_tasks_total", state="done") == 1
+    assert obs.metric_value(snap, "repro_task_failures_total", task="flaky") == 1
+
+
+def test_metrics_count_cancellations():
+    @task(returns=1)
+    def boom():
+        raise ValueError("dead")
+
+    cfg = RuntimeConfig(executor="threads", max_workers=2, observability="metrics")
+    with Runtime(config=cfg) as rt:
+        f = boom()
+        g = _inc(f)  # cancelled when boom fails (CANCEL_SUCCESSORS)
+        with pytest.raises(Exception):
+            wait_on(g)
+        rt.shutdown()
+        assert obs.reconcile(rt) == []
+        snap = rt.metrics()
+    assert obs.metric_value(snap, "repro_tasks_total", state="failed") == 1
+    assert obs.metric_value(snap, "repro_tasks_total", state="cancelled") == 1
+
+
+def test_metrics_count_restored(tmp_path):
+    cfg = RuntimeConfig(
+        executor="sequential",
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        observability="metrics",
+    )
+    with Runtime(config=cfg) as rt:
+        assert wait_on(_add(3, 4)) == 7
+    with Runtime(config=cfg) as rt:
+        assert wait_on(_add(3, 4)) == 7
+        assert obs.reconcile(rt) == []
+        snap = rt.metrics()
+        assert rt.trace().n_restored == 1
+    assert obs.metric_value(snap, "repro_tasks_restored_total") == 1
+    # the restored attempt terminates as done, so totals still reconcile
+    assert obs.metric_value(snap, "repro_tasks_total", state="done") == 1
+
+
+def test_save_metrics_json(tmp_path):
+    cfg = RuntimeConfig(executor="sequential", observability="metrics")
+    out = tmp_path / "metrics.json"
+    with Runtime(config=cfg) as rt:
+        wait_on(_add(1, 1))
+        rt.save_metrics(out)
+    doc = json.loads(out.read_text())
+    assert doc["enabled"] is True
+    assert obs.metric_value(doc, "repro_tasks_submitted_total") == 1
+
+
+def test_trace_records_carry_span_timestamps():
+    cfg = RuntimeConfig(executor="threads", max_workers=2)
+    with Runtime(config=cfg) as rt:
+        wait_on(_inc(_add(1, 2)))
+        rt.shutdown()
+        trace = rt.trace()
+    for rec in trace:
+        assert rec.t_submit is not None and rec.t_ready is not None
+        assert rec.t_dispatch is not None and rec.worker is not None
+        assert rec.t_submit <= rec.t_ready <= rec.t_dispatch <= rec.t_start <= rec.t_end
+        assert rec.queue_wait >= 0 and rec.overhead >= 0
+
+
+# ----------------------------------------------------------------------
+# ProgressReporter
+# ----------------------------------------------------------------------
+def test_progress_reporter_counts_and_stream():
+    stream = io.StringIO()
+    rep = obs.ProgressReporter(stream=stream, min_interval=0.0)
+    rep.handle(_ev(obs.SUBMITTED))
+    rep.handle(_ev(obs.SUBMITTED))
+    rep.handle(_ev(obs.RUNNING))
+    rep.handle(_ev(obs.DONE, ran=True))
+    rep.handle(_ev(obs.FAILED, state="failed"))
+    snap = rep.snapshot()
+    assert snap["submitted"] == 2 and snap["done"] == 1 and snap["failed"] == 1
+    assert snap["finished"] == 2 and snap["running"] == 0
+    rep.close()
+    out = stream.getvalue()
+    assert "2/2 tasks" in out
+    assert out.endswith("\n")
+
+
+def test_progress_reporter_callback_mode():
+    snaps = []
+    rep = obs.ProgressReporter(callback=snaps.append, min_interval=0.0)
+    rep.handle(_ev(obs.SUBMITTED))
+    rep.handle(_ev(obs.RESTORED, state="done"))
+    rep.close()
+    assert snaps[-1]["restored"] == 1
+    assert snaps[-1]["done"] == 1  # restored counts as finished work
+
+
+def test_progress_throttles_renders():
+    ticks = iter([0.0] + [0.01 * i for i in range(1, 200)])
+    snaps = []
+    rep = obs.ProgressReporter(
+        callback=snaps.append, min_interval=10.0, clock=lambda: next(ticks)
+    )
+    for _ in range(50):
+        rep.handle(_ev(obs.SUBMITTED))
+    assert len(snaps) <= 1  # throttled: interval never elapsed
+
+
+def test_runtime_progress_flag_renders_line(capsys):
+    cfg = RuntimeConfig(executor="sequential", observability="progress")
+    with Runtime(config=cfg):
+        wait_on([_add(i, i) for i in range(5)])
+    err = capsys.readouterr().err
+    assert "5/5 tasks" in err
+
+
+# ----------------------------------------------------------------------
+# critical path & summary
+# ----------------------------------------------------------------------
+def _diamond_trace():
+    #   0 (1s) -> 1 (2s) -\
+    #          \-> 2 (0.5s) -> 3 (1s)
+    return Trace(
+        [
+            TaskRecord(task_id=0, name="src", deps=(), t_start=0.0, t_end=1.0),
+            TaskRecord(task_id=1, name="slow", deps=(0,), t_start=1.0, t_end=3.0),
+            TaskRecord(task_id=2, name="fast", deps=(0,), t_start=1.0, t_end=1.5),
+            TaskRecord(task_id=3, name="sink", deps=(1, 2), t_start=3.0, t_end=4.0),
+        ]
+    )
+
+
+def test_critical_path_diamond():
+    cp = obs.critical_path(_diamond_trace())
+    assert cp.task_ids == [0, 1, 3]
+    assert cp.length == pytest.approx(4.0)
+    assert cp.makespan == pytest.approx(4.0)
+    assert cp.work == pytest.approx(4.5)
+    assert cp.by_name() == {"slow": 2.0, "src": 1.0, "sink": 1.0}
+
+
+def test_critical_path_empty_and_single():
+    assert obs.critical_path(Trace()).length == 0.0
+    one = Trace([TaskRecord(task_id=0, name="t", deps=(), t_start=0.0, t_end=2.0)])
+    cp = obs.critical_path(one)
+    assert cp.length == pytest.approx(2.0)
+    assert cp.task_ids == [0]
+
+
+def test_critical_path_includes_retry_lost_time():
+    tr = Trace(
+        [
+            TaskRecord(task_id=0, name="flaky", deps=(), t_start=0.0, t_end=1.0,
+                       status="failed"),
+            TaskRecord(task_id=1, name="flaky", deps=(0,), t_start=1.0, t_end=2.0,
+                       attempt=1, retry_of=0),
+        ]
+    )
+    cp = obs.critical_path(tr)
+    # the retry depends on the failed attempt: lost time is on the chain
+    assert cp.task_ids == [0, 1]
+    assert cp.length == pytest.approx(2.0)
+
+
+def test_critical_path_bounds_on_real_run():
+    cfg = RuntimeConfig(executor="threads", max_workers=2)
+    with Runtime(config=cfg) as rt:
+        f = _add(1, 2)
+        for _ in range(4):
+            f = _inc(f)
+        extra = [_add(i, i) for i in range(6)]
+        wait_on([f] + extra)
+        rt.shutdown()
+        trace = rt.trace()
+    cp = obs.critical_path(trace)
+    max_single = max(r.duration for r in trace)
+    assert cp.length <= trace.makespan * (1 + 1e-6)
+    assert cp.length >= max_single
+    assert len(cp.records) >= 5  # at least the 5-task chain
+
+
+def test_summarize_and_format():
+    summary = obs.summarize_trace(_diamond_trace())
+    assert summary["n_records"] == 4
+    assert summary["makespan"] == pytest.approx(4.0)
+    assert summary["critical_path"] == pytest.approx(4.0)
+    assert summary["parallelism"] == pytest.approx(4.5 / 4.0)
+    assert list(summary["by_name"])[0] == "slow"  # sorted by total time
+    text = obs.format_summary(summary)
+    assert "critical path" in text and "slow" in text
+    cp_text = obs.format_critical_path(obs.critical_path(_diamond_trace()))
+    assert "100% of makespan" in cp_text
+    assert "#1" in cp_text
+
+
+def test_reconcile_on_disabled_runtime_reports():
+    with Runtime(executor="sequential") as rt:
+        wait_on(_add(1, 1))
+        assert obs.reconcile(rt) == ["metrics are not enabled on this runtime"]
