@@ -1,4 +1,4 @@
-.PHONY: check lint test inventory resilience stress obs backend
+.PHONY: check lint test inventory resilience stress obs backend dataplane
 
 check:
 	bash scripts/check.sh
@@ -23,3 +23,6 @@ obs:
 
 backend:
 	bash scripts/check.sh backend
+
+dataplane:
+	bash scripts/check.sh dataplane

@@ -1,0 +1,139 @@
+"""Data-plane ledger: pickle-pipe traffic with the shared-memory
+object store on vs off, plus store operation latency.
+
+Not a paper figure — the perf ledger of the zero-copy data plane.  The
+blocked-matmul workload (the paper's dominant communication pattern)
+runs on the process backend twice: once with arguments and results
+travelling by :class:`~repro.runtime.store.ObjectRef` through shared
+memory, once with every block pickled over the worker pipes.  The
+benchmark records the bytes that crossed the pipes each way, asserts a
+>= 90% reduction with the store on *and* bit-identical results, and
+appends store put/get latency micro-benchmarks.  Results land in
+``BENCH_dataplane.json`` at the repository root so successive PRs can
+compare runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+import repro.dsarray as ds
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.store import ObjectStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_dataplane.json"
+
+MAX_WORKERS = 2
+SIZE = 512
+BLOCK = 128
+
+_metrics: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_file():
+    """Persist every metric recorded this session to BENCH_dataplane.json."""
+    yield
+    if not _metrics:
+        return
+    from repro.runtime import atomic_write
+
+    payload = {
+        "bench": "dataplane",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "params": {
+            "max_workers": MAX_WORKERS,
+            "matmul_size": SIZE,
+            "block": BLOCK,
+        },
+        "metrics": _metrics,
+    }
+    atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _matmul_run(store_mode: str) -> tuple[np.ndarray, dict]:
+    """Blocked matmul on the process backend; returns (result, stats)."""
+    a = np.random.default_rng(0).normal(size=(SIZE, SIZE))
+    b = np.random.default_rng(1).normal(size=(SIZE, SIZE))
+    cfg = RuntimeConfig(
+        backend="processes", max_workers=MAX_WORKERS, store=store_mode
+    )
+    t0 = time.perf_counter()
+    with Runtime(config=cfg) as rt:
+        da = ds.array(a, (BLOCK, BLOCK))
+        db = ds.array(b, (BLOCK, BLOCK))
+        result = (da @ db).collect()
+        stats = dict(rt.stats()["backend_stats"])
+    stats["wall_s"] = time.perf_counter() - t0
+    return result, stats
+
+
+def test_matmul_pipe_bytes_store_on_vs_off():
+    with_store, on_stats = _matmul_run("on")
+    without, off_stats = _matmul_run("off")
+
+    pipe_on = on_stats["pipe_bytes_sent"] + on_stats["pipe_bytes_recv"]
+    pipe_off = off_stats["pipe_bytes_sent"] + off_stats["pipe_bytes_recv"]
+    reduction = 1.0 - pipe_on / pipe_off
+    _metrics["matmul_pipe_bytes"] = {
+        "unit": "bytes over worker pipes (full workload)",
+        "store_on": pipe_on,
+        "store_off": pipe_off,
+        "reduction": reduction,
+        "store_on_wall_s": on_stats["wall_s"],
+        "store_off_wall_s": off_stats["wall_s"],
+        "store_bytes_moved": on_stats["store_bytes_moved"],
+        "store_bytes_saved": on_stats["store_bytes_saved"],
+        "store_hit_rate": on_stats["store_hit_rate"],
+        "locality_hits": on_stats["locality_hits"],
+        "locality_misses": on_stats["locality_misses"],
+        "identical": bool(np.array_equal(with_store, without)),
+    }
+
+    assert on_stats["store_enabled"] and not off_stats["store_enabled"]
+    # the acceptance bar: passing blocks by reference removes >= 90%
+    # of the bytes pickled across worker pipes
+    assert reduction >= 0.90, (
+        f"store only cut pipe traffic by {reduction:.1%} "
+        f"({pipe_off} -> {pipe_on} bytes)"
+    )
+    # and the answers are bit-identical
+    np.testing.assert_array_equal(with_store, without)
+
+
+def test_store_op_latency():
+    block = np.random.default_rng(2).normal(size=(BLOCK, BLOCK))
+    store = ObjectStore(capacity_bytes=64 << 20)
+    try:
+        put_samples, get_samples = [], []
+        refs = []
+        for _ in range(20):
+            src = block.copy()  # distinct objects: no dedup short-circuit
+            t0 = time.perf_counter()
+            ref = store.put(src)
+            put_samples.append(time.perf_counter() - t0)
+            refs.append(ref)
+        for ref in refs:
+            t0 = time.perf_counter()
+            view = store.get(ref)
+            get_samples.append(time.perf_counter() - t0)
+            assert view.shape == (BLOCK, BLOCK)
+        _metrics["store_op_latency"] = {
+            "unit": "s per op (median of 20)",
+            "block_bytes": int(block.nbytes),
+            "put_s": float(np.median(put_samples)),
+            "get_s": float(np.median(get_samples)),
+        }
+        # zero-copy get must not scale with the block: it should be
+        # far cheaper than the memcpy a put pays
+        assert np.median(get_samples) < 5e-3
+    finally:
+        store.shutdown()

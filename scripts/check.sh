@@ -10,6 +10,7 @@
 #   scripts/check.sh stress      scheduler concurrency stress (fixed seeds)
 #   scripts/check.sh backend     tier-1 + stress under REPRO_BACKEND=processes
 #   scripts/check.sh obs         observability smoke (metrics/trace exports)
+#   scripts/check.sh dataplane   store tests + store-mode stress + pipe-bytes bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,6 +67,21 @@ run_backend() {
         --seed 0 --seed 1 --seed 2 --seed 3
 }
 
+run_dataplane() {
+    # The zero-copy data plane: store unit tests, store-mode stress
+    # seeds on both backends, and the pipe-bytes benchmark (asserts a
+    # >= 90% reduction in pickled bytes and bit-identical results,
+    # writing BENCH_dataplane.json).
+    echo "== object store tests =="
+    PYTHONPATH=src python -m pytest tests/runtime/test_store.py -x -q
+    echo "== store-mode stress (fixed seeds, both backends) =="
+    PYTHONPATH=src python -m repro stress --store --seed 0 --seed 3 --seed 4
+    PYTHONPATH=src python -m repro stress --store --backend processes \
+        --workers 2 --seed 0 --seed 3
+    echo "== data-plane benchmark (pipe bytes, store on vs off) =="
+    PYTHONPATH=src python -m pytest benchmarks/test_dataplane.py -x -q
+}
+
 case "$mode" in
     lint)       run_lint ;;
     test)       run_tests ;;
@@ -74,6 +90,7 @@ case "$mode" in
     stress)     run_stress ;;
     backend)    run_backend ;;
     obs)        run_obs ;;
-    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend ;;
-    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend]" >&2; exit 2 ;;
+    dataplane)  run_dataplane ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend; run_dataplane ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane]" >&2; exit 2 ;;
 esac

@@ -268,6 +268,7 @@ def _cmd_stress(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         backend=args.backend,
         observability=observability,
+        store=args.store,
     )
     failed = [r for r in reports if not r.ok]
     print(f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed")
@@ -377,6 +378,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="enable the metrics registry and reconcile it against "
         "stats() after every cleanly-drained seed",
+    )
+    p6.add_argument(
+        "--store",
+        action="store_true",
+        help="mix shared-memory data-plane traffic into every seed and "
+        "reconcile the store byte accounting on clean drains",
     )
     p6.add_argument(
         "--progress", action="store_true", help="live task progress on stderr"

@@ -46,6 +46,12 @@ def trace_to_chrome(trace: Trace, process_name: str = "repro-runtime") -> str:
       end, "f" finish with ``bp: "e"`` at the consumer's start) so the
       viewer draws arrows along the DAG.
     * Retries and checkpoint restores are instant ("i") events.
+    * Data-plane traffic becomes a counter ("C") lane on the
+      coordinator row: cumulative ``bytes_moved`` (shared memory
+      freshly mapped into workers) vs ``bytes_saved`` (pickle-pipe
+      bytes avoided by passing references), sampled at each attempt's
+      end.  The lane is only emitted when a run actually moved data
+      through the store, so store-off traces stay unchanged.
 
     Traces recorded before the observability layer (no worker names)
     fall back to one lane per OS pid.
@@ -95,6 +101,8 @@ def trace_to_chrome(trace: Trace, process_name: str = "repro-runtime") -> str:
                     "attempt": rec.attempt,
                     "queue_wait_us": rec.queue_wait * 1e6,
                     "overhead_us": rec.overhead * 1e6,
+                    "bytes_moved": rec.bytes_moved,
+                    "bytes_saved": rec.bytes_saved,
                 },
             }
         )
@@ -166,6 +174,24 @@ def trace_to_chrome(trace: Trace, process_name: str = "repro-runtime") -> str:
                     "ts": max(rec.t_start, producer.t_end) * 1e6,
                 }
             )
+
+    # -- data-plane counter lane ---------------------------------------
+    if any(rec.bytes_moved or rec.bytes_saved for rec in trace):
+        moved = saved = 0
+        for rec in sorted(trace, key=lambda r: r.t_end):
+            moved += rec.bytes_moved
+            saved += rec.bytes_saved
+            events.append(
+                {
+                    "name": "data plane (bytes)",
+                    "cat": "dataplane",
+                    "ph": "C",
+                    "pid": main_pid,
+                    "tid": 0,
+                    "ts": rec.t_end * 1e6,
+                    "args": {"moved": moved, "saved": saved},
+                }
+            )
     return json.dumps({"traceEvents": events}, indent=1)
 
 
@@ -222,7 +248,7 @@ def validate_chrome_json(text: str) -> list[dict]:
         if not isinstance(ev, dict):
             raise ValueError(f"event {i} is not an object")
         ph = ev.get("ph")
-        if ph not in ("X", "M", "i", "s", "f", "B", "E"):
+        if ph not in ("X", "M", "i", "s", "f", "B", "E", "C"):
             raise ValueError(f"event {i} has unknown phase {ph!r}")
         if ph == "M":
             continue
@@ -233,6 +259,8 @@ def validate_chrome_json(text: str) -> list[dict]:
             raise ValueError(f"event {i} has negative timestamp")
         if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
             raise ValueError(f"complete event {i} lacks a duration")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            raise ValueError(f"counter event {i} lacks an args series dict")
         if ph in ("s", "f"):
             flows.setdefault(("flow", ev.get("id")), set()).add(ph)
     for (_, flow_id), phases in flows.items():

@@ -94,6 +94,32 @@ class Array:
             return np.empty(self._shape)
         return np.vstack(rows) if len(rows) > 1 else rows[0]
 
+    def persist(self) -> "Array":
+        """Materialise every block into the runtime's shared-memory
+        object store, in place.
+
+        Pending futures are synchronised first; blocks become
+        :class:`~repro.runtime.store.ObjectRef` handles that downstream
+        tasks on the process backend consume zero-copy (results that
+        already live in the store keep their existing ref — no copy).
+        A no-op outside a runtime.  Returns ``self`` for chaining."""
+        from repro.runtime import engine, is_future, is_ref
+        from repro.runtime.future import resolve_futures
+
+        rt = engine.active_runtime()
+        if rt is None:
+            return self
+        for row in self._blocks:
+            for j, block in enumerate(row):
+                if is_future(block):
+                    rt.wait_on(block)  # ensure the producer finished
+                    block = resolve_futures(block)
+                if is_ref(block):
+                    row[j] = block
+                elif isinstance(block, np.ndarray):
+                    row[j] = rt.put(block)
+        return self
+
     # ------------------------------------------------------------------
     # stripe access (what the ML estimators consume)
     # ------------------------------------------------------------------

@@ -17,6 +17,15 @@ Public surface:
   (``compss_wait_on``).
 * :func:`barrier` — wait for all tasks of the current scope
   (``compss_barrier``).
+* :class:`ObjectRef` / :class:`ObjectStore` — the shared-memory data
+  plane (:mod:`repro.runtime.store`): ``Runtime.put(value)`` returns a
+  ref accepted anywhere the value would be, ``Runtime.get``/
+  ``wait_on`` turn refs back into arrays, ``Runtime.release`` frees
+  them.  With ``backend="processes"`` large array arguments and
+  results travel by reference automatically (``RuntimeConfig(store=,
+  store_capacity_mb=, locality=)`` / ``REPRO_STORE_*``).
+* :class:`TaskCall` / ``my_task.defer(...)`` — deferred call sites for
+  ``Runtime.submit_many(calls)`` batch intake.
 * :mod:`repro.runtime.compat` — PyCOMPSs-named aliases
   (:func:`compss_wait_on`, :func:`compss_barrier`, :func:`compss_open`)
   so paper snippets run verbatim.
@@ -70,7 +79,8 @@ from repro.runtime.failures import (
     TaskOptions,
 )
 from repro.runtime.future import Future, is_future, resolve_futures
-from repro.runtime.model import Constraints
+from repro.runtime.model import Constraints, TaskCall
+from repro.runtime.store import ObjectRef, ObjectStore, StoreError, is_ref
 from repro.runtime.observability import (
     CriticalPath,
     EventBus,
@@ -107,8 +117,13 @@ __all__ = [
     "wait_on",
     "barrier",
     "Constraints",
+    "TaskCall",
     "Future",
     "is_future",
+    "ObjectRef",
+    "ObjectStore",
+    "StoreError",
+    "is_ref",
     "Trace",
     "TaskRecord",
     "TaskEvent",

@@ -40,6 +40,23 @@ there is no active runtime, so nested ``@task`` calls degrade to plain
 inline calls and ``wait_on`` is a pass-through — same values, computed
 within the worker.
 
+Data plane (shared-memory object store)
+---------------------------------------
+When the backend is built with an
+:class:`~repro.runtime.store.ObjectStore`, large NumPy arguments stop
+crossing the pipe: the coordinator *freezes* them into shared-memory
+segments (put-once — repeated arguments are dedup hits) and sends tiny
+:class:`~repro.runtime.store.ObjectRef` handles instead.  The worker
+maps each segment once into a bounded cache and hands the task body a
+read-only zero-copy view; large results are frozen by the worker into
+fresh segments that the coordinator adopts into the store, so task
+chains move references, never buffers.  Dispatch is locality-aware: a
+residency map (which worker holds which segments) steers each call to
+the worker already caching the largest share of its input bytes.
+``stats()`` exposes the accounting — ``pipe_bytes_sent/recv``,
+``store_bytes_moved`` (fresh segment attaches), ``store_bytes_saved``
+(pickle bytes avoided), locality hit/miss counters.
+
 Worker lifecycle
 ----------------
 Workers are spawned lazily (``spawn`` context: safe with the
@@ -56,6 +73,7 @@ thread, which feeds the ordinary ``on_failure``/retry machinery.
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import importlib
 import logging
 import os
@@ -67,7 +85,10 @@ import threading
 import time
 from typing import Any
 
+import numpy as np
+
 from repro.runtime.exceptions import NodeFailureError
+from repro.runtime.store import ObjectRef, ObjectStore, StoreError, WorkerStore
 
 _logger = logging.getLogger("repro.runtime.backends")
 
@@ -190,6 +211,7 @@ def _worker_main(conn, search_path: list[str]) -> None:
         if entry not in sys.path:
             sys.path.append(entry)
     pid = os.getpid()
+    worker_store = WorkerStore()
     while True:
         try:
             request = _recv(conn)
@@ -201,11 +223,22 @@ def _worker_main(conn, search_path: list[str]) -> None:
         if kind == "ping":
             _send(conn, ("pong", pid))
             continue
-        _, module_name, qualname, args, kwargs, attempt, kill_self = request
+        _, module_name, qualname, args, kwargs, attempt, kill_self, store_cfg = request
         if kill_self:
             # Fault injection: die like a crashed node, no reply, no
             # cleanup — the coordinator sees the broken pipe.
             os.kill(pid, signal.SIGKILL)
+        info = None
+        if store_cfg is not None:
+            # Data plane active: map incoming refs to read-only views
+            # (cache hit = zero bytes moved) before the body runs.
+            info = WorkerStore.new_info()
+            try:
+                args = worker_store.thaw(args, info)
+                kwargs = worker_store.thaw(kwargs, info)
+            except Exception as exc:  # noqa: BLE001 - segment gone = data error
+                _send(conn, ("unresolvable", f"{type(exc).__name__}: {exc}", pid))
+                continue
         try:
             func = _resolve_task_function(module_name, qualname)
         except Exception as exc:  # noqa: BLE001 - reported, not fatal
@@ -218,10 +251,21 @@ def _worker_main(conn, search_path: list[str]) -> None:
                 "raised",
                 RuntimeError(f"worker exception did not pickle: {exc!r}"),
                 pid,
+                info,
             )
-            _safe_send(conn, ("raised", exc, pid), fallback)
+            _safe_send(conn, ("raised", exc, pid, info), fallback)
             continue
-        _safe_send(conn, ("ok", value, pid), ("badresult", repr(value)[:200], pid))
+        if store_cfg is not None:
+            # Freeze large results into fresh segments (adopted by the
+            # coordinator) and trim the attachment cache to budget.
+            try:
+                value = worker_store.freeze(
+                    value, store_cfg["prefix"], store_cfg["threshold"], info
+                )
+            except Exception:  # noqa: BLE001 - fall back to pickling the value
+                pass
+            info["evicted"] = worker_store.prune(store_cfg["cache_bytes"])
+        _safe_send(conn, ("ok", value, pid, info), ("badresult", repr(value)[:200], pid, info))
 
 
 class _WorkerDied(Exception):
@@ -332,13 +376,25 @@ class WorkerPool:
         self.spawned = 0
         self.closed = False
 
-    def acquire(self) -> _Worker:
-        """An idle live worker, or a freshly spawned + warmed-up one."""
+    def acquire(self, prefer_pid: int | None = None) -> _Worker:
+        """An idle live worker, or a freshly spawned + warmed-up one.
+
+        ``prefer_pid`` is the locality hint: when that worker is idle
+        it is picked over the default LIFO choice, so a task lands on
+        the process already caching its input segments."""
         while True:
             with self._lock:
                 if self.closed:
                     raise RuntimeError("worker pool is shut down")
-                worker = self._idle.pop() if self._idle else None
+                worker = None
+                if prefer_pid is not None:
+                    for candidate in self._idle:
+                        if candidate.pid == prefer_pid:
+                            self._idle.remove(candidate)
+                            worker = candidate
+                            break
+                if worker is None and self._idle:
+                    worker = self._idle.pop()
             if worker is None:
                 break
             if worker.alive():
@@ -430,14 +486,24 @@ class ExecutorBackend:
 
     ``run`` receives the task's :class:`~repro.runtime.model.TaskSpec`
     and fully-resolved (future-free) arguments and returns
-    ``(result, pid)`` — the pid of the OS process that executed the
-    body, recorded in the trace.  ``kill_worker=True`` asks the backend
-    to simulate a worker crash for this call (the ``kill_worker`` fault
-    injector); every backend must surface it as
+    ``(result, pid, info)`` — the pid of the OS process that executed
+    the body (recorded in the trace) and a per-call data-plane
+    accounting dict (``bytes_moved``/``bytes_saved``/hit counters, or
+    ``None`` when no object store is attached).  ``kill_worker=True``
+    asks the backend to simulate a worker crash for this call (the
+    ``kill_worker`` fault injector); every backend must surface it as
     :class:`~repro.runtime.exceptions.NodeFailureError`.
+
+    ``handles_refs`` tells the engine whether arguments may contain
+    :class:`~repro.runtime.store.ObjectRef` handles: a backend that
+    does not handle them gets arguments dereferenced by the engine
+    before ``run``.
     """
 
     name = "abstract"
+    #: True when ``run`` accepts ObjectRef arguments (and may return
+    #: refs inside results).
+    handles_refs = False
 
     def run(
         self,
@@ -447,7 +513,7 @@ class ExecutorBackend:
         *,
         attempt: int = 0,
         kill_worker: bool = False,
-    ) -> tuple[Any, int]:
+    ) -> tuple[Any, int, dict | None]:
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -478,7 +544,7 @@ class ThreadBackend(ExecutorBackend):
             raise NodeFailureError(os.getpid(), task_name=spec.name, simulated=True)
         with self._lock:
             self._n_tasks += 1
-        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid()
+        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid(), None
 
     def stats(self) -> dict:
         with self._lock:
@@ -491,12 +557,26 @@ class ProcessPoolBackend(ExecutorBackend):
     ``max_workers`` bounds the calls in flight (a semaphore over the
     shared :class:`WorkerPool`); non-dispatchable calls fall back to an
     inline invocation with identical semantics (see the module
-    docstring for the rules)."""
+    docstring for the rules).  With an :class:`ObjectStore` attached
+    (``store=``), large array arguments and results travel by
+    reference through shared memory, and dispatch prefers the worker
+    already holding a task's input segments (``locality=True``)."""
 
     name = "processes"
 
-    def __init__(self, max_workers: int):
+    def __init__(
+        self,
+        max_workers: int,
+        store: ObjectStore | None = None,
+        locality: bool = True,
+    ):
         self.max_workers = max(1, int(max_workers))
+        self._store = store
+        self._locality = bool(locality) and store is not None
+        self.handles_refs = store is not None
+        #: Per-worker cache budget: same order as the coordinator store
+        #: (a worker never caches more than the store can hold).
+        self._worker_cache_bytes = store.capacity_bytes if store is not None else 0
         self._slots = threading.BoundedSemaphore(self.max_workers)
         self._lock = threading.Lock()
         self._counts = {
@@ -506,7 +586,20 @@ class ProcessPoolBackend(ExecutorBackend):
             "unresolvable": 0,
             "result_fallbacks": 0,
             "worker_crashes": 0,
+            # -- data-plane counters (all zero without a store) --------
+            "pipe_bytes_sent": 0,
+            "pipe_bytes_recv": 0,
+            "store_bytes_moved": 0,
+            "store_bytes_saved": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "locality_hits": 0,
+            "locality_misses": 0,
         }
+        #: Residency map: worker pid -> {segment name: nbytes} — which
+        #: worker caches which segments, fed by reply accounting and
+        #: consumed by the locality preference.  Guarded by ``_lock``.
+        self._residency: dict[int, dict[str, int]] = {}
         #: Cumulative seconds spent encoding requests and decoding
         #: replies on the coordinator side — the serialization share of
         #: dispatch overhead (``stats()["serialization_seconds"]``).
@@ -534,52 +627,175 @@ class ProcessPoolBackend(ExecutorBackend):
                 self._inline_only.add(id(spec))
         return ok
 
-    def _count(self, key: str) -> None:
+    def _count(self, key: str, n: int = 1) -> None:
         with self._lock:
-            self._counts[key] += 1
+            self._counts[key] += n
 
     def _run_inline(self, spec, args, kwargs, attempt, kill_worker):
         if kill_worker:
             raise NodeFailureError(os.getpid(), task_name=spec.name, simulated=True)
+        if self._store is not None:
+            # Fallback args may carry refs (future results live in the
+            # store); the inline body needs the concrete arrays.
+            args = self._store.deref(args)
+            kwargs = self._store.deref(kwargs)
         self._count("inline")
-        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid()
+        return _call_with_attempt(spec.func, args, kwargs, attempt), os.getpid(), None
+
+    # -- data plane -----------------------------------------------------
+    def _freeze_args(self, obj: Any, leases: list, segments: dict[str, int]) -> Any:
+        """Replace large arrays/known refs in *obj* with transport-
+        stamped refs.  Leases pin each object resident until the call
+        completes; *segments* collects the input segment sizes for the
+        locality preference."""
+        store = self._store
+        assert store is not None
+
+        def freeze(value: Any) -> Any:
+            if isinstance(value, ObjectRef):
+                segment = store.lease(value)
+                leases.append(value)
+                segments[segment] = value.nbytes
+                return dataclasses.replace(value, segment=segment)
+            if (
+                isinstance(value, np.ndarray)
+                and value.dtype != object
+                and value.nbytes >= store.threshold_bytes
+            ):
+                ref = store.put(value)
+                segment = store.lease(ref)
+                leases.append(ref)
+                segments[segment] = ref.nbytes
+                return dataclasses.replace(ref, segment=segment)
+            if isinstance(value, list):
+                return [freeze(v) for v in value]
+            if isinstance(value, tuple):
+                return tuple(freeze(v) for v in value)
+            if isinstance(value, dict):
+                return {k: freeze(v) for k, v in value.items()}
+            return value
+
+        return freeze(obj)
+
+    def _preferred_pid(self, segments: dict[str, int]) -> int | None:
+        """The worker caching the largest share of *segments*' bytes."""
+        if not self._locality or not segments:
+            return None
+        best_pid, best_bytes = None, 0
+        with self._lock:
+            for pid, cached in self._residency.items():
+                overlap = sum(nbytes for seg, nbytes in segments.items() if seg in cached)
+                if overlap > best_bytes:
+                    best_pid, best_bytes = pid, overlap
+        return best_pid
+
+    def _absorb_info(self, pid: int, info: dict | None) -> dict | None:
+        """Fold one reply's data-plane accounting into the counters,
+        the residency map and the store (adopting worker-created result
+        segments).  Returns the per-call summary for the trace."""
+        if info is None:
+            return None
+        store = self._store
+        created_bytes = 0
+        if store is not None:
+            for oid, segment, shape, dtype, nbytes in info.get("created", ()):
+                try:
+                    store.adopt(oid, segment, shape, dtype, nbytes)
+                    created_bytes += nbytes
+                except StoreError:
+                    pass  # store shut down mid-call: segment swept later
+        moved = info.get("moved_bytes", 0)
+        hit_bytes = info.get("hit_bytes", 0)
+        # "Saved" counts pickle-pipe bytes avoided: every by-ref input
+        # byte (whether freshly mapped or a cache hit) plus every
+        # worker-frozen result byte.  "Moved" is the subset that had to
+        # be mapped into the worker fresh — the locality miss cost.
+        saved = moved + hit_bytes + created_bytes
+        with self._lock:
+            self._counts["store_bytes_moved"] += moved
+            self._counts["store_bytes_saved"] += saved
+            self._counts["store_hits"] += len(info.get("hits", ()))
+            self._counts["store_misses"] += len(info.get("attached", ()))
+            cached = self._residency.setdefault(pid, {})
+            for _oid, segment, nbytes in info.get("attached", ()):
+                cached[segment] = nbytes
+            for _oid, segment, _shape, _dtype, nbytes in info.get("created", ()):
+                cached[segment] = nbytes
+            for segment in info.get("evicted", ()):
+                cached.pop(segment, None)
+        return {
+            "bytes_moved": moved,
+            "bytes_saved": saved,
+            "store_hits": len(info.get("hits", ())),
+            "store_misses": len(info.get("attached", ())),
+        }
 
     # -- execution ------------------------------------------------------
     def run(self, spec, args, kwargs, *, attempt=0, kill_worker=False):
         if not self._dispatchable(spec):
             return self._run_inline(spec, args, kwargs, attempt, kill_worker)
-        request = (
-            "run",
-            spec.func.__module__,
-            spec.func.__qualname__,
-            args,
-            kwargs,
-            attempt,
-            kill_worker,
-        )
-        t0 = time.perf_counter()
+        store = self._store
+        leases: list[ObjectRef] = []
+        segments: dict[str, int] = {}
+        store_cfg = None
         try:
-            frames = _encode(request)
-        except Exception:  # unpicklable argument: run where the data is
-            self._count("serialization_fallbacks")
-            return self._run_inline(spec, args, kwargs, attempt, kill_worker)
-        finally:
-            with self._lock:
-                self._serialization_seconds += time.perf_counter() - t0
-
-        with self._slots:
-            pool = get_worker_pool()
-            worker = pool.acquire()
-            pid = worker.pid or -1
+            if store is not None:
+                store_cfg = {
+                    "prefix": store.prefix,
+                    "threshold": store.threshold_bytes,
+                    "cache_bytes": self._worker_cache_bytes,
+                }
+                try:
+                    args = self._freeze_args(args, leases, segments)
+                    kwargs = self._freeze_args(kwargs, leases, segments)
+                except StoreError:
+                    # Unstorable argument (or store shut down): ship the
+                    # call the classic way, buffers over the pipe.
+                    store_cfg = None
+            request = (
+                "run",
+                spec.func.__module__,
+                spec.func.__qualname__,
+                args,
+                kwargs,
+                attempt,
+                kill_worker,
+                store_cfg,
+            )
+            t0 = time.perf_counter()
             try:
-                reply_frames = worker.call(frames)
-            except _WorkerDied as exc:
-                pool.discard(worker)
-                self._count("worker_crashes")
-                raise NodeFailureError(
-                    pid, task_name=spec.name, simulated=kill_worker
-                ) from exc
-            pool.release(worker)
+                frames = _encode(request)
+            except Exception:  # unpicklable argument: run where the data is
+                self._count("serialization_fallbacks")
+                return self._run_inline(spec, args, kwargs, attempt, kill_worker)
+            finally:
+                with self._lock:
+                    self._serialization_seconds += time.perf_counter() - t0
+
+            preferred = self._preferred_pid(segments)
+            with self._slots:
+                pool = get_worker_pool()
+                worker = pool.acquire(prefer_pid=preferred)
+                pid = worker.pid or -1
+                if preferred is not None:
+                    self._count("locality_hits" if pid == preferred else "locality_misses")
+                self._count("pipe_bytes_sent", sum(len(f) for f in frames))
+                try:
+                    reply_frames = worker.call(frames)
+                except _WorkerDied as exc:
+                    pool.discard(worker)
+                    self._count("worker_crashes")
+                    with self._lock:
+                        self._residency.pop(pid, None)
+                    raise NodeFailureError(
+                        pid, task_name=spec.name, simulated=kill_worker
+                    ) from exc
+                pool.release(worker)
+                self._count("pipe_bytes_recv", sum(len(f) for f in reply_frames))
+        finally:
+            if store is not None:
+                for ref in leases:
+                    store.unlease(ref)
 
         t0 = time.perf_counter()
         try:
@@ -593,14 +809,18 @@ class ProcessPoolBackend(ExecutorBackend):
             with self._lock:
                 self._serialization_seconds += time.perf_counter() - t0
         kind = reply[0]
+        info = self._absorb_info(pid, reply[3] if len(reply) > 3 else None)
         if kind == "ok":
             self._count("dispatched")
-            return reply[1], reply[2]
+            return reply[1], reply[2], info
         if kind == "raised":
             self._count("dispatched")
             error = reply[1]
             try:
                 error._repro_worker_pid = reply[2]
+                # the failed attempt's data-plane accounting: input
+                # segments were mapped before the body raised.
+                error._repro_dinfo = info
             except Exception:  # noqa: BLE001 - slots/immutable exceptions
                 pass
             raise error
@@ -630,19 +850,35 @@ class ProcessPoolBackend(ExecutorBackend):
         with self._lock:
             counts = dict(self._counts)
             serialization_seconds = self._serialization_seconds
-        return {
+        hits, misses = counts["store_hits"], counts["store_misses"]
+        out = {
             "backend": self.name,
             "max_workers": self.max_workers,
             "pool_workers": pool.n_workers if pool is not None else 0,
             "serialization_seconds": serialization_seconds,
+            "store_enabled": self._store is not None,
+            "store_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
             **counts,
         }
+        if self._store is not None:
+            for key, value in self._store.stats().items():
+                out[f"store_{key}"] = value
+        return out
 
 
-def create_backend(name: str, max_workers: int) -> ExecutorBackend:
-    """Instantiate the backend selected by ``RuntimeConfig.backend``."""
+def create_backend(
+    name: str,
+    max_workers: int,
+    store: ObjectStore | None = None,
+    locality: bool = True,
+) -> ExecutorBackend:
+    """Instantiate the backend selected by ``RuntimeConfig.backend``.
+
+    *store* attaches the shared-memory data plane (process backend
+    only; the thread backend shares the coordinator's address space and
+    needs no transport)."""
     if name == "threads":
         return ThreadBackend()
     if name == "processes":
-        return ProcessPoolBackend(max_workers)
+        return ProcessPoolBackend(max_workers, store=store, locality=locality)
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

@@ -17,11 +17,20 @@ Only the programming-model surface is mirrored — ``compss_wait_on``,
 ``compss_barrier``, ``compss_open`` and the delete helpers.  Decorator
 compatibility comes from :func:`repro.runtime.task` itself, which
 accepts the COMPSs-style ``returns=`` / direction keywords.
+
+``compss_wait_on`` and ``compss_delete_object`` are also the
+data-plane funnels of the old implicit-value API: values living in the
+shared-memory object store (:mod:`repro.runtime.store`) come back as
+arrays from ``compss_wait_on``, and ``compss_delete_object`` releases
+their store references.  The transitional ``put_object``/``get_object``
+helpers from the first store prototype are kept as deprecated shims
+over ``Runtime.put``/``Runtime.get``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, IO
 
 from repro.runtime import engine
@@ -33,6 +42,8 @@ __all__ = [
     "compss_open",
     "compss_delete_object",
     "compss_delete_file",
+    "put_object",
+    "get_object",
 ]
 
 
@@ -86,11 +97,48 @@ def compss_delete_object(*objs: Any) -> bool:
     """Drop runtime bookkeeping for *objs*.
 
     Dependency versions are tracked by object identity and garbage
-    collected with the objects themselves, so this is a no-op kept for
-    script compatibility.  Returns True like the PyCOMPSs binding.
+    collected with the objects themselves; what *is* released here are
+    shared-memory store references (:class:`~repro.runtime.store.ObjectRef`
+    handles, or futures resolved to them) — the last reference frees
+    the segment deterministically.  Returns True like the PyCOMPSs
+    binding.
     """
-    del objs
+    rt = engine.active_runtime()
+    if rt is not None:
+        for obj in objs:
+            rt.release(obj)
     return True
+
+
+def put_object(value: Any) -> Any:
+    """Deprecated shim of the first object-store prototype: use
+    ``Runtime.put`` (or keep passing arrays directly — the process
+    backend stores large ones automatically).  Outside a runtime the
+    value passes through unchanged."""
+    warnings.warn(
+        "put_object() is deprecated; use Runtime.put(value) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    rt = engine.active_runtime()
+    if rt is None:
+        return value
+    return rt.put(value)
+
+
+def get_object(obj: Any) -> Any:
+    """Deprecated shim of the first object-store prototype: use
+    ``Runtime.get`` / ``compss_wait_on``."""
+    warnings.warn(
+        "get_object() is deprecated; use Runtime.get(obj) or "
+        "compss_wait_on(obj) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    rt = engine.active_runtime()
+    if rt is None:
+        return resolve_futures(obj)
+    return rt.get(obj)
 
 
 def compss_delete_file(*paths: Any) -> bool:

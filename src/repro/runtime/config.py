@@ -31,6 +31,13 @@ Environment variables (all optional):
                           ``progress``, ``all``; comma-separated)
 ``REPRO_METRICS``         ``1``/``0`` — shorthand adding/removing the
                           ``metrics`` flag
+``REPRO_STORE``           ``auto`` | ``on`` | ``off`` — shared-memory
+                          object store (data plane; see
+                          :mod:`repro.runtime.store`)
+``REPRO_STORE_CAPACITY_MB``  shared-memory budget before LRU spill
+``REPRO_STORE_SPILL_DIR``    directory of the spill tier
+``REPRO_STORE_THRESHOLD_BYTES``  arrays below this size stay inline
+``REPRO_LOCALITY``        ``1``/``0`` — locality-aware dispatch
 ========================  =====================================
 """
 
@@ -44,6 +51,7 @@ from repro.runtime.failures import CANCEL_SUCCESSORS, validate_policy
 
 _EXECUTORS = ("threads", "sequential")
 _BACKENDS = ("threads", "processes")
+_STORE_MODES = ("auto", "on", "off")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,6 +104,25 @@ class RuntimeConfig:
     #: enables everything.  Lifecycle timestamps are always stamped;
     #: these flags only control bus subscribers.
     observability: str = ""
+    #: Shared-memory object store (:mod:`repro.runtime.store`):
+    #: ``"auto"`` (default) activates by-reference data passing when —
+    #: and only when — the process backend is selected, ``"on"``
+    #: forces it, ``"off"`` disables it.  ``Runtime.put``/``get`` work
+    #: in every mode (the store itself is created on first use); this
+    #: knob controls automatic by-ref transport in the backend.
+    store: str = "auto"
+    #: Shared-memory budget in MiB; the LRU tier spills the coldest
+    #: unpinned objects to ``store_spill_dir`` beyond it.
+    store_capacity_mb: float = 256.0
+    #: Spill directory (None = a per-store folder under the system
+    #: temp dir, removed at shutdown).
+    store_spill_dir: str | None = None
+    #: Arrays smaller than this stay on the classic pickle path — a
+    #: shared-memory round trip costs more than copying a tiny buffer.
+    store_threshold_bytes: int = 65536
+    #: Prefer dispatching a task to the worker process already caching
+    #: the largest share of its input bytes (process backend + store).
+    locality: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -115,6 +142,12 @@ class RuntimeConfig:
             raise ValueError("default_time_out must be > 0 seconds")
         if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
             raise ValueError("retry backoff values must be >= 0")
+        if self.store not in _STORE_MODES:
+            raise ValueError(f"unknown store mode {self.store!r}; expected one of {_STORE_MODES}")
+        if self.store_capacity_mb <= 0:
+            raise ValueError("store_capacity_mb must be > 0")
+        if self.store_threshold_bytes < 0:
+            raise ValueError("store_threshold_bytes must be >= 0")
         from repro.runtime.observability import parse_flags
 
         parse_flags(self.observability)  # raises ValueError on unknown flags
@@ -152,6 +185,11 @@ class RuntimeConfig:
         take("REPRO_CHECKPOINT_DIR", "checkpoint_dir", str)
         take("REPRO_DEBUG_INVARIANTS", "debug_invariants", _parse_bool)
         take("REPRO_OBSERVABILITY", "observability", str)
+        take("REPRO_STORE", "store", str)
+        take("REPRO_STORE_CAPACITY_MB", "store_capacity_mb", float)
+        take("REPRO_STORE_SPILL_DIR", "store_spill_dir", str)
+        take("REPRO_STORE_THRESHOLD_BYTES", "store_threshold_bytes", int)
+        take("REPRO_LOCALITY", "locality", _parse_bool)
         metrics_raw = env.get("REPRO_METRICS")
         if metrics_raw is not None and metrics_raw != "":
             try:

@@ -98,6 +98,7 @@ from repro.runtime.model import (
 )
 from repro.runtime import observability as obs
 from repro.runtime.registry import DataRegistry
+from repro.runtime.store import ObjectRef, ObjectStore, scan_refs
 from repro.runtime.tracing import (
     SchedulerCounters,
     TaskRecord,
@@ -240,7 +241,20 @@ class Runtime:
         #: (deterministic, nested tasks become DAG nodes), so backend
         #: selection only applies to the pooled executor.
         self.backend_name = cfg.backend if self.executor == "threads" else "threads"
-        self._backend = create_backend(self.backend_name, self.max_workers)
+        #: Shared-memory object store (:mod:`repro.runtime.store`).
+        #: Created lazily by the ``store`` property so runtimes that
+        #: never touch it pay nothing; created eagerly here when the
+        #: process backend passes data by reference (``store="auto"``
+        #: resolves to on exactly then).
+        self._store: ObjectStore | None = None
+        self._store_lock = threading.Lock()
+        ref_transport = cfg.store != "off" and self.backend_name == "processes"
+        self._backend = create_backend(
+            self.backend_name,
+            self.max_workers,
+            store=self.store if ref_transport else None,
+            locality=cfg.locality,
+        )
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
@@ -355,6 +369,11 @@ class Runtime:
             t.join(timeout=5.0)
         self._backend.shutdown()
         self.registry.clear()
+        # The store goes down after the backend: no call can be in
+        # flight anymore, so unlinking segments (and sweeping orphans
+        # left by crashed workers) is race-free.
+        if self._store is not None:
+            self._store.shutdown()
         if not was_shutdown and self._progress is not None:
             self._progress.close()
 
@@ -424,7 +443,14 @@ class Runtime:
             if self._metrics is not None
             else obs.empty_snapshot()
         )
-        return obs.merge_backend_stats(snap, self._backend.stats())
+        backend_stats = self._backend.stats()
+        snap = obs.merge_backend_stats(snap, backend_stats)
+        if self._store is not None and not backend_stats.get("store_enabled"):
+            # The backend does not carry the store (threads backend, or
+            # store transport off): fold its stats in directly so the
+            # exposition still covers the data plane.
+            snap = obs.merge_store_stats(snap, self._store.stats())
+        return snap
 
     def metrics_text(self) -> str:
         """The metrics snapshot as Prometheus text exposition."""
@@ -433,6 +459,72 @@ class Runtime:
     def save_metrics(self, path) -> None:
         """Atomically dump the metrics snapshot to *path* as JSON."""
         obs.save_metrics_json(self.metrics(), path)
+
+    # ------------------------------------------------------------------
+    # data plane (shared-memory object store)
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ObjectStore:
+        """The runtime's shared-memory object store
+        (:mod:`repro.runtime.store`), created on first use — a runtime
+        that never passes data by reference pays nothing for it."""
+        with self._store_lock:
+            if self._store is None:
+                cfg = self.config
+                self._store = ObjectStore(
+                    capacity_bytes=int(cfg.store_capacity_mb * 1024 * 1024),
+                    spill_dir=cfg.store_spill_dir,
+                    threshold_bytes=cfg.store_threshold_bytes,
+                )
+            return self._store
+
+    def put(self, value: Any) -> ObjectRef:
+        """Place *value* (a NumPy array, or anything ``np.asarray``
+        accepts except object dtype) in the object store and return its
+        :class:`~repro.runtime.store.ObjectRef`.
+
+        The ref is a tiny picklable handle accepted anywhere the value
+        itself would be: task arguments (workers read the buffer
+        zero-copy through shared memory instead of receiving a pickled
+        copy per call), ``Runtime.get``/``wait_on`` and the ``compat``
+        API.  Putting the *same array object* again is a dedup hit
+        returning the existing ref.  Call :meth:`release` when the
+        object is no longer needed; anything still stored is freed at
+        shutdown."""
+        return self.store.put(value)
+
+    def get(self, obj: Any, copy: bool = False) -> Any:
+        """Synchronise *obj* — futures wait and resolve, refs turn into
+        their stored arrays (read-only zero-copy views unless *copy*),
+        containers are rebuilt.  The ref-aware superset of
+        :meth:`wait_on`."""
+        futures = scan_futures(obj)
+        if futures:
+            self._help_until(lambda: all(f.done for f in futures))
+        out = resolve_futures(obj)
+        if self._store is not None and scan_refs(out):
+            out = self._store.deref(out, copy=copy)
+        return out
+
+    def release(self, obj: Any) -> int:
+        """Drop one reference on every ref reachable from *obj*
+        (including refs held by already-resolved futures in it) — the
+        COMPSs ``compss_delete_object`` analog.  The last drop frees
+        the shared-memory segment deterministically.  Returns the
+        number of refs released."""
+        store = self._store
+        if store is None:
+            return 0
+        refs = scan_refs(obj)
+        for fut in scan_futures(obj):
+            if fut.done:
+                try:
+                    refs.extend(scan_refs(fut.result()))
+                except Exception:  # noqa: BLE001 - failed futures hold no refs
+                    pass
+        for ref in refs:
+            store.release(ref)
+        return len(refs)
 
     # ------------------------------------------------------------------
     # submission & dependency detection
@@ -452,28 +544,13 @@ class Runtime:
         *label* is a legacy shortcut kept for the deprecated
         ``_task_label`` path.
         """
-        if self._shutdown:
-            raise RuntimeStateError("runtime has been shut down")
-        if self._aborted is not None:
-            raise WorkflowAbortedError(
-                "workflow aborted by an on_failure='FAIL' task"
-            ) from self._aborted
-
+        self._check_accepting()
         resolved = resolve_options(self.config, spec.options, options)
         effective_label = label if label is not None else resolved.label
-
-        scope = _current_scope()
-        if scope is None or scope.runtime is not self:
-            scope = self.root_scope
-        parent_id = scope.parent_task_id
+        scope = self._submission_scope()
 
         # -- phase 1 (no lock): argument scan ---------------------------
-        future_deps = [
-            fut.task_id
-            for fut in scan_futures((args, kwargs))
-            if fut._runtime_id == self.runtime_id
-        ]
-        bound = _bind_arguments(spec, args, kwargs)
+        future_deps, bound = self._scan_call(spec, args, kwargs)
 
         # -- phase 2 (dep lock): id allocation + registry pass ----------
         # The lock keeps registry write-chains ordered by task id; a
@@ -484,22 +561,179 @@ class Runtime:
         try:
             if contended:
                 self._counters.submit_contentions += 1
-            task_id = self._next_task_id
-            self._next_task_id += 1
-
-            deps: set[int] = set(future_deps)
-            # dependencies through mutated objects (INOUT/OUT).
-            for pname, value in bound.items():
-                direction = spec.directions.get(pname, Direction.IN)
-                for obj in _identity_candidates(value):
-                    writer = self.registry.last_writer(obj)
-                    if writer is not None and writer != task_id:
-                        deps.add(writer)
-                    if direction is not Direction.IN:
-                        self.registry.record_write(obj, task_id)
+            task_id, deps = self._detect_deps_locked(spec, bound, future_deps)
         finally:
             self._dep_lock.release()
 
+        inst = self._build_instance(
+            spec, args, kwargs, deps, scope, effective_label, resolved, task_id
+        )
+
+        # -- phases 3-5: signature, DAG node, registration --------------
+        restored_values, unresolved, upstream_failed = self._register(inst, scope)
+
+        if restored_values is not None:
+            # Replay from the checkpoint store: the task never runs (its
+            # inputs need not even exist), its futures resolve to the
+            # persisted outputs and the DAG records a "restored" node.
+            self._restore(inst, restored_values)
+        elif upstream_failed:
+            self._cancel_pending(inst)
+        elif self.executor == "sequential":
+            # Submission order is a topological order, so deps are done.
+            self._execute(inst)
+        elif unresolved == 0:
+            self._enqueue(inst)
+
+        return self._returns_of(inst)
+
+    def submit_many(self, calls: Iterable[Any]) -> list[Any]:
+        """Submit a batch of task invocations in one intake pass;
+        returns their futures (or ``None`` for no-return tasks) in call
+        order.
+
+        *calls* items are :class:`~repro.runtime.model.TaskCall`
+        objects (built with ``my_task.defer(...)``) or plain
+        ``(task, args)`` / ``(task, args, kwargs)`` tuples, where
+        *task* is a ``@task``-decorated function (or a raw
+        :class:`~repro.runtime.model.TaskSpec`).
+
+        The batch pays the submit-path locking once instead of once per
+        call: dependency detection for every call runs under a single
+        dependency-lock acquisition (ids are allocated contiguously, in
+        call order) and all immediately-ready tasks enter the scheduler
+        under one condition acquisition with one grouped wakeup.
+        Batch calls may depend on futures of *previously submitted*
+        tasks; futures of calls inside the same batch do not exist
+        until ``submit_many`` returns, so intra-batch edges can only
+        arise through INOUT object identity — which the ordered
+        registry pass resolves exactly like sequential submissions.
+        """
+        normalized = [self._normalize_call(call) for call in calls]
+        if not normalized:
+            return []
+        self._check_accepting()
+        scope = self._submission_scope()
+
+        # -- phase 1 (no lock), once per call ---------------------------
+        prepared = []
+        for spec, args, kwargs, options, label in normalized:
+            resolved = resolve_options(self.config, spec.options, options)
+            effective_label = label if label is not None else resolved.label
+            future_deps, bound = self._scan_call(spec, args, kwargs)
+            prepared.append(
+                (spec, args, kwargs, resolved, effective_label, future_deps, bound)
+            )
+
+        # -- phase 2: one dep-lock acquisition for the whole batch ------
+        contended = not self._dep_lock.acquire(blocking=False)
+        if contended:
+            self._dep_lock.acquire()
+        allocated: list[tuple[int, set[int]]] = []
+        try:
+            if contended:
+                self._counters.submit_contentions += 1
+            for spec, _args, _kwargs, _resolved, _label, future_deps, bound in prepared:
+                allocated.append(self._detect_deps_locked(spec, bound, future_deps))
+        finally:
+            self._dep_lock.release()
+
+        insts = [
+            self._build_instance(spec, args, kwargs, deps, scope, label, resolved, task_id)
+            for (spec, args, kwargs, resolved, label, _fd, _b), (task_id, deps) in zip(
+                prepared, allocated
+            )
+        ]
+
+        # -- phases 3-5 + dispatch, in call order -----------------------
+        ready_batch: list[TaskInstance] = []
+        for inst in insts:
+            restored_values, unresolved, upstream_failed = self._register(inst, scope)
+            if restored_values is not None:
+                self._restore(inst, restored_values)
+            elif upstream_failed:
+                self._cancel_pending(inst)
+            elif self.executor == "sequential":
+                # In-order inline execution: an entry's INOUT deps on
+                # earlier batch entries are already done when it runs.
+                self._execute(inst)
+            elif unresolved == 0:
+                ready_batch.append(inst)
+        self._enqueue_batch(ready_batch)
+
+        return [self._returns_of(inst) for inst in insts]
+
+    # -- submission helpers (shared by submit / submit_many) ------------
+    def _check_accepting(self) -> None:
+        if self._shutdown:
+            raise RuntimeStateError("runtime has been shut down")
+        if self._aborted is not None:
+            raise WorkflowAbortedError(
+                "workflow aborted by an on_failure='FAIL' task"
+            ) from self._aborted
+
+    def _submission_scope(self) -> "Scope":
+        scope = _current_scope()
+        if scope is None or scope.runtime is not self:
+            scope = self.root_scope
+        return scope
+
+    def _normalize_call(self, call: Any) -> tuple:
+        """Normalize one ``submit_many`` item to
+        ``(spec, args, kwargs, options, label)``."""
+        from repro.runtime.model import TaskCall
+
+        if isinstance(call, TaskCall):
+            return call.spec, call.args, dict(call.kwargs), call.options, call.label
+        if isinstance(call, tuple) and 2 <= len(call) <= 3:
+            task, args = call[0], tuple(call[1])
+            kwargs = dict(call[2]) if len(call) == 3 else {}
+            spec = getattr(task, "spec", task)
+            if isinstance(spec, TaskSpec):
+                return spec, args, kwargs, None, None
+        raise TypeError(
+            "submit_many() items must be TaskCall objects (task.defer(...)) "
+            f"or (task, args[, kwargs]) tuples, got {call!r}"
+        )
+
+    def _scan_call(self, spec: TaskSpec, args: tuple, kwargs: dict) -> tuple[list[int], dict]:
+        future_deps = [
+            fut.task_id
+            for fut in scan_futures((args, kwargs))
+            if fut._runtime_id == self.runtime_id
+        ]
+        return future_deps, _bind_arguments(spec, args, kwargs)
+
+    def _detect_deps_locked(
+        self, spec: TaskSpec, bound: dict, future_deps: list[int]
+    ) -> tuple[int, set[int]]:
+        """Allocate a task id and derive its dependency set (callers
+        hold ``_dep_lock``)."""
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        deps: set[int] = set(future_deps)
+        # dependencies through mutated objects (INOUT/OUT).
+        for pname, value in bound.items():
+            direction = spec.directions.get(pname, Direction.IN)
+            for obj in _identity_candidates(value):
+                writer = self.registry.last_writer(obj)
+                if writer is not None and writer != task_id:
+                    deps.add(writer)
+                if direction is not Direction.IN:
+                    self.registry.record_write(obj, task_id)
+        return task_id, deps
+
+    def _build_instance(
+        self,
+        spec: TaskSpec,
+        args: tuple,
+        kwargs: dict,
+        deps: set[int],
+        scope: "Scope",
+        label: str | None,
+        resolved,
+        task_id: int,
+    ) -> TaskInstance:
         futures = tuple(
             Future(task_id, i, self.runtime_id) for i in range(spec.returns)
         )
@@ -510,16 +744,24 @@ class Runtime:
             kwargs=kwargs,
             deps=frozenset(deps),
             futures=futures,
-            parent_id=parent_id,
-            label=effective_label,
+            parent_id=scope.parent_task_id,
+            label=label,
         )
         inst.options = resolved
         inst.t_submit = self._now()
+        return inst
+
+    def _register(self, inst: TaskInstance, scope: "Scope") -> tuple:
+        """Phases 3-5 of submission: checkpoint-signature lookup, DAG
+        node, state registration.  Returns ``(restored_values,
+        unresolved, upstream_failed)`` for the caller's dispatch
+        decision."""
+        spec, task_id, deps = inst.spec, inst.task_id, inst.deps
 
         # -- phase 3 (sig lock inside): checkpoint signature ------------
         restored_values: tuple | None = None
         if self.checkpoint_store is not None:
-            signature = self._task_signature(spec, args, kwargs, resolved)
+            signature = self._task_signature(spec, inst.args, inst.kwargs, inst.options)
             if signature is not None:
                 inst.signature = signature
                 with self._sig_lock:
@@ -535,7 +777,7 @@ class Runtime:
             task_id,
             spec.name,
             deps,
-            parent=parent_id,
+            parent=inst.parent_id,
             computing_units=spec.constraints.computing_units,
             gpus=spec.constraints.gpus,
         )
@@ -569,25 +811,14 @@ class Runtime:
             inst._remaining = unresolved
 
         self._emit(obs.SUBMITTED, inst, inst.t_submit)
+        return restored_values, unresolved, upstream_failed
 
-        if restored_values is not None:
-            # Replay from the checkpoint store: the task never runs (its
-            # inputs need not even exist), its futures resolve to the
-            # persisted outputs and the DAG records a "restored" node.
-            self._restore(inst, restored_values)
-        elif upstream_failed:
-            self._cancel_pending(inst)
-        elif self.executor == "sequential":
-            # Submission order is a topological order, so deps are done.
-            self._execute(inst)
-        elif unresolved == 0:
-            self._enqueue(inst)
-
-        if spec.returns == 0:
+    def _returns_of(self, inst: TaskInstance) -> Any:
+        if inst.spec.returns == 0:
             return None
-        if spec.returns == 1:
-            return futures[0]
-        return futures
+        if inst.spec.returns == 1:
+            return inst.futures[0]
+        return inst.futures
 
     # ------------------------------------------------------------------
     # checkpoint/restart
@@ -670,6 +901,25 @@ class Runtime:
             # baton on exit, see _help_until).
             self._counters.notifies += 1
             self._cond.notify()
+
+    def _enqueue_batch(self, insts: list[TaskInstance]) -> None:
+        """Enqueue a batch of ready tasks under one condition
+        acquisition, waking up to ``len(insts)`` parked threads with a
+        single grouped notify — the scheduler half of the
+        ``submit_many`` fast path."""
+        if not insts:
+            return
+        for inst in insts:
+            inst.t_ready = self._now()
+            self._set_state(inst, READY)
+            self._emit(obs.READY, inst, inst.t_ready)
+        with self._cond:
+            for inst in insts:
+                priority = inst.options.priority if inst.options is not None else 0
+                heapq.heappush(self._ready, (-priority, self._ready_seq, inst))
+                self._ready_seq += 1
+            self._counters.notifies += len(insts)
+            self._cond.notify(len(insts))
 
     def _pop_ready(self) -> TaskInstance | None:
         with self._cond:
@@ -802,10 +1052,21 @@ class Runtime:
         kill_worker = _worker_kill_hook(inst.name)
         args = resolve_futures(inst.args)
         kwargs = resolve_futures(inst.kwargs)
-        result, pid = self._backend.run(
+        store = self._store
+        if store is not None and not self._backend.handles_refs:
+            # Futures (or direct arguments) may resolve to ObjectRefs;
+            # an in-process backend needs the concrete arrays.
+            args = store.deref(args)
+            kwargs = store.deref(kwargs)
+        result, pid, dinfo = self._backend.run(
             inst.spec, args, kwargs, attempt=inst.attempt, kill_worker=kill_worker
         )
         inst.worker_pid = pid
+        if dinfo:
+            # Per-call data-plane accounting (bytes freshly mapped into
+            # the worker / pickle bytes avoided), for the trace record.
+            inst.bytes_moved = dinfo.get("bytes_moved", 0)
+            inst.bytes_saved = dinfo.get("bytes_saved", 0)
         # Nested tasks must complete before the parent is done.
         scope.wait_all()
         result = resolve_futures(result)
@@ -909,7 +1170,12 @@ class Runtime:
 
         if inst.signature is not None and self.checkpoint_store is not None:
             try:
-                self.checkpoint_store.put(inst.signature, inst.name, results)
+                to_write = results
+                if self._store is not None and scan_refs(results):
+                    # Checkpoints must outlive the store: persist the
+                    # arrays, not the shared-memory handles.
+                    to_write = self._store.deref(results)
+                self.checkpoint_store.put(inst.signature, inst.name, to_write)
                 with self._state_lock:
                     self._n_checkpoint_writes += 1
             except Exception as exc:  # noqa: BLE001 - checkpointing is best effort
@@ -971,6 +1237,8 @@ class Runtime:
                 status=status,
                 error=repr(error) if error is not None else None,
                 pid=inst.worker_pid,
+                bytes_moved=inst.bytes_moved,
+                bytes_saved=inst.bytes_saved,
             )
         )
 
@@ -988,6 +1256,13 @@ class Runtime:
         remote_pid = getattr(exc, "_repro_worker_pid", None)
         if remote_pid is not None:
             inst.worker_pid = remote_pid
+        # A worker exception still moved/attached input bytes before the
+        # body raised; stamp them so trace totals reconcile with the
+        # backend's cumulative counters even across failed attempts.
+        dinfo = getattr(exc, "_repro_dinfo", None)
+        if dinfo:
+            inst.bytes_moved = dinfo.get("bytes_moved", 0)
+            inst.bytes_saved = dinfo.get("bytes_saved", 0)
         if isinstance(exc, TaskTimeoutError):
             with self._state_lock:
                 self._n_timeouts += 1
@@ -1204,11 +1479,17 @@ class Runtime:
     # synchronisation & introspection
     # ------------------------------------------------------------------
     def wait_on(self, obj: Any) -> Any:
-        """Synchronise futures in *obj* (deeply) into concrete values."""
+        """Synchronise futures in *obj* (deeply) into concrete values.
+        Values that live in the object store come back as read-only
+        zero-copy views (:meth:`get` with ``copy=True`` returns
+        independent arrays)."""
         futures = scan_futures(obj)
         if futures:
             self._help_until(lambda: all(f.done for f in futures))
-        return resolve_futures(obj)
+        out = resolve_futures(obj)
+        if self._store is not None and scan_refs(out):
+            out = self._store.deref(out)
+        return out
 
     def barrier(self) -> None:
         """Wait until every task submitted from the current scope is
@@ -1280,6 +1561,8 @@ class Runtime:
             "invariant_violations": violations,
             "aborted": self._aborted is not None,
             "trace_enabled": self.config.collect_trace,
+            "store_mode": self.config.store,
+            "store": self._store.stats() if self._store is not None else None,
         }
 
     def check_invariants(self, quiesced: bool = False) -> list[str]:

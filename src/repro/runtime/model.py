@@ -90,6 +90,23 @@ class TaskSpec:
         return any(d is not Direction.IN for d in self.directions.values())
 
 
+@dataclasses.dataclass(frozen=True)
+class TaskCall:
+    """One deferred task invocation, for batch submission.
+
+    Built with ``my_task.defer(*args, **kwargs)`` (or
+    ``my_task.opts(...).defer(...)`` to carry call-site option
+    overrides) and handed to ``Runtime.submit_many``, which submits a
+    whole list under one intake pass.  Nothing runs at construction —
+    a ``TaskCall`` is just the frozen call site."""
+
+    spec: TaskSpec
+    args: tuple = ()
+    kwargs: dict = dataclasses.field(default_factory=dict)
+    options: TaskOptions | None = None
+    label: str | None = None
+
+
 class TaskInstance:
     """One submitted invocation of a task — a node of the DAG."""
 
@@ -116,6 +133,8 @@ class TaskInstance:
         "t_body_start",
         "t_end",
         "worker_name",
+        "bytes_moved",
+        "bytes_saved",
         "_remaining",
         "_lock",
         "_owner_scope",
@@ -169,6 +188,12 @@ class TaskInstance:
         self.t_end: float | None = None
         #: Name of the worker thread that claimed this attempt.
         self.worker_name: str | None = None
+        #: Data-plane accounting of this attempt (stamped by the engine
+        #: from the backend's per-call info): bytes freshly mapped into
+        #: the executing worker, and pickle-pipe bytes avoided by
+        #: passing shared-memory references instead of buffers.
+        self.bytes_moved = 0
+        self.bytes_saved = 0
         self._remaining = len(deps)
         self._lock = threading.Lock()
         #: True once a timed-out body thread was abandoned.

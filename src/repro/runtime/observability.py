@@ -425,6 +425,90 @@ def merge_backend_stats(snapshot: dict[str, Any], backend_stats: dict) -> dict[s
     return snapshot
 
 
+#: Store stats that are point-in-time occupancy, not monotonic counts.
+_STORE_GAUGES = frozenset(
+    {
+        "n_objects",
+        "n_resident",
+        "n_spilled",
+        "bytes_resident",
+        "bytes_spilled",
+        "capacity_bytes",
+    }
+)
+
+
+def merge_store_stats(snapshot: dict[str, Any], store_stats: dict) -> dict[str, Any]:
+    """Fold an :class:`~repro.runtime.store.ObjectStore`'s stats into
+    *snapshot* as ``repro_store_*`` series (puts/spills/reloads as
+    counters, occupancy as gauges), so one exposition covers the data
+    plane even when the backend does not carry the store itself."""
+    snapshot["store"] = dict(store_stats)
+    for key, value in sorted(store_stats.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in _STORE_GAUGES:
+            snapshot["gauges"].append(
+                {"name": f"repro_store_{key}", "labels": {}, "value": float(value)}
+            )
+        else:
+            snapshot["counters"].append(
+                {
+                    "name": f"repro_store_{key}_total",
+                    "labels": {},
+                    "value": float(value),
+                }
+            )
+    return snapshot
+
+
+def reconcile_store(runtime, trace: Trace | None = None) -> list[str]:
+    """Cross-check the data plane of a drained runtime: per-attempt
+    ``bytes_moved``/``bytes_saved`` in the trace must sum to the
+    backend's cumulative counters, and the derived hit rate must match
+    the raw hit/miss tallies.  Returns discrepancy descriptions (empty
+    = consistent).
+
+    Only meaningful after a clean drain with ``collect_trace=True`` and
+    no serialization/result fallbacks (an inline fallback re-run after
+    a worker attach legitimately leaves the attach uncounted in the
+    trace)."""
+    backend_stats = runtime.stats()["backend_stats"]
+    if not backend_stats.get("store_enabled"):
+        return ["no object store is attached to the backend"]
+    if not runtime.config.collect_trace:
+        return ["trace collection is disabled on this runtime"]
+    trace = trace if trace is not None else runtime.trace()
+    problems: list[str] = []
+    for attr, counter in (
+        ("total_bytes_moved", "store_bytes_moved"),
+        ("total_bytes_saved", "store_bytes_saved"),
+    ):
+        from_trace = getattr(trace, attr)
+        from_backend = backend_stats.get(counter, 0)
+        if from_trace != from_backend:
+            problems.append(
+                f"trace {attr} is {from_trace}, backend {counter} says {from_backend}"
+            )
+    hits = backend_stats.get("store_hits", 0)
+    misses = backend_stats.get("store_misses", 0)
+    rate = backend_stats.get("store_hit_rate", 0.0)
+    expected = hits / (hits + misses) if hits + misses else 0.0
+    if abs(rate - expected) > 1e-9:
+        problems.append(
+            f"store_hit_rate is {rate:g}, hits/misses say {expected:g}"
+        )
+    store_stats = runtime.stats().get("store")
+    if store_stats is not None:
+        if store_stats["n_objects"] != store_stats["n_resident"] + store_stats["n_spilled"]:
+            problems.append(
+                "store n_objects does not split into resident + spilled "
+                f"({store_stats['n_objects']} != {store_stats['n_resident']} "
+                f"+ {store_stats['n_spilled']})"
+            )
+    return problems
+
+
 def metric_value(
     snapshot: dict[str, Any], name: str, default: float | None = None, **labels: str
 ) -> float | None:

@@ -1,0 +1,741 @@
+"""Shared-memory object store — the runtime's data plane.
+
+``BENCH_backend.json`` showed the process backend losing to threads
+because every NumPy argument and result crossed a pickle pipe.  This
+module removes that copy: a plasma-style object store keeps immutable
+NumPy buffers in ``multiprocessing.shared_memory`` segments, keyed by
+small picklable :class:`ObjectRef` handles.  A ref crosses the pipe in
+~100 bytes; the worker maps the segment once and reads the array
+zero-copy.  Results travel the same way in reverse — the worker writes
+them into fresh segments and the coordinator *adopts* them, so a chain
+of tasks moves refs, never buffers.
+
+Components
+----------
+:class:`ObjectRef`
+    Immutable, picklable handle: object id, shape/dtype/nbytes, and the
+    shared-memory segment name at send time.
+:class:`ObjectStore`
+    The coordinator-side store.  Put-once/get-many semantics with
+    identity deduplication, refcounting with deterministic release,
+    pinning for in-flight transfers, an LRU spill-to-disk tier bounding
+    shared-memory use, and crash-safe cleanup: every segment carries a
+    per-store name prefix, and ``shutdown()`` unlinks tracked segments
+    *and* sweeps ``/dev/shm`` for orphans with the same prefix (left
+    behind by a coordinator that died before cleanup).
+:class:`WorkerStore`
+    The worker-process side: attaches coordinator segments into a
+    bounded cache (cache hit = the locality win the scheduler aims
+    for), hands task bodies read-only zero-copy views, and freezes
+    large results into new segments for the coordinator to adopt.
+
+Mutability contract
+-------------------
+Stored buffers are immutable (COMPSs ``IN`` semantics): views handed
+out by ``get``/``deref`` are read-only.  A task that mutates an input
+array in place must declare it ``INOUT`` — which keeps it on the
+inline path, outside the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import uuid
+import weakref
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ObjectRef", "ObjectStore", "WorkerStore", "StoreError"]
+
+#: Arrays below this many bytes travel inline (pickled) by default —
+#: a shared-memory round trip costs more than copying a small buffer.
+DEFAULT_THRESHOLD_BYTES = 64 * 1024
+
+#: Default shared-memory budget before the LRU tier spills to disk.
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+class StoreError(RuntimeError):
+    """Raised for invalid store operations (unknown/released object,
+    unstorable value, use after shutdown)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectRef:
+    """Handle of one immutable array in an :class:`ObjectStore`.
+
+    Refs are small and picklable — they are what crosses task
+    submission, futures and worker pipes in place of the buffer.
+    ``segment`` names the shared-memory segment holding the bytes *at
+    the time the ref was stamped for transport*; the store may move an
+    object (spill + reload) so the authoritative location is always the
+    store's table, looked up by ``object_id``.
+    """
+
+    object_id: str
+    shape: tuple
+    dtype: str
+    nbytes: int
+    segment: str | None = None
+
+    def __hash__(self) -> int:
+        return hash(self.object_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ObjectRef) and other.object_id == self.object_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObjectRef {self.object_id} {self.dtype}{list(self.shape)} {self.nbytes}B>"
+
+
+def is_ref(obj: Any) -> bool:
+    """True if *obj* is an :class:`ObjectRef`."""
+    return isinstance(obj, ObjectRef)
+
+
+def scan_refs(obj: Any) -> list[ObjectRef]:
+    """Collect refs reachable from *obj* (same container conventions as
+    :func:`repro.runtime.future.scan_futures`: lists, tuples, dict
+    values)."""
+    found: list[ObjectRef] = []
+    _scan(obj, found)
+    return found
+
+
+def _scan(obj: Any, out: list[ObjectRef]) -> None:
+    if isinstance(obj, ObjectRef):
+        out.append(obj)
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            _scan(item, out)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            _scan(item, out)
+
+
+def _map_tree(obj: Any, fn) -> Any:
+    """Rebuild *obj* with ``fn`` applied to every :class:`ObjectRef`
+    (container conventions of ``resolve_futures``)."""
+    if isinstance(obj, ObjectRef):
+        return fn(obj)
+    if isinstance(obj, list):
+        return [_map_tree(v, fn) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(_map_tree(v, fn) for v in obj)
+    if isinstance(obj, dict):
+        return {k: _map_tree(v, fn) for k, v in obj.items()}
+    return obj
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach *shm* from the resource tracker.
+
+    The store owns segment lifetimes explicitly (unlink on release,
+    shutdown sweep); the tracker would otherwise unlink them a second
+    time at interpreter exit and print spurious leak warnings."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # noqa: BLE001 - cleanup hygiene only, never fatal
+        pass
+
+
+def _unlink(shm: shared_memory.SharedMemory) -> None:
+    """Unlink *shm*'s segment without tracker noise.
+
+    On Python < 3.13 ``unlink()`` unconditionally sends an *unregister*
+    to the resource tracker — but the store already unregistered at
+    creation/attach (see :func:`_untrack`), so the tracker would log a
+    spurious ``KeyError``.  Re-register first to keep the ledger
+    balanced.  3.13+ instances know their own tracking state and
+    ``unlink()`` does the right thing either way."""
+    if getattr(shm, "_track", None) is None:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # noqa: BLE001 - cleanup hygiene only
+            pass
+    shm.unlink()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without registering it anywhere."""
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+    return shm
+
+
+def _view(shm: shared_memory.SharedMemory, shape: tuple, dtype: str) -> np.ndarray:
+    arr: np.ndarray = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    arr.flags.writeable = False
+    return arr
+
+
+def _detach_or_close(shm: shared_memory.SharedMemory, views: list) -> None:
+    """Drop our handle on *shm* without invalidating live views.
+
+    ``np.ndarray(buffer=...)`` keeps a reference to the underlying mmap
+    (``arr.base``) but *not* a PEP-3118 buffer export, so
+    ``SharedMemory.close()`` happily unmaps under a live view and the
+    next read segfaults.  *views* holds weakrefs to every view this
+    handle produced: if any is still alive we detach instead of
+    closing — release the memoryview, close the fd, and forget the mmap
+    without unmapping it.  The surviving views keep the mmap alive via
+    ``.base`` and the memory is reclaimed when the last one dies (the
+    caller already unlinked the *name*, so nothing persists)."""
+    if any(ref() is not None for ref in views):
+        try:
+            if shm._buf is not None:  # type: ignore[attr-defined]
+                shm._buf.release()  # type: ignore[attr-defined]
+        except BufferError:  # a raw memoryview export also survives
+            pass
+        shm._buf = None  # type: ignore[attr-defined]
+        shm._mmap = None  # type: ignore[attr-defined]
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+            shm._fd = -1  # type: ignore[attr-defined]
+    else:
+        shm.close()
+
+
+class _Entry:
+    """Coordinator-side record of one stored object."""
+
+    __slots__ = (
+        "object_id",
+        "shape",
+        "dtype",
+        "nbytes",
+        "shm",
+        "segment",
+        "spill_path",
+        "refcount",
+        "pins",
+        "clock",
+        "views",
+    )
+
+    def __init__(self, object_id: str, shape: tuple, dtype: str, nbytes: int):
+        self.object_id = object_id
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+        self.shm: shared_memory.SharedMemory | None = None
+        self.segment: str | None = None
+        self.spill_path: Path | None = None
+        #: Weakrefs to zero-copy views handed out against the *current*
+        #: segment — consulted before unmapping (see _detach_or_close).
+        self.views: list = []
+        self.refcount = 1
+        #: In-flight transfer pins: a pinned entry is neither spilled
+        #: nor freed, even at refcount zero (freed on last unpin).
+        self.pins = 0
+        self.clock = 0  # LRU timestamp (store-global counter)
+
+    @property
+    def resident(self) -> bool:
+        return self.shm is not None
+
+
+class ObjectStore:
+    """Coordinator-side shared-memory object store.
+
+    One per :class:`~repro.runtime.engine.Runtime` (created lazily, or
+    eagerly when the process backend passes data by reference).  All
+    methods are thread-safe — task submission and completion touch the
+    store from many scheduler threads.
+    """
+
+    _seq = 0
+    _seq_lock = threading.Lock()
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        spill_dir: str | os.PathLike | None = None,
+        threshold_bytes: int = DEFAULT_THRESHOLD_BYTES,
+    ):
+        with ObjectStore._seq_lock:
+            ObjectStore._seq += 1
+            seq = ObjectStore._seq
+        #: Every segment this store (or a worker serving it) creates
+        #: starts with this prefix — the handle for crash-safe orphan
+        #: sweeps.  pid + instance counter + random tag keeps prefixes
+        #: unique across processes and store generations.
+        self.prefix = f"rs{os.getpid():x}g{seq:x}{uuid.uuid4().hex[:6]}"
+        self.capacity_bytes = int(capacity_bytes)
+        self.threshold_bytes = int(threshold_bytes)
+        self._spill_dir_setting = spill_dir
+        self._spill_dir: Path | None = None
+        self._entries: dict[str, _Entry] = {}
+        #: id(array) -> (weakref to array, object_id): the put-once
+        #: dedup cache (ten tasks sharing one block put it once).
+        self._dedup: dict[int, tuple[Any, str]] = {}
+        self._lock = threading.RLock()
+        self._clock = 0
+        self._next_oid = 0
+        self.closed = False
+        self._stats = {
+            "puts": 0,
+            "put_bytes": 0,
+            "dedup_hits": 0,
+            "gets": 0,
+            "adopted": 0,
+            "adopted_bytes": 0,
+            "releases": 0,
+            "spills": 0,
+            "spill_bytes": 0,
+            "reloads": 0,
+            "reload_bytes": 0,
+            "orphans_swept": 0,
+        }
+
+    # -- internals ------------------------------------------------------
+    def _tick(self, entry: _Entry) -> None:
+        self._clock += 1
+        entry.clock = self._clock
+
+    def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        self._next_oid += 1
+        name = f"{self.prefix}c{self._next_oid:x}"
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes), name=name)
+        _untrack(shm)
+        return shm
+
+    def _resident_bytes_locked(self) -> int:
+        return sum(e.nbytes for e in self._entries.values() if e.resident)
+
+    def _spill_root(self) -> Path:
+        if self._spill_dir is None:
+            if self._spill_dir_setting is not None:
+                root = Path(self._spill_dir_setting)
+            else:
+                import tempfile
+
+                root = Path(tempfile.gettempdir())
+            self._spill_dir = root / f"repro-store-{self.prefix}"
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir
+
+    def _spill_locked(self, entry: _Entry) -> None:
+        assert entry.shm is not None and entry.segment is not None
+        path = self._spill_root() / f"{entry.object_id}.bin"
+        with open(path, "wb") as fh:
+            fh.write(entry.shm.buf)
+        entry.spill_path = path
+        _unlink(entry.shm)
+        _detach_or_close(entry.shm, entry.views)
+        entry.shm = None
+        entry.segment = None
+        entry.views = []  # old-segment views keep their own mapping alive
+        self._stats["spills"] += 1
+        self._stats["spill_bytes"] += entry.nbytes
+
+    def _reload_locked(self, entry: _Entry) -> None:
+        assert entry.spill_path is not None
+        self._ensure_capacity_locked(entry.nbytes)
+        shm = self._new_segment(entry.nbytes)
+        with open(entry.spill_path, "rb") as fh:
+            fh.readinto(shm.buf)
+        entry.spill_path.unlink(missing_ok=True)
+        entry.spill_path = None
+        entry.shm = shm
+        entry.segment = shm.name
+        self._stats["reloads"] += 1
+        self._stats["reload_bytes"] += entry.nbytes
+
+    def _ensure_capacity_locked(self, incoming: int) -> None:
+        """Spill LRU unpinned residents until *incoming* bytes fit.
+        When nothing is evictable the store runs over budget rather
+        than failing — capacity is a target, not a hard wall."""
+        while self._resident_bytes_locked() + incoming > self.capacity_bytes:
+            victims = [e for e in self._entries.values() if e.resident and e.pins == 0]
+            if not victims:
+                return
+            self._spill_locked(min(victims, key=lambda e: e.clock))
+
+    def _entry(self, ref: ObjectRef | str) -> _Entry:
+        oid = ref.object_id if isinstance(ref, ObjectRef) else ref
+        entry = self._entries.get(oid)
+        if entry is None:
+            if self.closed:
+                raise StoreError(f"object store is shut down (lookup of {oid})")
+            raise StoreError(f"unknown or released object {oid}")
+        return entry
+
+    def _free_locked(self, entry: _Entry) -> None:
+        self._entries.pop(entry.object_id, None)
+        stale = [key for key, (_, oid) in self._dedup.items() if oid == entry.object_id]
+        for key in stale:
+            del self._dedup[key]
+        if entry.shm is not None:
+            _unlink(entry.shm)
+            _detach_or_close(entry.shm, entry.views)
+            entry.shm = None
+            entry.segment = None
+            entry.views = []
+        if entry.spill_path is not None:
+            entry.spill_path.unlink(missing_ok=True)
+            entry.spill_path = None
+        self._stats["releases"] += 1
+
+    def _maybe_free_locked(self, entry: _Entry) -> None:
+        if entry.refcount <= 0 and entry.pins == 0:
+            self._free_locked(entry)
+
+    # -- public API -----------------------------------------------------
+    def put(self, value: Any) -> ObjectRef:
+        """Store *value* (anything ``np.asarray`` accepts, object dtype
+        excluded) and return its ref.  Putting the *same array object*
+        again is a dedup hit returning the existing ref without copying
+        — put-once/get-many."""
+        if self.closed:
+            raise StoreError("object store is shut down")
+        if isinstance(value, ObjectRef):
+            return value
+        arr = np.asarray(value)
+        if arr.dtype == object:
+            raise StoreError("cannot store object-dtype arrays (no stable byte layout)")
+        with self._lock:
+            cached = self._dedup.get(id(value)) if isinstance(value, np.ndarray) else None
+            if cached is not None:
+                wr, oid = cached
+                if wr() is value and oid in self._entries:
+                    self._stats["dedup_hits"] += 1
+                    entry = self._entries[oid]
+                    self._tick(entry)
+                    return self._ref_of(entry)
+                del self._dedup[id(value)]
+            contiguous = np.ascontiguousarray(arr)
+            nbytes = int(contiguous.nbytes)
+            self._ensure_capacity_locked(nbytes)
+            shm = self._new_segment(nbytes)
+            if nbytes:
+                dst: np.ndarray = np.ndarray(
+                    contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf
+                )
+                np.copyto(dst, contiguous)
+            oid = f"{self.prefix}o{self._next_oid:x}"
+            entry = _Entry(oid, tuple(contiguous.shape), contiguous.dtype.str, nbytes)
+            entry.shm = shm
+            entry.segment = shm.name
+            self._entries[oid] = entry
+            self._tick(entry)
+            if isinstance(value, np.ndarray):
+                try:
+                    self._dedup[id(value)] = (weakref.ref(value), oid)
+                except TypeError:
+                    pass
+            self._stats["puts"] += 1
+            self._stats["put_bytes"] += nbytes
+            return self._ref_of(entry)
+
+    def lookup(self, value: Any) -> ObjectRef | None:
+        """The existing ref of *value* if it was put before (dedup
+        cache hit), else None — never copies."""
+        if not isinstance(value, np.ndarray):
+            return None
+        with self._lock:
+            cached = self._dedup.get(id(value))
+            if cached is None:
+                return None
+            wr, oid = cached
+            if wr() is value and oid in self._entries:
+                return self._ref_of(self._entries[oid])
+            return None
+
+    def _ref_of(self, entry: _Entry) -> ObjectRef:
+        return ObjectRef(
+            object_id=entry.object_id,
+            shape=entry.shape,
+            dtype=entry.dtype,
+            nbytes=entry.nbytes,
+            segment=entry.segment,
+        )
+
+    def get(self, ref: ObjectRef | str, copy: bool = False) -> np.ndarray:
+        """The stored array — a read-only zero-copy view by default
+        (valid until the object is released or evicted; pass
+        ``copy=True`` for an independent array)."""
+        with self._lock:
+            entry = self._entry(ref)
+            if not entry.resident:
+                self._reload_locked(entry)
+            self._tick(entry)
+            self._stats["gets"] += 1
+            assert entry.shm is not None
+            view = _view(entry.shm, entry.shape, entry.dtype)
+            if copy:
+                return view.copy()
+            entry.views.append(weakref.ref(view))
+            if len(entry.views) > 32:  # shed dead weakrefs
+                entry.views = [r for r in entry.views if r() is not None]
+            return view
+
+    def adopt(self, object_id: str, segment: str, shape: tuple, dtype: str, nbytes: int) -> ObjectRef:
+        """Take ownership of a segment created elsewhere (a worker's
+        frozen task result): attach it and track it like a local put."""
+        if self.closed:
+            raise StoreError("object store is shut down")
+        with self._lock:
+            if object_id in self._entries:  # duplicate adopt: idempotent
+                return self._ref_of(self._entries[object_id])
+            self._ensure_capacity_locked(nbytes)
+            entry = _Entry(object_id, tuple(shape), dtype, int(nbytes))
+            entry.shm = _attach(segment)
+            entry.segment = segment
+            self._entries[object_id] = entry
+            self._tick(entry)
+            self._stats["adopted"] += 1
+            self._stats["adopted_bytes"] += int(nbytes)
+            return self._ref_of(entry)
+
+    def lease(self, ref: ObjectRef | str) -> str:
+        """Pin *ref* for an in-flight transfer and return the segment
+        name holding its bytes (reloading a spilled object first).
+        Every lease must be matched by :meth:`unlease`."""
+        with self._lock:
+            entry = self._entry(ref)
+            if not entry.resident:
+                self._reload_locked(entry)
+            entry.pins += 1
+            self._tick(entry)
+            assert entry.segment is not None
+            return entry.segment
+
+    def unlease(self, ref: ObjectRef | str) -> None:
+        with self._lock:
+            entry = self._entries.get(ref.object_id if isinstance(ref, ObjectRef) else ref)
+            if entry is None:
+                return
+            entry.pins = max(0, entry.pins - 1)
+            self._maybe_free_locked(entry)
+
+    def incref(self, ref: ObjectRef | str) -> None:
+        with self._lock:
+            self._entry(ref).refcount += 1
+
+    def decref(self, ref: ObjectRef | str) -> None:
+        """Drop one reference; the last drop releases deterministically
+        (segment unlinked, spill file removed, dedup entry purged)."""
+        with self._lock:
+            entry = self._entries.get(ref.object_id if isinstance(ref, ObjectRef) else ref)
+            if entry is None:
+                return
+            entry.refcount -= 1
+            self._maybe_free_locked(entry)
+
+    release = decref
+
+    def refcount(self, ref: ObjectRef | str) -> int:
+        """Current refcount (0 = released/unknown)."""
+        with self._lock:
+            oid = ref.object_id if isinstance(ref, ObjectRef) else ref
+            entry = self._entries.get(oid)
+            return entry.refcount if entry is not None else 0
+
+    def __contains__(self, ref: object) -> bool:
+        if not isinstance(ref, (ObjectRef, str)):
+            return False
+        with self._lock:
+            oid = ref.object_id if isinstance(ref, ObjectRef) else ref
+            return oid in self._entries
+
+    def deref(self, obj: Any, copy: bool = False) -> Any:
+        """Deep-replace every ref in *obj* with its array (read-only
+        views unless *copy*), rebuilding containers like
+        ``resolve_futures``."""
+        return _map_tree(obj, lambda ref: self.get(ref, copy=copy))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            resident = [e for e in self._entries.values() if e.resident]
+            spilled = [e for e in self._entries.values() if not e.resident]
+            out = dict(self._stats)
+            out.update(
+                n_objects=len(self._entries),
+                n_resident=len(resident),
+                n_spilled=len(spilled),
+                bytes_resident=sum(e.nbytes for e in resident),
+                bytes_spilled=sum(e.nbytes for e in spilled),
+                capacity_bytes=self.capacity_bytes,
+            )
+            return out
+
+    # -- shutdown / crash safety ---------------------------------------
+    def shutdown(self) -> None:
+        """Release every object, then sweep ``/dev/shm`` for leftover
+        segments carrying this store's prefix — segments created by
+        workers that crashed after creating but before the coordinator
+        adopted them.  Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            for entry in list(self._entries.values()):
+                self._free_locked(entry)
+            self._entries.clear()
+            self._dedup.clear()
+            self._stats["orphans_swept"] += self._sweep_orphans()
+            if self._spill_dir is not None:
+                try:
+                    for leftover in self._spill_dir.glob("*.bin"):
+                        leftover.unlink(missing_ok=True)
+                    self._spill_dir.rmdir()
+                except OSError:
+                    pass
+
+    def _sweep_orphans(self) -> int:
+        shm_root = Path("/dev/shm")
+        if not shm_root.is_dir():  # non-Linux: nothing to sweep
+            return 0
+        swept = 0
+        for path in shm_root.glob(f"{self.prefix}*"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        return swept
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.shutdown()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+class WorkerStore:
+    """Per-worker segment cache and result freezer.
+
+    Lives inside a worker process (:func:`repro.runtime.backends._worker_main`).
+    ``thaw`` maps incoming refs to read-only views — a cached segment is
+    a *locality hit* (zero bytes moved); a fresh attach counts its bytes
+    as moved.  ``freeze`` writes large results into new segments (named
+    under the coordinator store's prefix, so a crash before adoption is
+    swept up by the coordinator) and returns refs in their place.
+    """
+
+    def __init__(self) -> None:
+        #: segment name -> (shm, nbytes, view weakrefs); insertion-ordered
+        #: for LRU.  The weakrefs guard prune() against unmapping under a
+        #: view a task body still holds (see _detach_or_close).
+        self._cache: dict[str, tuple[shared_memory.SharedMemory, int, list]] = {}
+        self._created = 0
+
+    def thaw(self, obj: Any, info: dict) -> Any:
+        """Replace refs in *obj* with read-only views of their
+        segments, recording hit/moved bytes into *info*."""
+
+        def deref(ref: ObjectRef) -> np.ndarray:
+            if ref.segment is None:
+                raise StoreError(f"ref {ref.object_id} arrived without a segment name")
+            cached = self._cache.get(ref.segment)
+            if cached is not None:
+                shm, _, views = cached
+                # refresh LRU position
+                self._cache[ref.segment] = self._cache.pop(ref.segment)
+                info["hit_bytes"] += ref.nbytes
+                info["hits"].append(ref.object_id)
+            else:
+                shm = _attach(ref.segment)
+                views = []
+                self._cache[ref.segment] = (shm, ref.nbytes, views)
+                info["moved_bytes"] += ref.nbytes
+                info["attached"].append((ref.object_id, ref.segment, ref.nbytes))
+            view = _view(shm, ref.shape, ref.dtype)
+            views.append(weakref.ref(view))
+            return view
+
+        return _map_tree(obj, deref)
+
+    def freeze(self, obj: Any, prefix: str, threshold: int, info: dict) -> Any:
+        """Replace large arrays in *obj* (result tree) with refs to
+        fresh segments; ``info["created"]`` tells the coordinator what
+        to adopt."""
+
+        def maybe_freeze(value: Any) -> Any:
+            if isinstance(value, np.ndarray) and value.dtype != object and value.nbytes >= threshold:
+                contiguous = np.ascontiguousarray(value)
+                self._created += 1
+                name = f"{prefix}w{os.getpid():x}n{self._created:x}"
+                shm = shared_memory.SharedMemory(create=True, size=max(1, contiguous.nbytes), name=name)
+                _untrack(shm)
+                dst: np.ndarray = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf)
+                np.copyto(dst, contiguous)
+                oid = f"{name}-r"
+                ref = ObjectRef(
+                    object_id=oid,
+                    shape=tuple(contiguous.shape),
+                    dtype=contiguous.dtype.str,
+                    nbytes=int(contiguous.nbytes),
+                    segment=name,
+                )
+                # The result stays cached here too: a downstream task
+                # dispatched to this worker reads it without a remap.
+                self._cache[name] = (shm, ref.nbytes, [])
+                info["created"].append(
+                    (oid, name, ref.shape, ref.dtype, ref.nbytes)
+                )
+                return ref
+            return value
+
+        if isinstance(obj, np.ndarray):
+            return maybe_freeze(obj)
+        if isinstance(obj, list):
+            return [self.freeze(v, prefix, threshold, info) for v in obj]
+        if isinstance(obj, tuple):
+            return tuple(self.freeze(v, prefix, threshold, info) for v in obj)
+        if isinstance(obj, dict):
+            return {k: self.freeze(v, prefix, threshold, info) for k, v in obj.items()}
+        return maybe_freeze(obj)
+
+    def prune(self, cap_bytes: int) -> list[str]:
+        """Evict least-recently-used cached segments until the cache
+        fits *cap_bytes*; returns the evicted segment names (reported
+        to the coordinator so its residency map stays honest)."""
+        evicted: list[str] = []
+        total = sum(nbytes for _, nbytes, _ in self._cache.values())
+        for segment in list(self._cache):
+            if total <= cap_bytes:
+                break
+            shm, nbytes, views = self._cache.pop(segment)
+            _detach_or_close(shm, views)
+            total -= nbytes
+            evicted.append(segment)
+        return evicted
+
+    @staticmethod
+    def new_info() -> dict:
+        return {
+            "moved_bytes": 0,
+            "hit_bytes": 0,
+            "saved_bytes": 0,
+            "hits": [],
+            "attached": [],
+            "created": [],
+            "evicted": [],
+        }

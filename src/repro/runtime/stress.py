@@ -21,6 +21,13 @@ a task body), or a shutdown race.  A run fails on any of:
   quiesced: empty ready queue, zero unfinished, every task terminal
   (``Runtime.check_invariants(quiesced=True)``).
 
+``--store`` mixes shared-memory data-plane traffic into every seed:
+ndarray tasks whose blocks travel through the object store (some via
+``Runtime.put``, some stored automatically by the process backend),
+verified bit-exactly against a reference interpretation, with
+store/trace byte accounting reconciled after every cleanly-drained
+seed (:func:`~repro.runtime.observability.reconcile_store`).
+
 Run it via ``python -m repro stress`` or ``make stress``.
 """
 
@@ -35,6 +42,8 @@ import threading
 import time
 import traceback
 from typing import Any
+
+import numpy as np
 
 from repro.runtime.backends import current_attempt
 from repro.runtime.config import RuntimeConfig
@@ -94,6 +103,19 @@ def _nested_sum(values):
 @task(box=INOUT)
 def _bump(box, by):
     box.value += by
+
+
+@task(returns=1)
+def _scale(block, k):
+    """Exact ndarray op for the store mode: integer-valued float blocks
+    times integer scalars stay bit-exact, so results can be compared
+    with ``np.array_equal`` across process boundaries."""
+    return block * k
+
+
+@task(returns=1)
+def _block_sum(a, b):
+    return a + b
 
 
 @task(returns=1)
@@ -158,6 +180,7 @@ def _run_scenario(
     workers: int,
     backend: str = "threads",
     observability: str = "",
+    store: bool = False,
 ) -> StressReport:
     t0 = time.perf_counter()
     rng = random.Random(seed)
@@ -173,14 +196,19 @@ def _run_scenario(
         debug_invariants=True,
         retry_backoff=0.0005,
         retry_backoff_cap=0.002,
-        collect_trace=False,
+        # The store reconciliation needs the trace's byte totals.
+        collect_trace=store,
         observability=observability,
+        store="on" if store else "auto",
+        store_threshold_bytes=4096 if store else 65536,
     )
     rt = Runtime(config=cfg)
     push_runtime(rt)
 
     #: (future, expected value) for every verifiable submission.
     tracked: list[tuple[Any, int]] = []
+    #: (future/ref, expected ndarray) for store-mode array submissions.
+    tracked_arrays: list[tuple[Any, np.ndarray]] = []
     tracked_lock = threading.Lock()
     box = _Box()
     box_expected = 0
@@ -194,8 +222,33 @@ def _run_scenario(
         value = rng.randint(-50, 50)
         return value, value
 
+    def submit_array_op() -> None:
+        """Store-mode traffic: integer-valued float blocks (bit-exact
+        under scaling/addition) flowing through the shared-memory data
+        plane — some pre-seeded with ``Runtime.put``, some stored
+        automatically by the backend when dispatched."""
+        with tracked_lock:
+            reuse = tracked_arrays and rng.random() < 0.5
+            if reuse:
+                a, av = tracked_arrays[rng.randrange(len(tracked_arrays))]
+        if not reuse:
+            av = np.full((32, 32), float(rng.randint(-9, 9)))
+            a = rt.put(av) if rng.random() < 0.5 else av
+        roll = rng.random()
+        if roll < 0.5:
+            k = rng.randint(2, 5)
+            fut, expected = _scale(a, k), av * k
+        else:
+            bv = np.full((32, 32), float(rng.randint(-9, 9)))
+            fut, expected = _block_sum(a, bv), av + bv
+        with tracked_lock:
+            tracked_arrays.append((fut, expected))
+
     def submit_one(i: int) -> None:
         nonlocal box_expected
+        if store and rng.random() < 0.30:
+            submit_array_op()
+            return
         roll = rng.random()
         if roll < 0.45:
             (a, av), (b, bv) = pick_operand(), pick_operand()
@@ -249,6 +302,20 @@ def _run_scenario(
                 f"INOUT box ended at {box.value}, expected {box_expected}"
             )
 
+    def verify_arrays() -> None:
+        """Check store-mode array results bit-exactly.  Must run before
+        ``rt.shutdown`` — shutdown tears the shared-memory store down,
+        after which outstanding refs are deliberately dead."""
+        with tracked_lock:
+            snapshot = list(tracked_arrays)
+        for fut, expected in snapshot:
+            got = rt.get(fut)
+            if not (isinstance(got, np.ndarray) and np.array_equal(got, expected)):
+                problems.append(
+                    f"store-mode array result diverged: got {got!r:.80}, "
+                    f"expected fill {expected.flat[0]!r}"
+                )
+
     def barging_waiters(n: int) -> list[threading.Thread]:
         """Concurrent threads synchronising random futures while the
         pool is still churning — the waiter/worker race.  Each thread's
@@ -296,6 +363,7 @@ def _run_scenario(
                 t.join()
             rt.barrier()
             verify_values()
+            verify_arrays()
             clean_drain = True
 
         elif mode == "abort":
@@ -340,6 +408,11 @@ def _run_scenario(
                 submit_one(i)
             for t in waiters:
                 t.join()
+            if store:
+                # Array refs die with the store at shutdown; check them
+                # first (plain values below still survive shutdown).
+                rt.barrier()
+                verify_arrays()
             rt.shutdown(wait=True)
             verify_values()
             try:
@@ -361,6 +434,12 @@ def _run_scenario(
         from repro.runtime.observability import reconcile
 
         problems.extend(reconcile(rt))
+    if clean_drain and store and backend == "processes":
+        # Data-plane byte accounting must agree between the backend
+        # counters and the per-task trace records on a clean drain.
+        from repro.runtime.observability import reconcile_store
+
+        problems.extend(reconcile_store(rt))
     if mode in ("mixed", "shutdown"):
         rt.shutdown(wait=False)
 
@@ -384,6 +463,7 @@ def run_seed(
     timeout: float = 60.0,
     backend: str = "threads",
     observability: str = "",
+    store: bool = False,
 ) -> StressReport:
     """Run one seed under a hang watchdog.
 
@@ -396,7 +476,7 @@ def run_seed(
     def target() -> None:
         try:
             outcome["report"] = _run_scenario(
-                seed, n_ops, workers, backend, observability
+                seed, n_ops, workers, backend, observability, store
             )
         except BaseException as exc:  # noqa: BLE001 - relayed to the report
             outcome["error"] = exc
@@ -438,6 +518,7 @@ def run_suite(
     verbose: bool = True,
     backend: str = "threads",
     observability: str = "",
+    store: bool = False,
 ) -> list[StressReport]:
     reports = []
     for seed in seeds:
@@ -448,6 +529,7 @@ def run_suite(
             timeout=timeout,
             backend=backend,
             observability=observability,
+            store=store,
         )
         reports.append(report)
         if verbose:
@@ -487,6 +569,13 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the metrics registry and reconcile it against "
         "stats() after every cleanly-drained seed",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="mix shared-memory data-plane traffic (ndarray tasks, "
+        "Runtime.put) into every seed and reconcile the store byte "
+        "accounting on clean drains",
+    )
     args = parser.parse_args(argv)
 
     seeds = args.seed if args.seed else range(args.seeds)
@@ -497,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         timeout=args.timeout,
         backend=args.backend,
         observability="metrics" if args.metrics else "",
+        store=args.store,
     )
     failed = [r for r in reports if not r.ok]
     print(

@@ -39,7 +39,7 @@ from repro.runtime.directions import Direction, coerce_direction
 from repro.runtime.exceptions import TaskDefinitionError
 from repro.runtime.failures import IGNORE, TaskOptions, _UNSET
 from repro.runtime.future import resolve_futures
-from repro.runtime.model import Constraints, TaskSpec
+from repro.runtime.model import Constraints, TaskCall, TaskSpec
 
 #: Reserved decorator keywords (everything else is a parameter direction).
 _RESERVED = {
@@ -265,11 +265,23 @@ def task(
             def bound(*args: Any, **kwargs: Any):
                 return invoke(args, kwargs, call_options)
 
+            def bound_defer(*args: Any, **kwargs: Any) -> TaskCall:
+                return TaskCall(spec, args, kwargs, options=call_options)
+
             bound.options = call_options  # type: ignore[attr-defined]
+            bound.spec = spec  # type: ignore[attr-defined]
+            bound.defer = bound_defer  # type: ignore[attr-defined]
             return bound
+
+        def defer(*args: Any, **kwargs: Any) -> TaskCall:
+            """Capture this call as a :class:`TaskCall` for
+            ``Runtime.submit_many`` — nothing runs until the batch is
+            submitted."""
+            return TaskCall(spec, args, kwargs)
 
         wrapper.spec = spec  # type: ignore[attr-defined]
         wrapper.opts = opts  # type: ignore[attr-defined]
+        wrapper.defer = defer  # type: ignore[attr-defined]
         wrapper.__wrapped__ = func
         return wrapper
 

@@ -36,6 +36,9 @@ def estimate_nbytes(obj: Any) -> int:
         return sum(estimate_nbytes(v) for v in obj)
     if isinstance(obj, dict):
         return sum(estimate_nbytes(v) for v in obj.values())
+    nbytes = getattr(obj, "nbytes", None)  # ObjectRef carries its size
+    if isinstance(nbytes, int):
+        return nbytes
     return 64
 
 
@@ -140,6 +143,12 @@ class TaskRecord:
     t_dispatch: float | None = None
     #: Name of the worker thread that drove this attempt.
     worker: str | None = None
+    #: Data-plane accounting (zero in traces recorded without the
+    #: shared-memory store): bytes freshly mapped into the executing
+    #: worker process, and pickle-pipe bytes avoided by passing
+    #: references instead of buffers.
+    bytes_moved: int = 0
+    bytes_saved: int = 0
 
     @property
     def duration(self) -> float:
@@ -249,6 +258,16 @@ class Trace:
     def n_executed(self) -> int:
         """Attempts whose body actually ran (everything but restored)."""
         return sum(1 for r in self._records.values() if r.status != "restored")
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """Bytes freshly mapped into worker processes (data plane)."""
+        return sum(r.bytes_moved for r in self._records.values())
+
+    @property
+    def total_bytes_saved(self) -> int:
+        """Pickle-pipe bytes avoided by reference passing (data plane)."""
+        return sum(r.bytes_saved for r in self._records.values())
 
     def mean_duration(self, name: str) -> float:
         recs = [r for r in self if r.name == name]

@@ -110,6 +110,34 @@ def test_trace_export_per_worker_and_per_pid_lanes():
     assert len(process_names) == 2
 
 
+def test_trace_export_data_plane_counter_lane():
+    tr = Trace(
+        [
+            TaskRecord(task_id=0, name="a", deps=(), t_start=0.0, t_end=1.0,
+                       bytes_moved=100, bytes_saved=400),
+            TaskRecord(task_id=1, name="b", deps=(0,), t_start=1.0, t_end=2.0,
+                       bytes_moved=50, bytes_saved=200),
+        ]
+    )
+    events = validate_chrome_json(trace_to_chrome(tr))
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == 2
+    # the series is cumulative and ordered by task end time
+    assert counters[0]["args"] == {"moved": 100, "saved": 400}
+    assert counters[1]["args"] == {"moved": 150, "saved": 600}
+    assert counters[0]["ts"] <= counters[1]["ts"]
+    # per-task byte accounting also lands on the span args
+    xs = {e["name"].split("#")[0]: e for e in events if e["ph"] == "X"}
+    assert xs["a"]["args"]["bytes_moved"] == 100
+    assert xs["b"]["args"]["bytes_saved"] == 200
+
+
+def test_trace_export_without_data_plane_has_no_counter_lane():
+    tr = Trace([TaskRecord(task_id=0, name="a", deps=(), t_start=0.0, t_end=1.0)])
+    events = validate_chrome_json(trace_to_chrome(tr))
+    assert not [e for e in events if e["ph"] == "C"]
+
+
 def test_validate_chrome_json_rejects_malformed():
     import pytest
 

@@ -196,6 +196,27 @@ def test_getitem_errors():
         a[:, ::2]
 
 
+def test_persist_moves_blocks_into_store(rng):
+    from repro.runtime import RuntimeConfig, is_ref
+
+    x = rng.standard_normal((12, 8))
+    cfg = RuntimeConfig(executor="threads", store_threshold_bytes=64)
+    with Runtime(config=cfg) as rt:
+        a = ds.array(x, (5, 4)).persist()
+        assert all(is_ref(b) for row in a.blocks for b in row)
+        assert rt.store.n_objects == 6
+        np.testing.assert_allclose(a.collect(), x)
+        doubled = a.map_blocks(lambda b: b * 2)
+        np.testing.assert_allclose(doubled.collect(), x * 2)
+
+
+def test_persist_is_noop_outside_runtime(rng):
+    x = rng.standard_normal((4, 4))
+    a = ds.array(x, (2, 2)).persist()
+    assert all(isinstance(b, np.ndarray) for row in a.blocks for b in row)
+    np.testing.assert_allclose(a.collect(), x)
+
+
 def test_stripe_access(runtime_mode, rng):
     x = rng.standard_normal((10, 6))
     a = ds.array(x, (4, 2))

@@ -110,8 +110,9 @@ def test_backend_from_env():
 def test_thread_backend_runs_in_coordinator():
     backend = ThreadBackend()
     spec = _probe.spec
-    (pid, attempt, x), run_pid = backend.run(spec, (7,), {}, attempt=2)
+    (pid, attempt, x), run_pid, info = backend.run(spec, (7,), {}, attempt=2)
     assert pid == run_pid == os.getpid()
+    assert info is None
     assert attempt == 2
     assert x == 7
     assert backend.stats()["tasks_run"] == 1

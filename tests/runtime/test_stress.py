@@ -35,6 +35,23 @@ def test_run_suite_reports_every_seed():
     assert all(r.ok for r in reports), [r.problems for r in reports]
 
 
+@pytest.mark.parametrize("seed", [0, 3])
+def test_stress_store_mode_passes(seed):
+    """Store-mode seeds mix shared-memory array traffic into the
+    schedule and verify results bit-exactly."""
+    report = run_seed(seed, n_ops=40, workers=2, timeout=60.0, store=True)
+    assert report.ok, "\n".join(report.problems)
+
+
+def test_stress_store_mode_reconciles_on_processes():
+    """A mixed-mode seed on the process backend drains cleanly and the
+    store byte accounting reconciles against the trace."""
+    report = run_seed(
+        0, n_ops=40, workers=2, timeout=120.0, backend="processes", store=True
+    )
+    assert report.ok, "\n".join(report.problems)
+
+
 def test_same_seed_same_schedule():
     """The generated schedule is a pure function of the seed: two runs
     submit the same task graph (thread interleaving varies, outcomes

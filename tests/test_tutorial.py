@@ -84,3 +84,29 @@ def test_clone_and_params_work():
     model = RidgeRegression(lam=2.5)
     clone = model.clone()
     assert clone.lam == 2.5 and clone is not model
+
+
+@task(returns=1)
+def normalize(block):
+    return (block - block.mean()) / block.std()
+
+
+def test_data_plane_walkthrough():
+    """Section 6: put/refs/submit_many/release on the process backend."""
+    from repro.runtime import RuntimeConfig
+
+    cfg = RuntimeConfig(
+        backend="processes", max_workers=2, store_threshold_bytes=1024
+    )
+    with Runtime(config=cfg) as rt:
+        x = np.random.default_rng(0).normal(size=(256, 16))
+        ref = rt.put(x)
+        futs = [normalize(ref) for _ in range(3)]
+        futs += rt.submit_many([normalize.defer(ref) for _ in range(3)])
+        results = wait_on(futs)
+        rt.release(ref)
+        stats = rt.stats()["backend_stats"]
+    expected = (x - x.mean()) / x.std()
+    for got in results:
+        np.testing.assert_array_equal(got, expected)
+    assert stats["store_bytes_saved"] > 0
