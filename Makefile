@@ -1,4 +1,4 @@
-.PHONY: check lint test inventory resilience stress obs backend dataplane
+.PHONY: check lint test inventory resilience stress obs backend dataplane service
 
 check:
 	bash scripts/check.sh
@@ -26,3 +26,6 @@ backend:
 
 dataplane:
 	bash scripts/check.sh dataplane
+
+service:
+	bash scripts/check.sh service

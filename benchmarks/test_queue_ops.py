@@ -1,0 +1,156 @@
+"""Durable-queue operation microbenchmarks.
+
+The queue service's hot path is three sqlite transactions per task:
+``submit`` (client), ``claim`` (worker lease acquisition, fair-share
+selection), ``complete`` (result recording + lease release).  Each is
+one fsync-bounded WAL commit, so per-op latency is dominated by the
+durability the service exists to provide — these benchmarks pin the
+cost down and fail loudly if an op regresses past a generous bound.
+
+Results are written to ``BENCH_queue.json`` at the repository root so
+successive PRs can compare runs (see CHANGES.md for the history).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+import pytest
+
+from repro.service.db import Database
+from repro.service.queue import DurableQueue
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_queue.json"
+
+N_OPS = 200
+WARMUP = 20
+# Generous per-op ceiling: a single WAL commit on a loaded CI box.
+# Steady state is well under a millisecond; this catches order-of-
+# magnitude regressions (per-op table scans, lost indexes), not noise.
+MAX_MEDIAN_MS = 20.0
+
+_metrics: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_file():
+    """Persist every metric recorded this session to BENCH_queue.json."""
+    yield
+    if not _metrics:
+        return
+    from repro.runtime import atomic_write
+
+    payload = {
+        "bench": "queue_ops",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_ops": N_OPS,
+            "warmup_discarded": WARMUP,
+            "max_median_ms": MAX_MEDIAN_MS,
+        },
+        "metrics": _metrics,
+    }
+    atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(name: str, samples_ms: list[float]) -> None:
+    _metrics[name] = {
+        "unit": "ms/op",
+        "median": statistics.median(samples_ms),
+        "p90": sorted(samples_ms)[int(len(samples_ms) * 0.9)],
+        "min": min(samples_ms),
+        "max": max(samples_ms),
+        "n": len(samples_ms),
+    }
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    db = Database(tmp_path / "queue.db")
+    q = DurableQueue(db)
+    yield q
+    db.close()
+
+
+def _submit(queue: DurableQueue, i: int, tenant: str = "bench") -> int:
+    return queue.submit(
+        tenant=tenant,
+        name="noop",
+        module="repro.service.demo",
+        qualname="add",
+        payload=b"x" * 64,
+        signature=f"sig-{tenant}-{i}",
+        priority=i % 5,
+    )
+
+
+def test_submit_latency(queue):
+    samples = []
+    for i in range(WARMUP + N_OPS):
+        t0 = time.perf_counter()
+        _submit(queue, i)
+        if i >= WARMUP:
+            samples.append((time.perf_counter() - t0) * 1e3)
+    _record("submit", samples)
+    assert statistics.median(samples) < MAX_MEDIAN_MS
+
+
+def test_claim_latency(queue):
+    # Spread the backlog over tenants so claim exercises the
+    # fair-share selection it actually runs in production.
+    for i in range(WARMUP + N_OPS):
+        _submit(queue, i, tenant=f"t{i % 4}")
+    samples = []
+    for i in range(WARMUP + N_OPS):
+        t0 = time.perf_counter()
+        claim = queue.claim(worker="bench/w0", server="bench", lease_timeout=60.0)
+        if i >= WARMUP:
+            samples.append((time.perf_counter() - t0) * 1e3)
+        assert claim is not None
+    _record("claim", samples)
+    assert statistics.median(samples) < MAX_MEDIAN_MS
+
+
+def test_complete_latency(queue):
+    claims = []
+    for i in range(WARMUP + N_OPS):
+        _submit(queue, i)
+        claims.append(queue.claim(worker="bench/w0", server="bench", lease_timeout=60.0))
+    samples = []
+    for i, claim in enumerate(claims):
+        t0 = time.perf_counter()
+        outcome = queue.complete(
+            claim.id,
+            claim.signature,
+            payload=b"r" * 64,
+            worker="bench/w0",
+            attempt=claim.attempt,
+        )
+        if i >= WARMUP:
+            samples.append((time.perf_counter() - t0) * 1e3)
+        assert outcome == "recorded"
+    _record("complete", samples)
+    assert statistics.median(samples) < MAX_MEDIAN_MS
+
+
+def test_end_to_end_cycle(queue):
+    """submit → claim → complete round-trips per second, one worker."""
+    t0 = time.perf_counter()
+    for i in range(N_OPS):
+        task_id = _submit(queue, i, tenant="cycle")
+        claim = queue.claim(worker="bench/w0", server="bench", lease_timeout=60.0)
+        assert claim is not None and claim.id == task_id
+        queue.complete(
+            claim.id, claim.signature, payload=b"", worker="bench/w0", attempt=0
+        )
+    wall = time.perf_counter() - t0
+    _metrics["cycle"] = {
+        "unit": "ops/s",
+        "ops_per_s": N_OPS / wall,
+        "wall_s": wall,
+        "n": N_OPS,
+    }

@@ -38,6 +38,11 @@ BENCH_FILE = REPO_ROOT / "BENCH_scheduler.json"
 N_FLOOD = 2000
 N_CHAIN = 400
 REPEATS = 5
+# Discarded warm-up iterations before the timed repeats.  The first
+# run or two of each shape pays one-time costs (bytecode warm-up,
+# allocator growth, thread-pool spin-up) that showed up as 69/148 µs
+# outliers against a 44-48 µs steady state and distorted medians.
+WARMUP = 2
 
 _metrics: dict[str, dict] = {}
 
@@ -53,7 +58,12 @@ def _write_bench_file():
     payload = {
         "bench": "scheduler_hot_path",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "params": {"n_flood": N_FLOOD, "n_chain": N_CHAIN, "repeats": REPEATS},
+        "params": {
+            "n_flood": N_FLOOD,
+            "n_chain": N_CHAIN,
+            "repeats": REPEATS,
+            "warmup_discarded": WARMUP,
+        },
         "metrics": _metrics,
     }
     atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -64,16 +74,19 @@ def _noop(x):
     return x
 
 
-def _timed(fn, repeats: int = REPEATS) -> list[float]:
+def _timed(fn, repeats: int = REPEATS, warmup: int = WARMUP) -> list[float]:
+    """Time *repeats* runs of *fn*, discarding *warmup* runs first."""
     samples = []
-    for _ in range(repeats):
+    for i in range(warmup + repeats):
         t0 = time.perf_counter()
         fn()
-        samples.append(time.perf_counter() - t0)
+        if i >= warmup:
+            samples.append(time.perf_counter() - t0)
     return samples
 
 
 def _record(name: str, **fields) -> None:
+    fields.setdefault("warmup_discarded", WARMUP)
     _metrics[name] = fields
 
 
@@ -81,14 +94,15 @@ def test_submit_latency_threads():
     """Per-submission cost under the threads executor, pool draining
     concurrently with the submitting thread."""
     per_submit_us = []
-    for _ in range(REPEATS):
+    for i in range(WARMUP + REPEATS):
         with Runtime(executor="threads", max_workers=4):
             t0 = time.perf_counter()
             futs = [_noop(i) for i in range(N_FLOOD)]
             t1 = time.perf_counter()
             out = wait_on(futs)
         assert out == list(range(N_FLOOD))
-        per_submit_us.append((t1 - t0) / N_FLOOD * 1e6)
+        if i >= WARMUP:
+            per_submit_us.append((t1 - t0) / N_FLOOD * 1e6)
     _record(
         "submit_latency_threads",
         unit="us/task",
@@ -130,13 +144,14 @@ def test_many_small_tasks_throughput():
 def test_submit_latency_sequential():
     """Per-task cost of the sequential executor (submission == run)."""
     per_task_us = []
-    for _ in range(REPEATS):
+    for i in range(WARMUP + REPEATS):
         with Runtime(executor="sequential"):
             t0 = time.perf_counter()
             out = wait_on([_noop(i) for i in range(N_FLOOD)])
             dt = time.perf_counter() - t0
         assert len(out) == N_FLOOD
-        per_task_us.append(dt / N_FLOOD * 1e6)
+        if i >= WARMUP:
+            per_task_us.append(dt / N_FLOOD * 1e6)
     _record(
         "submit_latency_sequential",
         unit="us/task",
@@ -150,7 +165,7 @@ def test_dependency_chain_latency():
     """Per-edge scheduling latency: a serial chain leaves no
     parallelism, so the wake-up path *is* the cost."""
     per_edge_us = []
-    for _ in range(REPEATS):
+    for i in range(WARMUP + REPEATS):
         with Runtime(executor="threads", max_workers=2):
             t0 = time.perf_counter()
             f = _noop(0)
@@ -158,7 +173,8 @@ def test_dependency_chain_latency():
                 f = _noop(f)
             assert wait_on(f) == 0
             dt = time.perf_counter() - t0
-        per_edge_us.append(dt / N_CHAIN * 1e6)
+        if i >= WARMUP:
+            per_edge_us.append(dt / N_CHAIN * 1e6)
     _record(
         "dependency_chain",
         unit="us/edge",

@@ -11,6 +11,7 @@
 #   scripts/check.sh backend     tier-1 + stress under REPRO_BACKEND=processes
 #   scripts/check.sh obs         observability smoke (metrics/trace exports)
 #   scripts/check.sh dataplane   store tests + store-mode stress + pipe-bytes bench
+#   scripts/check.sh service     queue-service chaos smoke + queue-op latency bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,6 +83,19 @@ run_dataplane() {
     PYTHONPATH=src python -m pytest benchmarks/test_dataplane.py -x -q
 }
 
+run_service() {
+    # The durable queue service: unit/lifecycle tests, the kill-9
+    # crash-recovery + lease-expiry chaos smoke (zero lost tasks, zero
+    # duplicate side effects), and the queue-op latency benchmark
+    # (writes BENCH_queue.json, asserts submit/claim/complete medians).
+    echo "== queue service tests =="
+    PYTHONPATH=src python -m pytest tests/service -x -q
+    echo "== service chaos smoke (kill -9 recovery + lease expiry) =="
+    PYTHONPATH=src python scripts/service_smoke.py
+    echo "== queue-op latency benchmark =="
+    PYTHONPATH=src python -m pytest benchmarks/test_queue_ops.py -x -q
+}
+
 case "$mode" in
     lint)       run_lint ;;
     test)       run_tests ;;
@@ -91,6 +105,7 @@ case "$mode" in
     backend)    run_backend ;;
     obs)        run_obs ;;
     dataplane)  run_dataplane ;;
-    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend; run_dataplane ;;
-    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane]" >&2; exit 2 ;;
+    service)    run_service ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend; run_dataplane; run_service ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane|service]" >&2; exit 2 ;;
 esac

@@ -53,6 +53,7 @@ EXTRA_COVERAGE = {
     "runtime/future.py": "tests/runtime/test_task_basic.py",
     "runtime/provenance.py": "tests/runtime/test_checkpoint_resume.py",
     "runtime/registry.py": "tests/runtime/test_directions.py",
+    "service/demo.py": "tests/service/test_worker.py",
 }
 
 

@@ -25,6 +25,15 @@ Commands:
   chrome://tracing export (per-worker lanes, dependency flow arrows,
   retry/restore markers), or the longest duration-weighted dependency
   chain.
+* ``serve --data-dir DIR`` — run the durable task-queue service
+  (:mod:`repro.service`): cold-start recovery, worker leases with
+  heartbeats, SIGTERM drain.  ``--until-idle`` exits once the queue is
+  empty (the crash-recovery smoke uses this).
+* ``submit --data-dir DIR pkg.module:function [args...]`` — enqueue a
+  task on a service's queue (JSON-parsed arguments) and optionally
+  ``--wait`` for its result.
+* ``queue status|list|cancel|reprioritize|tenant|provenance --data-dir
+  DIR`` — inspect and steer a service's queue.
 """
 
 from __future__ import annotations
@@ -306,6 +315,179 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_spec(spec: str):
+    """``kind:task:n[:extra]`` → a :mod:`repro.runtime.faults` rule.
+
+    Kinds: ``kill_worker`` (NodeFailureError before the body runs),
+    ``fail`` (body raises), ``delay`` (extra stalls the body that many
+    seconds).  *n* is the 1-based execution ordinal to hit.
+    """
+    from repro.runtime import faults
+
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise argparse.ArgumentTypeError(
+            f"fault spec must look like kind:task:n, got {spec!r}"
+        )
+    kind, task, nth = parts[0], parts[1], parts[2]
+    try:
+        executions = [int(nth)]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad execution ordinal in {spec!r}") from exc
+    if kind == "kill_worker":
+        return faults.kill_worker(task, *executions)
+    if kind == "fail":
+        return faults.fail_nth(task, *executions)
+    if kind == "delay":
+        seconds = float(parts[3]) if len(parts) > 3 else 0.2
+        return faults.delay_nth(task, *executions, seconds=seconds)
+    raise argparse.ArgumentTypeError(
+        f"unknown fault kind {kind!r} (want kill_worker|fail|delay)"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.runtime import faults
+    from repro.service import QueueService, ServiceConfig
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        workers=args.workers,
+        backend=args.backend,
+        lease_timeout=args.lease_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_interval=args.poll_interval,
+        sweep_interval=args.sweep_interval,
+        default_max_retries=args.max_retries,
+        jitter_seed=args.seed,
+    )
+    service = QueueService(config)
+    with contextlib.ExitStack() as stack:
+        if args.inject:
+            rules = [_parse_fault_spec(spec) for spec in args.inject]
+            stack.enter_context(faults.inject(*rules, seed=args.seed))
+        service.start()
+        recovery = service.recovery
+        service.install_signal_handlers()
+        print(
+            f"serving {args.data_dir} as {service.server_id} "
+            f"(workers={args.workers}, backend={args.backend}, "
+            f"lease={args.lease_timeout:g}s); recovered "
+            f"{len(recovery['requeued_tasks'])} leased tasks, swept "
+            f"{recovery['swept_segment_files']} orphan segment files "
+            f"from {len(recovery['swept_prefixes'])} dead prefixes",
+            flush=True,
+        )
+        service.serve_forever(until_idle=args.until_idle)
+    print("drained cleanly", flush=True)
+    return 0
+
+
+def _json_value(text: str):
+    """CLI arguments are JSON when they parse, bare strings otherwise
+    (so ``repro submit ... 3 '"3"' hello`` means int, str, str)."""
+    import json
+
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceTaskError
+
+    kwargs = {}
+    for item in args.kwarg or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(f"--kwarg wants NAME=JSON, got {item!r}", file=sys.stderr)
+            return 2
+        kwargs[key] = _json_value(value)
+    with ServiceClient(args.data_dir) as client:
+        try:
+            task_id = client.submit(
+                args.fn,
+                *[_json_value(v) for v in args.args],
+                tenant=args.tenant,
+                priority=args.priority,
+                max_retries=args.max_retries,
+                key=args.key,
+                **kwargs,
+            )
+        except ValueError as exc:
+            print(f"submit failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"task {task_id}")
+        if args.wait:
+            try:
+                value = client.result(task_id, timeout=args.timeout)
+            except (ServiceTaskError, TimeoutError) as exc:
+                print(f"task {task_id}: {exc}", file=sys.stderr)
+                return 1
+            print(f"result: {value!r}")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.data_dir) as client:
+        if args.action == "status":
+            stats = client.counts()
+            print(f"queue at {args.data_dir}")
+            for tenant, states in sorted(stats["tenants"].items()):
+                shown = ", ".join(f"{k}={v}" for k, v in sorted(states.items()))
+                print(f"  tenant {tenant:<12} {shown or '(idle)'}")
+            for name, value in sorted(stats["counters"].items()):
+                print(f"  {name:<24} {value}")
+            return 0
+        if args.action == "list":
+            rows = client.list_tasks(
+                tenant=args.tenant, state=args.state, limit=args.limit
+            )
+            for row in rows:
+                print(
+                    f"{row['id']:>6}  {row['state']:<10} {row['tenant']:<10} "
+                    f"prio={row['priority']:<3} attempt={row['attempt']} "
+                    f"{row['name']}"
+                )
+            if not rows:
+                print("(no matching tasks)")
+            return 0
+        if args.action == "cancel":
+            if args.id is None:
+                print("cancel wants a task id", file=sys.stderr)
+                return 2
+            outcome = client.cancel(args.id)
+            print(f"task {args.id}: {outcome}")
+            return 0 if outcome != "unknown" else 1
+        if args.action == "reprioritize":
+            if args.id is None or args.priority is None:
+                print("reprioritize wants a task id and --priority", file=sys.stderr)
+                return 2
+            changed = client.reprioritize(args.id, args.priority)
+            print(f"task {args.id}: {'priority set' if changed else 'not movable'}")
+            return 0 if changed else 1
+        if args.action == "tenant":
+            if not args.name:
+                print("tenant wants --name", file=sys.stderr)
+                return 2
+            client.ensure_tenant(args.name, quota=args.quota, weight=args.weight)
+            print(f"tenant {args.name}: quota={args.quota} weight={args.weight:g}")
+            return 0
+        # provenance
+        rows = client.queue.provenance(args.id)
+        for row in rows:
+            task = f"task {row['task_id']}" if row["task_id"] is not None else "service"
+            print(f"{row['at']:.3f}  {task:<12} {row['event']:<20} {row['detail']}")
+        if not rows:
+            print("(no provenance recorded)")
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -403,6 +585,63 @@ def main(argv: list[str] | None = None) -> int:
         help="critical-path: show only the last N chain tasks",
     )
     p7.set_defaults(func=_cmd_trace)
+
+    p8 = sub.add_parser("serve", help="run the durable task-queue service")
+    p8.add_argument("--data-dir", required=True, help="service data directory")
+    p8.add_argument("--workers", type=positive_int, default=2)
+    p8.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads"
+    )
+    p8.add_argument("--lease-timeout", type=float, default=5.0)
+    p8.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="default: lease-timeout / 3",
+    )
+    p8.add_argument("--poll-interval", type=float, default=0.05)
+    p8.add_argument(
+        "--sweep-interval", type=float, default=None,
+        help="lease-expiry sweep period (default: lease-timeout / 2)",
+    )
+    p8.add_argument("--max-retries", type=int, default=2)
+    p8.add_argument("--seed", type=int, default=0, help="jitter/fault seed")
+    p8.add_argument(
+        "--until-idle", action="store_true",
+        help="exit once the queue is empty and no task is in flight",
+    )
+    p8.add_argument(
+        "--inject", action="append", default=None, metavar="KIND:TASK:N",
+        help="chaos fault rule (kill_worker|fail|delay), repeatable",
+    )
+    p8.set_defaults(func=_cmd_serve)
+
+    p9 = sub.add_parser("submit", help="enqueue a task on a service queue")
+    p9.add_argument("--data-dir", required=True, help="service data directory")
+    p9.add_argument("fn", help="task reference, e.g. repro.service.demo:add")
+    p9.add_argument("args", nargs="*", help="positional arguments (JSON)")
+    p9.add_argument("--kwarg", action="append", default=None, metavar="NAME=JSON")
+    p9.add_argument("--tenant", default="default")
+    p9.add_argument("--priority", type=int, default=0)
+    p9.add_argument("--max-retries", type=int, default=None)
+    p9.add_argument("--key", default=None, help="explicit idempotency key")
+    p9.add_argument("--wait", action="store_true", help="block for the result")
+    p9.add_argument("--timeout", type=float, default=None, help="wait timeout (s)")
+    p9.set_defaults(func=_cmd_submit)
+
+    p10 = sub.add_parser("queue", help="inspect/steer a service queue")
+    p10.add_argument(
+        "action",
+        choices=["status", "list", "cancel", "reprioritize", "tenant", "provenance"],
+    )
+    p10.add_argument("--data-dir", required=True, help="service data directory")
+    p10.add_argument("id", nargs="?", type=int, default=None, help="task id")
+    p10.add_argument("--tenant", default=None, help="list: filter by tenant")
+    p10.add_argument("--state", default=None, help="list: filter by state")
+    p10.add_argument("--limit", type=int, default=100)
+    p10.add_argument("--priority", type=int, default=None, help="reprioritize: new value")
+    p10.add_argument("--name", default=None, help="tenant: tenant name")
+    p10.add_argument("--quota", type=int, default=None, help="tenant: max active leases")
+    p10.add_argument("--weight", type=float, default=1.0, help="tenant: fair-share weight")
+    p10.set_defaults(func=_cmd_queue)
 
     args = parser.parse_args(argv)
     return args.func(args)

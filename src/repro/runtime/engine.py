@@ -536,13 +536,19 @@ class Runtime:
         kwargs: dict[str, Any],
         options: TaskOptions | None = None,
         label: str | None = None,
+        initial_attempt: int = 0,
     ) -> Any:
         """Submit one task invocation; returns its future(s) (or None
         when the task declares no return values).
 
         *options* carries call-site overrides (from ``my_task.opts(...)``);
         *label* is a legacy shortcut kept for the deprecated
-        ``_task_label`` path.
+        ``_task_label`` path.  *initial_attempt* seeds the attempt
+        counter — used by layers that own redelivery themselves (the
+        durable queue service re-submits a leased task with its
+        queue-level attempt number so ``current_attempt()`` inside the
+        body, retry backoff and the trace all see the true lineage
+        rather than restarting at zero).
         """
         self._check_accepting()
         resolved = resolve_options(self.config, spec.options, options)
@@ -568,6 +574,8 @@ class Runtime:
         inst = self._build_instance(
             spec, args, kwargs, deps, scope, effective_label, resolved, task_id
         )
+        if initial_attempt:
+            inst.attempt = initial_attempt
 
         # -- phases 3-5: signature, DAG node, registration --------------
         restored_values, unresolved, upstream_failed = self._register(inst, scope)

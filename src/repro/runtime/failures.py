@@ -175,6 +175,11 @@ def retry_delay(
     same workflow under the same seed waits exactly as long — retries
     stay reproducible, yet synchronized thundering-herd resubmission is
     broken up.
+
+    Shared by both retry layers: the in-process engine's task retries
+    (``root_id`` = the task's root instance id) and the durable queue
+    service's redelivery backoff (:mod:`repro.service.queue`, with
+    ``root_id`` = the queue task id) — one backoff policy everywhere.
     """
     if base <= 0 or attempt <= 0:
         return 0.0

@@ -462,6 +462,49 @@ def merge_store_stats(snapshot: dict[str, Any], store_stats: dict) -> dict[str, 
     return snapshot
 
 
+def merge_service_stats(snapshot: dict[str, Any], service_stats: dict) -> dict[str, Any]:
+    """Fold a durable queue service's stats into *snapshot* as
+    ``repro_service_*`` series.
+
+    Per-tenant occupancy (``service_stats["tenants"]``: tenant →
+    state → count) becomes labelled gauges — ``queue_depth`` is the
+    deliverable backlog, ``leases_active`` the in-flight lease count —
+    and the service's monotonic tallies (``service_stats["counters"]``:
+    claims, completions, lease expirations, duplicates discarded, ...)
+    become ``_total`` counters, so one exposition covers the queue next
+    to the scheduler and data plane."""
+    snapshot["service"] = {
+        "tenants": {t: dict(v) for t, v in service_stats.get("tenants", {}).items()},
+        "counters": dict(service_stats.get("counters", {})),
+    }
+    for tenant, states in sorted(service_stats.get("tenants", {}).items()):
+        snapshot["gauges"].append(
+            {
+                "name": "repro_service_queue_depth",
+                "labels": {"tenant": tenant},
+                "value": float(states.get("queued", 0)),
+            }
+        )
+        snapshot["gauges"].append(
+            {
+                "name": "repro_service_leases_active",
+                "labels": {"tenant": tenant},
+                "value": float(states.get("leased", 0)),
+            }
+        )
+    for key, value in sorted(service_stats.get("counters", {}).items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        snapshot["counters"].append(
+            {
+                "name": f"repro_service_{key}_total",
+                "labels": {},
+                "value": float(value),
+            }
+        )
+    return snapshot
+
+
 def reconcile_store(runtime, trace: Trace | None = None) -> list[str]:
     """Cross-check the data plane of a drained runtime: per-attempt
     ``bytes_moved``/``bytes_saved`` in the trace must sum to the

@@ -50,7 +50,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ObjectRef", "ObjectStore", "WorkerStore", "StoreError"]
+__all__ = ["ObjectRef", "ObjectStore", "WorkerStore", "StoreError", "sweep_prefix"]
 
 #: Arrays below this many bytes travel inline (pickled) by default —
 #: a shared-memory round trip costs more than copying a small buffer.
@@ -163,6 +163,56 @@ def _unlink(shm: shared_memory.SharedMemory) -> None:
         except Exception:  # noqa: BLE001 - cleanup hygiene only
             pass
     shm.unlink()
+
+
+def _sweep_shm(prefix: str) -> int:
+    """Unlink every ``/dev/shm`` segment whose name starts with
+    *prefix*; returns the number removed."""
+    shm_root = Path("/dev/shm")
+    if not shm_root.is_dir():  # non-Linux: nothing to sweep
+        return 0
+    swept = 0
+    for path in shm_root.glob(f"{prefix}*"):
+        try:
+            path.unlink()
+            swept += 1
+        except OSError:
+            pass
+    return swept
+
+
+def sweep_prefix(prefix: str, spill_dir: str | os.PathLike | None = None) -> int:
+    """Sweep the debris of a *dead* store identified by its segment
+    *prefix*: leftover ``/dev/shm`` segments and (when *spill_dir* is
+    given) its per-prefix spill directory.
+
+    This is the crash-recovery entry point used by long-running
+    services on cold start: a restarted coordinator knows the prefixes
+    of its previous incarnations (it persisted them) and sweeps exactly
+    those.  The scope is strictly the prefix — two stores sharing
+    ``/dev/shm`` or one spill root can never sweep each other's live
+    segments, because every prefix is unique per store instance.
+
+    Returns the number of files removed.  Never call this with the
+    prefix of a store that is still alive.
+    """
+    if not prefix:
+        raise ValueError("sweep_prefix requires a non-empty prefix")
+    removed = _sweep_shm(prefix)
+    if spill_dir is not None:
+        root = Path(spill_dir) / f"repro-store-{prefix}"
+        if root.is_dir():
+            for leftover in root.glob("*.bin"):
+                try:
+                    leftover.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                root.rmdir()
+            except OSError:
+                pass
+    return removed
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -571,11 +621,14 @@ class ObjectStore:
         with self._lock:
             resident = [e for e in self._entries.values() if e.resident]
             spilled = [e for e in self._entries.values() if not e.resident]
+            pinned = [e for e in self._entries.values() if e.pins > 0]
             out = dict(self._stats)
             out.update(
                 n_objects=len(self._entries),
                 n_resident=len(resident),
                 n_spilled=len(spilled),
+                n_pinned=len(pinned),
+                pinned_bytes=sum(e.nbytes for e in pinned),
                 bytes_resident=sum(e.nbytes for e in resident),
                 bytes_spilled=sum(e.nbytes for e in spilled),
                 capacity_bytes=self.capacity_bytes,
@@ -606,17 +659,7 @@ class ObjectStore:
                     pass
 
     def _sweep_orphans(self) -> int:
-        shm_root = Path("/dev/shm")
-        if not shm_root.is_dir():  # non-Linux: nothing to sweep
-            return 0
-        swept = 0
-        for path in shm_root.glob(f"{self.prefix}*"):
-            try:
-                path.unlink()
-                swept += 1
-            except OSError:
-                pass
-        return swept
+        return _sweep_shm(self.prefix)
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:

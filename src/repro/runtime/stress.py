@@ -171,6 +171,58 @@ def _dump_stacks() -> str:
     return "\n".join(lines)
 
 
+def run_under_watchdog(fn, timeout: float, label: str) -> dict[str, Any]:
+    """Run ``fn()`` on a daemon thread bounded by *timeout* seconds.
+
+    Returns an outcome dict: ``ok`` and ``duration`` always; ``value``
+    on success; ``error``/``trace`` when *fn* raised; ``problems``
+    (human-readable lines, including a full stack dump of every live
+    thread on a hang) whenever ``ok`` is false.  On timeout the thread
+    is abandoned, not killed — the point is that the *suite* keeps
+    moving and reports the hang instead of wedging.
+
+    Shared by the stress suite's per-seed watchdog and the service
+    chaos harness (:mod:`repro.service.chaos`): anything driving
+    scheduler-level scenarios in CI needs the same guarantee that a
+    lost wakeup shows up as a failure with stacks, not a hung job.
+    """
+    outcome: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the outcome
+            outcome["error"] = exc
+            outcome["trace"] = traceback.format_exc()
+
+    thread = threading.Thread(target=target, name=label, daemon=True)
+    t0 = time.perf_counter()
+    thread.start()
+    thread.join(timeout)
+    duration = time.perf_counter() - t0
+    if thread.is_alive():
+        return {
+            "ok": False,
+            "duration": duration,
+            "problems": [
+                f"HANG: {label} did not finish within {timeout}s",
+                _dump_stacks(),
+            ],
+        }
+    if "error" in outcome:
+        return {
+            "ok": False,
+            "duration": duration,
+            "error": outcome["error"],
+            "trace": outcome.get("trace", ""),
+            "problems": [
+                f"{label} raised {outcome['error']!r}",
+                outcome.get("trace", ""),
+            ],
+        }
+    return {"ok": True, "duration": duration, "value": outcome.get("value")}
+
+
 # ----------------------------------------------------------------------
 # scenario
 # ----------------------------------------------------------------------
@@ -471,43 +523,21 @@ def run_seed(
     *timeout* seconds the seed fails with a full stack dump of every
     live thread — a scheduler hang (lost wakeup, stuck shutdown) shows
     up here instead of wedging the suite."""
-    outcome: dict[str, Any] = {}
-
-    def target() -> None:
-        try:
-            outcome["report"] = _run_scenario(
-                seed, n_ops, workers, backend, observability, store
-            )
-        except BaseException as exc:  # noqa: BLE001 - relayed to the report
-            outcome["error"] = exc
-            outcome["trace"] = traceback.format_exc()
-
-    thread = threading.Thread(target=target, name=f"stress-seed-{seed}", daemon=True)
-    t0 = time.perf_counter()
-    thread.start()
-    thread.join(timeout)
-    if thread.is_alive():
+    outcome = run_under_watchdog(
+        lambda: _run_scenario(seed, n_ops, workers, backend, observability, store),
+        timeout,
+        f"stress-seed-{seed}",
+    )
+    if not outcome["ok"]:
         return StressReport(
             seed=seed,
             mode=MODES[seed % len(MODES)],
             ok=False,
             n_tasks=0,
-            duration=time.perf_counter() - t0,
-            problems=[f"HANG: seed did not finish within {timeout}s", _dump_stacks()],
+            duration=outcome["duration"],
+            problems=outcome["problems"],
         )
-    if "error" in outcome:
-        return StressReport(
-            seed=seed,
-            mode=MODES[seed % len(MODES)],
-            ok=False,
-            n_tasks=0,
-            duration=time.perf_counter() - t0,
-            problems=[
-                f"scenario raised {outcome['error']!r}",
-                outcome.get("trace", ""),
-            ],
-        )
-    return outcome["report"]
+    return outcome["value"]
 
 
 def run_suite(

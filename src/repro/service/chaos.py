@@ -1,0 +1,363 @@
+"""Seeded chaos harness for the queue service.
+
+Two scenarios, shared verbatim by the pytest chaos suite and the
+``check.sh service`` CI smoke (:mod:`scripts.service_smoke`):
+
+``run_crash_recovery_scenario``
+    The full kill-9 path, cross-process: a real server subprocess
+    (``python -m repro serve``) works a seeded multi-tenant workload
+    with a worker-kill fault injected; mid-workload the server is
+    ``SIGKILL``-ed while a long task holds a lease; a second server on
+    the same data directory recovers from the WAL and finishes under
+    ``--until-idle``.
+``run_lease_expiry_scenario``
+    The missed-heartbeat path, in-process: one delivery goes dark
+    (stalled before its dedup check, heartbeats suppressed), its lease
+    expires, the redelivery completes — and the dark delivery wakes to
+    find the recorded result and deduplicates instead of re-running.
+
+Both verify the two invariants the service exists for, via the results
+table and the provenance log: **zero lost tasks** (every submission
+reaches ``done``) and **zero duplicate side-effecting executions**
+(each task's effect line appears exactly once).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "ChaosReport",
+    "run_crash_recovery_scenario",
+    "run_lease_expiry_scenario",
+]
+
+_DEMO = "repro.service.demo"
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    n_tasks: int
+    problems: list[str]
+    details: dict[str, Any]
+
+    def line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        head = f"chaos {self.scenario:<16} seed={self.seed:<4} tasks={self.n_tasks:>3}  {status}"
+        if self.problems:
+            head += "".join(f"\n    - {p}" for p in self.problems)
+        return head
+
+
+def _src_pythonpath() -> str:
+    """PYTHONPATH for server subprocesses: wherever this repro import
+    came from, plus the caller's existing entries."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    return src if not existing else src + os.pathsep + existing
+
+
+def _spawn_server(data_dir: Path, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=_src_pythonpath())
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data-dir", str(data_dir), *extra],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _await(predicate, deadline: float, poll: float = 0.05) -> bool:
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+def _verify_no_lost_no_duplicates(
+    client: ServiceClient,
+    task_ids: list[int],
+    effects: Path,
+    expected_lines: list[str],
+    problems: list[str],
+) -> None:
+    """The acceptance invariants, checked from durable state."""
+    for task_id in task_ids:
+        row = client.status(task_id)
+        if row is None:
+            problems.append(f"task {task_id} vanished")
+        elif row["state"] != "done":
+            problems.append(
+                f"task {task_id} ({row['name']}) ended {row['state']!r}, not done "
+                f"(attempt {row['attempt']}/{row['max_retries']})"
+            )
+    # exactly one result row per signature, all ok
+    rows = client.db.query(
+        "SELECT r.signature, r.status, COUNT(*) AS n FROM results r GROUP BY r.signature"
+    )
+    for row in rows:
+        if row["n"] != 1:  # pragma: no cover - PRIMARY KEY forbids it
+            problems.append(f"signature {row['signature'][:12]} has {row['n']} results")
+        if row["status"] != "ok":
+            problems.append(f"signature {row['signature'][:12]} recorded {row['status']}")
+    # each side effect exactly once
+    lines = effects.read_text().splitlines() if effects.exists() else []
+    counts = Counter(lines)
+    for line in expected_lines:
+        n = counts.get(line, 0)
+        if n != 1:
+            problems.append(f"effect {line!r} appeared {n} times (want exactly 1)")
+    for line, n in counts.items():
+        if line not in expected_lines:
+            problems.append(f"unexpected effect line {line!r} (x{n})")
+
+
+def run_crash_recovery_scenario(
+    workdir: str | Path,
+    *,
+    seed: int = 0,
+    n_tasks: int = 10,
+    lease_timeout: float = 2.0,
+    workers: int = 2,
+    timeout: float = 90.0,
+) -> ChaosReport:
+    """Seeded kill-worker + kill-9 + restart schedule (see module
+    docstring).  *workdir* must be empty or fresh."""
+    rng = random.Random(seed)
+    workdir = Path(workdir)
+    data_dir = workdir / "data"
+    effects = workdir / "effects.txt"
+    marker = workdir / "marker"
+    deadline = time.monotonic() + timeout
+    problems: list[str] = []
+    details: dict[str, Any] = {}
+
+    client = ServiceClient(data_dir)
+    client.ensure_tenant("alpha", quota=2, weight=2.0)
+    client.ensure_tenant("beta", quota=1, weight=1.0)
+
+    expected_lines: list[str] = []
+    task_ids: list[int] = []
+    for i in range(n_tasks):
+        line = f"task-{i}"
+        task_ids.append(
+            client.submit(
+                f"{_DEMO}:append_line",
+                str(effects),
+                line,
+                tenant=rng.choice(["alpha", "beta"]),
+                priority=rng.randrange(0, 5),
+            )
+        )
+        expected_lines.append(line)
+    for i in range(2):
+        line = f"flaky-{i}"
+        task_ids.append(
+            client.submit(
+                f"{_DEMO}:flaky_append_line",
+                str(effects),
+                line,
+                1,
+                tenant="alpha",
+                priority=rng.randrange(0, 5),
+            )
+        )
+        expected_lines.append(line)
+    slow_id = client.submit(
+        f"{_DEMO}:wait_for_marker_then_append",
+        str(effects),
+        "slow-0",
+        str(marker),
+        tenant="beta",
+        priority=9,
+    )
+    task_ids.append(slow_id)
+    expected_lines.append("slow-0")
+
+    # Server A: worker-kill fault on an early append_line execution
+    # (early, so it reliably fires before the server itself dies).
+    kill_nth = rng.randrange(2, 4)
+    server_a = _spawn_server(
+        data_dir,
+        "--workers", str(workers),
+        "--lease-timeout", str(lease_timeout),
+        "--poll-interval", "0.02",
+        "--inject", f"kill_worker:append_line:{kill_nth}",
+    )
+    try:
+        # Kill -9 once the long task is leased mid-workload and the
+        # injected worker kill has caused its redelivery.
+        def mid_workload() -> bool:
+            row = client.status(slow_id)
+            if row is None or row["state"] != "leased":
+                return False
+            return bool(client.counts()["counters"].get("redeliveries"))
+
+        if not _await(mid_workload, deadline):
+            problems.append(
+                "server A never reached mid-workload state "
+                "(long task leased + worker-kill redelivery)"
+            )
+        os.kill(server_a.pid, signal.SIGKILL)
+        server_a.wait(timeout=10)
+        details["killed_server_pid"] = server_a.pid
+    finally:
+        if server_a.poll() is None:  # pragma: no cover - kill failed
+            server_a.kill()
+            server_a.wait(timeout=10)
+
+    marker.touch()  # the redelivered long task may now finish
+
+    # Server B: recover from the WAL, drain the backlog, exit.
+    server_b = _spawn_server(
+        data_dir,
+        "--workers", str(workers),
+        "--lease-timeout", str(lease_timeout),
+        "--poll-interval", "0.02",
+        "--until-idle",
+    )
+    try:
+        remaining = max(1.0, deadline - time.monotonic())
+        server_b.wait(timeout=remaining)
+    except subprocess.TimeoutExpired:
+        server_b.kill()
+        server_b.wait(timeout=10)
+        problems.append("server B did not drain to idle in time")
+    if server_b.returncode not in (0, None):
+        problems.append(f"server B exited with {server_b.returncode}")
+
+    _verify_no_lost_no_duplicates(client, task_ids, effects, expected_lines, problems)
+    stats = client.counts()
+    counters = stats["counters"]
+    details["counters"] = dict(counters)
+    if not counters.get("recoveries"):
+        problems.append("no cold-start recovery recorded (kill -9 left no leases?)")
+    provenance = client.queue.provenance()
+    events = {p["event"] for p in provenance}
+    details["events"] = sorted(events)
+    if "recovered" not in events:
+        problems.append("provenance has no 'recovered' event")
+    if not any(
+        p["event"] == "requeued" and "NodeFailureError" in p["detail"]
+        for p in provenance
+    ):
+        problems.append("provenance shows no worker-kill redelivery")
+    client.close()
+    return ChaosReport(
+        scenario="crash-recovery",
+        seed=seed,
+        ok=not problems,
+        n_tasks=len(task_ids),
+        problems=problems,
+        details=details,
+    )
+
+
+def run_lease_expiry_scenario(
+    workdir: str | Path,
+    *,
+    seed: int = 0,
+    lease_timeout: float = 0.4,
+    timeout: float = 60.0,
+) -> ChaosReport:
+    """One delivery goes dark; its lease expires; the redelivery does
+    the work; the dark delivery deduplicates on wake-up."""
+    import threading
+
+    from repro.service.server import QueueService, ServiceConfig
+
+    rng = random.Random(seed)
+    workdir = Path(workdir)
+    effects = workdir / "effects.txt"
+    problems: list[str] = []
+    details: dict[str, Any] = {}
+
+    service = QueueService(
+        ServiceConfig(
+            data_dir=str(workdir / "data"),
+            workers=2,
+            lease_timeout=lease_timeout,
+            poll_interval=0.02,
+            sweep_interval=lease_timeout / 4,
+            jitter_seed=seed,
+        )
+    )
+    service.start()
+    assert service.pool is not None
+    release = threading.Event()
+    stalled: dict[str, Any] = {}
+
+    def stall_first_delivery(claim) -> None:
+        # Only the first delivery of the victim goes dark: it stalls
+        # *before* its dedup check, stops heartbeating, and waits until
+        # the orchestrator releases it.
+        if claim.name == "append_line" and claim.attempt == 0 and not stalled:
+            stalled["claim"] = claim
+            service.pool.heartbeat_skip.add(claim.id)
+            release.wait(timeout)
+
+    service.pool.before_execute = stall_first_delivery
+    client = ServiceClient(workdir / "data")
+    line = f"victim-{rng.randrange(1000)}"
+    task_id = client.submit(f"{_DEMO}:append_line", str(effects), line, tenant="alpha")
+
+    deadline = time.monotonic() + timeout
+    try:
+        # The redelivery (attempt 1, after expiry) must complete while
+        # the dark delivery is still stalled.
+        def redelivered_and_done() -> bool:
+            row = client.status(task_id)
+            return row is not None and row["state"] == "done" and row["attempt"] >= 1
+
+        if not _await(redelivered_and_done, deadline):
+            problems.append("lease never expired / redelivery never completed")
+        release.set()
+
+        def dark_delivery_resolved() -> bool:
+            return service.pool.in_flight == 0
+
+        if not _await(dark_delivery_resolved, deadline):
+            problems.append("dark delivery never resolved after release")
+    finally:
+        release.set()
+        service.drain(timeout=10)
+
+    _verify_no_lost_no_duplicates(client, [task_id], effects, [line], problems)
+    counters = client.counts()["counters"]
+    details["counters"] = dict(counters)
+    if not counters.get("lease_expirations"):
+        problems.append("no lease expiry recorded")
+    if not counters.get("dedup_skips") and not counters.get("duplicates_discarded"):
+        problems.append("dark delivery neither deduplicated nor discarded")
+    events = {p["event"] for p in client.queue.provenance()}
+    details["events"] = sorted(events)
+    if "lease_expired" not in events:
+        problems.append("provenance has no 'lease_expired' event")
+    client.close()
+    return ChaosReport(
+        scenario="lease-expiry",
+        seed=seed,
+        ok=not problems,
+        n_tasks=1,
+        problems=problems,
+        details=details,
+    )

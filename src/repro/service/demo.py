@@ -1,0 +1,96 @@
+"""Importable demo tasks for the queue service.
+
+Service tasks travel by reference (``module:qualname``), so anything
+submitted must live in an importable module — these are the stock
+bodies used by the tutorial (``repro submit repro.service.demo:add``),
+the kill-9 crash-recovery smoke and the chaos tests.
+
+The side-effecting tasks append one line per *execution* to a file.
+That makes duplicate executions directly observable: under
+at-least-once delivery with idempotent results, a workload's effect
+file must end up with exactly one line per task — extra lines are the
+double-execution bug the chaos suite exists to catch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.runtime.backends import current_attempt
+
+__all__ = [
+    "add",
+    "mul",
+    "sleep_ms",
+    "flaky_add",
+    "append_line",
+    "flaky_append_line",
+    "wait_for_marker_then_append",
+    "block_norm",
+]
+
+
+def add(a, b):
+    return a + b
+
+
+def mul(a, b):
+    return a * b
+
+
+def sleep_ms(ms: float):
+    time.sleep(ms / 1000.0)
+    return ms
+
+
+def flaky_add(a, b, fail_attempts: int = 1):
+    """Fail the first *fail_attempts* queue-level attempts, then
+    succeed — deterministic thanks to ``current_attempt()`` seeing the
+    queue's redelivery counter via ``initial_attempt``."""
+    if current_attempt() < fail_attempts:
+        raise RuntimeError(f"flaky_add failing on attempt {current_attempt()}")
+    return a + b
+
+
+def append_line(path: str, line: str):
+    """Side-effecting task: one line appended per execution."""
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+    return line
+
+
+def flaky_append_line(path: str, line: str, fail_attempts: int = 1):
+    """Raise before touching the file for the first *fail_attempts*
+    attempts — the effect must appear exactly once, on the successful
+    attempt."""
+    if current_attempt() < fail_attempts:
+        raise RuntimeError(f"flaky_append_line failing on attempt {current_attempt()}")
+    return append_line(path, line)
+
+
+def wait_for_marker_then_append(
+    path: str, line: str, marker: str, timeout: float = 60.0
+):
+    """Block until *marker* exists, then append the effect line.
+
+    The chaos harness's "long task": it holds a lease while the
+    orchestrator kills things, and only side-effects after the marker
+    is created — so a delivery killed before the marker produces no
+    effect line, and the redelivery produces exactly one."""
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(marker):
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"marker {marker} never appeared")
+        time.sleep(0.02)
+    return append_line(path, line)
+
+
+def block_norm(n: int, seed: int = 0):
+    """A NumPy-heavy body exercising the store/data plane under the
+    processes backend."""
+    rng = np.random.default_rng(seed)
+    block = rng.standard_normal((n, n))
+    return float(np.linalg.norm(block @ block.T))

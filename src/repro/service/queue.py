@@ -1,0 +1,629 @@
+"""The durable priority queue: every state transition one transaction.
+
+Task lifecycle (all edges are single ``BEGIN IMMEDIATE`` transactions
+in :class:`~repro.service.db.Database`)::
+
+    submit ─▶ queued ─claim─▶ leased ─complete─▶ done
+                ▲               │
+                │          fail_attempt / expire_leases / recover
+                └───(backoff)───┘            │
+                                             └─▶ failed | cancelled
+
+Delivery is **at-least-once**: a lease that misses its heartbeats
+expires and the task is redelivered (with the runtime's exponential
+backoff + deterministic jitter, :func:`repro.runtime.failures.retry_delay`).
+Result recording is **idempotent**: the ``results`` table is keyed by
+the task's lineage signature, so when a presumed-dead execution wakes
+up and reports after its redelivery already completed, the duplicate
+is discarded — never double-recorded — and a redelivered task whose
+result already exists is resolved without re-running the body.
+
+Claiming is multi-tenant fair-share: among tenants with deliverable
+work and lease headroom under their quota, the one with the lowest
+``active_leases / weight`` share is served first; within a tenant,
+highest priority then FIFO.  ``reprioritize`` moves queued work
+asynchronously — the OSPREY pattern of steering a long campaign while
+it runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable
+
+from repro.runtime.failures import retry_delay
+from repro.service.db import Database
+
+__all__ = ["ClaimedTask", "DurableQueue", "TERMINAL_STATES"]
+
+#: Queue-level terminal states (no further transitions).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+DEFAULT_TENANT = "default"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimedTask:
+    """One leased delivery: everything a worker needs to run the task
+    and report back."""
+
+    id: int
+    tenant: str
+    name: str
+    module: str
+    qualname: str
+    payload: bytes
+    signature: str
+    priority: int
+    attempt: int
+    max_retries: int
+    lease_expires_at: float
+
+
+class DurableQueue:
+    """Queue operations over one :class:`Database`.
+
+    Stateless between calls — every method reads and writes the
+    database only, so any number of ``DurableQueue`` instances (in any
+    process) over the same file see one consistent queue.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        default_max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.db = db
+        self.default_max_retries = int(default_max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_cap = float(retry_backoff_cap)
+        self.jitter_seed = int(jitter_seed)
+        self._clock = clock
+
+    # -- internals ------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock()
+
+    @staticmethod
+    def _bump(conn, counter: str, by: int = 1) -> None:
+        conn.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (counter, by),
+        )
+
+    @staticmethod
+    def _log(conn, task_id: int | None, event: str, detail: str, at: float) -> None:
+        conn.execute(
+            "INSERT INTO provenance (task_id, event, detail, at) VALUES (?, ?, ?, ?)",
+            (task_id, event, detail, at),
+        )
+
+    def _redelivery_delay(self, name: str, task_id: int, attempt: int) -> float:
+        """Backoff before redelivery *attempt* (1-based) — the same
+        exponential + deterministic-jitter machinery the in-process
+        runtime uses for task retries."""
+        return retry_delay(
+            self.retry_backoff,
+            attempt,
+            task_name=name,
+            root_id=task_id,
+            seed=self.jitter_seed,
+            cap=self.retry_backoff_cap,
+        )
+
+    def _requeue_or_bury_locked(
+        self,
+        conn,
+        row,
+        *,
+        event: str,
+        detail: str,
+        now: float,
+        charge_attempt: bool,
+        error_on_bury: str,
+    ) -> str:
+        """Shared tail of the three redelivery paths (worker failure,
+        lease expiry, crash recovery): drop the lease and either requeue
+        with backoff, bury as failed when attempts are exhausted, or
+        finalize a pending cancellation.  Callers hold the transaction."""
+        task_id = row["id"]
+        conn.execute("DELETE FROM leases WHERE task_id = ?", (task_id,))
+        if row["cancel_requested"]:
+            conn.execute(
+                "UPDATE tasks SET state = 'cancelled', updated_at = ? WHERE id = ?",
+                (now, task_id),
+            )
+            self._bump(conn, "cancellations")
+            self._log(conn, task_id, "cancelled", detail, now)
+            return "cancelled"
+        attempt = row["attempt"] + 1 if charge_attempt else row["attempt"]
+        if charge_attempt and attempt > row["max_retries"]:
+            conn.execute(
+                "UPDATE tasks SET state = 'failed', updated_at = ? WHERE id = ?",
+                (now, task_id),
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO results "
+                "(signature, task_id, status, payload, worker, attempt, recorded_at) "
+                "VALUES (?, ?, 'error', ?, NULL, ?, ?)",
+                (row["signature"], task_id, error_on_bury.encode(), row["attempt"], now),
+            )
+            self._bump(conn, "failures")
+            self._log(conn, task_id, "failed", error_on_bury, now)
+            return "failed"
+        delay = self._redelivery_delay(row["name"], task_id, attempt) if charge_attempt else 0.0
+        conn.execute(
+            "UPDATE tasks SET state = 'queued', attempt = ?, not_before = ?, "
+            "updated_at = ? WHERE id = ?",
+            (attempt, now + delay, now, task_id),
+        )
+        self._bump(conn, "redeliveries")
+        self._log(conn, task_id, event, detail + f" redelivery_delay={delay:.4f}s", now)
+        return "requeued"
+
+    # -- tenants --------------------------------------------------------
+    def ensure_tenant(
+        self, name: str, *, quota: int | None = None, weight: float = 1.0
+    ) -> None:
+        """Create or update a tenant.  *quota* bounds concurrent leases
+        (None = unbounded); *weight* scales its fair share."""
+        if weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        if quota is not None and quota < 1:
+            raise ValueError("tenant quota must be >= 1 (or None)")
+        now = self._now()
+        with self.db.transaction() as conn:
+            conn.execute(
+                "INSERT INTO tenants (name, quota, weight, created_at) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET quota = excluded.quota, "
+                "weight = excluded.weight",
+                (name, quota, weight, now),
+            )
+
+    def tenants(self) -> dict[str, dict[str, Any]]:
+        return {
+            row["name"]: {"quota": row["quota"], "weight": row["weight"]}
+            for row in self.db.query("SELECT name, quota, weight FROM tenants")
+        }
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        name: str,
+        module: str,
+        qualname: str,
+        payload: bytes,
+        signature: str,
+        priority: int = 0,
+        max_retries: int | None = None,
+        delay: float = 0.0,
+    ) -> int:
+        """Enqueue one task; returns its id.
+
+        *signature* is the lineage signature (dedup key of result
+        recording).  Submitting an identical signature again is
+        idempotent: the existing task's id is returned instead of
+        enqueueing a duplicate — clients that crash after submitting
+        can blindly resubmit.
+        """
+        now = self._now()
+        retries = self.default_max_retries if max_retries is None else int(max_retries)
+        if retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        with self.db.transaction() as conn:
+            existing = conn.execute(
+                "SELECT id FROM tasks WHERE signature = ?", (signature,)
+            ).fetchone()
+            if existing is not None:
+                self._bump(conn, "duplicate_submissions")
+                self._log(conn, existing["id"], "duplicate_submission", name, now)
+                return int(existing["id"])
+            conn.execute(
+                "INSERT OR IGNORE INTO tenants (name, quota, weight, created_at) "
+                "VALUES (?, NULL, 1.0, ?)",
+                (tenant, now),
+            )
+            cur = conn.execute(
+                "INSERT INTO tasks (tenant, name, module, qualname, payload, signature, "
+                "priority, state, attempt, max_retries, not_before, submitted_at, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?)",
+                (
+                    tenant,
+                    name,
+                    module,
+                    qualname,
+                    payload,
+                    signature,
+                    int(priority),
+                    retries,
+                    now + max(0.0, delay),
+                    now,
+                    now,
+                ),
+            )
+            task_id = int(cur.lastrowid)
+            self._bump(conn, "submissions")
+            self._log(conn, task_id, "submitted", f"tenant={tenant} name={name}", now)
+            return task_id
+
+    # -- claiming (fair-share + priority) -------------------------------
+    def claim(
+        self, *, worker: str, server: str, lease_timeout: float
+    ) -> ClaimedTask | None:
+        """Lease the next deliverable task for *worker*, or None.
+
+        Tenant selection: among tenants with deliverable queued work
+        (``not_before`` elapsed) and active leases under their quota,
+        pick the lowest ``active / weight`` share (ties: fewest active,
+        then name).  Task selection within the tenant: highest
+        priority, then FIFO.  The state flip and lease insert commit in
+        the same transaction as the selection — two workers can never
+        claim one task.
+        """
+        now = self._now()
+        with self.db.transaction() as conn:
+            backlog = conn.execute(
+                "SELECT tenant, COUNT(*) AS n FROM tasks "
+                "WHERE state = 'queued' AND not_before <= ? GROUP BY tenant",
+                (now,),
+            ).fetchall()
+            if not backlog:
+                return None
+            active = {
+                row["tenant"]: row["n"]
+                for row in conn.execute(
+                    "SELECT tenant, COUNT(*) AS n FROM tasks "
+                    "WHERE state = 'leased' GROUP BY tenant"
+                )
+            }
+            limits = {
+                row["name"]: (row["quota"], row["weight"])
+                for row in conn.execute("SELECT name, quota, weight FROM tenants")
+            }
+            ranked: list[tuple[float, int, str]] = []
+            for row in backlog:
+                tenant = row["tenant"]
+                quota, weight = limits.get(tenant, (None, 1.0))
+                busy = active.get(tenant, 0)
+                if quota is not None and busy >= quota:
+                    continue  # tenant at its concurrency quota
+                ranked.append((busy / weight, busy, tenant))
+            if not ranked:
+                return None
+            _, _, tenant = min(ranked)
+            task = conn.execute(
+                "SELECT * FROM tasks WHERE tenant = ? AND state = 'queued' "
+                "AND not_before <= ? ORDER BY priority DESC, id LIMIT 1",
+                (tenant, now),
+            ).fetchone()
+            if task is None:  # pragma: no cover - backlog counted above
+                return None
+            expires = now + lease_timeout
+            conn.execute(
+                "UPDATE tasks SET state = 'leased', updated_at = ? WHERE id = ?",
+                (now, task["id"]),
+            )
+            conn.execute(
+                "INSERT INTO leases (task_id, worker, server, acquired_at, expires_at, "
+                "heartbeat_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (task["id"], worker, server, now, expires, now),
+            )
+            self._bump(conn, "claims")
+            self._log(
+                conn,
+                task["id"],
+                "leased",
+                f"worker={worker} attempt={task['attempt']}",
+                now,
+            )
+            return ClaimedTask(
+                id=task["id"],
+                tenant=task["tenant"],
+                name=task["name"],
+                module=task["module"],
+                qualname=task["qualname"],
+                payload=task["payload"],
+                signature=task["signature"],
+                priority=task["priority"],
+                attempt=task["attempt"],
+                max_retries=task["max_retries"],
+                lease_expires_at=expires,
+            )
+
+    def heartbeat(self, task_id: int, worker: str, lease_timeout: float) -> bool:
+        """Extend *worker*'s lease on *task_id*.  Returns False when
+        the lease is gone (expired and redelivered, or stolen) — the
+        caller has lost ownership and its eventual report will go
+        through the idempotent-result path."""
+        now = self._now()
+        with self.db.transaction() as conn:
+            cur = conn.execute(
+                "UPDATE leases SET heartbeat_at = ?, expires_at = ? "
+                "WHERE task_id = ? AND worker = ?",
+                (now, now + lease_timeout, task_id, worker),
+            )
+            ok = cur.rowcount == 1
+            if ok:
+                self._bump(conn, "heartbeats")
+            return ok
+
+    # -- completion (idempotent) ----------------------------------------
+    def lookup_result(self, signature: str) -> dict[str, Any] | None:
+        """The recorded result for *signature*, if any — the dedup
+        check a worker runs before executing a redelivered task."""
+        rows = self.db.query("SELECT * FROM results WHERE signature = ?", (signature,))
+        return dict(rows[0]) if rows else None
+
+    def complete(
+        self,
+        task_id: int,
+        signature: str,
+        *,
+        payload: bytes | None,
+        worker: str,
+        attempt: int,
+        status: str = "ok",
+    ) -> str:
+        """Record an execution's outcome idempotently.
+
+        Returns ``"recorded"`` when this execution's result became the
+        task's result, or ``"duplicate"`` when a result for the
+        signature already existed (a redelivered twin finished first) —
+        the late report is discarded, never double-recorded.  Either
+        way the task reaches a terminal state and the lease is freed.
+        """
+        if status not in ("ok", "error"):
+            raise ValueError(f"invalid result status {status!r}")
+        now = self._now()
+        with self.db.transaction() as conn:
+            existing = conn.execute(
+                "SELECT signature FROM results WHERE signature = ?", (signature,)
+            ).fetchone()
+            conn.execute("DELETE FROM leases WHERE task_id = ?", (task_id,))
+            if existing is not None:
+                conn.execute(
+                    "UPDATE tasks SET state = 'done', updated_at = ? "
+                    "WHERE id = ? AND state IN ('queued', 'leased')",
+                    (now, task_id),
+                )
+                self._bump(conn, "duplicates_discarded")
+                self._log(
+                    conn, task_id, "duplicate_discarded", f"worker={worker}", now
+                )
+                return "duplicate"
+            conn.execute(
+                "INSERT INTO results (signature, task_id, status, payload, worker, "
+                "attempt, recorded_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (signature, task_id, status, payload, worker, attempt, now),
+            )
+            state = "done" if status == "ok" else "failed"
+            conn.execute(
+                "UPDATE tasks SET state = ?, updated_at = ? WHERE id = ?",
+                (state, now, task_id),
+            )
+            self._bump(conn, "completions" if status == "ok" else "failures")
+            self._log(
+                conn, task_id, "completed" if status == "ok" else "failed",
+                f"worker={worker} attempt={attempt}", now,
+            )
+            return "recorded"
+
+    def resolve_deduplicated(self, task_id: int, worker: str) -> None:
+        """Finish a redelivered task whose result already exists
+        without running it: the dedup fast path."""
+        now = self._now()
+        with self.db.transaction() as conn:
+            conn.execute("DELETE FROM leases WHERE task_id = ?", (task_id,))
+            conn.execute(
+                "UPDATE tasks SET state = 'done', updated_at = ? "
+                "WHERE id = ? AND state IN ('queued', 'leased')",
+                (now, task_id),
+            )
+            self._bump(conn, "dedup_skips")
+            self._log(conn, task_id, "deduplicated", f"worker={worker}", now)
+
+    # -- failure & redelivery -------------------------------------------
+    def fail_attempt(self, task_id: int, worker: str, error: str) -> str:
+        """Report a failed execution.  Requeues with backoff while
+        retries remain, buries as ``failed`` (recording an error
+        result) when exhausted.  A report from a worker whose lease was
+        already lost is ignored (``"stale"``) — the live delivery owns
+        the task now."""
+        now = self._now()
+        with self.db.transaction() as conn:
+            lease = conn.execute(
+                "SELECT worker FROM leases WHERE task_id = ?", (task_id,)
+            ).fetchone()
+            if lease is None or lease["worker"] != worker:
+                self._bump(conn, "stale_reports")
+                self._log(conn, task_id, "stale_failure_ignored", f"worker={worker}", now)
+                return "stale"
+            row = conn.execute("SELECT * FROM tasks WHERE id = ?", (task_id,)).fetchone()
+            if row is None or row["state"] != "leased":
+                return "stale"
+            return self._requeue_or_bury_locked(
+                conn,
+                row,
+                event="requeued",
+                detail=f"failure worker={worker}: {error}",
+                now=now,
+                charge_attempt=True,
+                error_on_bury=error,
+            )
+
+    def expire_leases(self) -> list[int]:
+        """Redeliver every task whose lease deadline passed (missed
+        heartbeats).  The expiry charges an attempt — a delivery that
+        went dark counts against the retry budget.  Returns the
+        affected task ids."""
+        now = self._now()
+        expired: list[int] = []
+        with self.db.transaction() as conn:
+            rows = conn.execute(
+                "SELECT t.*, l.worker AS lease_worker FROM leases l "
+                "JOIN tasks t ON t.id = l.task_id WHERE l.expires_at < ?",
+                (now,),
+            ).fetchall()
+            for row in rows:
+                self._bump(conn, "lease_expirations")
+                self._requeue_or_bury_locked(
+                    conn,
+                    row,
+                    event="lease_expired",
+                    detail=f"worker={row['lease_worker']} went dark;",
+                    now=now,
+                    charge_attempt=True,
+                    error_on_bury=f"lease expired on attempt {row['attempt']}",
+                )
+                expired.append(row["id"])
+        return expired
+
+    def recover(self, server: str) -> list[int]:
+        """Cold-start recovery: requeue every task still marked leased
+        in the WAL — their server incarnation is dead, so no execution
+        can report back.  The crash is not the task's fault: no attempt
+        is charged.  Returns the recovered task ids."""
+        now = self._now()
+        recovered: list[int] = []
+        with self.db.transaction() as conn:
+            rows = conn.execute(
+                "SELECT t.*, l.server AS lease_server FROM tasks t "
+                "LEFT JOIN leases l ON l.task_id = t.id WHERE t.state = 'leased'"
+            ).fetchall()
+            for row in rows:
+                self._bump(conn, "recoveries")
+                self._requeue_or_bury_locked(
+                    conn,
+                    row,
+                    event="recovered",
+                    detail=f"dead server={row['lease_server']} new={server};",
+                    now=now,
+                    charge_attempt=False,
+                    error_on_bury="",
+                )
+                recovered.append(row["id"])
+            self._log(conn, None, "recovery", f"server={server} n={len(rows)}", now)
+        return recovered
+
+    # -- control plane --------------------------------------------------
+    def cancel(self, task_id: int) -> str:
+        """Cancel *task_id*: immediate for queued tasks, deferred
+        (``cancel_requested``) for leased ones — the in-flight
+        execution cannot be interrupted, but any redelivery path
+        finalizes the cancellation instead of requeueing."""
+        now = self._now()
+        with self.db.transaction() as conn:
+            row = conn.execute(
+                "SELECT state FROM tasks WHERE id = ?", (task_id,)
+            ).fetchone()
+            if row is None:
+                return "unknown"
+            if row["state"] == "queued":
+                conn.execute(
+                    "UPDATE tasks SET state = 'cancelled', cancel_requested = 1, "
+                    "updated_at = ? WHERE id = ?",
+                    (now, task_id),
+                )
+                self._bump(conn, "cancellations")
+                self._log(conn, task_id, "cancelled", "while queued", now)
+                return "cancelled"
+            if row["state"] == "leased":
+                conn.execute(
+                    "UPDATE tasks SET cancel_requested = 1, updated_at = ? WHERE id = ?",
+                    (now, task_id),
+                )
+                self._log(conn, task_id, "cancel_requested", "while leased", now)
+                return "cancel_requested"
+            return "noop"
+
+    def reprioritize(self, task_id: int, priority: int) -> bool:
+        """Change a live task's priority (takes effect at its next
+        claim/redelivery).  Returns False for terminal tasks."""
+        now = self._now()
+        with self.db.transaction() as conn:
+            cur = conn.execute(
+                "UPDATE tasks SET priority = ?, updated_at = ? "
+                "WHERE id = ? AND state IN ('queued', 'leased')",
+                (int(priority), now, task_id),
+            )
+            if cur.rowcount != 1:
+                return False
+            self._bump(conn, "reprioritizations")
+            self._log(conn, task_id, "reprioritized", f"priority={priority}", now)
+            return True
+
+    # -- queries --------------------------------------------------------
+    def task(self, task_id: int) -> dict[str, Any] | None:
+        rows = self.db.query(
+            "SELECT id, tenant, name, priority, state, attempt, max_retries, "
+            "not_before, cancel_requested, signature, submitted_at, updated_at "
+            "FROM tasks WHERE id = ?",
+            (task_id,),
+        )
+        return dict(rows[0]) if rows else None
+
+    def list_tasks(
+        self,
+        *,
+        tenant: str | None = None,
+        state: str | None = None,
+        limit: int = 100,
+    ) -> list[dict[str, Any]]:
+        sql = (
+            "SELECT id, tenant, name, priority, state, attempt, max_retries "
+            "FROM tasks"
+        )
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id LIMIT ?"
+        params.append(int(limit))
+        return [dict(row) for row in self.db.query(sql, tuple(params))]
+
+    def provenance(self, task_id: int | None = None) -> list[dict[str, Any]]:
+        if task_id is None:
+            rows = self.db.query("SELECT * FROM provenance ORDER BY seq")
+        else:
+            rows = self.db.query(
+                "SELECT * FROM provenance WHERE task_id = ? ORDER BY seq", (task_id,)
+            )
+        return [dict(row) for row in rows]
+
+    def outstanding(self) -> int:
+        """Tasks not yet in a terminal state (the drain/idle probe)."""
+        rows = self.db.query(
+            "SELECT COUNT(*) AS n FROM tasks WHERE state IN ('queued', 'leased')"
+        )
+        return int(rows[0]["n"])
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot for the metrics surface: per-tenant state counts
+        plus the durable operation counters (shaped for
+        :func:`repro.runtime.observability.merge_service_stats`)."""
+        tenants: dict[str, dict[str, int]] = {
+            name: {} for name in self.tenants()
+        }
+        for row in self.db.query(
+            "SELECT tenant, state, COUNT(*) AS n FROM tasks GROUP BY tenant, state"
+        ):
+            tenants.setdefault(row["tenant"], {})[row["state"]] = row["n"]
+        counters = {
+            row["name"]: row["value"]
+            for row in self.db.query("SELECT name, value FROM counters")
+        }
+        return {"tenants": tenants, "counters": counters}

@@ -1,0 +1,274 @@
+"""The long-running queue server: durability + execution + janitors.
+
+:class:`QueueService` glues the pieces together around one data
+directory::
+
+    data_dir/
+      queue.db      the WAL-mode queue (repro.service.db)
+      spill/        the object store's disk tier, one subdir per prefix
+
+Lifecycle — both exits are first-class, chaos-tested paths:
+
+* **Graceful drain** (``SIGTERM`` or :meth:`drain`): stop leasing,
+  finish in-flight deliveries, shut the runtime down, flush the WAL
+  into the main file.
+* **Crash** (``kill -9``): nothing runs; the next :meth:`start` is the
+  recovery path.  Cold-start recovery happens *before* any new work is
+  leased: every task the WAL still shows leased is requeued (the dead
+  incarnation can never report back), and shared-memory/spill segments
+  of dead incarnations are swept via the store's prefix-scoped orphan
+  logic — each incarnation registers its store prefix durably, and
+  only prefixes whose recorded pid is gone are swept, so two live
+  services sharing spill directories never collect each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any
+
+from repro.runtime import observability as obs
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.engine import Runtime
+from repro.runtime.store import sweep_prefix
+from repro.service.db import Database
+from repro.service.queue import DurableQueue
+from repro.service.worker import ServiceWorkerPool
+
+__all__ = ["QueueService", "ServiceConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Validated configuration of one :class:`QueueService`."""
+
+    data_dir: str
+    workers: int = 2
+    #: Execution backend of the embedded runtime ("threads" or
+    #: "processes" — real worker processes with the shared-memory
+    #: data plane).
+    backend: str = "threads"
+    #: Lease duration; a delivery that misses heartbeats for this long
+    #: is presumed dead and redelivered.
+    lease_timeout: float = 5.0
+    #: Lease-extension period (default: lease_timeout / 3).
+    heartbeat_interval: float | None = None
+    #: Worker idle poll (the sqlite file is the signalling channel).
+    poll_interval: float = 0.05
+    #: Lease-expiry sweep period (default: lease_timeout / 2).
+    sweep_interval: float | None = None
+    default_max_retries: int = 2
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 2.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned elsewhere
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class QueueService:
+    """One server incarnation over a data directory."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.data_dir = Path(config.data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.server_id = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self.db = Database(self.data_dir / "queue.db")
+        self.queue = DurableQueue(
+            self.db,
+            default_max_retries=config.default_max_retries,
+            retry_backoff=config.retry_backoff,
+            retry_backoff_cap=config.retry_backoff_cap,
+            jitter_seed=config.jitter_seed,
+        )
+        self.runtime: Runtime | None = None
+        self.pool: ServiceWorkerPool | None = None
+        self.recovery: dict[str, Any] = {}
+        self._sweeper: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._terminate = threading.Event()
+        self.started = False
+        self.stopped = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "QueueService":
+        """Recover, then serve.  Recovery runs before the first lease:
+        a restarted server resumes the WAL's queue exactly where the
+        dead incarnation left it."""
+        if self.started:
+            return self
+        self.started = True
+        self.recovery = self._recover_cold_start()
+        cfg = self.config
+        self.runtime = Runtime(
+            config=RuntimeConfig(
+                executor="threads",
+                backend=cfg.backend,
+                max_workers=cfg.workers,
+                name=f"svc-{self.server_id}",
+                store_spill_dir=str(self.data_dir / "spill"),
+            )
+        )
+        self._register_store_prefix()
+        self.pool = ServiceWorkerPool(
+            self.queue,
+            self.runtime,
+            server_id=self.server_id,
+            n_workers=cfg.workers,
+            lease_timeout=cfg.lease_timeout,
+            heartbeat_interval=cfg.heartbeat_interval,
+            poll_interval=cfg.poll_interval,
+        )
+        self.pool.start()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="svc-sweeper", daemon=True
+        )
+        self._sweeper.start()
+        return self
+
+    def _recover_cold_start(self) -> dict[str, Any]:
+        requeued = self.queue.recover(self.server_id)
+        swept_prefixes: list[str] = []
+        swept_files = 0
+        spill_root = self.data_dir / "spill"
+        rows = self.db.query("SELECT prefix, pid FROM store_prefixes")
+        for row in rows:
+            if _pid_alive(row["pid"]):
+                continue  # a live sibling service: not ours to sweep
+            swept_files += sweep_prefix(row["prefix"], spill_dir=spill_root)
+            swept_prefixes.append(row["prefix"])
+        if swept_prefixes:
+            with self.db.transaction() as conn:
+                for prefix in swept_prefixes:
+                    conn.execute(
+                        "DELETE FROM store_prefixes WHERE prefix = ?", (prefix,)
+                    )
+        return {
+            "requeued_tasks": requeued,
+            "swept_prefixes": swept_prefixes,
+            "swept_segment_files": swept_files,
+        }
+
+    def _register_store_prefix(self) -> None:
+        assert self.runtime is not None
+        prefix = self.runtime.store.prefix  # forces store creation
+        with self.db.transaction() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO store_prefixes "
+                "(prefix, pid, server, registered_at) VALUES (?, ?, ?, ?)",
+                (prefix, os.getpid(), self.server_id, time.time()),
+            )
+
+    def _sweep_loop(self) -> None:
+        interval = (
+            self.config.sweep_interval
+            if self.config.sweep_interval is not None
+            else self.config.lease_timeout / 2.0
+        )
+        while not self._stop.wait(interval):
+            try:
+                self.queue.expire_leases()
+            except Exception:  # noqa: BLE001 - next sweep retries
+                pass
+
+    # -- shutdown -------------------------------------------------------
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful exit: stop leasing, finish in-flight deliveries,
+        shut the runtime (and its store) down, flush the WAL."""
+        if self.stopped:
+            return True
+        self.stopped = True
+        ok = True
+        if self.pool is not None:
+            ok = self.pool.drain(timeout)
+        self._stop.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout)
+        if self.runtime is not None:
+            prefix = self.runtime._store.prefix if self.runtime._store else None
+            self.runtime.shutdown(wait=True)
+            if prefix is not None:
+                # Clean exit: this incarnation's segments are gone, so
+                # drop its prefix registration.
+                with self.db.transaction() as conn:
+                    conn.execute(
+                        "DELETE FROM store_prefixes WHERE prefix = ?", (prefix,)
+                    )
+        try:
+            self.db.checkpoint(truncate=True)
+        except Exception:  # noqa: BLE001 - the WAL replays on next open
+            pass
+        self.db.close()
+        return ok
+
+    stop = drain
+
+    def install_signal_handlers(self) -> None:
+        """``SIGTERM``/``SIGINT`` → leave :meth:`serve_forever`, which
+        then drains.  A no-op off the main thread (embedded servers
+        are stopped via :meth:`drain` or ``until_idle`` instead)."""
+
+        def handler(signum, frame):  # noqa: ARG001
+            self._terminate.set()
+
+        try:
+            signal.signal(signal.SIGTERM, handler)
+            signal.signal(signal.SIGINT, handler)
+        except ValueError:  # not the main thread
+            pass
+
+    def serve_forever(self, *, until_idle: bool = False, tick: float = 0.1) -> None:
+        """Block until terminated (or, with *until_idle*, until the
+        queue is empty and nothing is in flight), then drain."""
+        assert self.pool is not None, "call start() first"
+        while not self._terminate.wait(tick):
+            if until_idle and self.queue.outstanding() == 0 and self.pool.in_flight == 0:
+                break
+        self.drain()
+
+    # -- introspection --------------------------------------------------
+    def metrics(self) -> dict[str, Any]:
+        """One snapshot covering the embedded runtime *and* the queue
+        (per-tenant depth/lease gauges, durable op counters)."""
+        assert self.runtime is not None, "call start() first"
+        snapshot = self.runtime.metrics()
+        return obs.merge_service_stats(snapshot, self.queue.stats())
+
+    def metrics_text(self) -> str:
+        return obs.to_prometheus(self.metrics())
+
+    def status(self) -> dict[str, Any]:
+        stats = self.queue.stats()
+        return {
+            "server_id": self.server_id,
+            "data_dir": str(self.data_dir),
+            "outstanding": self.queue.outstanding(),
+            "in_flight": self.pool.in_flight if self.pool is not None else 0,
+            "tenants": stats["tenants"],
+            "counters": stats["counters"],
+            "recovery": self.recovery,
+        }

@@ -298,6 +298,73 @@ def test_worker_crash_leaves_no_segments_behind():
     assert not list(Path("/dev/shm").glob(f"{prefix}*"))
 
 
+def test_worker_crash_releases_transfer_pins():
+    """A store-shipped argument is pinned resident for the duration of
+    the dispatch; when the worker dies mid-task the coordinator must
+    release those transfer pins on the failure path, or the entries
+    stay unspillable and unevictable forever.  After the retry
+    completes, zero pins may remain."""
+    from repro.runtime import faults
+
+    cfg = RuntimeConfig(
+        backend="processes", max_workers=2, store_threshold_bytes=1024
+    )
+    with faults.inject(faults.kill_worker("_double", 1)):
+        with Runtime(config=cfg) as rt:
+            block = np.ones(2048)
+            out = wait_on(_double.opts(max_retries=2)(block))
+            assert np.array_equal(out, block * 2.0)
+            stats = rt.store.stats()
+            assert rt.stats()["backend_stats"]["worker_crashes"] == 1
+            assert stats["n_pinned"] == 0
+            assert stats["pinned_bytes"] == 0
+
+
+def test_sweep_prefix_is_scoped_to_one_store(tmp_path):
+    """Two stores sharing /dev/shm and one spill root: sweeping the
+    prefix of a dead store must not touch the live one's segments —
+    concurrent services pointed at the same directories stay isolated."""
+    from repro.runtime.store import sweep_prefix
+
+    a = _store(capacity_bytes=4096, spill_dir=tmp_path)
+    b = _store(capacity_bytes=4096, spill_dir=tmp_path)
+    try:
+        # Both stores hold segments in shm plus a spilled block in the
+        # shared spill root (capacity fits one 4 KiB block, so the
+        # second put evicts the first to disk).
+        b_refs = []
+        for store in (a, b):
+            refs = [store.put(np.full(512, float(i + 1))) for i in range(2)]
+            if store is b:
+                b_refs = refs
+        assert list(Path("/dev/shm").glob(f"{a.prefix}*"))
+        assert list(Path("/dev/shm").glob(f"{b.prefix}*"))
+        assert (tmp_path / f"repro-store-{a.prefix}").is_dir()
+
+        # Simulate store A dying without cleanup, then a cold-start
+        # sweep of exactly its prefix.
+        a_prefix = a.prefix
+        removed = sweep_prefix(a_prefix, spill_dir=tmp_path)
+        assert removed > 0
+        assert not list(Path("/dev/shm").glob(f"{a_prefix}*"))
+        assert not (tmp_path / f"repro-store-{a_prefix}").exists()
+        # B's world is untouched: shm segments, spill dir, and data.
+        assert list(Path("/dev/shm").glob(f"{b.prefix}*"))
+        assert (tmp_path / f"repro-store-{b.prefix}").is_dir()
+        for i, ref in enumerate(b_refs):
+            assert float(b.get(ref)[0]) == float(i + 1)
+    finally:
+        b.shutdown()
+        sweep_prefix(a.prefix, spill_dir=tmp_path)
+
+
+def test_sweep_prefix_rejects_empty_prefix():
+    from repro.runtime.store import sweep_prefix
+
+    with pytest.raises(ValueError):
+        sweep_prefix("")
+
+
 def test_runtime_shutdown_unlinks_all_segments():
     cfg = RuntimeConfig(
         backend="processes", max_workers=2, store_threshold_bytes=1024

@@ -1,0 +1,158 @@
+"""Tests of the service client: task references, lineage signatures,
+submission semantics, result retrieval and error surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import task
+from repro.service.client import (
+    ServiceClient,
+    ServiceTaskError,
+    submission_signature,
+    task_reference,
+)
+from repro.service.demo import add
+from repro.service.server import QueueService, ServiceConfig
+
+DEMO = "repro.service.demo"
+
+
+@pytest.fixture()
+def client(tmp_path):
+    with ServiceClient(tmp_path / "data") as c:
+        yield c
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = QueueService(
+        ServiceConfig(
+            data_dir=str(tmp_path / "data"), workers=2,
+            lease_timeout=3.0, poll_interval=0.01,
+        )
+    ).start()
+    yield svc
+    svc.drain(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# references and signatures
+# ----------------------------------------------------------------------
+def test_task_reference_from_string():
+    assert task_reference(f"{DEMO}:add") == (DEMO, "add", "add")
+
+
+def test_task_reference_from_callable():
+    assert task_reference(add) == (DEMO, "add", "add")
+
+
+def test_task_reference_unwraps_task_decorator():
+    @task(returns=1)
+    def decorated(x):
+        return x
+
+    # the @task wrapper carries .spec.func; module-level requirement
+    # still applies, so expect a rejection for this <locals> function
+    with pytest.raises(ValueError):
+        task_reference(decorated)
+
+
+def test_task_reference_rejects_malformed():
+    for bad in ("no-colon", ":x", "m:", lambda x: x):
+        with pytest.raises(ValueError):
+            task_reference(bad)
+
+
+def test_signature_depends_on_arguments_and_tenant():
+    base = submission_signature(add, (1, 2), {}, tenant="t")
+    assert submission_signature(add, (1, 2), {}, tenant="t") == base
+    assert submission_signature(add, (1, 3), {}, tenant="t") != base
+    assert submission_signature(add, (1, 2), {}, tenant="u") != base
+
+
+def test_signature_key_overrides_arguments():
+    a = submission_signature(add, (1, 2), {}, tenant="t", key="run-1")
+    b = submission_signature(add, (9, 9), {}, tenant="t", key="run-1")
+    c = submission_signature(add, (1, 2), {}, tenant="t", key="run-2")
+    assert a == b != c
+
+
+def test_unfingerprintable_arguments_get_nonce():
+    fn = f"{DEMO}:add"
+    a = submission_signature(fn, (lambda: 0,), {}, tenant="t")
+    b = submission_signature(fn, (lambda: 0,), {}, tenant="t")
+    assert a != b  # each submission distinct, never silently merged
+
+
+# ----------------------------------------------------------------------
+# offline submission semantics (no server needed)
+# ----------------------------------------------------------------------
+def test_submit_is_idempotent_for_same_call(client):
+    first = client.submit(f"{DEMO}:add", 1, 2)
+    second = client.submit(f"{DEMO}:add", 1, 2)
+    third = client.submit(f"{DEMO}:add", 1, 3)
+    assert first == second != third
+
+
+def test_submit_key_distinguishes_identical_calls(client):
+    a = client.submit(f"{DEMO}:add", 1, 2, key="first")
+    b = client.submit(f"{DEMO}:add", 1, 2, key="second")
+    assert a != b
+
+
+def test_cancel_and_list(client):
+    task_id = client.submit(f"{DEMO}:add", 5, 5)
+    assert client.cancel(task_id) == "cancelled"
+    assert client.list_tasks(state="cancelled")[0]["id"] == task_id
+    with pytest.raises(ServiceTaskError) as err:
+        client.result(task_id, timeout=1)
+    assert err.value.state == "cancelled"
+
+
+def test_reprioritize_via_client(client):
+    task_id = client.submit(f"{DEMO}:sleep_ms", 1)
+    assert client.reprioritize(task_id, 7) is True
+    assert client.status(task_id)["priority"] == 7
+
+
+def test_result_timeout(client):
+    task_id = client.submit(f"{DEMO}:add", 1, 1)  # no server running
+    with pytest.raises(TimeoutError):
+        client.result(task_id, timeout=0.2)
+
+
+def test_result_unknown_task(client):
+    with pytest.raises(ServiceTaskError) as err:
+        client.result(12345, timeout=0.2)
+    assert err.value.state == "unknown"
+
+
+# ----------------------------------------------------------------------
+# against a live server
+# ----------------------------------------------------------------------
+def test_roundtrip_with_kwargs_and_callable(service, tmp_path):
+    with ServiceClient(tmp_path / "data") as client:
+        task_id = client.submit(add, 40, b=2)
+        assert client.result(task_id, timeout=20) == 42
+
+
+def test_failed_task_raises_with_body_error(service, tmp_path):
+    with ServiceClient(tmp_path / "data") as client:
+        task_id = client.submit(
+            f"{DEMO}:flaky_add", 1, 2, fail_attempts=99, max_retries=0
+        )
+        with pytest.raises(ServiceTaskError) as err:
+            client.result(task_id, timeout=20)
+        assert err.value.state == "failed"
+        assert "RuntimeError" in err.value.detail
+
+
+def test_wait_all_mixed_outcomes(service, tmp_path):
+    with ServiceClient(tmp_path / "data") as client:
+        good = client.submit(f"{DEMO}:add", 2, 2)
+        bad = client.submit(
+            f"{DEMO}:flaky_add", 1, 1, fail_attempts=99, max_retries=0
+        )
+        values = client.wait_all([good, bad], timeout=30)
+    assert values == {good: 4}

@@ -1,0 +1,114 @@
+"""Tests of the ``repro serve`` / ``submit`` / ``queue`` CLI surface
+(in-process via ``cli.main``; the cross-process server path is covered
+by the chaos suite)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cli import _parse_fault_spec, main
+
+DEMO = "repro.service.demo"
+
+
+def test_submit_then_serve_until_idle_then_queue_views(tmp_path, capsys):
+    data = str(tmp_path / "data")
+    assert main(["submit", "--data-dir", data, f"{DEMO}:add", "19", "23"]) == 0
+    out = capsys.readouterr().out
+    assert "task 1" in out
+
+    assert main([
+        "serve", "--data-dir", data, "--workers", "2",
+        "--lease-timeout", "3", "--poll-interval", "0.01", "--until-idle",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving" in out and "drained cleanly" in out
+
+    assert main(["submit", "--data-dir", data, f"{DEMO}:add", "19", "23",
+                 "--wait", "--timeout", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 42" in out  # idempotent resubmit found the result
+
+    assert main(["queue", "status", "--data-dir", data]) == 0
+    out = capsys.readouterr().out
+    assert "done=1" in out and "completions" in out
+
+    assert main(["queue", "list", "--data-dir", data]) == 0
+    out = capsys.readouterr().out
+    assert "done" in out and "add" in out
+
+    assert main(["queue", "provenance", "--data-dir", data]) == 0
+    out = capsys.readouterr().out
+    assert "submitted" in out and "completed" in out
+
+
+def test_submit_json_arguments_and_kwargs(tmp_path, capsys):
+    data = str(tmp_path / "data")
+    assert main([
+        "submit", "--data-dir", data, f"{DEMO}:mul",
+        "[1, 2]", "--kwarg", "b=3",
+    ]) == 0
+    capsys.readouterr()
+    done = threading.Thread(
+        target=main,
+        args=([
+            "serve", "--data-dir", data, "--poll-interval", "0.01",
+            "--lease-timeout", "3", "--until-idle",
+        ],),
+    )
+    done.start()
+    done.join(timeout=30)
+    assert not done.is_alive()
+    assert main(["submit", "--data-dir", data, f"{DEMO}:mul",
+                 "[1, 2]", "--kwarg", "b=3", "--wait", "--timeout", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "result: [1, 2, 1, 2, 1, 2]" in out  # [1,2] * 3
+
+
+def test_queue_cancel_and_reprioritize(tmp_path, capsys):
+    data = str(tmp_path / "data")
+    main(["submit", "--data-dir", data, f"{DEMO}:add", "1", "1"])
+    main(["submit", "--data-dir", data, f"{DEMO}:add", "2", "2"])
+    capsys.readouterr()
+    assert main(["queue", "reprioritize", "2", "--data-dir", data,
+                 "--priority", "9"]) == 0
+    assert main(["queue", "cancel", "1", "--data-dir", data]) == 0
+    assert main(["queue", "cancel", "99", "--data-dir", data]) == 1
+    out = capsys.readouterr().out
+    assert "priority set" in out and "cancelled" in out and "unknown" in out
+
+
+def test_queue_tenant_upsert(tmp_path, capsys):
+    data = str(tmp_path / "data")
+    assert main(["queue", "tenant", "--data-dir", data, "--name", "alpha",
+                 "--quota", "2", "--weight", "2.5"]) == 0
+    out = capsys.readouterr().out
+    assert "tenant alpha" in out
+    assert main(["queue", "tenant", "--data-dir", data]) == 2  # no --name
+
+
+def test_submit_rejects_bad_reference(tmp_path, capsys):
+    assert main(["submit", "--data-dir", str(tmp_path / "d"), "not-a-ref"]) == 2
+    assert "submit failed" in capsys.readouterr().err
+
+
+def test_submit_rejects_bad_kwarg(tmp_path, capsys):
+    assert main(["submit", "--data-dir", str(tmp_path / "d"),
+                 f"{DEMO}:add", "--kwarg", "nonsense"]) == 2
+    assert "NAME=JSON" in capsys.readouterr().err
+
+
+def test_parse_fault_spec():
+    rule = _parse_fault_spec("kill_worker:append_line:3")
+    assert rule.task == "append_line" and rule.kind == "kill_worker"
+    assert rule.executions == frozenset({3})
+    assert _parse_fault_spec("fail:foo:1").kind == "fail"
+    delay = _parse_fault_spec("delay:foo:2:0.5")
+    assert delay.kind == "delay" and delay.delay == 0.5
+    import argparse
+
+    for bad in ("nope:foo:1", "kill_worker:foo", "kill_worker:foo:x"):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault_spec(bad)

@@ -1,0 +1,184 @@
+"""Tests of the service worker pool: execution through the embedded
+runtime, attempt propagation, failure reporting, the dedup fast path,
+heartbeating, drain."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.runtime import Runtime, RuntimeConfig
+from repro.service.db import Database
+from repro.service.queue import DurableQueue
+from repro.service.worker import ServiceWorkerPool, _encode_result
+
+DEMO = "repro.service.demo"
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    db = Database(tmp_path / "queue.db")
+    q = DurableQueue(db, retry_backoff=0.01, retry_backoff_cap=0.05)
+    yield q
+    db.close()
+
+
+@pytest.fixture()
+def runtime():
+    with Runtime(config=RuntimeConfig(executor="threads", max_workers=2)) as rt:
+        yield rt
+
+
+@pytest.fixture()
+def pool(queue, runtime):
+    p = ServiceWorkerPool(
+        queue,
+        runtime,
+        server_id="t",
+        n_workers=2,
+        lease_timeout=5.0,
+        poll_interval=0.01,
+    )
+    yield p
+    p.drain(timeout=10)
+
+
+def submit(queue, qualname, *args, i=0, name=None, max_retries=2, **kwargs):
+    return queue.submit(
+        tenant="default",
+        name=name or qualname,
+        module=DEMO,
+        qualname=qualname,
+        payload=pickle.dumps((args, kwargs)),
+        signature=f"sig-{qualname}-{i}",
+        max_retries=max_retries,
+    )
+
+
+def wait_done(queue, task_id, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        row = queue.task(task_id)
+        if row["state"] in ("done", "failed", "cancelled"):
+            return row
+        time.sleep(0.01)
+    raise TimeoutError(f"task {task_id} still {queue.task(task_id)['state']}")
+
+
+def test_pool_executes_and_records_result(queue, pool):
+    task_id = submit(queue, "add", 2, 3)
+    pool.start()
+    row = wait_done(queue, task_id)
+    assert row["state"] == "done"
+    result = queue.lookup_result(row["signature"])
+    assert result["status"] == "ok"
+    assert pickle.loads(result["payload"]) == 5
+
+
+def test_body_failure_reported_and_redelivered_to_success(queue, pool):
+    """flaky demo task: attempt 0 raises, the redelivery (attempt 1,
+    visible to the body via current_attempt) succeeds."""
+    task_id = submit(queue, "flaky_add", 1, 2, fail_attempts=1)
+    pool.start()
+    row = wait_done(queue, task_id)
+    assert row["state"] == "done"
+    assert row["attempt"] == 1
+    counters = queue.stats()["counters"]
+    assert counters["redeliveries"] == 1
+    assert pickle.loads(queue.lookup_result(row["signature"])["payload"]) == 3
+
+
+def test_exhausted_retries_bury_with_body_error(queue, pool):
+    task_id = submit(queue, "flaky_add", 1, 2, fail_attempts=99, max_retries=1)
+    pool.start()
+    row = wait_done(queue, task_id)
+    assert row["state"] == "failed"
+    result = queue.lookup_result(row["signature"])
+    assert result["status"] == "error"
+    assert b"RuntimeError" in result["payload"]  # unwrapped body error
+
+
+def test_unknown_function_fails_cleanly(queue, pool):
+    task_id = submit(queue, "no_such_function", max_retries=0)
+    pool.start()
+    row = wait_done(queue, task_id)
+    assert row["state"] == "failed"
+    result = queue.lookup_result(row["signature"])
+    assert result["status"] == "error"
+
+
+def test_dedup_fast_path_skips_execution(queue, runtime, tmp_path):
+    """A claim whose signature already has a result is resolved
+    without running the body: the effect file stays untouched."""
+    effects = tmp_path / "effects.txt"
+    task_id = submit(queue, "append_line", str(effects), "once")
+    # a presumed-dead twin's result lands between this delivery's claim
+    # and execution — inject the result row the race would leave behind
+    signature = queue.task(task_id)["signature"]
+    with queue.db.transaction() as conn:
+        conn.execute(
+            "INSERT INTO results (signature, task_id, status, payload, worker, "
+            "attempt, recorded_at) VALUES (?, ?, 'ok', ?, 'twin', 0, 0)",
+            (signature, task_id, pickle.dumps("once")),
+        )
+    pool = ServiceWorkerPool(
+        queue, runtime, server_id="t", n_workers=1, poll_interval=0.01
+    )
+    pool.start()
+    try:
+        row = wait_done(queue, task_id)
+    finally:
+        pool.drain(timeout=10)
+    assert row["state"] == "done"
+    assert not effects.exists()  # never executed again
+    assert queue.stats()["counters"]["dedup_skips"] == 1
+
+
+def test_heartbeats_keep_long_task_leased(queue, runtime):
+    pool = ServiceWorkerPool(
+        queue, runtime, server_id="t", n_workers=1,
+        lease_timeout=0.3, poll_interval=0.01,
+    )
+    task_id = submit(queue, "sleep_ms", 900)
+    pool.start()
+    try:
+        # the lease outlives several timeouts thanks to heartbeats
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if queue.task(task_id)["state"] == "done":
+                break
+            assert queue.expire_leases() == []
+            time.sleep(0.05)
+        assert queue.task(task_id)["state"] == "done"
+        assert queue.stats()["counters"]["heartbeats"] >= 2
+    finally:
+        pool.drain(timeout=10)
+    assert queue.task(task_id)["attempt"] == 0  # never went dark
+
+
+def test_drain_finishes_in_flight_then_stops_claiming(queue, pool):
+    first = submit(queue, "sleep_ms", 300, i=0)
+    pool.start()
+    deadline = time.monotonic() + 5.0
+    while queue.task(first)["state"] == "queued" and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert pool.drain(timeout=10.0) is True
+    assert queue.task(first)["state"] == "done"  # in-flight work finished
+    late = submit(queue, "add", 1, 1, i=1)
+    time.sleep(0.1)
+    assert queue.task(late)["state"] == "queued"  # no claims after drain
+
+
+def test_pool_validates_parameters(queue, runtime):
+    with pytest.raises(ValueError):
+        ServiceWorkerPool(queue, runtime, server_id="t", n_workers=0)
+    with pytest.raises(ValueError):
+        ServiceWorkerPool(queue, runtime, server_id="t", lease_timeout=0.0)
+
+
+def test_encode_result_degrades_unpicklable():
+    value = _encode_result(lambda: None)  # lambdas do not pickle
+    assert b"unpicklable" in value
+    assert pickle.loads(value).startswith("<unpicklable result:")
