@@ -1,4 +1,4 @@
-.PHONY: check lint test inventory resilience stress obs backend dataplane service
+.PHONY: check lint test inventory resilience stress obs backend dataplane service fuse
 
 check:
 	bash scripts/check.sh
@@ -29,3 +29,6 @@ dataplane:
 
 service:
 	bash scripts/check.sh service
+
+fuse:
+	bash scripts/check.sh fuse

@@ -12,6 +12,7 @@
 #   scripts/check.sh obs         observability smoke (metrics/trace exports)
 #   scripts/check.sh dataplane   store tests + store-mode stress + pipe-bytes bench
 #   scripts/check.sh service     queue-service chaos smoke + queue-op latency bench
+#   scripts/check.sh fuse        fusion-on stress + fusion on/off bit-identity differential
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +47,20 @@ run_stress() {
     # family + a second mixed round); `make stress` runs 20 seeds.
     echo "== scheduler concurrency stress (fixed seeds) =="
     PYTHONPATH=src python -m repro stress --seed 0 --seed 1 --seed 2 --seed 3 --seed 4 --seed 7
+}
+
+run_fuse() {
+    # The task-fusion pass: the randomized stress scenarios with
+    # fusion enabled (same reference checks, so any fusion-induced
+    # divergence fails the seed), then the deterministic differential
+    # that runs each seed's DAG fusion-off and fusion-on and requires
+    # bit-identical values and matching task counts.
+    echo "== stress with task fusion enabled (fixed seeds) =="
+    PYTHONPATH=src python -m repro stress --fuse \
+        --seed 0 --seed 1 --seed 2 --seed 3 --seed 4 --seed 7
+    echo "== fusion on/off bit-identity differential =="
+    PYTHONPATH=src python -m repro stress --differential \
+        --seed 0 --seed 1 --seed 2 --seed 3
 }
 
 run_obs() {
@@ -106,6 +121,7 @@ case "$mode" in
     obs)        run_obs ;;
     dataplane)  run_dataplane ;;
     service)    run_service ;;
-    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_obs; run_backend; run_dataplane; run_service ;;
-    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane|service]" >&2; exit 2 ;;
+    fuse)       run_fuse ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_fuse; run_obs; run_backend; run_dataplane; run_service ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane|service|fuse]" >&2; exit 2 ;;
 esac

@@ -18,6 +18,28 @@ from repro.dsarray import blocking as bk
 from repro.runtime import wait_on
 
 
+def _submit_rows(call_rows: list[list[tuple]]) -> list[list[Any]]:
+    """Run a row-major grid of ``(task, args)`` calls.
+
+    Inside a runtime the whole grid is deferred and submitted as one
+    ``submit_many`` batch: the submit-path locking is paid once per
+    array operation instead of once per block, and the task-fusion
+    pass sees whole map stages it can collapse (chained block maps
+    fuse into one unit per block).  Without a runtime each call runs
+    eagerly on plain arrays, exactly like calling the task directly.
+    """
+    from repro.runtime import engine
+
+    rt = engine.active_runtime()
+    if rt is None:
+        return [[fn(*args) for fn, args in row] for row in call_rows]
+    futures = rt.submit_many(
+        [fn.defer(*args) for row in call_rows for fn, args in row]
+    )
+    it = iter(futures)
+    return [[next(it) for _ in row] for row in call_rows]
+
+
 class Array:
     """A dense 2-D array partitioned in regular blocks.
 
@@ -154,8 +176,11 @@ class Array:
         )
 
     def map_blocks(self, func: Callable[[np.ndarray], np.ndarray]) -> "Array":
-        """Apply a shape-preserving function to every block (one task each)."""
-        grid = [[bk.apply_block(func, b) for b in row] for row in self._blocks]
+        """Apply a shape-preserving function to every block (one task
+        each, submitted as a single batch)."""
+        grid = _submit_rows(
+            [[(bk.apply_block, (func, b)) for b in row] for row in self._blocks]
+        )
         return Array(grid, self._shape, self._block_size)
 
     # ------------------------------------------------------------------
@@ -168,18 +193,22 @@ class Array:
                     "elementwise ops need matching shape and block_size: "
                     f"{self.shape}/{self.block_size} vs {other.shape}/{other.block_size}"
                 )
-            grid = [
+            grid = _submit_rows(
                 [
-                    bk.elementwise_block(op, a, b)
-                    for a, b in zip(row_a, row_b)
+                    [
+                        (bk.elementwise_block, (op, a, b))
+                        for a, b in zip(row_a, row_b)
+                    ]
+                    for row_a, row_b in zip(self._blocks, other._blocks)
                 ]
-                for row_a, row_b in zip(self._blocks, other._blocks)
-            ]
+            )
         elif isinstance(other, (int, float, np.integer, np.floating)):
-            grid = [
-                [bk.elementwise_block(op, a, other) for a in row]
-                for row in self._blocks
-            ]
+            grid = _submit_rows(
+                [
+                    [(bk.elementwise_block, (op, a, other)) for a in row]
+                    for row in self._blocks
+                ]
+            )
         else:
             return NotImplemented  # type: ignore[return-value]
         return Array(grid, self._shape, self._block_size)
@@ -201,16 +230,25 @@ class Array:
             raise ValueError("inner block sizes must match for matmul")
         nbi, nbk = self.n_blocks
         nbj = other.n_blocks[1]
-        grid = []
-        for i in range(nbi):
-            out_row = []
-            for j in range(nbj):
-                partials = [
-                    bk.matmul_pair(self._blocks[i][k], other._blocks[k][j])
+        # One batch for every (i, k, j) product, then a second batch
+        # for the per-output-block reductions (a reduction consumes
+        # futures of the first batch, so it cannot join it).
+        partials = _submit_rows(
+            [
+                [
+                    (bk.matmul_pair, (self._blocks[i][k], other._blocks[k][j]))
                     for k in range(nbk)
                 ]
-                out_row.append(partials[0] if nbk == 1 else bk.add_reduce(partials))
-            grid.append(out_row)
+                for i in range(nbi)
+                for j in range(nbj)
+            ]
+        )
+        if nbk == 1:
+            flat = [p[0] for p in partials]
+        else:
+            reduced = _submit_rows([[(bk.add_reduce, (p,))] for p in partials])
+            flat = [row[0] for row in reduced]
+        grid = [[flat[i * nbj + j] for j in range(nbj)] for i in range(nbi)]
         return Array(
             grid,
             shape=(self._shape[0], other._shape[1]),
@@ -238,7 +276,9 @@ class Array:
             return getattr(block, op)(axis=axis)
 
         partials = wait_on(
-            [[bk.apply_block(partial, b) for b in row] for row in self._blocks]
+            _submit_rows(
+                [[(bk.apply_block, (partial, b)) for b in row] for row in self._blocks]
+            )
         )
         if axis == 0:
             cols = []

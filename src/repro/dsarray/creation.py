@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dsarray import blocking as bk
-from repro.dsarray.array import Array
+from repro.dsarray.array import Array, _submit_rows
 
 
 def array(data: np.ndarray, block_size: tuple[int, int]) -> Array:
@@ -22,10 +22,12 @@ def array(data: np.ndarray, block_size: tuple[int, int]) -> Array:
         raise ValueError(f"ds-array is 2-D, got ndim={data.ndim}")
     rows = bk.grid(data.shape[0], block_size[0])
     cols = bk.grid(data.shape[1], block_size[1])
-    grid = [
-        [bk.slice_block(data, r0, r1, c0, c1) for c0, c1 in cols]
-        for r0, r1 in rows
-    ]
+    grid = _submit_rows(
+        [
+            [(bk.slice_block, (data, r0, r1, c0, c1)) for c0, c1 in cols]
+            for r0, r1 in rows
+        ]
+    )
     return Array(grid, shape=data.shape, block_size=block_size)
 
 
@@ -35,24 +37,26 @@ def random_array(
     """Uniform [0, 1) random ds-array; one generator task per block."""
     rows = bk.grid(shape[0], block_size[0])
     cols = bk.grid(shape[1], block_size[1])
-    grid = []
+    calls = []
     seed = random_state
     for r0, r1 in rows:
         row = []
         for c0, c1 in cols:
-            row.append(bk.random_block(r1 - r0, c1 - c0, seed))
+            row.append((bk.random_block, (r1 - r0, c1 - c0, seed)))
             seed += 1
-        grid.append(row)
-    return Array(grid, shape=shape, block_size=block_size)
+        calls.append(row)
+    return Array(_submit_rows(calls), shape=shape, block_size=block_size)
 
 
 def full(shape: tuple[int, int], block_size: tuple[int, int], value: float) -> Array:
     rows = bk.grid(shape[0], block_size[0])
     cols = bk.grid(shape[1], block_size[1])
-    grid = [
-        [bk.full_block(r1 - r0, c1 - c0, value) for c0, c1 in cols]
-        for r0, r1 in rows
-    ]
+    grid = _submit_rows(
+        [
+            [(bk.full_block, (r1 - r0, c1 - c0, value)) for c0, c1 in cols]
+            for r0, r1 in rows
+        ]
+    )
     return Array(grid, shape=shape, block_size=block_size)
 
 

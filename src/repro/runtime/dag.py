@@ -27,6 +27,18 @@ class TaskGraph:
             for dep in deps:
                 self._graph.add_edge(dep, task_id)
 
+    def add_tasks(
+        self,
+        nodes: Iterable[tuple[int, dict]],
+        edges: Iterable[tuple[int, int]],
+    ) -> None:
+        """Insert a whole submission batch under one lock acquisition:
+        *nodes* as ``(task_id, attrs)`` pairs (attrs must include
+        ``name``), *edges* as ``(dep, task_id)`` pairs."""
+        with self._lock:
+            self._graph.add_nodes_from(nodes)
+            self._graph.add_edges_from(edges)
+
     def add_retry(self, prev_id: int, new_id: int, name: str, attempt: int, **attrs) -> None:
         """Add a resubmission attempt node, chained to the failed
         attempt by a ``kind="retry"`` edge (rendered dashed in DOT)."""
@@ -37,6 +49,15 @@ class TaskGraph:
     def set_attr(self, task_id: int, **attrs) -> None:
         with self._lock:
             self._graph.nodes[task_id].update(attrs)
+
+    def set_attrs(self, updates: Iterable[tuple[int, dict]]) -> None:
+        """Apply many ``(task_id, attrs)`` updates under one lock
+        acquisition (the fused-unit completion path batches its
+        members' terminal-state stamps through here)."""
+        with self._lock:
+            nodes = self._graph.nodes
+            for task_id, attrs in updates:
+                nodes[task_id].update(attrs)
 
     # -- analyses ---------------------------------------------------------
     def snapshot(self) -> nx.DiGraph:

@@ -61,11 +61,12 @@ import warnings
 from typing import Any, Callable, Iterable
 
 from repro.runtime import checkpoint as ckpt
-from repro.runtime.backends import create_backend
+from repro.runtime.backends import ThreadBackend, create_backend, current_attempt
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.dag import TaskGraph
 from repro.runtime.directions import Direction
 from repro.runtime.exceptions import (
+    NodeFailureError,
     RuntimeStateError,
     TaskExecutionError,
     TaskTimeoutError,
@@ -75,8 +76,10 @@ from repro.runtime.exceptions import (
 from repro.runtime.faults import on_task_execute as _fault_hook
 from repro.runtime.faults import worker_kill_requested as _worker_kill_hook
 from repro.runtime.failures import (
+    CANCEL_SUCCESSORS,
     FAIL,
     IGNORE,
+    RETRY,
     TaskOptions,
     resolve_options,
     retry_delay,
@@ -93,6 +96,7 @@ from repro.runtime.model import (
     RUNNING,
     TERMINAL_STATES,
     VALID_TRANSITIONS,
+    TaskCall,
     TaskInstance,
     TaskSpec,
 )
@@ -158,10 +162,62 @@ class Scope:
         with self._lock:
             return self._unfinished
 
+    def tasks_submitted(self, task_ids: list[int]) -> None:
+        """Record a whole submission batch under one lock acquisition."""
+        with self._lock:
+            self.task_ids.extend(task_ids)
+            self._unfinished += len(task_ids)
+
     def wait_all(self) -> None:
         """Block until every task submitted in this scope finished,
         helping to execute ready tasks meanwhile."""
         self.runtime._help_until(lambda: self.pending == 0)
+
+
+#: Upper bound on members per fused unit.  Bounds both the latency of
+#: the deferred unit-end broadcast (waiters on an interior member's
+#: future wake at most one unit later) and the work lost when a member
+#: fails and the rest of the unit is demoted to individual scheduling.
+_FUSE_MAX = 64
+
+
+class FusedTask:
+    """A chain of fusable task instances scheduled as one unit.
+
+    Members execute inline, in submission (== topological) order, on
+    the thread that claims the unit from the ready queue; interior
+    futures resolve locally, so no interior edge ever pays a heap
+    push/pop, wakeup or completion broadcast.  Members stay ``PENDING``
+    until individually claimed (``claim_run``), which keeps the
+    run/cancel race arbitration identical to unfused tasks.
+
+    ``broken`` flips when a member fails mid-unit: ``_fail`` demotes
+    the not-yet-run members back to normal dependency-driven
+    scheduling *before* resubmitting the failed member, so the
+    executing loop stops and nothing runs twice.
+    """
+
+    __slots__ = ("unit_id", "members", "broken")
+
+    def __init__(self, head: TaskInstance) -> None:
+        #: The head member's task id names the unit (``fused_id`` in
+        #: trace records, ``fused`` node attribute in the DAG).
+        self.unit_id = head.task_id
+        self.members: list[TaskInstance] = [head]
+        self.broken = False
+
+
+class _FusedCompletion:
+    """Deferred completion side effects of one executing fused unit:
+    per-member DAG state stamps batch into one graph-lock acquisition
+    and the per-member completion broadcast collapses into a single
+    broadcast at unit end."""
+
+    __slots__ = ("attrs", "dirty")
+
+    def __init__(self) -> None:
+        self.attrs: list[tuple[int, dict]] = []
+        self.dirty = False
 
 
 class Runtime:
@@ -255,6 +311,10 @@ class Runtime:
             store=self.store if ref_transport else None,
             locality=cfg.locality,
         )
+        #: True when task bodies run on the calling thread with no
+        #: serialization boundary — the precondition for the fused
+        #: units' lean member loop (which calls bodies directly).
+        self._backend_inline = type(self._backend) is ThreadBackend
         self.graph = TaskGraph()
         self.registry = DataRegistry()
         self.collector = TraceCollector()
@@ -292,9 +352,11 @@ class Runtime:
         #: identity cache, signature table) — hashing itself runs
         #: outside every lock.
         self._sig_lock = threading.Lock()
-        #: ready heap: (-priority, seq, TaskInstance) — higher priority
-        #: first, FIFO within a priority level.  Guarded by ``_cond``.
-        self._ready: list[tuple[int, int, TaskInstance]] = []
+        #: ready heap: (-priority, seq, TaskInstance | FusedTask) —
+        #: higher priority first, FIFO within a priority level (seq is
+        #: unique, so the third slot never compares).  Guarded by
+        #: ``_cond``.
+        self._ready: list[tuple[int, int, Any]] = []
         self._ready_seq = 0
         #: The scheduler condition: workers and waiters park here with
         #: no timeout; every producer of work or progress notifies it.
@@ -302,6 +364,25 @@ class Runtime:
         self._shutdown = False
         self._threads: list[threading.Thread] = []
         self._timers: set[threading.Timer] = set()
+        # -- task fusion -----------------------------------------------
+        #: Fusion only applies to the pooled executor — the sequential
+        #: executor already runs every task inline at submission, so
+        #: there is no queue round trip to save.
+        self._fusion = cfg.fusion and cfg.executor == "threads"
+        #: Open (accumulating, not yet scheduled) fused units, keyed by
+        #: their *tail* member's root id so a submission depending on a
+        #: unit's tail finds and extends it in O(1).  Guarded by
+        #: ``_fuse_lock``; never held while acquiring ``_cond``.
+        self._fuse_pending: dict[int, FusedTask] = {}
+        self._fuse_lock = threading.Lock()
+        #: Resolved-options cache keyed by the identity of the
+        #: (spec options, call options) pair — floods of calls to the
+        #: same task re-merge identical options thousands of times on
+        #: the submit hot path otherwise.  Values keep strong refs to
+        #: the keyed objects so ids cannot be recycled underneath the
+        #: cache; reads/writes are single dict ops (atomic under the
+        #: interpreter lock), a lost race just recomputes.
+        self._opts_cache: dict[tuple[int, int], tuple] = {}
         self._epoch = time.perf_counter()
         self._unfinished_total = 0
         self._aborted: BaseException | None = None
@@ -354,6 +435,12 @@ class Runtime:
         live scope first — root *and* nested/detached ones — so no
         in-flight task is lost."""
         was_shutdown = self._shutdown
+        if self._fusion and not was_shutdown:
+            # Arm any still-buffered fused units so their members
+            # drain through the queue like ready tasks do — with
+            # ``wait=False`` the workers still empty the queue before
+            # exiting, so nothing is stranded PENDING.
+            self._flush_fused()
         if wait and not was_shutdown:
             self._help_until(lambda: self.unfinished == 0)
         with self._cond:
@@ -551,7 +638,7 @@ class Runtime:
         rather than restarting at zero).
         """
         self._check_accepting()
-        resolved = resolve_options(self.config, spec.options, options)
+        resolved = self._resolve_options_cached(spec, options)
         effective_label = label if label is not None else resolved.label
         scope = self._submission_scope()
 
@@ -567,7 +654,7 @@ class Runtime:
         try:
             if contended:
                 self._counters.submit_contentions += 1
-            task_id, deps = self._detect_deps_locked(spec, bound, future_deps)
+            task_id, deps = self._detect_deps_locked(spec, bound, future_deps, args, kwargs)
         finally:
             self._dep_lock.release()
 
@@ -578,7 +665,7 @@ class Runtime:
             inst.attempt = initial_attempt
 
         # -- phases 3-5: signature, DAG node, registration --------------
-        restored_values, unresolved, upstream_failed = self._register(inst, scope)
+        restored_values, unresolved, upstream_failed, sole_dep = self._register(inst, scope)
 
         if restored_values is not None:
             # Replay from the checkpoint store: the task never runs (its
@@ -590,6 +677,14 @@ class Runtime:
         elif self.executor == "sequential":
             # Submission order is a topological order, so deps are done.
             self._execute(inst)
+        elif self._fusion:
+            unit = self._try_fuse(inst, unresolved, sole_dep)
+            if unit is None and unresolved == 0:
+                self._enqueue(inst)
+            # Any open unit this submission did *not* touch stops
+            # accumulating: arm it now, so a submitter that moves on
+            # to other work cannot strand a buffered chain.
+            self._flush_fused(keep=(unit,) if unit is not None else ())
         elif unresolved == 0:
             self._enqueue(inst)
 
@@ -617,16 +712,20 @@ class Runtime:
         arise through INOUT object identity — which the ordered
         registry pass resolves exactly like sequential submissions.
         """
-        normalized = [self._normalize_call(call) for call in calls]
+        # Shutdown/abort must reject the batch before anything else —
+        # including the empty batch, for exact parity with submit().
+        self._check_accepting()
+        normalized = [
+            self._normalize_call(call, index) for index, call in enumerate(calls)
+        ]
         if not normalized:
             return []
-        self._check_accepting()
         scope = self._submission_scope()
 
         # -- phase 1 (no lock), once per call ---------------------------
         prepared = []
         for spec, args, kwargs, options, label in normalized:
-            resolved = resolve_options(self.config, spec.options, options)
+            resolved = self._resolve_options_cached(spec, options)
             effective_label = label if label is not None else resolved.label
             future_deps, bound = self._scan_call(spec, args, kwargs)
             prepared.append(
@@ -641,8 +740,10 @@ class Runtime:
         try:
             if contended:
                 self._counters.submit_contentions += 1
-            for spec, _args, _kwargs, _resolved, _label, future_deps, bound in prepared:
-                allocated.append(self._detect_deps_locked(spec, bound, future_deps))
+            for spec, args, kwargs, _resolved, _label, future_deps, bound in prepared:
+                allocated.append(
+                    self._detect_deps_locked(spec, bound, future_deps, args, kwargs)
+                )
         finally:
             self._dep_lock.release()
 
@@ -653,21 +754,49 @@ class Runtime:
             )
         ]
 
-        # -- phases 3-5 + dispatch, in call order -----------------------
+        if self.executor == "sequential":
+            # Per-call registration + in-order inline execution: an
+            # entry's INOUT deps on earlier batch entries are already
+            # done when it runs (batched registration would instead
+            # leave intra-batch children parked on a queue that the
+            # sequential executor never drains).
+            for inst in insts:
+                restored_values, _unresolved, upstream_failed, _sd = self._register(
+                    inst, scope
+                )
+                if restored_values is not None:
+                    self._restore(inst, restored_values)
+                elif upstream_failed:
+                    self._cancel_pending(inst)
+                else:
+                    self._execute(inst)
+            return [self._returns_of(inst) for inst in insts]
+
+        # -- phases 3-5: one batched registration pass ------------------
+        registered = self._register_batch(insts, scope)
+
+        # -- dispatch, in call order ------------------------------------
         ready_batch: list[TaskInstance] = []
-        for inst in insts:
-            restored_values, unresolved, upstream_failed = self._register(inst, scope)
+        touched: set[FusedTask] = set()
+        fusion = self._fusion
+        for inst, (restored_values, unresolved, upstream_failed, sole_dep) in zip(
+            insts, registered
+        ):
             if restored_values is not None:
                 self._restore(inst, restored_values)
             elif upstream_failed:
                 self._cancel_pending(inst)
-            elif self.executor == "sequential":
-                # In-order inline execution: an entry's INOUT deps on
-                # earlier batch entries are already done when it runs.
-                self._execute(inst)
+            elif fusion:
+                unit = self._try_fuse(inst, unresolved, sole_dep)
+                if unit is not None:
+                    touched.add(unit)
+                elif unresolved == 0:
+                    ready_batch.append(inst)
             elif unresolved == 0:
                 ready_batch.append(inst)
         self._enqueue_batch(ready_batch)
+        if fusion:
+            self._flush_fused(keep=touched)
 
         return [self._returns_of(inst) for inst in insts]
 
@@ -686,40 +815,109 @@ class Runtime:
             scope = self.root_scope
         return scope
 
-    def _normalize_call(self, call: Any) -> tuple:
+    def _normalize_call(self, call: Any, index: int | None = None) -> tuple:
         """Normalize one ``submit_many`` item to
-        ``(spec, args, kwargs, options, label)``."""
-        from repro.runtime.model import TaskCall
+        ``(spec, args, kwargs, options, label)``.
 
+        Accepts :class:`~repro.runtime.model.TaskCall` objects and any
+        2-3 element sequence ``(task, args[, kwargs])`` — tuple or
+        list.  A bad item raises a ``TypeError`` naming the offending
+        item's type and its batch *index*, so one malformed entry in a
+        10k-call batch is findable.
+
+        A ``TaskCall``'s args/kwargs are adopted without copying — the
+        frozen call object owns them (``defer`` builds them fresh per
+        call) and the engine never mutates submitted arguments.
+        """
         if isinstance(call, TaskCall):
-            return call.spec, call.args, dict(call.kwargs), call.options, call.label
-        if isinstance(call, tuple) and 2 <= len(call) <= 3:
+            return call.spec, call.args, call.kwargs, call.options, call.label
+        if isinstance(call, (tuple, list)) and 2 <= len(call) <= 3:
             task, args = call[0], tuple(call[1])
             kwargs = dict(call[2]) if len(call) == 3 else {}
             spec = getattr(task, "spec", task)
             if isinstance(spec, TaskSpec):
                 return spec, args, kwargs, None, None
+        where = "" if index is None else f" at batch index {index}"
         raise TypeError(
             "submit_many() items must be TaskCall objects (task.defer(...)) "
-            f"or (task, args[, kwargs]) tuples, got {call!r}"
+            "or (task, args[, kwargs]) tuples/lists, got "
+            f"{type(call).__name__}{where}: {call!r}"
         )
 
-    def _scan_call(self, spec: TaskSpec, args: tuple, kwargs: dict) -> tuple[list[int], dict]:
-        future_deps = [
-            fut.task_id
-            for fut in scan_futures((args, kwargs))
-            if fut._runtime_id == self.runtime_id
-        ]
-        return future_deps, _bind_arguments(spec, args, kwargs)
+    def _resolve_options_cached(self, spec: TaskSpec, options: TaskOptions | None):
+        """``resolve_options`` behind an identity-keyed cache: a flood
+        of calls to the same task (same decorator options, same — or
+        no — call-site options) resolves once instead of re-merging
+        per submission."""
+        key = (id(spec.options), id(options))
+        hit = self._opts_cache.get(key)
+        if hit is not None and hit[0] is spec.options and hit[1] is options:
+            return hit[2]
+        resolved = resolve_options(self.config, spec.options, options)
+        if len(self._opts_cache) > 4096:
+            # Churning call-site options (a fresh ``.opts(...)`` per
+            # call) would otherwise grow the cache without bound.
+            self._opts_cache.clear()
+        self._opts_cache[key] = (spec.options, options, resolved)
+        return resolved
+
+    def _scan_call(
+        self, spec: TaskSpec, args: tuple, kwargs: dict
+    ) -> tuple[list[int], dict | None]:
+        """Collect future dependencies from the call's arguments and —
+        for tasks with declared writes — bind arguments to parameter
+        names for the registry pass.
+
+        The future scan is inlined for the dominant flat-argument case
+        (futures and scalars passed directly): the deep container scan
+        only runs for arguments that are containers.  Pure tasks (no
+        INOUT/OUT) defer argument binding entirely (``bound=None``) —
+        ``_detect_deps_locked`` binds lazily only when the registry
+        has recorded writes that could produce edges.
+        """
+        rid = self.runtime_id
+        future_deps: list[int] = []
+        for value in args:
+            if isinstance(value, Future):
+                if value._runtime_id == rid:
+                    future_deps.append(value.task_id)
+            elif isinstance(value, (list, tuple, dict)):
+                for fut in scan_futures(value):
+                    if fut._runtime_id == rid:
+                        future_deps.append(fut.task_id)
+        if kwargs:
+            for value in kwargs.values():
+                if isinstance(value, Future):
+                    if value._runtime_id == rid:
+                        future_deps.append(value.task_id)
+                elif isinstance(value, (list, tuple, dict)):
+                    for fut in scan_futures(value):
+                        if fut._runtime_id == rid:
+                            future_deps.append(fut.task_id)
+        bound = _bind_arguments(spec, args, kwargs) if spec.has_writes else None
+        return future_deps, bound
 
     def _detect_deps_locked(
-        self, spec: TaskSpec, bound: dict, future_deps: list[int]
+        self,
+        spec: TaskSpec,
+        bound: dict | None,
+        future_deps: list[int],
+        args: tuple = (),
+        kwargs: dict | None = None,
     ) -> tuple[int, set[int]]:
         """Allocate a task id and derive its dependency set (callers
         hold ``_dep_lock``)."""
         task_id = self._next_task_id
         self._next_task_id += 1
         deps: set[int] = set(future_deps)
+        if bound is None:
+            # Pure task: it records no writes, so with an empty
+            # registry (exact under ``_dep_lock`` — every write
+            # happens here) the walk cannot add an edge.  This is the
+            # fine-grained-workload fast path.
+            if self.registry.empty:
+                return task_id, deps
+            bound = _bind_arguments(spec, args, kwargs or {})
         # dependencies through mutated objects (INOUT/OUT).
         for pname, value in bound.items():
             direction = spec.directions.get(pname, Direction.IN)
@@ -742,9 +940,12 @@ class Runtime:
         resolved,
         task_id: int,
     ) -> TaskInstance:
-        futures = tuple(
-            Future(task_id, i, self.runtime_id) for i in range(spec.returns)
-        )
+        if spec.returns == 1:  # the dominant case, kept allocation-lean
+            futures = (Future(task_id, 0, self.runtime_id),)
+        else:
+            futures = tuple(
+                Future(task_id, i, self.runtime_id) for i in range(spec.returns)
+            )
         inst = TaskInstance(
             task_id=task_id,
             spec=spec,
@@ -762,8 +963,10 @@ class Runtime:
     def _register(self, inst: TaskInstance, scope: "Scope") -> tuple:
         """Phases 3-5 of submission: checkpoint-signature lookup, DAG
         node, state registration.  Returns ``(restored_values,
-        unresolved, upstream_failed)`` for the caller's dispatch
-        decision."""
+        unresolved, upstream_failed, sole_dep)`` for the caller's
+        dispatch decision — *sole_dep* is the instance of the single
+        unresolved dependency when the new task is its first consumer
+        (the fusion chain-extension candidate), else ``None``."""
         spec, task_id, deps = inst.spec, inst.task_id, inst.deps
 
         # -- phase 3 (sig lock inside): checkpoint signature ------------
@@ -797,29 +1000,113 @@ class Runtime:
             scope.task_submitted(task_id)
             inst._owner_scope = scope  # type: ignore[attr-defined]
             self._unfinished_total += 1
-
-            unresolved = 0
-            upstream_failed = False
-            if restored_values is None:
-                for dep in deps:
-                    dep_inst = self._by_root.get(dep)
-                    if dep_inst is None:
-                        # The dep allocated its id (phase 2 of its own
-                        # submission) but has not registered yet; it
-                        # cannot have completed, so it is unresolved and
-                        # its completion will find us in ``_children``.
-                        self._children[dep].append(inst)
-                        unresolved += 1
-                    elif dep_inst.state not in TERMINAL_STATES:
-                        self._children[dep].append(inst)
-                        unresolved += 1
-                    elif dep_inst.state in (FAILED, CANCELLED):
-                        # upstream already failed: cancel immediately below.
-                        upstream_failed = True
+            unresolved, upstream_failed, sole_dep = self._walk_deps_locked(
+                inst, restored_values
+            )
             inst._remaining = unresolved
 
         self._emit(obs.SUBMITTED, inst, inst.t_submit)
-        return restored_values, unresolved, upstream_failed
+        return restored_values, unresolved, upstream_failed, sole_dep
+
+    def _walk_deps_locked(
+        self, inst: TaskInstance, restored_values: tuple | None
+    ) -> tuple[int, bool, TaskInstance | None]:
+        """Dependency walk of phase 5 (callers hold ``_state_lock``):
+        registers *inst* as a child of every unresolved dependency and
+        reports ``(unresolved, upstream_failed, sole_dep)``."""
+        unresolved = 0
+        upstream_failed = False
+        sole_dep: TaskInstance | None = None
+        if restored_values is None:
+            by_root = self._by_root
+            children = self._children
+            for dep in inst.deps:
+                dep_inst = by_root.get(dep)
+                if dep_inst is None:
+                    # The dep allocated its id (phase 2 of its own
+                    # submission) but has not registered yet; it
+                    # cannot have completed, so it is unresolved and
+                    # its completion will find us in ``_children``.
+                    children[dep].append(inst)
+                    unresolved += 1
+                    sole_dep = None
+                elif dep_inst.state not in TERMINAL_STATES:
+                    bucket = children[dep]
+                    bucket.append(inst)
+                    unresolved += 1
+                    # First (and so far only) consumer of its single
+                    # pending dep: the fusion chain-extension shape.
+                    sole_dep = (
+                        dep_inst if unresolved == 1 and len(bucket) == 1 else None
+                    )
+                elif dep_inst.state in (FAILED, CANCELLED):
+                    # upstream already failed: the caller cancels.
+                    upstream_failed = True
+        return unresolved, upstream_failed, sole_dep
+
+    def _register_batch(self, insts: list[TaskInstance], scope: "Scope") -> list[tuple]:
+        """Phases 3-5 for a whole ``submit_many`` batch (pooled
+        executor only): per-instance checkpoint signatures, one graph
+        insertion, one state-lock pass.  Returns the per-instance
+        ``(restored_values, unresolved, upstream_failed, sole_dep)``
+        tuples in batch order."""
+        store = self.checkpoint_store
+        if store is not None:
+            restored_list: list[tuple | None] = []
+            for inst in insts:
+                restored_values = None
+                signature = self._task_signature(
+                    inst.spec, inst.args, inst.kwargs, inst.options
+                )
+                if signature is not None:
+                    inst.signature = signature
+                    with self._sig_lock:
+                        self._signatures[inst.task_id] = signature
+                    restored_values = store.get(signature, expect=inst.spec.returns)
+                restored_list.append(restored_values)
+        else:
+            restored_list = [None] * len(insts)
+
+        nodes: list[tuple[int, dict]] = []
+        edges: list[tuple[int, int]] = []
+        for inst in insts:
+            constraints = inst.spec.constraints
+            nodes.append(
+                (
+                    inst.task_id,
+                    {
+                        "name": inst.spec.name,
+                        "parent": inst.parent_id,
+                        "computing_units": constraints.computing_units,
+                        "gpus": constraints.gpus,
+                    },
+                )
+            )
+            task_id = inst.task_id
+            for dep in inst.deps:
+                edges.append((dep, task_id))
+        self.graph.add_tasks(nodes, edges)
+
+        out: list[tuple] = []
+        scope.tasks_submitted([inst.task_id for inst in insts])
+        with self._state_lock:
+            tasks = self._tasks
+            by_root = self._by_root
+            for inst, restored_values in zip(insts, restored_list):
+                task_id = inst.task_id
+                tasks[task_id] = inst
+                by_root[task_id] = inst
+                inst._owner_scope = scope  # type: ignore[attr-defined]
+                self._unfinished_total += 1
+                unresolved, upstream_failed, sole_dep = self._walk_deps_locked(
+                    inst, restored_values
+                )
+                inst._remaining = unresolved
+                out.append((restored_values, unresolved, upstream_failed, sole_dep))
+        if self.events:
+            for inst in insts:
+                self._emit(obs.SUBMITTED, inst, inst.t_submit)
+        return out
 
     def _returns_of(self, inst: TaskInstance) -> Any:
         if inst.spec.returns == 0:
@@ -929,11 +1216,144 @@ class Runtime:
             self._counters.notifies += len(insts)
             self._cond.notify(len(insts))
 
-    def _pop_ready(self) -> TaskInstance | None:
+    def _pop_ready(self) -> "TaskInstance | FusedTask | None":
         with self._cond:
             if self._ready:
                 return heapq.heappop(self._ready)[2]
             return None
+
+    # -- task fusion -----------------------------------------------------
+    @staticmethod
+    def _fusable(spec: TaskSpec, resolved) -> bool:
+        """Whether a task with these spec/options may join a fused
+        unit: pure (no INOUT/OUT writes — the checkpointable-signature
+        shape), at least one return value (consumption flows through
+        futures the unit resolves locally), no timeout watchdog, and a
+        failure policy without side constraints (``RETRY`` re-runs
+        through the normal resubmission machinery after the unit
+        demotes its remainder; ``CANCEL_SUCCESSORS`` propagates as
+        usual; ``FAIL``/``IGNORE`` interact with unit execution order
+        in ways fusion does not model, so they opt out)."""
+        return (
+            spec.returns >= 1
+            and not spec.has_writes
+            and resolved.time_out is None
+            and resolved.on_failure in (CANCEL_SUCCESSORS, RETRY)
+        )
+
+    def _try_fuse(
+        self, inst: TaskInstance, unresolved: int, sole_dep: TaskInstance | None
+    ) -> "FusedTask | None":
+        """Buffer *inst* into an open fused unit when it fits.
+
+        Returns the touched unit (the caller keeps it open through its
+        flush), or ``None`` when the instance must be dispatched
+        normally.  Two shapes fuse: a dependency-free eligible task
+        opens a new unit (the head), and an eligible task whose single
+        unresolved dependency is an open unit's tail — with no other
+        consumer so far and the same priority — extends that unit.
+        Map-map stages fuse as N parallel chains through exactly this
+        rule, one chain per element.  A buffered instance stays
+        ``PENDING`` and never enters the ready queue by itself.
+        """
+        options = inst.options
+        if not self._fusable(inst.spec, options):
+            return None
+        if unresolved == 0:
+            unit = FusedTask(inst)
+            inst._fused_unit = unit
+            with self._fuse_lock:
+                self._fuse_pending[inst.root_id] = unit
+            return unit
+        if unresolved == 1 and sole_dep is not None:
+            with self._fuse_lock:
+                unit = self._fuse_pending.get(sole_dep.root_id)
+                if (
+                    unit is not None
+                    and not unit.broken
+                    and unit.members[-1] is sole_dep
+                    and len(unit.members) < _FUSE_MAX
+                    and sole_dep.options.priority == options.priority
+                ):
+                    unit.members.append(inst)
+                    inst._fused_unit = unit
+                    # Re-key the unit under its new tail so the next
+                    # link of the chain finds it.
+                    del self._fuse_pending[sole_dep.root_id]
+                    self._fuse_pending[inst.root_id] = unit
+                    return unit
+        return None
+
+    def _flush_fused(self, keep=()) -> None:
+        """Arm every open fused unit not in *keep* (the units the
+        current submission touched, still accumulating).  Called at
+        the end of every submission, by waiters entering the help
+        loop, and by shutdown — so a buffered chain is armed as soon
+        as its submitter moves on, waits, or stops."""
+        if not self._fuse_pending:
+            return
+        with self._fuse_lock:
+            if keep:
+                units = [u for u in self._fuse_pending.values() if u not in keep]
+                if units:
+                    self._fuse_pending = {
+                        tail: u for tail, u in self._fuse_pending.items() if u in keep
+                    }
+            else:
+                units = list(self._fuse_pending.values())
+                self._fuse_pending.clear()
+        if units:
+            self._arm_units(units)
+
+    def _arm_units(self, units: list["FusedTask"]) -> None:
+        """Move flushed units into the ready queue.
+
+        Single-member units are demoted to plain tasks (nothing to
+        fuse) and enqueued as a batch.  A multi-member unit enters the
+        heap as *one* entry at its head's priority; members stay
+        ``PENDING`` — each is claimed right before it runs — and are
+        stamped ready here without ``READY`` events, since they never
+        individually enter the queue (metrics reconciliation counts
+        submissions and terminal events, both of which every member
+        still emits exactly once).
+        """
+        singles: list[TaskInstance] = []
+        fused: list[FusedTask] = []
+        for unit in units:
+            if len(unit.members) == 1:
+                inst = unit.members[0]
+                inst._fused_unit = None
+                # An abort may have cancelled the instance while it
+                # was buffered; cancellation already ran its
+                # bookkeeping, so only still-pending ones enqueue.
+                if inst.state == PENDING:
+                    singles.append(inst)
+            else:
+                fused.append(unit)
+        self._enqueue_batch(singles)
+        if not fused:
+            return
+        now = self._now()
+        armed: list[tuple[int, FusedTask, int]] = []
+        for unit in fused:
+            live = 0
+            for inst in unit.members:
+                if inst.state == PENDING:
+                    inst.t_ready = now
+                    live += 1
+            if live == 0:
+                continue  # the whole unit was cancelled while buffered
+            armed.append((unit.members[0].options.priority, unit, live))
+        if not armed:
+            return
+        with self._cond:
+            for priority, unit, live in armed:
+                heapq.heappush(self._ready, (-priority, self._ready_seq, unit))
+                self._ready_seq += 1
+                self._counters.fused_units += 1
+                self._counters.fused_tasks += live
+            self._counters.notifies += len(armed)
+            self._cond.notify(len(armed))
 
     def _broadcast(self) -> None:
         """Wake every parked thread.  Issued after any state change a
@@ -1017,6 +1437,11 @@ class Runtime:
             while not predicate():
                 if self._killed is not None:
                     raise self._killed
+                if self._fuse_pending:
+                    # A waiter is the natural flush point for buffered
+                    # fused chains: the submitter stopped extending
+                    # them and now needs their results.
+                    self._flush_fused()
                 inst = self._pop_ready()
                 if inst is not None:
                     self._execute(inst)
@@ -1075,8 +1500,12 @@ class Runtime:
             # the worker / pickle bytes avoided), for the trace record.
             inst.bytes_moved = dinfo.get("bytes_moved", 0)
             inst.bytes_saved = dinfo.get("bytes_saved", 0)
-        # Nested tasks must complete before the parent is done.
-        scope.wait_all()
+        # Nested tasks must complete before the parent is done.  The
+        # unlocked count read is exact for the no-children case: only
+        # this thread (running the body) can have submitted into the
+        # scope, so a zero cannot turn nonzero after the body returned.
+        if scope._unfinished:
+            scope.wait_all()
         result = resolve_futures(result)
         return args, kwargs, _split_results(inst, result)
 
@@ -1110,7 +1539,190 @@ class Runtime:
             raise outcome["error"]
         return outcome["value"]
 
-    def _execute(self, inst: TaskInstance) -> None:
+    def _execute_fused(self, unit: FusedTask) -> None:
+        """Run a fused unit's members inline, in topological order.
+
+        Interior futures resolve on this thread without re-entering
+        the scheduler; each member still claims execution atomically
+        (``claim_run``), runs through the full ``_execute`` body and
+        emits its own events and trace record — fusion changes *where*
+        members run, never what is recorded about them.  Per-member
+        completion broadcasts and DAG stamps are deferred into one
+        flush at unit end (see :class:`_FusedCompletion`); external
+        children still enqueue immediately inside ``_complete``.  A
+        member failure breaks the unit: ``_fail`` demoted the
+        remaining members back to dependency-driven scheduling before
+        resubmitting, so the loop stops and nothing runs twice.
+        """
+        ctx = _FusedCompletion()
+        if not (self._backend_inline and current_attempt() == 0):
+            # Unusual environment (process backend misconfiguration,
+            # or a unit executed from inside another task's attempt
+            # context): run every member through the full path.
+            try:
+                for inst in unit.members:
+                    if unit.broken:
+                        break
+                    self._execute(inst, _defer=ctx)
+            finally:
+                if ctx.attrs:
+                    self.graph.set_attrs(ctx.attrs)
+                if ctx.dirty:
+                    self._broadcast()
+            return
+
+        # Lean member loop: semantically the `_execute` success path
+        # with every per-member branch that cannot apply to a fusable
+        # member (timeout watchdog, INOUT bookkeeping) removed and
+        # every engine-level service gate (events, checkpoint store,
+        # object store, debug validation) re-checked per member so a
+        # mid-unit subscription or store creation falls back to the
+        # full path for the remaining members.  Failure handling is
+        # byte-for-byte the full path's: `_fail` breaks the unit and
+        # demotes not-yet-run members before any resubmission.
+        now = self._now
+        collect = self.config.collect_trace
+        record = self.collector.record
+        wname = threading.current_thread().name
+        pid = os.getpid()
+        tls = _tls
+        outer_scope = getattr(tls, "scope", None)
+        debug = self._debug
+        ckpt_store = self.checkpoint_store
+        state_lock = self._state_lock
+        children_map = self._children
+        attrs_append = ctx.attrs.append
+        done_attr = {"state": DONE}
+        ran = 0
+        try:
+            for inst in unit.members:
+                if unit.broken:
+                    break
+                if debug or ckpt_store is not None or self._store is not None or self.events:
+                    self._execute(inst, _defer=ctx)
+                    continue
+                if inst.claim_run() is None:
+                    continue  # cancelled (or finalized) before it could start
+                spec = inst.spec
+                name = spec.name
+                t0 = now()
+                inst.t_dispatch = t0
+                inst.t_body_start = t0
+                inst.worker_name = wname
+                scope = Scope(self, parent_task_id=inst.task_id)
+                tls.scope = scope
+                try:
+                    _fault_hook(name)
+                    if _worker_kill_hook(name):
+                        raise NodeFailureError(pid, task_name=name, simulated=True)
+                    args = inst.args
+                    if len(args) == 1 and type(args[0]) is Future:
+                        args = (args[0].result(),)  # the chain-fusion shape
+                    else:
+                        args = resolve_futures(args)
+                    kwargs = resolve_futures(inst.kwargs) if inst.kwargs else {}
+                    result = spec.func(*args, **kwargs)
+                    ran += 1
+                    if scope._unfinished:
+                        scope.wait_all()
+                    results = _split_results(inst, resolve_futures(result))
+                except WorkflowKilledError as exc:
+                    tls.scope = outer_scope
+                    self._kill(exc)
+                    raise
+                except Exception as exc:  # noqa: BLE001 - routed to failure policies
+                    t_end = now()
+                    tls.scope = outer_scope
+                    self._fail(inst, exc, t0, t_end)
+                    continue
+                except BaseException as exc:  # noqa: BLE001
+                    t_end = now()
+                    tls.scope = outer_scope
+                    self._kill(exc)
+                    error = TaskExecutionError(inst.name, inst.task_id, exc)
+                    inst.error = error
+                    inst.t_end = t_end
+                    self._record(inst, t0, t_end, status="failed", error=exc)
+                    for fut in inst.futures:
+                        fut._set_error(error)
+                    self._complete(inst, FAILED)
+                    raise
+                tls.scope = outer_scope
+                t_end = now()
+                inst.t_end = t_end
+                inst.worker_pid = pid
+                futures = inst.futures
+                if len(futures) == 1:
+                    futures[0]._set_result(results[0])
+                else:
+                    for fut, value in zip(futures, results):
+                        fut._set_result(value)
+                if collect:
+                    constraints = inst.spec.constraints
+                    record(
+                        TaskRecord(
+                            task_id=inst.task_id,
+                            name=inst.name,
+                            deps=tuple(sorted(inst.deps)),
+                            t_start=t0,
+                            t_end=t_end,
+                            t_submit=inst.t_submit,
+                            t_ready=inst.t_ready,
+                            t_dispatch=t0,
+                            worker=wname,
+                            computing_units=constraints.computing_units,
+                            gpus=constraints.gpus,
+                            in_bytes=estimate_nbytes(args)
+                            + (estimate_nbytes(kwargs) if kwargs else 0),
+                            out_bytes=estimate_nbytes(results),
+                            parent_id=inst.parent_id,
+                            label=inst.label,
+                            attempt=inst.attempt,
+                            retry_of=inst.retry_of,
+                            status="done",
+                            pid=pid,
+                            fused_id=unit.unit_id,
+                        )
+                    )
+                # Inline `_complete` for the success path, with the
+                # branches that cannot apply constant-folded away
+                # (events off and debug off — both re-checked above —
+                # and state is DONE, so no failure propagation).  The
+                # next member of this unit gets its dependency count
+                # cleared without taking its lock: `_fused_unit is
+                # unit` means it joined via the single-unresolved-dep
+                # extension rule, so `_remaining` started at 1 and this
+                # thread holds the only pending decrement.
+                if not inst.try_finalize():
+                    continue
+                inst.state = DONE
+                with state_lock:
+                    children = children_map.pop(inst.root_id, ())
+                    self._unfinished_total -= 1
+                inst._owner_scope.task_finished()
+                attrs_append((inst.task_id, done_attr))
+                for child in children:
+                    if child._fused_unit is unit:
+                        child._remaining = 0
+                    elif (
+                        child.dep_completed()
+                        and child.state == PENDING
+                        and child._fused_unit is None
+                    ):
+                        self._enqueue(child)
+                ctx.dirty = True
+        finally:
+            if ran:
+                self._backend.count_inline(ran)
+            if ctx.attrs:
+                self.graph.set_attrs(ctx.attrs)
+            if ctx.dirty:
+                self._broadcast()
+
+    def _execute(self, inst: "TaskInstance | FusedTask", _defer=None) -> None:
+        if type(inst) is FusedTask:
+            self._execute_fused(inst)
+            return
         prev_state = inst.claim_run()
         if prev_state is None:
             return  # cancelled (or finalized) before it could start
@@ -1194,15 +1806,16 @@ class Runtime:
                     exc,
                 )
 
-        self._record(
-            inst,
-            t_start,
-            t_end,
-            status="done",
-            in_bytes=estimate_nbytes(args) + estimate_nbytes(kwargs),
-            out_bytes=estimate_nbytes(results),
-        )
-        self._complete(inst, DONE)
+        if self.config.collect_trace:
+            self._record(
+                inst,
+                t_start,
+                t_end,
+                status="done",
+                in_bytes=estimate_nbytes(args) + estimate_nbytes(kwargs),
+                out_bytes=estimate_nbytes(results),
+            )
+        self._complete(inst, DONE, defer=_defer)
 
     # ------------------------------------------------------------------
     # failure management
@@ -1223,6 +1836,7 @@ class Runtime:
         # started (resolution/fault failure, restore) fall back to the
         # caller's stamp (dispatch time) so duration stays well-formed.
         body_start = inst.t_body_start if inst.t_body_start is not None else t_start
+        unit = inst._fused_unit
         self.collector.record(
             TaskRecord(
                 task_id=inst.task_id,
@@ -1247,12 +1861,28 @@ class Runtime:
                 pid=inst.worker_pid,
                 bytes_moved=inst.bytes_moved,
                 bytes_saved=inst.bytes_saved,
+                fused_id=unit.unit_id if unit is not None else None,
             )
         )
 
     def _fail(
         self, inst: TaskInstance, exc: BaseException, t_start: float, t_end: float
     ) -> None:
+        unit = inst._fused_unit
+        if unit is not None and not unit.broken:
+            # A member failed mid-unit: break the unit and demote the
+            # not-yet-run members back to dependency-driven scheduling
+            # *before* any resubmission.  This runs on the unit's
+            # executing thread — the only thread that touches these
+            # still-PENDING members — so the retry attempt completing
+            # later enqueues each demoted member through the normal
+            # ``_complete`` child path exactly once.  The failed
+            # member keeps its unit slot so its trace record carries
+            # the ``fused_id``.
+            unit.broken = True
+            idx = unit.members.index(inst)
+            for member in unit.members[idx + 1:]:
+                member._fused_unit = None
         if isinstance(exc, TaskExecutionError):
             error = exc
         else:
@@ -1417,7 +2047,13 @@ class Runtime:
             self._cancel_pending(inst)
         self._broadcast()
 
-    def _complete(self, inst: TaskInstance, state: str, event_kind: str | None = None) -> None:
+    def _complete(
+        self,
+        inst: TaskInstance,
+        state: str,
+        event_kind: str | None = None,
+        defer: "_FusedCompletion | None" = None,
+    ) -> None:
         if not inst.try_finalize():
             return
         self._set_state(inst, state)
@@ -1429,14 +2065,25 @@ class Runtime:
             children = self._children.pop(inst.root_id, [])
             self._unfinished_total -= 1
         getattr(inst, "_owner_scope").task_finished()
-        self.graph.set_attr(inst.task_id, state=state)
+        if defer is None:
+            self.graph.set_attr(inst.task_id, state=state)
+        else:
+            defer.attrs.append((inst.task_id, {"state": state}))
         failure = state in (FAILED, CANCELLED)
         to_enqueue: list[TaskInstance] = []
         for child in children:
             if failure:
                 # Propagate: the child can never run.
                 self._cancel_pending(child)
-            elif child.dep_completed() and child.state == PENDING:
+            elif (
+                child.dep_completed()
+                and child.state == PENDING
+                and child._fused_unit is None
+            ):
+                # Fused members run inline inside their unit, never
+                # through the queue — but their dependency count was
+                # still decremented above, so a later demotion resumes
+                # normal scheduling seamlessly.
                 to_enqueue.append(child)
         for child in to_enqueue:
             self._enqueue(child)
@@ -1444,8 +2091,13 @@ class Runtime:
         # drained, unfinished == 0) may have just turned true.  The
         # state changes above happened before this broadcast, and
         # waiters re-check under the condition before parking, so the
-        # wakeup cannot be lost.
-        self._broadcast()
+        # wakeup cannot be lost.  Inside a fused unit the broadcast is
+        # deferred to the unit's end: one wakeup covers all members,
+        # and the wait is bounded by the unit cap.
+        if defer is None:
+            self._broadcast()
+        else:
+            defer.dirty = True
 
     def _cancel_pending(self, inst: TaskInstance) -> None:
         """Cancel *inst* and, transitively, every dependent waiting on

@@ -330,6 +330,8 @@ def _pop(injector: FaultInjector) -> None:
 
 def on_task_execute(task: str) -> None:
     """Engine hook: apply every active injector to one execution."""
+    if not _active:  # unlocked fast bail — list append/remove is atomic
+        return
     with _active_lock:
         injectors = list(reversed(_active))
     for injector in injectors:
@@ -339,6 +341,8 @@ def on_task_execute(task: str) -> None:
 def worker_kill_requested(task: str) -> bool:
     """Engine hook: does any active injector want the worker process
     running *task*'s current execution crashed?"""
+    if not _active:
+        return False
     with _active_lock:
         injectors = list(reversed(_active))
     return any([inj.worker_kill_pending(task) for inj in injectors])

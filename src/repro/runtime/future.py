@@ -18,6 +18,11 @@ _DONE = "done"
 _FAILED = "failed"
 _CANCELLED = "cancelled"
 
+#: Serialises lazy event materialisation across futures.  One global
+#: lock is fine: it is only ever taken by a ``result()`` call that
+#: found its future still pending — the slow path by definition.
+_materialize_lock = threading.Lock()
+
 
 class Future:
     """A single value produced by a task.
@@ -44,23 +49,42 @@ class Future:
         self._state = _PENDING
         self._value: Any = None
         self._error: BaseException | None = None
-        self._event = threading.Event()
+        #: Materialised lazily on the first blocking ``result()`` call.
+        #: Most futures in fine-grained workloads are resolved before
+        #: anyone waits on them, so allocating a ``threading.Event``
+        #: (with its internal condition + lock) per future at submit
+        #: time was pure overhead on the scheduling hot path.
+        self._event: threading.Event | None = None
         self._runtime_id = runtime_id
 
     # -- state transitions (runtime-internal) ---------------------------
+    # The value/error is written *before* the state flips away from
+    # pending, and the state *before* the event is checked: a reader
+    # that observes a non-pending state therefore always sees the
+    # value.  The interpreter's sequentially-consistent bytecode
+    # execution closes the materialise/set race: if the setter misses
+    # the event (reads None), its state store already happened before
+    # the waiter's event store, so the waiter's re-check of the state
+    # after publishing its event must see the terminal state.
     def _set_result(self, value: Any) -> None:
         self._value = value
         self._state = _DONE
-        self._event.set()
+        event = self._event
+        if event is not None:
+            event.set()
 
     def _set_error(self, error: BaseException) -> None:
         self._error = error
         self._state = _FAILED
-        self._event.set()
+        event = self._event
+        if event is not None:
+            event.set()
 
     def _cancel(self) -> None:
         self._state = _CANCELLED
-        self._event.set()
+        event = self._event
+        if event is not None:
+            event.set()
 
     # -- inspection ------------------------------------------------------
     @property
@@ -79,10 +103,21 @@ class Future:
         :class:`TaskExecutionError`) if it failed, or
         :class:`CancelledTaskError` if it was cancelled.
         """
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"future from task {self.task_id} not resolved within {timeout}s"
-            )
+        if self._state == _PENDING:
+            event = self._event
+            if event is None:
+                with _materialize_lock:
+                    event = self._event
+                    if event is None:
+                        event = self._event = threading.Event()
+            # Re-check after publishing the event: a setter running
+            # concurrently either saw our event (and will set it) or
+            # completed before our store, in which case the state is
+            # already terminal here.
+            if self._state == _PENDING and not event.wait(timeout):
+                raise TimeoutError(
+                    f"future from task {self.task_id} not resolved within {timeout}s"
+                )
         if self._state == _FAILED:
             assert self._error is not None
             raise self._error

@@ -4,6 +4,7 @@
 from __future__ import annotations
 
 import dataclasses
+import functools
 import threading
 from typing import Any, Callable
 
@@ -85,12 +86,16 @@ class TaskSpec:
     #: ``time_out``, ...); call sites override them via ``.opts(...)``.
     options: TaskOptions = NO_OPTIONS
 
-    @property
+    @functools.cached_property
     def has_writes(self) -> bool:
+        # Per-spec constant, but on the submit hot path (dependency
+        # scan + fusion eligibility check it twice per call) — cache
+        # the dict walk.  ``cached_property`` writes straight into the
+        # instance ``__dict__``, which a frozen dataclass still has.
         return any(d is not Direction.IN for d in self.directions.values())
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TaskCall:
     """One deferred task invocation, for batch submission.
 
@@ -140,6 +145,7 @@ class TaskInstance:
         "_owner_scope",
         "_abandoned",
         "_finalized",
+        "_fused_unit",
     )
 
     def __init__(
@@ -200,6 +206,12 @@ class TaskInstance:
         self._abandoned = False
         #: Guards completion bookkeeping against the run/cancel race.
         self._finalized = False
+        #: The :class:`~repro.runtime.engine.FusedTask` this instance
+        #: is a member of (None = not fused).  Set while the instance
+        #: is buffered/scheduled inside a fused unit; cleared when the
+        #: unit is demoted (retry, singleton arm) so the normal
+        #: enqueue-on-dep-completion path resumes.
+        self._fused_unit = None
 
     def dep_completed(self) -> bool:
         """Mark one dependency as satisfied; True if the task became ready."""

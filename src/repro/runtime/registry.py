@@ -48,6 +48,18 @@ class DataRegistry:
             self._entries[id(obj)] = (obj, task_id, version)
             return version
 
+    @property
+    def empty(self) -> bool:
+        """True while no write was ever recorded.
+
+        Read without the registry lock: the engine only calls this
+        under its dependency lock, where every ``record_write`` also
+        happens, so the answer is exact there — it gates the submit
+        fast path that skips the per-argument registry walk for pure
+        tasks in workflows that never used INOUT at all.
+        """
+        return not self._entries
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

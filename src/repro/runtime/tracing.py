@@ -26,6 +26,9 @@ def estimate_nbytes(obj: Any) -> int:
     recursively — ds-array blocks arrive as lists of lists of arrays,
     so nesting depth must not matter.
     """
+    t = type(obj)
+    if t is int or t is float or t is bool or t is str:
+        return 64  # same answer as the fallthrough below, minus the walk
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, np.generic):
@@ -97,6 +100,12 @@ class SchedulerCounters:
     #: Submissions that found the dependency-detection lock held by a
     #: concurrent submission (lock contention on the submit path).
     submit_contentions: int = 0
+    #: Member tasks executed inline inside fused units — each skipped
+    #: one ready-queue round trip (heap push + pop + wakeup).
+    fused_tasks: int = 0
+    #: Fused units scheduled (each entered the ready queue once on
+    #: behalf of all its members).
+    fused_units: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -149,6 +158,11 @@ class TaskRecord:
     #: references instead of buffers.
     bytes_moved: int = 0
     bytes_saved: int = 0
+    #: Id of the fused unit this attempt ran inside (the unit head's
+    #: task id), or None when the attempt was scheduled individually.
+    #: Members of one unit share the value; the chrome-trace export
+    #: nests their spans under one fused envelope span.
+    fused_id: int | None = None
 
     @property
     def duration(self) -> float:

@@ -80,3 +80,92 @@ def test_help_until_parks_instead_of_spinning():
 def test_idle_wakeups_exposed_in_stats():
     with Runtime(executor="sequential") as rt:
         assert "idle_wakeups" in rt.stats()
+
+
+# ----------------------------------------------------------------------
+# submit-path correctness: submit() / submit_many() parity
+# ----------------------------------------------------------------------
+def test_submit_many_empty_batch_after_shutdown_raises():
+    """The empty batch must hit the same state check as submit(): a
+    shut-down runtime rejects submit_many([]) instead of silently
+    returning []."""
+    import pytest
+
+    from repro.runtime import RuntimeStateError
+
+    @task(returns=1)
+    def one():
+        return 1
+
+    rt = Runtime(executor="threads", max_workers=1)
+    with rt:
+        pass  # clean shutdown
+    with pytest.raises(RuntimeStateError):
+        rt.submit(one.spec, (), {})
+    with pytest.raises(RuntimeStateError):
+        rt.submit_many([])
+    with pytest.raises(RuntimeStateError):
+        rt.submit_many([one.defer()])
+
+
+def test_submit_many_empty_batch_after_abort_raises():
+    """Same parity for the aborted state: an on_failure='FAIL' abort
+    rejects later submit_many([]) exactly like submit()."""
+    import pytest
+
+    from repro.runtime import TaskExecutionError, WorkflowAbortedError
+    from repro.runtime.failures import FAIL
+
+    @task(returns=1, on_failure=FAIL)
+    def fatal():
+        raise RuntimeError("die")
+
+    @task(returns=1)
+    def one():
+        return 1
+
+    with Runtime(executor="threads", max_workers=1) as rt:
+        f = fatal()
+        with pytest.raises(TaskExecutionError):
+            wait_on(f)
+        assert rt.aborted is not None
+        with pytest.raises(WorkflowAbortedError):
+            one(1)
+        with pytest.raises(WorkflowAbortedError):
+            rt.submit_many([])
+        rt._aborted = None  # let the context exit drain cleanly
+
+
+def test_submit_many_accepts_tuple_and_list_forms():
+    @task(returns=1)
+    def add(a, b=0):
+        return a + b
+
+    with Runtime(executor="threads", max_workers=2) as rt:
+        futs = rt.submit_many(
+            [
+                add.defer(1, b=2),
+                (add, (3,)),
+                [add, [4], {"b": 5}],
+                (add.spec, (6,), {"b": 7}),
+            ]
+        )
+        assert wait_on(futs) == [3, 3, 9, 13]
+
+
+def test_submit_many_bad_item_names_type_and_index():
+    import pytest
+
+    @task(returns=1)
+    def one():
+        return 1
+
+    with Runtime(executor="threads", max_workers=1) as rt:
+        with pytest.raises(TypeError) as err:
+            rt.submit_many([one.defer(), "nonsense"])
+        msg = str(err.value)
+        assert "str" in msg
+        assert "batch index 1" in msg
+        with pytest.raises(TypeError) as err:
+            rt.submit_many([(one, (), {}, None, None)])  # 5-tuple: too long
+        assert "batch index 0" in str(err.value)

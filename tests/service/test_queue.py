@@ -379,6 +379,37 @@ def test_reprioritize_terminal_task_refused(queue):
     assert queue.reprioritize(task_id, 5) is False
 
 
+def test_reprioritize_leased_task_survives_lease_expiry(tmp_path, clock):
+    """Chaos regression for the leased-task steering path: boost a
+    task *while leased*, let the lease go dark and expire, and assert
+    the redelivered task outranks older queued work at the next claim.
+    Priority lives only in the ``tasks`` row — the redelivery path
+    must not reset it and the claim query must read it live."""
+    db = Database(tmp_path / "steer.db")
+    q = DurableQueue(db, clock=clock, retry_backoff=0.0)
+    try:
+        boosted = submit(q, 0, priority=0)
+        rival = submit(q, 1, priority=5)
+        claimed = claim(q, lease=1.0)
+        assert claimed.id == rival  # rival outranks pre-boost
+        q.complete(claimed.id, claimed.signature, payload=b"", worker="s/w0", attempt=0)
+        claimed = claim(q, lease=1.0)
+        assert claimed.id == boosted
+        assert q.reprioritize(boosted, 9) is True  # steer while leased
+        older = submit(q, 2, priority=8)
+        clock.advance(1.1)
+        assert q.expire_leases() == [boosted]
+        # retry_backoff=0: redelivery is immediately claimable, and the
+        # boosted priority (9) set mid-lease beats the queued 8.
+        redelivered = claim(q, worker="s/w1")
+        assert redelivered.id == boosted
+        assert redelivered.priority == 9
+        assert redelivered.attempt == 1  # expiry charged an attempt
+        assert claim(q, worker="s/w2").id == older
+    finally:
+        db.close()
+
+
 # ----------------------------------------------------------------------
 # observability surfaces
 # ----------------------------------------------------------------------
