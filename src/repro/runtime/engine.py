@@ -58,6 +58,7 @@ import os
 import threading
 import time
 import warnings
+import weakref
 from typing import Any, Callable, Iterable
 
 from repro.runtime import checkpoint as ckpt
@@ -84,6 +85,7 @@ from repro.runtime.failures import (
     resolve_options,
     retry_delay,
 )
+from repro.runtime import future as _future_module
 from repro.runtime.future import Future, resolve_futures, scan_futures
 from repro.runtime.model import (
     CANCELLED,
@@ -116,6 +118,36 @@ from repro.runtime.tracing import (
 _logger = logging.getLogger("repro.runtime")
 
 _tls = threading.local()
+
+#: Live runtimes by id.  Futures carry only their runtime's integer id
+#: (keeping them lightweight and pickle-friendly); this registry lets a
+#: blocking ``Future.result()``/``done`` read reach back to the owning
+#: engine.  Weak values: the registry must never keep a dropped or
+#: shut-down runtime alive.
+_live_runtimes: "weakref.WeakValueDictionary[int, Runtime]" = weakref.WeakValueDictionary()
+
+
+def _flush_fused_for_wait(runtime_id: int) -> None:
+    """Arm the buffered fused units of the runtime owning a future that
+    is being waited on (installed as ``future._pending_wait_hook``).
+
+    ``Future.result()`` and ``Future.done`` are otherwise pure
+    event/state reads that never enter the runtime, so
+    ``f = rt.submit(small_pure_task); f.result()`` — or a ``done``
+    polling loop — would strand the last-touched fused unit in
+    ``_fuse_pending`` forever: workers stay parked because the unit
+    never reaches the ready heap.  Waiting on *any* future of the
+    runtime is the signal that its submitter stopped extending chains
+    and needs results, exactly like the ``_help_until`` flush point.
+    Cheap when fusion is off or nothing is buffered: one weak-dict
+    lookup and an attribute truthiness check.
+    """
+    rt = _live_runtimes.get(runtime_id)
+    if rt is not None and rt._fuse_pending:
+        rt._flush_fused()
+
+
+_future_module._pending_wait_hook = _flush_fused_for_wait
 
 _ckpt_logger = logging.getLogger("repro.runtime.checkpoint")
 
@@ -288,6 +320,7 @@ class Runtime:
         with Runtime._ids_lock:
             Runtime._ids += 1
             self.runtime_id = Runtime._ids
+        _live_runtimes[self.runtime_id] = self
         self.name = cfg.name
         self.executor = cfg.executor
         self.max_workers = cfg.max_workers or (os.cpu_count() or 4)
@@ -825,12 +858,16 @@ class Runtime:
         item's type and its batch *index*, so one malformed entry in a
         10k-call batch is findable.
 
-        A ``TaskCall``'s args/kwargs are adopted without copying — the
-        frozen call object owns them (``defer`` builds them fresh per
-        call) and the engine never mutates submitted arguments.
+        A ``TaskCall``'s args tuple is adopted as-is (immutable), but
+        kwargs are defensively copied: ``TaskCall`` is a public
+        dataclass, so a caller that builds calls directly may reuse or
+        later mutate the kwargs dict — which must not leak into an
+        already-submitted (possibly still-buffered) task.  The common
+        kwargs-free flood path stays copy-free.
         """
         if isinstance(call, TaskCall):
-            return call.spec, call.args, call.kwargs, call.options, call.label
+            kwargs = dict(call.kwargs) if call.kwargs else {}
+            return call.spec, call.args, kwargs, call.options, call.label
         if isinstance(call, (tuple, list)) and 2 <= len(call) <= 3:
             task, args = call[0], tuple(call[1])
             kwargs = dict(call[2]) if len(call) == 3 else {}
@@ -1587,8 +1624,6 @@ class Runtime:
         pid = os.getpid()
         tls = _tls
         outer_scope = getattr(tls, "scope", None)
-        debug = self._debug
-        ckpt_store = self.checkpoint_store
         state_lock = self._state_lock
         children_map = self._children
         attrs_append = ctx.attrs.append
@@ -1598,7 +1633,12 @@ class Runtime:
             for inst in unit.members:
                 if unit.broken:
                     break
-                if debug or ckpt_store is not None or self._store is not None or self.events:
+                if (
+                    self._debug
+                    or self.checkpoint_store is not None
+                    or self._store is not None
+                    or self.events
+                ):
                     self._execute(inst, _defer=ctx)
                     continue
                 if inst.claim_run() is None:

@@ -283,3 +283,64 @@ def test_sequential_executor_ignores_fusion():
         f = rt.submit_many([inc.defer(0)])[0]
         assert wait_on(f) == 1
         assert sched(rt)["fused_tasks"] == 0
+
+
+# ----------------------------------------------------------------------
+# event-only waiters must flush buffered units (deadlock regression)
+# ----------------------------------------------------------------------
+def test_future_result_flushes_buffered_unit():
+    """``submit(); result()`` with no wait_on/barrier anywhere: the
+    last-touched unit stays buffered at submit() return, so result()
+    itself must arm it or the wait deadlocks forever."""
+    with fused_runtime() as rt:
+        f = inc(41)
+        assert f.result(timeout=10) == 42
+
+
+def test_future_result_flushes_buffered_chain():
+    with fused_runtime() as rt:
+        f = inc(0)
+        for _ in range(5):
+            f = inc(f)
+        assert f.result(timeout=10) == 6
+        assert sched(rt)["fused_tasks"] == 6
+
+
+def test_future_result_flushes_submit_many_unit():
+    with fused_runtime() as rt:
+        f = rt.submit_many([inc.defer(0)])[0]
+        f = rt.submit_many([inc.defer(f)])[0]
+        assert f.result(timeout=10) == 2
+
+
+def test_done_polling_flushes_buffered_unit():
+    """A ``while not f.done`` loop is the other event-only
+    synchronisation shape: polling must make progress too."""
+    import time as _time
+
+    with fused_runtime() as rt:
+        f = inc(0)
+        f = inc(f)
+        deadline = _time.monotonic() + 10
+        while not f.done:
+            assert _time.monotonic() < deadline, "done polling deadlocked"
+            _time.sleep(0.001)
+        assert f.result() == 2
+
+
+def test_taskcall_kwargs_mutation_does_not_leak():
+    """TaskCall is public: a caller may mutate its kwargs dict after
+    submit_many() returns, while the task is still buffered in an open
+    fused unit — the submitted arguments must be unaffected."""
+
+    @task(returns=1)
+    def add_kw(*, x=0):
+        return x + 1
+
+    from repro.runtime.model import TaskCall
+
+    with fused_runtime() as rt:
+        kw = {"x": 1}
+        f = rt.submit_many([TaskCall(add_kw.spec, (), kw)])[0]
+        kw["x"] = 999  # the singleton unit is still buffered here
+        assert f.result(timeout=10) == 2
