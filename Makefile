@@ -1,4 +1,4 @@
-.PHONY: check lint test inventory resilience stress obs backend dataplane service fuse
+.PHONY: check lint test inventory resilience stress obs backend dataplane service fuse stream
 
 check:
 	bash scripts/check.sh
@@ -32,3 +32,6 @@ service:
 
 fuse:
 	bash scripts/check.sh fuse
+
+stream:
+	bash scripts/check.sh stream

@@ -1,0 +1,139 @@
+"""Streaming pipeline benchmarks: throughput and end-to-end latency.
+
+Two scenarios over the :mod:`repro.streaming` stack:
+
+* **sustained throughput** — an unpaced integer pipeline
+  (map → filter → window → sink) across four stage threads; reports
+  records/second through the full credit-backpressured path and fails
+  if it drops below a deliberately loose floor (catches accidental
+  per-element locking or busy-wait regressions, not machine noise);
+* **latency under fixed ingest** — the same pipeline with a
+  rate-controlled source well below capacity; reports the sink's
+  p50/p99 end-to-end latency (source ``ingest`` stamp → sink) with a
+  generous ceiling: at an ingest rate the pipeline can absorb, latency
+  is queueing-free and must stay in the tens of milliseconds.
+
+Results go to ``BENCH_streaming.json`` at the repository root so
+successive PRs can compare runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.runtime import Runtime
+from repro.runtime.config import RuntimeConfig
+from repro.streaming import StreamGraph, TumblingCountWindow
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_streaming.json"
+
+#: Unpaced feed size for the throughput scenario.
+N_RECORDS = 30_000
+#: Records/second floor for the throughput scenario (steady state on a
+#: developer box is 10-50x this; the bound catches structural
+#: regressions such as lock convoys or polling loops).
+MIN_THROUGHPUT_RPS = 800.0
+#: Paced scenario: ingest rate and feed size.
+PACED_RATE = 500.0
+PACED_RECORDS = 1_000
+#: End-to-end latency ceilings for the paced scenario (generous: the
+#: unloaded pipeline sits far below; queueing collapse blows past).
+MAX_P50_MS = 50.0
+MAX_P99_MS = 250.0
+
+_metrics: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_file():
+    """Persist every metric recorded this session to BENCH_streaming.json."""
+    yield
+    if not _metrics:
+        return
+    from repro.runtime import atomic_write
+
+    payload = {
+        "bench": "streaming",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_records": N_RECORDS,
+            "min_throughput_rps": MIN_THROUGHPUT_RPS,
+            "paced_rate_rps": PACED_RATE,
+            "paced_records": PACED_RECORDS,
+            "max_p50_ms": MAX_P50_MS,
+            "max_p99_ms": MAX_P99_MS,
+        },
+        "metrics": _metrics,
+    }
+    atomic_write(BENCH_FILE, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _pipeline(rt: Runtime, n_or_items, rate=None, capacity=256):
+    g = StreamGraph(rt, name="bench", capacity=capacity)
+    items = range(n_or_items) if isinstance(n_or_items, int) else n_or_items
+    src = g.source(items, name="src", rate=rate)
+    m = g.map(src, lambda v: 3 * v + 1, name="m")
+    f = g.filter(m, lambda v: v % 7 != 0, name="f")
+    w = g.window(f, TumblingCountWindow(10), fn=sum, name="w")
+    sink = g.sink(w, name="sink")
+    return g, sink
+
+
+def test_sustained_throughput():
+    with Runtime(config=RuntimeConfig(executor="threads", max_workers=2)) as rt:
+        g, sink = _pipeline(rt, N_RECORDS)
+        t0 = time.perf_counter()
+        g.start()
+        stats = g.join(timeout=300.0)
+        elapsed = time.perf_counter() - t0
+
+    rps = N_RECORDS / elapsed
+    kept = [3 * v + 1 for v in range(N_RECORDS) if (3 * v + 1) % 7 != 0]
+    expected = [sum(kept[i : i + 10]) for i in range(0, len(kept), 10)]
+    assert sink.collected == expected  # throughput without correctness is noise
+    assert g.slots_leaked() == 0
+
+    _metrics["sustained_throughput"] = {
+        "n_records": N_RECORDS,
+        "elapsed_s": round(elapsed, 4),
+        "records_per_s": round(rps, 1),
+        "windows_emitted": stats["sink"].n_out,
+        "bound_rps": MIN_THROUGHPUT_RPS,
+    }
+    assert rps >= MIN_THROUGHPUT_RPS, (
+        f"throughput {rps:.0f} rps fell below the {MIN_THROUGHPUT_RPS} floor"
+    )
+
+
+def test_e2e_latency_at_fixed_ingest_rate():
+    with Runtime(config=RuntimeConfig(executor="threads", max_workers=2)) as rt:
+        g, sink = _pipeline(rt, PACED_RECORDS, rate=PACED_RATE, capacity=64)
+        t0 = time.perf_counter()
+        g.start()
+        g.join(timeout=300.0)
+        elapsed = time.perf_counter() - t0
+
+    snap = sink.stats.snapshot()
+    p50, p99 = snap["p50_ms"], snap["p99_ms"]
+    assert sink.stats.n_out > 0
+    assert g.slots_leaked() == 0
+    # the run must actually have been paced, not a burst
+    assert elapsed >= PACED_RECORDS / PACED_RATE * 0.8
+
+    _metrics["e2e_latency_paced"] = {
+        "ingest_rate_rps": PACED_RATE,
+        "n_records": PACED_RECORDS,
+        "elapsed_s": round(elapsed, 4),
+        "p50_ms": round(p50, 3),
+        "p99_ms": round(p99, 3),
+        "windows_emitted": sink.stats.n_out,
+        "bound_p50_ms": MAX_P50_MS,
+        "bound_p99_ms": MAX_P99_MS,
+    }
+    assert p50 <= MAX_P50_MS, f"p50 {p50:.1f}ms above the {MAX_P50_MS}ms ceiling"
+    assert p99 <= MAX_P99_MS, f"p99 {p99:.1f}ms above the {MAX_P99_MS}ms ceiling"

@@ -13,6 +13,7 @@
 #   scripts/check.sh dataplane   store tests + store-mode stress + pipe-bytes bench
 #   scripts/check.sh service     queue-service chaos smoke + queue-op latency bench
 #   scripts/check.sh fuse        fusion-on stress + fusion on/off bit-identity differential
+#   scripts/check.sh stream      streaming tests + stream stress + serving differential + latency bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -98,6 +99,26 @@ run_dataplane() {
     PYTHONPATH=src python -m pytest benchmarks/test_dataplane.py -x -q
 }
 
+run_stream() {
+    # The hybrid streaming layer: channel/operator/graph semantics and
+    # the runtime lifecycle edges (shutdown-drain, abort interrupts,
+    # fused pending-wait hook), the seeded streaming stress scenarios
+    # (backpressure, RETRY mid-stream, abort, shutdown mid-flight; hang
+    # watchdog + zero-leak audits, fusion off and on), the streamed vs
+    # batch AF-serving bit-identity differential, and the throughput /
+    # e2e-latency benchmark (writes BENCH_streaming.json).
+    echo "== streaming tests (incl. serving differential) =="
+    PYTHONPATH=src python -m pytest tests/streaming \
+        tests/runtime/test_stream_shutdown.py -x -q
+    echo "== streaming stress (fixed seeds: one per scenario family, then fused) =="
+    PYTHONPATH=src python -m repro stress --stream \
+        --seed 0 --seed 1 --seed 2 --seed 3 --seed 14
+    PYTHONPATH=src python -m repro stress --stream --fuse \
+        --seed 0 --seed 1 --seed 2 --seed 3
+    echo "== streaming benchmark (throughput + e2e latency bounds) =="
+    PYTHONPATH=src python -m pytest benchmarks/test_streaming.py -x -q
+}
+
 run_service() {
     # The durable queue service: unit/lifecycle tests, the kill-9
     # crash-recovery + lease-expiry chaos smoke (zero lost tasks, zero
@@ -122,6 +143,7 @@ case "$mode" in
     dataplane)  run_dataplane ;;
     service)    run_service ;;
     fuse)       run_fuse ;;
-    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_fuse; run_obs; run_backend; run_dataplane; run_service ;;
-    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane|service|fuse]" >&2; exit 2 ;;
+    stream)     run_stream ;;
+    all)        run_lint; run_tests; run_inventory; run_resilience; run_stress; run_fuse; run_obs; run_backend; run_dataplane; run_service; run_stream ;;
+    *)          echo "usage: scripts/check.sh [lint|test|inventory|resilience|stress|obs|backend|dataplane|service|fuse|stream]" >&2; exit 2 ;;
 esac

@@ -31,6 +31,14 @@ TEST_DIRS = (REPO_ROOT / "tests", REPO_ROOT / "benchmarks")
 #: (``__main__`` just forwards to ``repro.cli``, which has tests).
 EXEMPT = {"__main__.py", "_version.py"}
 
+#: Packages held to a stricter rule: the matching test file must live in
+#: the package's own test directory, not merely anywhere under tests/ or
+#: benchmarks/.  Concurrency-heavy subsystems earn an entry here so a
+#: coincidental filename elsewhere can never satisfy the gate.
+STRICT_DIRS = {
+    "streaming": "tests/streaming",
+}
+
 #: module (relative to src/repro) -> test file (relative to repo root)
 #: that exercises it despite the name mismatch.
 EXTRA_COVERAGE = {
@@ -72,6 +80,12 @@ def test_file_names() -> set[str]:
     return names
 
 
+def strict_test_names(test_dir: str) -> set[str]:
+    return {
+        p.name.lower() for p in (REPO_ROOT / test_dir).rglob("test_*.py")
+    }
+
+
 def main() -> int:
     test_names = test_file_names()
     uncovered: list[str] = []
@@ -80,7 +94,17 @@ def main() -> int:
 
     for module in source_modules():
         rel = module.relative_to(SRC).as_posix()
-        name_match = any(module.stem.lower() in t for t in test_names)
+        package = rel.split("/", 1)[0]
+        strict_dir = STRICT_DIRS.get(package)
+        if strict_dir is not None:
+            candidates = strict_test_names(strict_dir)
+        else:
+            candidates = test_names
+        name_match = any(module.stem.lower() in t for t in candidates)
+        if strict_dir is not None:
+            if not name_match:
+                uncovered.append(f"{rel} (needs a test under {strict_dir}/)")
+            continue
         mapped = EXTRA_COVERAGE.get(rel)
         if mapped is not None:
             if not (REPO_ROOT / mapped).is_file():

@@ -19,7 +19,15 @@ Commands:
   (seeded random schedules; fails on hangs, lost wakeups, wrong values
   or state-machine violations).  ``make stress`` is the same thing.
   ``--metrics`` additionally reconciles the metrics registry against
-  ``stats()`` after every cleanly-drained seed.
+  ``stats()`` after every cleanly-drained seed.  ``--stream`` switches
+  to the streaming scenarios (backpressure stall/release, mid-stream
+  operator failure under RETRY, abort and ``shutdown(wait=True)``
+  mid-flight) with the same watchdog and leak audits.
+* ``serve-stream`` — run the online AF inference serving demo: a
+  rate-controlled synthetic-ECG source through the windowed streaming
+  pipeline (:mod:`repro.streaming`) with micro-batched CNN inference,
+  printing per-stage p50/p99 latency and throughput (``--prometheus``
+  dumps the metric exposition).
 * ``trace summarize|chrome|critical-path FILE`` — analyse a trace JSON
   written by ``Trace.save``: makespan/work/overhead breakdown, a
   chrome://tracing export (per-worker lanes, dependency flow arrows,
@@ -264,6 +272,23 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.runtime import stress
 
+    if args.stream:
+        from repro.streaming import stress as stream_stress
+
+        seeds = args.seed if args.seed else range(args.seeds)
+        reports = stream_stress.run_suite(
+            seeds,
+            workers=args.workers,
+            timeout=args.timeout,
+            fusion=args.fuse,
+            metrics=args.metrics,
+        )
+        failed = [r for r in reports if not r.ok]
+        print(
+            f"stream stress: {len(reports) - len(failed)}/{len(reports)} seeds passed"
+        )
+        return 1 if failed else 0
+
     observability = ",".join(
         flag
         for flag, enabled in (("metrics", args.metrics), ("progress", args.progress))
@@ -294,6 +319,58 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     failed = [r for r in reports if not r.ok]
     print(f"stress: {len(reports) - len(failed)}/{len(reports)} seeds passed")
     return 1 if failed else 0
+
+
+def _cmd_serve_stream(args: argparse.Namespace) -> int:
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.engine import Runtime
+    from repro.streaming import ServeConfig, serve_stream
+
+    cfg = ServeConfig(
+        seed=args.seed,
+        n_segments=args.segments,
+        patients=args.patients,
+        batch_size=args.batch_size,
+        rate=args.rate,
+    )
+    rt_cfg = RuntimeConfig(
+        executor=args.backend,
+        max_workers=args.workers,
+        observability="metrics",
+        name="af-serving",
+    )
+    with Runtime(config=rt_cfg) as rt:
+        result = serve_stream(cfg, rt, gauge_interval=args.gauge_interval)
+        registry = rt.metrics_registry
+        prom = None
+        if args.prometheus and registry is not None:
+            from repro.runtime.observability import to_prometheus
+
+            prom = to_prometheus(registry.snapshot())
+
+    print(
+        f"served {len(result.predictions)} segment prediction(s) in "
+        f"{result.elapsed_s:.2f}s ({result.throughput_rps:.1f} segments/s)"
+    )
+    header = f"{'stage':<16} {'kind':<8} {'in':>6} {'out':>6} {'p50 ms':>8} {'p99 ms':>8} {'rps':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, snap in (result.stage_stats or {}).items():
+        print(
+            f"{name:<16} {snap['kind']:<8} {snap['n_in']:>6} {snap['n_out']:>6} "
+            f"{snap['p50_ms']:>8.2f} {snap['p99_ms']:>8.2f} {snap['rps']:>8.1f}"
+        )
+    print()
+    for p in result.predictions:
+        verdict = "AF" if p["pred"] == 1 else "non-AF"
+        print(
+            f"patient {p['patient']} segment {p['segment']:>3}  label={p['label']}  "
+            f"pred={verdict:<6} p(AF)={p['prob_af']:.3f}  hr={p['hr_bpm']:.0f} bpm"
+        )
+    if prom is not None:
+        print()
+        print(prom)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -593,7 +670,38 @@ def main(argv: list[str] | None = None) -> int:
         help="fusion bit-identity differential: each seed's deterministic "
         "DAG runs twice (fusion off/on) and must match bit-for-bit",
     )
+    p6.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the streaming scenarios instead (backpressure, RETRY "
+        "mid-stream, abort and shutdown mid-flight; zero-leak audits)",
+    )
     p6.set_defaults(func=_cmd_stress)
+
+    p6b = sub.add_parser(
+        "serve-stream", help="online AF inference over the streaming pipeline"
+    )
+    p6b.add_argument("--seed", type=int, default=0, help="feed + model seed")
+    p6b.add_argument("--segments", type=int, default=12, help="segments in the feed")
+    p6b.add_argument("--patients", type=int, default=2, help="interleaved patients")
+    p6b.add_argument("--batch-size", type=int, default=4, help="inference micro-batch")
+    p6b.add_argument(
+        "--rate", type=float, default=None,
+        help="source pacing in chunks/second (default: full speed)",
+    )
+    p6b.add_argument("--workers", type=positive_int, default=2)
+    p6b.add_argument(
+        "--backend", choices=("threads", "sequential"), default="threads"
+    )
+    p6b.add_argument(
+        "--gauge-interval", type=float, default=None,
+        help="republish live queue/latency gauges every N seconds",
+    )
+    p6b.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus metric exposition after the run",
+    )
+    p6b.set_defaults(func=_cmd_serve_stream)
 
     p7 = sub.add_parser("trace", help="analyse/export a saved runtime trace")
     p7.add_argument("action", choices=["summarize", "chrome", "critical-path"])

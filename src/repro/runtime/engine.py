@@ -420,6 +420,19 @@ class Runtime:
         self._unfinished_total = 0
         self._aborted: BaseException | None = None
         self._killed: BaseException | None = None
+        # -- streaming integration -------------------------------------
+        #: External wakeup callbacks (stream conditions, long-lived
+        #: stage waiters) notified by every ``_broadcast`` and by
+        #: shutdown: a thread parked on a condition the scheduler does
+        #: not own must still observe kill/abort/shutdown promptly.
+        #: Guarded by ``_state_lock``; callbacks run outside all locks.
+        self._interrupts: set[Callable[[], None]] = set()
+        #: Drain hooks invoked at the start of ``shutdown(wait=True)``,
+        #: before the unfinished-count drain wait: a registered stream
+        #: graph stops its sources and joins its stages here, so the
+        #: tasks those stages were still going to submit land while the
+        #: runtime is accepting and drain with everything else.
+        self._drain_hooks: list[Callable[[], None]] = []
         # -- monitoring counters ---------------------------------------
         self._counters = SchedulerCounters()
         self._n_retries = 0
@@ -468,6 +481,16 @@ class Runtime:
         live scope first — root *and* nested/detached ones — so no
         in-flight task is lost."""
         was_shutdown = self._shutdown
+        if wait and not was_shutdown:
+            # Streaming drain first: stream graphs stop their sources
+            # and join their stages while the runtime still accepts
+            # submissions, so in-flight windows/micro-batches become
+            # ordinary unfinished tasks that the wait below drains.
+            for hook in self._snapshot_drain_hooks():
+                try:
+                    hook()
+                except Exception:  # noqa: BLE001 - shutdown must proceed
+                    _logger.exception("shutdown drain hook failed")
         if self._fusion and not was_shutdown:
             # Arm any still-buffered fused units so their members
             # drain through the queue like ready tasks do — with
@@ -480,6 +503,10 @@ class Runtime:
             self._shutdown = True
             self._counters.broadcasts += 1
             self._cond.notify_all()
+        # After the flag flip: wake externally-parked threads (stream
+        # put/get waiters) so they observe the shutdown instead of
+        # sleeping on a condition no worker will ever notify again.
+        self._notify_interrupts()
         with self._state_lock:
             timers = list(self._timers)
             self._timers.clear()
@@ -1431,6 +1458,96 @@ class Runtime:
             if self._killed is None:
                 self._killed = error
         self._broadcast()
+        self._notify_interrupts()
+
+    # ------------------------------------------------------------------
+    # external waiters (streaming integration)
+    # ------------------------------------------------------------------
+    def add_interrupt(self, fn: Callable[[], None]) -> None:
+        """Register an external wakeup callback.
+
+        The scheduler condition only reaches threads parked *on the
+        scheduler*; a thread blocked on a foreign condition — a
+        bounded stream's not-full/not-empty, a long-lived stage's own
+        queue — registers a notifier here and re-checks
+        :meth:`interruption` on every wakeup.  Callbacks fire after
+        kill, abort and shutdown, outside every runtime lock, and must
+        be cheap and idempotent (typically ``notify_all`` on the
+        foreign condition)."""
+        with self._state_lock:
+            self._interrupts.add(fn)
+
+    def remove_interrupt(self, fn: Callable[[], None]) -> None:
+        with self._state_lock:
+            self._interrupts.discard(fn)
+
+    def _notify_interrupts(self) -> None:
+        if not self._interrupts:
+            return
+        with self._state_lock:
+            fns = list(self._interrupts)
+        for fn in fns:
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - a waiter bug must not wedge the engine
+                _logger.exception("interrupt callback failed")
+
+    def add_drain_hook(self, fn: Callable[[], None]) -> None:
+        """Register a callback run at the start of
+        ``shutdown(wait=True)``, before the runtime waits for the
+        unfinished count to reach zero.  Stream graphs use it to stop
+        their sources and join their stages so nothing keeps feeding
+        the runtime while it drains."""
+        with self._state_lock:
+            self._drain_hooks.append(fn)
+
+    def remove_drain_hook(self, fn: Callable[[], None]) -> None:
+        with self._state_lock:
+            if fn in self._drain_hooks:
+                self._drain_hooks.remove(fn)
+
+    def _snapshot_drain_hooks(self) -> list[Callable[[], None]]:
+        with self._state_lock:
+            return list(self._drain_hooks)
+
+    def interruption(self) -> BaseException | None:
+        """The exception an externally-parked thread should raise, or
+        None while the runtime is healthy.  Lock-free reads: each flag
+        is written once before its notification, so a waiter woken by
+        an interrupt callback always observes the cause."""
+        killed = self._killed
+        if killed is not None:
+            return killed
+        if self._aborted is not None:
+            return WorkflowAbortedError(
+                "workflow aborted while blocked on a stream"
+            )
+        if self._shutdown:
+            return RuntimeStateError("runtime shut down while blocked on a stream")
+        return None
+
+    @property
+    def metrics_registry(self) -> "obs.MetricsRegistry | None":
+        """The live metrics registry (None without the ``metrics``
+        observability flag).  Subsystems that instrument manually —
+        stream stages recording latency histograms and queue-depth
+        gauges — write through this instead of private state."""
+        return self._metrics
+
+    def bind_current_thread(self) -> "Scope | None":
+        """Adopt the calling (externally created) thread into this
+        runtime's root scope so ``@task`` calls made from it submit
+        here, and ``wait_on``/``barrier`` resolve against this runtime.
+        Returns the previous binding for :meth:`release_current_thread`
+        to restore.  Long-lived stream stages run on their own threads
+        and use this to interoperate with ordinary task futures."""
+        prev = _current_scope()
+        _tls.scope = self.root_scope
+        return prev
+
+    def release_current_thread(self, prev: "Scope | None" = None) -> None:
+        """Undo :meth:`bind_current_thread`."""
+        _tls.scope = prev
 
     def _record_violation(self, message: str) -> None:
         """Log and remember a broken runtime invariant (negative scope
@@ -2086,6 +2203,7 @@ class Runtime:
         for inst in victims:
             self._cancel_pending(inst)
         self._broadcast()
+        self._notify_interrupts()
 
     def _complete(
         self,

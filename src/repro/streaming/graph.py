@@ -1,0 +1,861 @@
+"""Stream graphs: long-lived stages wired by bounded streams.
+
+A :class:`StreamGraph` is the hybrid task+dataflow construct: each
+stage (source, ``map``/``filter``/``flat_map``/``key_by``, windowed
+operators, ``batch``, sink) runs as a long-lived loop on its own
+thread, consuming one input :class:`~repro.streaming.channel.Stream`
+and producing another, with credit-based backpressure end to end.
+Stage threads are *bound* to the owning
+:class:`~repro.runtime.engine.Runtime` (``bind_current_thread``), so a
+stage body is full task-runtime territory: it can call ``@task``
+functions, ``submit_many()`` micro-batches, and ``wait_on`` the
+resulting futures — and ordinary DAG tasks can symmetrically block on
+a stream result.  That is the hybrid-workflows model (Ramon-Cortes et
+al.) the source paper's group built on COMPSs.
+
+Lifecycle integration with the runtime:
+
+* every stream registers an interrupt notifier, so kill/abort/shutdown
+  reaches threads parked on a full or empty stream;
+* the graph registers a shutdown **drain hook**: ``shutdown(wait=True)``
+  first stops the sources and joins the stages (flushing in-flight
+  windows through the pipeline) and only then waits for the unfinished
+  task count — stream scopes drain like everything else;
+* a stage failure applies the runtime's failure-policy vocabulary
+  **per element**: ``RETRY`` re-applies the operator to the element
+  (up to ``max_retries``), ``IGNORE`` drops it, ``FAIL`` /
+  ``CANCEL_SUCCESSORS`` poison every stream so the whole graph unwinds
+  with zero leaked queue slots and ``join()`` raises
+  :class:`StreamFailure`.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from typing import Any, Callable
+
+from repro.runtime.engine import Runtime, active_runtime
+from repro.runtime.failures import CANCEL_SUCCESSORS, FAIL, IGNORE, RETRY
+from repro.streaming.channel import EOS, Record, Stream, StreamClosed, Watermark
+from repro.streaming.operators import ClosedWindow, WindowSpec
+
+#: Latency reservoir length per stage — enough for stable p99 at test
+#: scale without unbounded growth on long-running pipelines.
+_RESERVOIR = 4096
+
+#: Rate-controlled sources sleep in chunks no longer than this so a
+#: drain request interrupts the pacing promptly.
+_MAX_SLEEP = 0.05
+
+
+class StreamFailure(Exception):
+    """A stage failed terminally (or the runtime was interrupted) and
+    the graph unwound.  ``stage`` names the failing stage; the original
+    error is chained as ``__cause__``."""
+
+    def __init__(self, stage: str, message: str):
+        super().__init__(f"stream stage {stage!r}: {message}")
+        self.stage = stage
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+@dataclasses.dataclass
+class StageStats:
+    """Counters and latency reservoir of one stage (its ``join()``
+    deliverable)."""
+
+    name: str
+    kind: str
+    n_in: int = 0
+    n_out: int = 0
+    errors: int = 0
+    retries: int = 0
+    dropped: int = 0
+    error: str | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    latencies: collections.deque = dataclasses.field(
+        default_factory=lambda: collections.deque(maxlen=_RESERVOIR)
+    )
+
+    def snapshot(self) -> dict:
+        samples = list(self.latencies)
+        elapsed = (
+            (self.finished_at or time.monotonic()) - self.started_at
+            if self.started_at is not None
+            else 0.0
+        )
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "errors": self.errors,
+            "retries": self.retries,
+            "dropped": self.dropped,
+            "error": self.error,
+            "p50_ms": _percentile(samples, 0.50) * 1000.0,
+            "p99_ms": _percentile(samples, 0.99) * 1000.0,
+            "rps": self.n_out / elapsed if elapsed > 0 else 0.0,
+        }
+
+
+class _Stage:
+    """One long-lived stage loop.  ``kind`` selects the body; the
+    failure policy wraps every per-element operator application."""
+
+    def __init__(
+        self,
+        graph: "StreamGraph",
+        name: str,
+        kind: str,
+        source: Stream | None,
+        output: Stream | None,
+        fn: Callable | None = None,
+        *,
+        spec: WindowSpec | None = None,
+        batch_n: int | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        rate: float | None = None,
+        timestamps: Callable[[int, Any], float] | None = None,
+        watermark_interval: int | None = None,
+        items: Any = None,
+        collect: bool = False,
+    ):
+        self.graph = graph
+        self.name = name
+        self.kind = kind
+        self.source = source
+        self.output = output
+        self.fn = fn
+        self.spec = spec
+        self.batch_n = batch_n
+        self.on_failure = on_failure
+        self.max_retries = max_retries
+        self.rate = rate
+        self.timestamps = timestamps
+        self.watermark_interval = watermark_interval
+        self.items = items
+        self.collect = collect
+        self.collected: list = []
+        self.stats = StageStats(name=name, kind=kind)
+        self._stop = False
+        self.thread: threading.Thread | None = None
+
+    # -- failure policy around one operator application ----------------
+    def _apply(self, fn: Callable, *args: Any) -> tuple[bool, Any]:
+        """Apply *fn*, honouring the stage's failure policy.  Returns
+        ``(emitted, value)``; raises :class:`StreamFailure` when the
+        policy is terminal."""
+        attempt = 0
+        while True:
+            try:
+                return True, fn(*args)
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                self.stats.errors += 1
+                if self.on_failure == RETRY and attempt < self.max_retries:
+                    attempt += 1
+                    self.stats.retries += 1
+                    continue
+                if self.on_failure == IGNORE:
+                    self.stats.dropped += 1
+                    return False, None
+                raise StreamFailure(
+                    self.name,
+                    f"operator failed after {attempt + 1} attempt(s)",
+                ) from exc
+
+    def _emit(self, item: "Record | Watermark") -> None:
+        assert self.output is not None
+        self.output.put_item(item)
+        if isinstance(item, Record):
+            self.stats.n_out += 1
+            self.graph._count(self.name, "out")
+
+    def _observe(self, dt: float) -> None:
+        self.stats.latencies.append(dt)
+        m = self.graph._metrics
+        if m is not None:
+            m.observe("repro_stream_stage_seconds", dt, stage=self.name)
+
+    # -- stage bodies ---------------------------------------------------
+    def run(self) -> None:
+        self.stats.started_at = time.monotonic()
+        try:
+            getattr(self, f"_run_{self.kind}")()
+        finally:
+            self.stats.finished_at = time.monotonic()
+
+    def _run_source(self) -> None:
+        out = self.output
+        assert out is not None
+        items = self.items() if callable(self.items) else self.items
+        period = 1.0 / self.rate if self.rate else 0.0
+        next_t = time.monotonic()
+        i = 0
+        last_ts: float | None = None
+        try:
+            for value in items:
+                if self._stop:
+                    break
+                if period:
+                    next_t += period
+                    while not self._stop:
+                        delay = next_t - time.monotonic()
+                        if delay <= 0:
+                            break
+                        time.sleep(min(delay, _MAX_SLEEP))
+                    if self._stop:
+                        break
+                ts = (
+                    self.timestamps(i, value)
+                    if self.timestamps is not None
+                    else float(i)
+                )
+                t0 = time.monotonic()
+                self._emit(Record(value, ts=ts, ingest=t0))
+                self._observe(time.monotonic() - t0)
+                i += 1
+                last_ts = ts
+                if self.watermark_interval and i % self.watermark_interval == 0:
+                    out.put_item(Watermark(ts))
+        except StreamClosed:
+            # The consumer side went away first (drain overlap); the
+            # elements already emitted are all that was asked for.
+            pass
+        if last_ts is not None and self.watermark_interval:
+            try:
+                out.put_item(Watermark(last_ts))
+            except StreamClosed:
+                pass
+        out.close()
+
+    def _iter_input(self):
+        assert self.source is not None
+        for item in self.source:
+            if isinstance(item, Record):
+                self.stats.n_in += 1
+                self.graph._count(self.name, "in")
+            yield item
+
+    # map / filter / flat_map / key_by share one loop shape but differ
+    # in what the operator result means; keep them explicit so the
+    # stats and emission rules stay obvious.
+    def _run_map(self) -> None:
+        out = self.output
+        assert out is not None and self.fn is not None
+        try:
+            for item in self._iter_input():
+                if isinstance(item, Watermark):
+                    out.put_item(item)
+                    continue
+                t0 = time.monotonic()
+                emitted, value = self._apply(self.fn, item.value)
+                self._observe(time.monotonic() - t0)
+                if emitted:
+                    self._emit(item.replace(value))
+        finally:
+            out.close()
+
+    def _run_filter(self) -> None:
+        out = self.output
+        assert out is not None and self.fn is not None
+        try:
+            for item in self._iter_input():
+                if isinstance(item, Watermark):
+                    out.put_item(item)
+                    continue
+                t0 = time.monotonic()
+                emitted, keep = self._apply(self.fn, item.value)
+                self._observe(time.monotonic() - t0)
+                if emitted and keep:
+                    self._emit(item)
+        finally:
+            out.close()
+
+    def _run_flat_map(self) -> None:
+        out = self.output
+        assert out is not None and self.fn is not None
+        try:
+            for item in self._iter_input():
+                if isinstance(item, Watermark):
+                    out.put_item(item)
+                    continue
+                t0 = time.monotonic()
+                emitted, values = self._apply(self.fn, item.value)
+                self._observe(time.monotonic() - t0)
+                if not emitted:
+                    continue
+                for value in values:
+                    self._emit(item.replace(value))
+        finally:
+            out.close()
+
+    def _run_key_by(self) -> None:
+        out = self.output
+        assert out is not None and self.fn is not None
+        try:
+            for item in self._iter_input():
+                if isinstance(item, Watermark):
+                    out.put_item(item)
+                    continue
+                t0 = time.monotonic()
+                emitted, key = self._apply(self.fn, item.value)
+                self._observe(time.monotonic() - t0)
+                if not emitted:
+                    continue
+                self._emit(
+                    Record(item.value, ts=item.ts, key=key, ingest=item.ingest)
+                )
+        finally:
+            out.close()
+
+    def _emit_windows(self, closed: list[ClosedWindow]) -> None:
+        for w in closed:
+            if self.fn is not None:
+                emitted, value = self._apply(self.fn, w.values)
+                if not emitted:
+                    continue
+            else:
+                value = w.values
+            self._emit(Record(value, ts=w.end_ts, key=w.key, ingest=w.ingest))
+
+    def _run_window(self) -> None:
+        out = self.output
+        assert out is not None and self.spec is not None
+        windower = self.spec.make()
+        try:
+            for item in self._iter_input():
+                t0 = time.monotonic()
+                if isinstance(item, Watermark):
+                    self._emit_windows(windower.advance(item.ts))
+                    self._observe(time.monotonic() - t0)
+                    out.put_item(item)
+                    continue
+                self._emit_windows(windower.add(item))
+                self._observe(time.monotonic() - t0)
+            # End of stream: flush whatever is still open so a bounded
+            # feed loses nothing (partial-window semantics are the
+            # window spec's call).
+            self._emit_windows(windower.flush())
+        finally:
+            out.close()
+
+    def _run_batch(self) -> None:
+        out = self.output
+        assert out is not None and self.batch_n is not None
+        buffer: list = []
+        ingest: float | None = None
+        last: Record | None = None
+        try:
+            for item in self._iter_input():
+                if isinstance(item, Watermark):
+                    out.put_item(item)
+                    continue
+                buffer.append(item.value)
+                last = item
+                if item.ingest is not None:
+                    ingest = (
+                        item.ingest if ingest is None else max(ingest, item.ingest)
+                    )
+                if len(buffer) >= self.batch_n:
+                    self._emit(Record(buffer, ts=last.ts, ingest=ingest))
+                    buffer, ingest = [], None
+            if buffer:
+                self._emit(
+                    Record(buffer, ts=last.ts if last else None, ingest=ingest)
+                )
+        finally:
+            out.close()
+
+    def _run_sink(self) -> None:
+        fn = self.fn
+        m = self.graph._metrics
+        for item in self._iter_input():
+            if isinstance(item, Watermark):
+                continue
+            t0 = time.monotonic()
+            if fn is not None:
+                emitted, value = self._apply(fn, item.value)
+                if not emitted:
+                    continue
+            else:
+                value = item.value
+            if self.collect:
+                self.collected.append(value)
+            self.stats.n_out += 1
+            now = time.monotonic()
+            self._observe(now - t0)
+            if item.ingest is not None:
+                e2e = now - item.ingest
+                self.stats.latencies[-1] = e2e  # e2e is the sink's headline
+                if m is not None:
+                    m.observe("repro_stream_e2e_seconds", e2e, stage=self.name)
+
+
+class StreamGraph:
+    """A wiring of stages and streams over one runtime.
+
+    Build the topology with :meth:`source` / :meth:`map` /
+    :meth:`window` / ... , then :meth:`start` it and :meth:`join` for
+    the per-stage stats.  Use it as a context manager to get
+    start/join (or abort on error) automatically.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime | None = None,
+        *,
+        name: str = "stream-graph",
+        capacity: int = 64,
+    ):
+        self.runtime = runtime if runtime is not None else active_runtime()
+        self.name = name
+        self.capacity = capacity
+        self.stages: list[_Stage] = []
+        self.streams: list[Stream] = []
+        self._consumed: set[int] = set()
+        self._started = False
+        self._joined = False
+        self._error: BaseException | None = None
+        self._error_stage: str | None = None
+        self._lock = threading.Lock()
+        self._metrics = (
+            self.runtime.metrics_registry if self.runtime is not None else None
+        )
+
+    # -- topology -------------------------------------------------------
+    def _new_stream(self, name: str, capacity: int | None) -> Stream:
+        s = Stream(
+            capacity or self.capacity,
+            name=f"{self.name}.{name}",
+            runtime=self.runtime,
+        )
+        self.streams.append(s)
+        return s
+
+    def _take(self, stream: Stream) -> Stream:
+        if not isinstance(stream, Stream):
+            raise TypeError(f"expected a Stream, got {type(stream).__name__}")
+        if id(stream) in self._consumed:
+            raise ValueError(
+                f"stream {stream.name!r} already has a consumer; "
+                "streams are single-consumer"
+            )
+        self._consumed.add(id(stream))
+        return stream
+
+    def _prepare(self, name: str) -> str:
+        """Validate a new stage's name *before* any stream is created or
+        consumed, so a rejected builder call leaves the topology
+        untouched."""
+        if self._started:
+            raise RuntimeError("cannot add stages to a started graph")
+        if any(s.name == name for s in self.stages):
+            raise ValueError(f"duplicate stage name {name!r}")
+        return name
+
+    def _add(self, stage: _Stage) -> _Stage:
+        self.stages.append(stage)
+        return stage
+
+    def source(
+        self,
+        items: Any,
+        *,
+        name: str = "source",
+        rate: float | None = None,
+        timestamps: Callable[[int, Any], float] | None = None,
+        watermark_interval: int | None = None,
+        capacity: int | None = None,
+    ) -> Stream:
+        """A source stage: emits *items* (an iterable, or a zero-arg
+        callable returning one) as records.  ``rate`` paces emission in
+        records/second; ``timestamps(i, value)`` assigns event time
+        (default: the record index); ``watermark_interval`` emits a
+        watermark every N records and once more at end-of-feed."""
+        self._prepare(name)
+        out = self._new_stream(name, capacity)
+        self._add(
+            _Stage(
+                self,
+                name,
+                "source",
+                None,
+                out,
+                items=items,
+                rate=rate,
+                timestamps=timestamps,
+                watermark_interval=watermark_interval,
+            )
+        )
+        return out
+
+    def _transform(
+        self,
+        kind: str,
+        stream: Stream,
+        fn: Callable,
+        name: str | None,
+        on_failure: str,
+        max_retries: int,
+        capacity: int | None,
+    ) -> Stream:
+        name = self._prepare(name or f"{kind}{len(self.stages)}")
+        inp = self._take(stream)
+        out = self._new_stream(name, capacity)
+        self._add(
+            _Stage(
+                self,
+                name,
+                kind,
+                inp,
+                out,
+                fn,
+                on_failure=on_failure,
+                max_retries=max_retries,
+            )
+        )
+        return out
+
+    def map(
+        self,
+        stream: Stream,
+        fn: Callable[[Any], Any],
+        *,
+        name: str | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        capacity: int | None = None,
+    ) -> Stream:
+        return self._transform("map", stream, fn, name, on_failure, max_retries, capacity)
+
+    def filter(
+        self,
+        stream: Stream,
+        fn: Callable[[Any], bool],
+        *,
+        name: str | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        capacity: int | None = None,
+    ) -> Stream:
+        return self._transform("filter", stream, fn, name, on_failure, max_retries, capacity)
+
+    def flat_map(
+        self,
+        stream: Stream,
+        fn: Callable[[Any], Any],
+        *,
+        name: str | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        capacity: int | None = None,
+    ) -> Stream:
+        return self._transform("flat_map", stream, fn, name, on_failure, max_retries, capacity)
+
+    def key_by(
+        self,
+        stream: Stream,
+        fn: Callable[[Any], Any],
+        *,
+        name: str | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        capacity: int | None = None,
+    ) -> Stream:
+        return self._transform("key_by", stream, fn, name, on_failure, max_retries, capacity)
+
+    def window(
+        self,
+        stream: Stream,
+        spec: WindowSpec,
+        fn: Callable[[list], Any] | None = None,
+        *,
+        name: str | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+        capacity: int | None = None,
+    ) -> Stream:
+        """A windowed operator: groups records per the spec (and per
+        key), optionally aggregates each closed window with ``fn``
+        (default: emit the value list)."""
+        name = self._prepare(name or f"window{len(self.stages)}")
+        inp = self._take(stream)
+        out = self._new_stream(name, capacity)
+        self._add(
+            _Stage(
+                self,
+                name,
+                "window",
+                inp,
+                out,
+                fn,
+                spec=spec,
+                on_failure=on_failure,
+                max_retries=max_retries,
+            )
+        )
+        return out
+
+    def batch(
+        self,
+        stream: Stream,
+        n: int,
+        *,
+        name: str | None = None,
+        capacity: int | None = None,
+    ) -> Stream:
+        """Micro-batching: emits lists of up to *n* consecutive values
+        (the remainder flushes at end-of-stream)."""
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        name = self._prepare(name or f"batch{len(self.stages)}")
+        inp = self._take(stream)
+        out = self._new_stream(name, capacity)
+        self._add(_Stage(self, name, "batch", inp, out, batch_n=n))
+        return out
+
+    def sink(
+        self,
+        stream: Stream,
+        fn: Callable[[Any], Any] | None = None,
+        *,
+        name: str = "sink",
+        collect: bool | None = None,
+        on_failure: str = FAIL,
+        max_retries: int = 2,
+    ) -> _Stage:
+        """Terminal stage: applies ``fn`` per value (if given) and —
+        with ``collect`` (default: collect when no ``fn``) — keeps the
+        values in arrival order for :meth:`results`."""
+        if collect is None:
+            collect = fn is None
+        self._prepare(name)
+        return self._add(
+            _Stage(
+                self,
+                name,
+                "sink",
+                self._take(stream),
+                None,
+                fn,
+                collect=collect,
+                on_failure=on_failure,
+                max_retries=max_retries,
+            )
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "StreamGraph":
+        if self._started:
+            raise RuntimeError("graph already started")
+        if not self.stages:
+            raise RuntimeError("graph has no stages")
+        dangling = [
+            s.name
+            for s in self.streams
+            if id(s) not in self._consumed
+        ]
+        if dangling:
+            raise RuntimeError(
+                f"streams with no consumer: {dangling}; every stage output "
+                "must feed another stage or a sink"
+            )
+        self._started = True
+        if self.runtime is not None:
+            self.runtime.add_drain_hook(self._on_runtime_drain)
+        for stage in self.stages:
+            t = threading.Thread(
+                target=self._stage_main,
+                args=(stage,),
+                name=f"{self.name}-{stage.name}",
+                daemon=True,
+            )
+            stage.thread = t
+            t.start()
+        return self
+
+    def _stage_main(self, stage: _Stage) -> None:
+        rt = self.runtime
+        prev = rt.bind_current_thread() if rt is not None else None
+        try:
+            stage.run()
+        except BaseException as exc:  # noqa: BLE001 - unwind the graph
+            stage.stats.error = repr(exc)
+            self._fail(stage.name, exc)
+        finally:
+            if stage.output is not None and not stage.output.closed:
+                stage.output.close()
+            if rt is not None:
+                rt.release_current_thread(prev)
+
+    def _fail(self, stage_name: str | None, error: BaseException) -> None:
+        """First terminal error wins; every stream is poisoned so all
+        stages unwind promptly and no queue slot leaks."""
+        with self._lock:
+            if self._error is None:
+                self._error = error
+                self._error_stage = stage_name
+            already = self._error is not error
+        if already:
+            return
+        for stage in self.stages:
+            stage._stop = True
+        for stream in self.streams:
+            stream.poison(error)
+
+    def abort(self, error: BaseException | None = None) -> None:
+        """Abortively stop the graph: poison every stream, drop queued
+        elements.  ``join(raise_on_error=False)`` then collects what
+        each stage managed to do."""
+        self._fail(None, error or StreamFailure("<graph>", "aborted by caller"))
+
+    def initiate_drain(self) -> None:
+        """Graceful stop: sources stop emitting and close; in-flight
+        elements (and open windows) flush through the remaining
+        stages.  Non-blocking; ``join()`` observes the drained end."""
+        for stage in self.stages:
+            if stage.kind == "source":
+                stage._stop = True
+
+    def _on_runtime_drain(self) -> None:
+        # Runs inside Runtime.shutdown(wait=True), before the runtime
+        # waits out its unfinished count: stop feeding, flush, and join
+        # the stage threads so every micro-batch they were going to
+        # submit is in the DAG by the time the drain wait starts.
+        self.initiate_drain()
+        for stage in self.stages:
+            if stage.thread is not None:
+                stage.thread.join(timeout=30.0)
+
+    def join(
+        self, timeout: float | None = None, raise_on_error: bool = True
+    ) -> dict[str, StageStats]:
+        """Wait for every stage to finish and return per-stage stats.
+        Raises :class:`StreamFailure` (chaining the original error) if
+        any stage failed terminally, unless ``raise_on_error=False``."""
+        if not self._started:
+            raise RuntimeError("graph not started")
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        for stage in self.stages:
+            t = stage.thread
+            if t is None:
+                continue
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            t.join(timeout=remaining)
+            if t.is_alive():
+                raise StreamFailure(stage.name, f"stage did not finish in {timeout}s")
+        if not self._joined:
+            self._joined = True
+            if self.runtime is not None:
+                self.runtime.remove_drain_hook(self._on_runtime_drain)
+            for stream in self.streams:
+                stream._unregister()
+        if raise_on_error and self._error is not None:
+            if isinstance(self._error, StreamFailure):
+                raise self._error
+            raise StreamFailure(
+                self._error_stage or "<graph>", "stage failed"
+            ) from self._error
+        return {s.name: s.stats for s in self.stages}
+
+    def __enter__(self) -> "StreamGraph":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort(exc if isinstance(exc, BaseException) else None)
+            self.join(raise_on_error=False)
+        else:
+            self.join()
+
+    # -- results & telemetry -------------------------------------------
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def results(self, sink: "_Stage | str") -> list:
+        """Collected values of a ``collect=True`` sink, arrival order."""
+        if isinstance(sink, str):
+            matches = [s for s in self.stages if s.name == sink]
+            if not matches:
+                raise KeyError(f"no stage named {sink!r}")
+            sink = matches[0]
+        return sink.collected
+
+    def _count(self, stage: str, port: str) -> None:
+        m = self._metrics
+        if m is not None:
+            m.inc("repro_stream_records_total", 1.0, stage=stage, port=port)
+
+    def slots_leaked(self) -> int:
+        """Total queue-slot imbalance across the graph's streams
+        (zero in a healthy or fully-unwound graph)."""
+        return sum(s.slots_leaked() for s in self.streams)
+
+    def metrics_snapshot(self) -> dict:
+        """Graph-local telemetry: per-stage p50/p99/throughput and
+        per-stream depth/credit accounting — available with or without
+        the runtime metrics registry."""
+        return {
+            "graph": self.name,
+            "stages": {s.name: s.stats.snapshot() for s in self.stages},
+            "streams": {s.name: s.stats() for s in self.streams},
+        }
+
+    def publish_gauges(self) -> None:
+        """Fold live queue-depth / latency-quantile / throughput gauges
+        into the runtime metrics registry (Prometheus exposition and
+        ``repro trace`` read from there).  Safe no-op without the
+        ``metrics`` observability flag."""
+        m = self._metrics
+        if m is None:
+            return
+        for stream in self.streams:
+            st = stream.stats()
+            m.set_gauge("repro_stream_queue_depth", st["depth"], stream=st["name"])
+            m.set_gauge("repro_stream_queue_credits", st["credits"], stream=st["name"])
+            m.set_gauge(
+                "repro_stream_queue_high_water", st["high_water"], stream=st["name"]
+            )
+        for stage in self.stages:
+            snap = stage.stats.snapshot()
+            m.set_gauge(
+                "repro_stream_stage_latency_seconds",
+                snap["p50_ms"] / 1000.0,
+                stage=stage.name,
+                quantile="0.5",
+            )
+            m.set_gauge(
+                "repro_stream_stage_latency_seconds",
+                snap["p99_ms"] / 1000.0,
+                stage=stage.name,
+                quantile="0.99",
+            )
+            m.set_gauge("repro_stream_stage_rps", snap["rps"], stage=stage.name)
+
+
+__all__ = [
+    "StreamGraph",
+    "StreamFailure",
+    "StageStats",
+    "CANCEL_SUCCESSORS",
+    "FAIL",
+    "IGNORE",
+    "RETRY",
+    "EOS",
+]

@@ -1,0 +1,266 @@
+"""StreamGraph wiring: multi-stage pipelines, failure policies,
+task-interop in both directions, lifecycle errors."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Runtime, task, wait_on
+from repro.runtime.config import RuntimeConfig
+from repro.streaming import (
+    StreamFailure,
+    StreamGraph,
+    TumblingCountWindow,
+    TumblingTimeWindow,
+)
+
+
+@task(returns=1)
+def _triple(x):
+    return 3 * x
+
+
+@task(returns=1)
+def _total(values):
+    return sum(values)
+
+
+def runtime(**kw):
+    kw.setdefault("executor", "threads")
+    kw.setdefault("max_workers", 2)
+    kw.setdefault("debug_invariants", True)
+    return Runtime(config=RuntimeConfig(**kw))
+
+
+@pytest.fixture(params=["threads", "sequential"])
+def rt(request):
+    with runtime(executor=request.param) as r:
+        yield r
+
+
+def reference(n, w):
+    vals = [v * 2 for v in range(n) if (v * 2) % 3 != 0]
+    return [sum(vals[i : i + w]) for i in range(0, len(vals), w)]
+
+
+def test_multi_stage_pipeline_matches_reference(rt):
+    g = StreamGraph(rt, name="g", capacity=4)
+    src = g.source(range(40), name="src")
+    m = g.map(src, lambda v: v * 2)
+    f = g.filter(m, lambda v: v % 3 != 0)
+    w = g.window(f, TumblingCountWindow(4), fn=sum)
+    sink = g.sink(w)
+    g.start()
+    stats = g.join()
+    assert sink.collected == reference(40, 4)
+    assert g.slots_leaked() == 0
+    assert stats["src"].n_out == 40
+    assert g.error is None
+
+
+def test_flat_map_and_batch(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(6), name="src")
+    fm = g.flat_map(src, lambda v: [v, v])
+    b = g.batch(fm, 5)
+    sink = g.sink(b)
+    g.start()
+    g.join()
+    assert sink.collected == [[0, 0, 1, 1, 2], [2, 3, 3, 4, 4], [5, 5]]
+
+
+def test_key_by_routes_windows_per_key(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(8), name="src")
+    k = g.key_by(src, lambda v: v % 2)
+    w = g.window(k, TumblingCountWindow(2), fn=list)
+    sink = g.sink(w)
+    g.start()
+    g.join()
+    assert sink.collected == [[0, 2], [1, 3], [4, 6], [5, 7]]
+
+
+def test_event_time_windows_close_on_watermarks(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(10), name="src", watermark_interval=4)
+    w = g.window(src, TumblingTimeWindow(2.0), fn=list)
+    sink = g.sink(w)
+    g.start()
+    g.join()
+    assert sink.collected == [[0, 1], [2, 3], [4, 5], [6, 7], [8, 9]]
+
+
+def test_stream_stage_submits_tasks_and_waits(rt):
+    # Interop direction 1: a stage body is task-runtime territory.
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(10), name="src")
+
+    def via_task(v):
+        return wait_on(_triple(v))
+
+    m = g.map(src, via_task)
+    sink = g.sink(m)
+    g.start()
+    g.join()
+    assert sink.collected == [3 * v for v in range(10)]
+
+
+def test_dag_task_consumes_stream_results(rt):
+    # Interop direction 2: graph output feeds an ordinary task DAG.
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(12), name="src")
+    w = g.window(src, TumblingCountWindow(3), fn=sum)
+    sink = g.sink(w)
+    g.start()
+    g.join()
+    fut = _total(sink.collected)
+    assert wait_on(fut) == sum(range(12))
+
+
+def test_retry_policy_reapplies_operator(rt):
+    attempts = {}
+
+    def flaky(v):
+        if v == 5 and attempts.setdefault(5, 0) < 2:
+            attempts[5] += 1
+            raise ValueError("transient")
+        return v
+
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(10), name="src")
+    m = g.map(src, flaky, name="m", on_failure="RETRY", max_retries=2)
+    sink = g.sink(m)
+    g.start()
+    stats = g.join()
+    assert sink.collected == list(range(10))
+    assert stats["m"].retries == 2
+
+
+def test_ignore_policy_drops_element(rt):
+    def bad(v):
+        if v % 4 == 0:
+            raise ValueError("bad element")
+        return v
+
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(10), name="src")
+    m = g.map(src, bad, name="m", on_failure="IGNORE")
+    sink = g.sink(m)
+    g.start()
+    stats = g.join()
+    assert sink.collected == [v for v in range(10) if v % 4 != 0]
+    assert stats["m"].dropped == 3
+
+
+def test_fail_policy_unwinds_graph_with_zero_leaks(rt):
+    def bomb(v):
+        if v == 7:
+            raise RuntimeError("kaboom")
+        return v
+
+    g = StreamGraph(rt, name="g", capacity=2)
+    src = g.source(range(100), name="src")
+    m = g.map(src, bomb, name="m")
+    sink = g.sink(m)
+    g.start()
+    with pytest.raises(StreamFailure) as ei:
+        g.join(timeout=30.0)
+    assert ei.value.stage == "m"
+    assert isinstance(ei.value.__cause__, RuntimeError)
+    assert g.slots_leaked() == 0
+    assert len(sink.collected) < 100
+    # the runtime itself is unharmed — graph failures are graph-local
+    assert wait_on(_triple(2)) == 6
+
+
+def test_abort_unwinds_promptly(rt):
+    g = StreamGraph(rt, name="g", capacity=2)
+    src = g.source(range(10_000), name="src")
+    m = g.map(src, lambda v: (time.sleep(0.001), v)[1], name="m")
+    sink = g.sink(m)
+    g.start()
+    time.sleep(0.03)
+    g.abort()
+    g.join(timeout=30.0, raise_on_error=False)
+    assert g.error is not None
+    assert g.slots_leaked() == 0
+    assert len(sink.collected) < 10_000
+
+
+def test_context_manager_joins_and_raises(rt):
+    # context manager joins on exit
+    g = StreamGraph(rt, name="g2")
+    src = g.source(range(5), name="src")
+    sink = g.sink(src)
+    with g:
+        pass
+    assert sink.collected == [0, 1, 2, 3, 4]
+
+    # a failing stage surfaces on exit
+    g3 = StreamGraph(rt, name="g3")
+    src = g3.source(range(5), name="src")
+    bad = g3.map(src, lambda v: 1 / 0, name="bad")
+    g3.sink(bad)
+    with pytest.raises(StreamFailure):
+        with g3:
+            pass
+
+
+def test_topology_validation(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(3), name="src")
+    with pytest.raises(RuntimeError, match="no consumer"):
+        g.start()
+    sink = g.sink(src)
+    with pytest.raises(ValueError, match="single-consumer"):
+        g.map(src, lambda v: v)
+    with pytest.raises(ValueError, match="duplicate stage name"):
+        g.source(range(3), name="src")
+    g.start()
+    with pytest.raises(RuntimeError, match="started"):
+        g.source(range(3), name="late")
+    g.join()
+    assert sink.collected == [0, 1, 2]
+
+
+def test_rate_controlled_source_paces_emission(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(10), name="src", rate=200.0)
+    sink = g.sink(src)
+    g.start()
+    t0 = time.monotonic()
+    g.join()
+    elapsed = time.monotonic() - t0
+    assert sink.collected == list(range(10))
+    assert elapsed >= 0.04  # 10 records at 200/s ≈ 50ms of pacing
+
+
+def test_backpressure_bounds_queue_depth():
+    with runtime() as rt:
+        g = StreamGraph(rt, name="g", capacity=3)
+        src = g.source(range(200), name="src")
+        slow = g.map(src, lambda v: (time.sleep(0.0005), v)[1], name="slow")
+        sink = g.sink(slow)
+        g.start()
+        g.join()
+        assert sink.collected == list(range(200))
+        for s in g.streams:
+            assert s.stats()["high_water"] <= 3
+
+
+def test_stage_stats_snapshot_shape(rt):
+    g = StreamGraph(rt, name="g")
+    src = g.source(range(20), name="src")
+    m = g.map(src, lambda v: v, name="m")
+    g.sink(m, name="out")
+    g.start()
+    stats = g.join()
+    snap = stats["m"].snapshot()
+    assert snap["n_in"] == snap["n_out"] == 20
+    assert snap["p50_ms"] >= 0.0 and snap["p99_ms"] >= snap["p50_ms"] * 0.0
+    meta = g.metrics_snapshot()
+    assert set(meta["stages"]) == {"src", "m", "out"}
+    assert all(v["closed"] for v in meta["streams"].values())
