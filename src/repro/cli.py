@@ -32,7 +32,16 @@ Commands:
   written by ``Trace.save``: makespan/work/overhead breakdown, a
   chrome://tracing export (per-worker lanes, dependency flow arrows,
   retry/restore markers), or the longest duration-weighted dependency
-  chain.
+  chain.  ``trace --service DATA_DIR`` instead exports the merged
+  distributed trace of a queue service (client submit spans, worker
+  deliveries across every server incarnation — including crashed ones —
+  and the embedded runtimes' task spans) as one OTLP/JSON document;
+  ``trace chrome --service DATA_DIR`` renders the same merge as a
+  chrome://tracing timeline with one process row per incarnation.
+* ``logs PATH`` — render observability artifacts a run leaves behind:
+  a flight-recorder dump JSON (``flightrec-*.json``), a durable span
+  log (``spans.jsonl``), or a service data directory (renders its span
+  log and lists its flight-recorder dumps).
 * ``serve --data-dir DIR`` — run the durable task-queue service
   (:mod:`repro.service`): cold-start recovery, worker leases with
   heartbeats, SIGTERM drain.  ``--until-idle`` exits once the queue is
@@ -377,6 +386,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime import observability as obs
     from repro.runtime.tracing import Trace
 
+    if args.service is not None:
+        import json
+
+        from repro.runtime.otlp import iter_spans, otlp_to_chrome, save_otlp
+        from repro.service.spanlog import export_service_otlp
+
+        document = export_service_otlp(args.service)
+        n_spans = sum(1 for _ in iter_spans(document))
+        if not n_spans:
+            print(f"no spans recorded under {args.service}", file=sys.stderr)
+            return 1
+        if args.action == "chrome":
+            # merged multi-process timeline: client, every server
+            # incarnation and worker runtime as process rows on one clock
+            from repro.runtime import atomic_write
+
+            chrome = otlp_to_chrome(document)
+            out = args.output or "service.chrome.json"
+            atomic_write(out, json.dumps(chrome) + "\n")
+            print(
+                f"wrote {out} ({n_spans} spans, merged chrome trace; "
+                "open in about:tracing)"
+            )
+        elif args.output:
+            save_otlp(document, args.output)
+            print(f"wrote {args.output} ({n_spans} spans, OTLP/JSON)")
+        else:
+            print(json.dumps(document, indent=2))
+        return 0
+    if args.file is None:
+        print("trace wants a FILE (or --service DATA_DIR)", file=sys.stderr)
+        return 2
+
     try:
         trace = Trace.load(args.file)
     except (OSError, ValueError, KeyError) as exc:
@@ -401,6 +443,117 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     out = args.output or f"{args.file}.chrome.json"
     save_chrome_trace(trace, out)
     print(f"wrote {out} ({len(trace)} task events; open in about:tracing)")
+    return 0
+
+
+def _render_flightrec_dump(payload: dict, limit: int | None) -> None:
+    import time as _time
+
+    stamp = _time.strftime(
+        "%Y-%m-%d %H:%M:%S", _time.localtime(payload.get("wall_time", 0))
+    )
+    print(
+        f"flight recorder {payload.get('name')!r} pid={payload.get('pid')} "
+        f"at {stamp}"
+    )
+    print(f"reason   : {payload.get('reason')}")
+    print(
+        f"events   : {payload.get('n_events')} held "
+        f"(capacity {payload.get('capacity')}, "
+        f"{payload.get('n_dropped')} older dropped)"
+    )
+    events = payload.get("events", [])
+    if limit is not None:
+        events = events[-limit:]
+    if events:
+        header = f"{'t':>10}  {'kind':<12} {'task':>6} {'attempt':>7} {'state':<10} name"
+        print(header)
+        print("-" * len(header))
+    for event in events:
+        worker = event.get("worker") or ""
+        print(
+            f"{event.get('t', 0.0):>10.4f}  {event.get('kind', '?'):<12} "
+            f"{event.get('task_id', ''):>6} {event.get('attempt', 0):>7} "
+            f"{str(event.get('state') or ''):<10} {event.get('name', '')}"
+            + (f"  [{worker}]" if worker else "")
+        )
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict):
+        print(f"metrics snapshot: {len(metrics)} top-level keys")
+
+
+def _render_span_rows(rows, limit: int | None) -> None:
+    import time as _time
+
+    rows = list(rows)
+    if limit is not None:
+        rows = rows[-limit:]
+    if not rows:
+        print("(no span rows)")
+        return
+    for row in rows:
+        t = row.get("t_start", row.get("t_end", 0.0))
+        stamp = _time.strftime("%H:%M:%S", _time.localtime(t))
+        # ids are base+counter, so only the *tail* distinguishes spans
+        # minted by one process — truncate from the front, not the back
+        trace = (row.get("trace_id") or "")[-12:]
+        span = (row.get("span_id") or "")[-12:]
+        if row.get("event") == "end":
+            detail = f"status={row.get('status')}"
+        else:
+            attrs = row.get("attributes") or {}
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        print(
+            f"{stamp}  {row.get('event', '?'):<5} {row.get('name', ''):<8} "
+            f"trace={trace:<12} span={span:<12} {detail}"
+        )
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.runtime.flightrec import load_dump
+    from repro.service.spanlog import SPANS_FILE, read_span_rows
+
+    path = pathlib.Path(args.path)
+    if path.is_dir():
+        spans = path / SPANS_FILE
+        if spans.exists():
+            print(f"== span log {spans} ==")
+            _render_span_rows(read_span_rows(path), args.limit)
+        dumps = sorted(path.glob("**/flightrec-*.json"))
+        if dumps:
+            print(f"== {len(dumps)} flight-recorder dump(s) ==")
+            for dump in dumps:
+                print(f"  {dump}")
+        if not spans.exists() and not dumps:
+            print(f"no span log or flight-recorder dumps under {path}", file=sys.stderr)
+            return 1
+        return 0
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 1
+    if path.name.endswith(".jsonl"):
+        import json
+
+        def rows():
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        try:
+                            yield json.loads(line)
+                        except json.JSONDecodeError:
+                            continue
+
+        _render_span_rows(rows(), args.limit)
+        return 0
+    try:
+        payload = load_dump(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    _render_flightrec_dump(payload, args.limit)
     return 0
 
 
@@ -439,8 +592,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import contextlib
 
     from repro.runtime import faults
+    from repro.runtime.structlog import configure as configure_logging
     from repro.service import QueueService, ServiceConfig
 
+    # the server is the long-running entry point: attach the structured
+    # handler so service INFO lines reach stderr (JSON under
+    # REPRO_LOG_JSON=1) instead of being dropped handler-less
+    configure_logging()
     config = ServiceConfig(
         data_dir=args.data_dir,
         workers=args.workers,
@@ -704,10 +862,26 @@ def main(argv: list[str] | None = None) -> int:
     p6b.set_defaults(func=_cmd_serve_stream)
 
     p7 = sub.add_parser("trace", help="analyse/export a saved runtime trace")
-    p7.add_argument("action", choices=["summarize", "chrome", "critical-path"])
-    p7.add_argument("file", help="trace JSON written by Trace.save")
     p7.add_argument(
-        "--output", default=None, help="chrome: output path (default FILE.chrome.json)"
+        "action",
+        nargs="?",
+        default="summarize",
+        choices=["summarize", "chrome", "critical-path"],
+    )
+    p7.add_argument("file", nargs="?", default=None, help="trace JSON written by Trace.save")
+    p7.add_argument(
+        "--service",
+        default=None,
+        metavar="DATA_DIR",
+        help="export a queue service's merged distributed trace as OTLP/JSON "
+        "(stdout, or --output FILE; with the 'chrome' action, as a merged "
+        "chrome://tracing timeline)",
+    )
+    p7.add_argument(
+        "--output",
+        default=None,
+        help="chrome: output path (default FILE.chrome.json); "
+        "--service: OTLP output path (default stdout)",
     )
     p7.add_argument(
         "--top",
@@ -716,6 +890,19 @@ def main(argv: list[str] | None = None) -> int:
         help="critical-path: show only the last N chain tasks",
     )
     p7.set_defaults(func=_cmd_trace)
+
+    p7b = sub.add_parser(
+        "logs", help="render flight-recorder dumps and durable span logs"
+    )
+    p7b.add_argument(
+        "path",
+        help="a flight-recorder dump JSON, a spans.jsonl file, or a "
+        "service data directory",
+    )
+    p7b.add_argument(
+        "--limit", type=int, default=None, help="show only the last N entries"
+    )
+    p7b.set_defaults(func=_cmd_logs)
 
     p8 = sub.add_parser("serve", help="run the durable task-queue service")
     p8.add_argument("--data-dir", required=True, help="service data directory")

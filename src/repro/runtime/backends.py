@@ -87,6 +87,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.runtime import tracectx as _tracectx
 from repro.runtime.exceptions import NodeFailureError
 from repro.runtime.store import ObjectRef, ObjectStore, StoreError, WorkerStore
 
@@ -223,7 +224,10 @@ def _worker_main(conn, search_path: list[str]) -> None:
         if kind == "ping":
             _send(conn, ("pong", pid))
             continue
-        _, module_name, qualname, args, kwargs, attempt, kill_self, store_cfg = request
+        # Older coordinators send 8-tuples (no trace header); stay
+        # compatible — the pooled workers outlive individual runtimes.
+        _, module_name, qualname, args, kwargs, attempt, kill_self, store_cfg = request[:8]
+        trace_header = request[8] if len(request) > 8 else None
         if kill_self:
             # Fault injection: die like a crashed node, no reply, no
             # cleanup — the coordinator sees the broken pipe.
@@ -244,8 +248,19 @@ def _worker_main(conn, search_path: list[str]) -> None:
         except Exception as exc:  # noqa: BLE001 - reported, not fatal
             _send(conn, ("unresolvable", f"{type(exc).__name__}: {exc}", pid))
             continue
+        trace_ctx = None
+        if trace_header:
+            # The context rides the task frame: install it ambiently so
+            # structured logs emitted by the body carry the trace id
+            # (the span itself is recorded coordinator-side, with this
+            # worker's pid from the reply).
+            try:
+                trace_ctx = _tracectx.TraceContext.from_header(trace_header)
+            except ValueError:
+                trace_ctx = None
         try:
-            value = _call_with_attempt(func, args, kwargs, attempt)
+            with _tracectx.use_context(trace_ctx):
+                value = _call_with_attempt(func, args, kwargs, attempt)
         except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
             fallback = (
                 "raised",
@@ -759,6 +774,10 @@ class ProcessPoolBackend(ExecutorBackend):
                     # Unstorable argument (or store shut down): ship the
                     # call the classic way, buffers over the pipe.
                     store_cfg = None
+            # The engine installs the executing attempt's trace context
+            # ambiently before calling run(); ship it across the pipe
+            # as a traceparent header so worker-side logs correlate.
+            ambient = _tracectx.current_context()
             request = (
                 "run",
                 spec.func.__module__,
@@ -768,6 +787,7 @@ class ProcessPoolBackend(ExecutorBackend):
                 attempt,
                 kill_worker,
                 store_cfg,
+                ambient.to_header() if ambient is not None else None,
             )
             t0 = time.perf_counter()
             try:

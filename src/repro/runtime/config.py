@@ -39,7 +39,13 @@ Environment variables (all optional):
 ``REPRO_STORE_THRESHOLD_BYTES``  arrays below this size stay inline
 ``REPRO_LOCALITY``        ``1``/``0`` — locality-aware dispatch
 ``REPRO_FUSION``          ``1``/``0`` — task-fusion optimizer pass
+``REPRO_FLIGHTREC``       crash flight-recorder dump directory
+                          (enables the recorder; see
+                          :mod:`repro.runtime.flightrec`)
 ========================  =====================================
+
+``REPRO_LOG_JSON`` (read by :mod:`repro.runtime.structlog`, not a
+config field) switches structured log output to JSON lines.
 """
 
 from __future__ import annotations
@@ -134,6 +140,13 @@ class RuntimeConfig:
     #: observable: each member keeps its own trace record, events and
     #: metrics.  Off by default.
     fusion: bool = False
+    #: Directory for crash flight-recorder dumps.  When set, the
+    #: runtime keeps a bounded in-memory ring of recent task events
+    #: (:class:`~repro.runtime.flightrec.FlightRecorder`) and writes a
+    #: JSON dump there on workflow kill/abort — and on watchdog trips
+    #: and service SIGTERM via :func:`repro.runtime.flightrec.dump_all`.
+    #: ``None`` (default) disables the recorder.
+    flightrec_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -202,6 +215,7 @@ class RuntimeConfig:
         take("REPRO_STORE_THRESHOLD_BYTES", "store_threshold_bytes", int)
         take("REPRO_LOCALITY", "locality", _parse_bool)
         take("REPRO_FUSION", "fusion", _parse_bool)
+        take("REPRO_FLIGHTREC", "flightrec_dir", str)
         metrics_raw = env.get("REPRO_METRICS")
         if metrics_raw is not None and metrics_raw != "":
             try:

@@ -103,6 +103,7 @@ from repro.runtime.model import (
     TaskSpec,
 )
 from repro.runtime import observability as obs
+from repro.runtime import tracectx as _tracectx
 from repro.runtime.registry import DataRegistry
 from repro.runtime.store import ObjectRef, ObjectStore, scan_refs
 from repro.runtime.tracing import (
@@ -364,6 +365,20 @@ class Runtime:
         if "progress" in obs_flags:
             self._progress = obs.ProgressReporter(label=cfg.name)
             self.events.subscribe(self._progress.handle)
+        #: Crash flight recorder: a bounded ring of recent TaskEvents,
+        #: dumped to ``cfg.flightrec_dir`` on kill/abort (and by the
+        #: stress watchdog / service SIGTERM handler via
+        #: :func:`repro.runtime.flightrec.dump_all`).
+        self.flight_recorder = None
+        if cfg.flightrec_dir:
+            from repro.runtime.flightrec import FlightRecorder
+
+            self.flight_recorder = FlightRecorder(
+                name=cfg.name,
+                dump_dir=cfg.flightrec_dir,
+                metrics_snapshot=self.metrics,
+            )
+            self.events.subscribe(self.flight_recorder.record)
         #: every attempt, keyed by its own task id (retries included).
         self._tasks: dict[int, TaskInstance] = {}
         #: root task id -> *latest* attempt.  Futures and dependency
@@ -523,6 +538,8 @@ class Runtime:
             self._store.shutdown()
         if not was_shutdown and self._progress is not None:
             self._progress.close()
+        if not was_shutdown and self.flight_recorder is not None:
+            self.flight_recorder.close()
 
     def __enter__(self) -> "Runtime":
         push_runtime(self)
@@ -1022,6 +1039,12 @@ class Runtime:
         )
         inst.options = resolved
         inst.t_submit = self._now()
+        if self.config.collect_trace:
+            # Mint this attempt's span as a child of the ambient
+            # context (a task body submitting nested tasks, a service
+            # delivery, a streaming stage) — or a fresh root trace when
+            # nothing is ambient.
+            inst.trace_ctx = _tracectx.child_of(_tracectx.current_context())
         return inst
 
     def _register(self, inst: TaskInstance, scope: "Scope") -> tuple:
@@ -1454,11 +1477,32 @@ class Runtime:
         """Record a workflow kill and wake every parked thread so
         ``wait_on``/``barrier`` re-raise instead of hanging.  The first
         kill wins; later ones only re-broadcast."""
+        first = False
         with self._state_lock:
             if self._killed is None:
                 self._killed = error
+                first = True
         self._broadcast()
         self._notify_interrupts()
+        if first:
+            self._dump_flight_recorder(f"kill: {error!r}")
+
+    def _dump_flight_recorder(self, reason: str) -> None:
+        """Best-effort dump of the crash flight recorder — never lets
+        a dump failure mask the kill/abort being handled."""
+        rec = self.flight_recorder
+        if rec is None:
+            return
+        try:
+            path = rec.dump(reason=reason)
+        except Exception as exc:  # noqa: BLE001 - diagnostics must not raise
+            _logger.warning("flight recorder dump failed: %r", exc)
+        else:
+            from repro.runtime.structlog import get_logger
+
+            get_logger("repro.runtime").warning(
+                "flight recorder dumped", reason=reason, path=path
+            )
 
     # ------------------------------------------------------------------
     # external waiters (streaming integration)
@@ -1556,7 +1600,11 @@ class Runtime:
         stress harness fails on any."""
         with self._violations_lock:
             self._violations.append(message)
-        _logger.warning("runtime invariant violated: %s", message)
+        from repro.runtime.structlog import get_logger
+
+        get_logger("repro.runtime").warning(
+            "runtime invariant violated: %s" % message, runtime=self.name
+        )
 
     def _set_state(self, inst: TaskInstance, new_state: str) -> None:
         """Transition *inst*, validating against the lifecycle state
@@ -1645,21 +1693,31 @@ class Runtime:
             # an in-process backend needs the concrete arrays.
             args = store.deref(args)
             kwargs = store.deref(kwargs)
-        result, pid, dinfo = self._backend.run(
-            inst.spec, args, kwargs, attempt=inst.attempt, kill_worker=kill_worker
-        )
-        inst.worker_pid = pid
-        if dinfo:
-            # Per-call data-plane accounting (bytes freshly mapped into
-            # the worker / pickle bytes avoided), for the trace record.
-            inst.bytes_moved = dinfo.get("bytes_moved", 0)
-            inst.bytes_saved = dinfo.get("bytes_saved", 0)
-        # Nested tasks must complete before the parent is done.  The
-        # unlocked count read is exact for the no-children case: only
-        # this thread (running the body) can have submitted into the
-        # scope, so a zero cannot turn nonzero after the body returned.
-        if scope._unfinished:
-            scope.wait_all()
+        # Install this attempt's trace context ambiently for the span
+        # of the body: nested submissions become children of this span,
+        # and the process backend reads it to ship the context across
+        # the worker pipe.
+        ctx = inst.trace_ctx
+        prev_ctx = _tracectx.set_context(ctx) if ctx is not None else None
+        try:
+            result, pid, dinfo = self._backend.run(
+                inst.spec, args, kwargs, attempt=inst.attempt, kill_worker=kill_worker
+            )
+            inst.worker_pid = pid
+            if dinfo:
+                # Per-call data-plane accounting (bytes freshly mapped into
+                # the worker / pickle bytes avoided), for the trace record.
+                inst.bytes_moved = dinfo.get("bytes_moved", 0)
+                inst.bytes_saved = dinfo.get("bytes_saved", 0)
+            # Nested tasks must complete before the parent is done.  The
+            # unlocked count read is exact for the no-children case: only
+            # this thread (running the body) can have submitted into the
+            # scope, so a zero cannot turn nonzero after the body returned.
+            if scope._unfinished:
+                scope.wait_all()
+        finally:
+            if ctx is not None:
+                _tracectx.set_context(prev_ctx)
         result = resolve_futures(result)
         return args, kwargs, _split_results(inst, result)
 
@@ -1768,6 +1826,11 @@ class Runtime:
                 inst.worker_name = wname
                 scope = Scope(self, parent_task_id=inst.task_id)
                 tls.scope = scope
+                # Lean-loop twin of `_run_body`'s ambient install: a
+                # fused member submitting nested tasks still parents
+                # them under its own span.
+                mctx = inst.trace_ctx
+                prev_ctx = _tracectx.set_context(mctx) if mctx is not None else None
                 try:
                     _fault_hook(name)
                     if _worker_kill_hook(name):
@@ -1785,16 +1848,22 @@ class Runtime:
                     results = _split_results(inst, resolve_futures(result))
                 except WorkflowKilledError as exc:
                     tls.scope = outer_scope
+                    if mctx is not None:
+                        _tracectx.set_context(prev_ctx)
                     self._kill(exc)
                     raise
                 except Exception as exc:  # noqa: BLE001 - routed to failure policies
                     t_end = now()
                     tls.scope = outer_scope
+                    if mctx is not None:
+                        _tracectx.set_context(prev_ctx)
                     self._fail(inst, exc, t0, t_end)
                     continue
                 except BaseException as exc:  # noqa: BLE001
                     t_end = now()
                     tls.scope = outer_scope
+                    if mctx is not None:
+                        _tracectx.set_context(prev_ctx)
                     self._kill(exc)
                     error = TaskExecutionError(inst.name, inst.task_id, exc)
                     inst.error = error
@@ -1805,6 +1874,8 @@ class Runtime:
                     self._complete(inst, FAILED)
                     raise
                 tls.scope = outer_scope
+                if mctx is not None:
+                    _tracectx.set_context(prev_ctx)
                 t_end = now()
                 inst.t_end = t_end
                 inst.worker_pid = pid
@@ -1839,6 +1910,11 @@ class Runtime:
                             status="done",
                             pid=pid,
                             fused_id=unit.unit_id,
+                            trace_id=mctx.trace_id if mctx is not None else None,
+                            span_id=mctx.span_id if mctx is not None else None,
+                            parent_span_id=(
+                                mctx.parent_id if mctx is not None else None
+                            ),
                         )
                     )
                 # Inline `_complete` for the success path, with the
@@ -1994,6 +2070,7 @@ class Runtime:
         # caller's stamp (dispatch time) so duration stays well-formed.
         body_start = inst.t_body_start if inst.t_body_start is not None else t_start
         unit = inst._fused_unit
+        tctx = inst.trace_ctx
         self.collector.record(
             TaskRecord(
                 task_id=inst.task_id,
@@ -2019,6 +2096,9 @@ class Runtime:
                 bytes_moved=inst.bytes_moved,
                 bytes_saved=inst.bytes_saved,
                 fused_id=unit.unit_id if unit is not None else None,
+                trace_id=tctx.trace_id if tctx is not None else None,
+                span_id=tctx.span_id if tctx is not None else None,
+                parent_span_id=tctx.parent_id if tctx is not None else None,
             )
         )
 
@@ -2122,6 +2202,11 @@ class Runtime:
             new.root_id = inst.root_id
             # A successful retry checkpoints under the same signature.
             new.signature = inst.signature
+            if inst.trace_ctx is not None:
+                # Same trace, fresh span, parented under the failed
+                # attempt — the span tree shows the retry chain just
+                # as the DAG's retry edge does.
+                new.trace_ctx = inst.trace_ctx.child()
             new._remaining = 0  # the failed attempt is complete, deps were done
             new._owner_scope = scope  # type: ignore[attr-defined]
             self._tasks[new_id] = new
@@ -2204,6 +2289,7 @@ class Runtime:
             self._cancel_pending(inst)
         self._broadcast()
         self._notify_interrupts()
+        self._dump_flight_recorder(f"abort: {error!r}")
 
     def _complete(
         self,

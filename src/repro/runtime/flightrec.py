@@ -1,0 +1,169 @@
+"""Crash flight recorder: the last N lifecycle events, always on hand.
+
+A :class:`FlightRecorder` is a bounded ring buffer
+(``collections.deque(maxlen=...)``) of recent
+:class:`~repro.runtime.observability.TaskEvent` objects plus an
+optional metrics-snapshot callback.  It subscribes to a runtime's
+event bus and costs one ``deque.append`` per event (appends on a
+bounded deque are GIL-atomic, so the subscriber needs no lock); memory
+is bounded by ``capacity`` regardless of workflow size.
+
+When something goes wrong — workflow kill/abort, a stress-harness
+watchdog trip, or ``SIGTERM`` on a service — the recorder **dumps**
+everything it holds to a JSON file: the recent event window, a final
+metrics snapshot, the reason, and identifying fields (pid, runtime
+name, wall-clock time).  The dump is the black box a crashed run
+leaves behind; ``repro logs <dump.json>`` renders it.
+
+Enable per-runtime with ``RuntimeConfig(flightrec_dir=...)`` /
+``REPRO_FLIGHTREC=<dir>`` (the engine then dumps automatically on
+kill/abort), or construct one explicitly and attach it to any bus.
+Module-level :func:`dump_all` walks every live recorder — the hook the
+stress watchdog and the service SIGTERM handler call, where no
+runtime reference is in scope.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import os
+import threading
+import time
+import weakref
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.runtime.observability import TaskEvent
+
+__all__ = ["FlightRecorder", "dump_all", "load_dump"]
+
+#: Default ring capacity: enough to hold the full lifecycle of ~400
+#: tasks (5 events each) while staying a few MB at worst.
+DEFAULT_CAPACITY = 2048
+
+_registry: "weakref.WeakSet[FlightRecorder]" = weakref.WeakSet()
+_registry_lock = threading.Lock()
+
+
+class FlightRecorder:
+    """Bounded event ring + dump-to-JSON, attachable to an EventBus."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        name: str = "repro",
+        dump_dir: str | os.PathLike | None = None,
+        metrics_snapshot: Optional[Callable[[], dict[str, Any]]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.name = name
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._metrics_snapshot = metrics_snapshot
+        self._ring: collections.deque[TaskEvent] = collections.deque(maxlen=capacity)
+        self._dropped = 0
+        self._dump_lock = threading.Lock()
+        self._dumped: list[str] = []
+        with _registry_lock:
+            _registry.add(self)
+
+    # -- the bus subscriber --------------------------------------------
+    def record(self, event: TaskEvent) -> None:
+        ring = self._ring
+        if len(ring) == self.capacity:
+            # deque drops the oldest silently; keep an honest tally so
+            # a dump says how much history fell off the ring.
+            self._dropped += 1
+        ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def dumps_written(self) -> list[str]:
+        return list(self._dumped)
+
+    # -- dumping --------------------------------------------------------
+    def snapshot(self, reason: str = "manual") -> dict[str, Any]:
+        """The dump payload as a dict (no file written)."""
+        events = [dataclasses.asdict(e) for e in list(self._ring)]
+        payload: dict[str, Any] = {
+            "format": "repro-flightrec-v1",
+            "reason": reason,
+            "name": self.name,
+            "pid": os.getpid(),
+            "wall_time": time.time(),
+            "capacity": self.capacity,
+            "n_events": len(events),
+            "n_dropped": self._dropped,
+            "events": events,
+        }
+        if self._metrics_snapshot is not None:
+            try:
+                payload["metrics"] = self._metrics_snapshot()
+            except Exception as exc:  # noqa: BLE001 - a dump must not fail
+                payload["metrics_error"] = repr(exc)
+        return payload
+
+    def dump(
+        self, path: str | os.PathLike | None = None, *, reason: str = "manual"
+    ) -> str:
+        """Write the ring + metrics to *path* (default: a timestamped
+        file under ``dump_dir``, or the cwd) and return the path."""
+        with self._dump_lock:
+            if path is None:
+                directory = self.dump_dir if self.dump_dir is not None else Path(".")
+                directory.mkdir(parents=True, exist_ok=True)
+                stamp = time.strftime("%Y%m%d-%H%M%S")
+                path = directory / f"flightrec-{self.name}-{os.getpid()}-{stamp}.json"
+            payload = self.snapshot(reason=reason)
+            from repro.runtime.atomic_write import atomic_write
+
+            atomic_write(path, json.dumps(payload, default=repr) + "\n")
+            self._dumped.append(str(path))
+            return str(path)
+
+    def close(self) -> None:
+        with _registry_lock:
+            _registry.discard(self)
+
+
+def dump_all(reason: str, directory: str | os.PathLike | None = None) -> list[str]:
+    """Dump every live recorder (watchdog trips and signal handlers
+    call this — they have no runtime reference in scope).  Returns the
+    written paths; a recorder whose dump fails is skipped."""
+    with _registry_lock:
+        recorders = list(_registry)
+    written: list[str] = []
+    for recorder in recorders:
+        try:
+            if directory is not None:
+                stamp = time.strftime("%Y%m%d-%H%M%S")
+                target = Path(directory)
+                target.mkdir(parents=True, exist_ok=True)
+                path = target / (
+                    f"flightrec-{recorder.name}-{os.getpid()}-{stamp}.json"
+                )
+                written.append(recorder.dump(path, reason=reason))
+            else:
+                written.append(recorder.dump(reason=reason))
+        except Exception:  # noqa: BLE001 - best effort on the way down
+            continue
+    return written
+
+
+def load_dump(path: str | os.PathLike) -> dict[str, Any]:
+    """Parse a flight-recorder dump, validating its format marker."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro-flightrec-v1":
+        raise ValueError(f"{path} is not a flight-recorder dump")
+    return payload

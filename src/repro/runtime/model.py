@@ -140,6 +140,7 @@ class TaskInstance:
         "worker_name",
         "bytes_moved",
         "bytes_saved",
+        "trace_ctx",
         "_remaining",
         "_lock",
         "_owner_scope",
@@ -200,6 +201,10 @@ class TaskInstance:
         #: passing shared-memory references instead of buffers.
         self.bytes_moved = 0
         self.bytes_saved = 0
+        #: Distributed-trace context of this attempt
+        #: (:class:`~repro.runtime.tracectx.TraceContext`), minted at
+        #: submission when trace collection is on; None otherwise.
+        self.trace_ctx = None
         self._remaining = len(deps)
         self._lock = threading.Lock()
         #: True once a timed-out body thread was abandoned.

@@ -161,10 +161,13 @@ class EventBus:
             try:
                 fn(event)
             except Exception:  # noqa: BLE001 - observers must not kill the runtime
-                import logging
+                from repro.runtime.structlog import get_logger
 
-                logging.getLogger("repro.runtime.observability").exception(
-                    "event subscriber %r failed; unsubscribing", fn
+                get_logger("repro.runtime.observability").exception(
+                    "event subscriber failed; unsubscribing",
+                    subscriber=repr(fn),
+                    event_kind=event.kind,
+                    task_id=event.task_id,
                 )
                 self.unsubscribe(fn)
 
@@ -402,25 +405,37 @@ def empty_snapshot() -> dict[str, Any]:
     }
 
 
+def _upsert_series(
+    snapshot: dict[str, Any], section: str, name: str, labels: dict[str, str], value: float
+) -> None:
+    """Set one series in a snapshot section, replacing an existing
+    entry with the same ``(name, labels)`` instead of appending a
+    duplicate — this is what makes the ``merge_*_stats`` helpers
+    idempotent: re-merging the same stats overwrites, never
+    double-counts."""
+    for series in snapshot[section]:
+        if series["name"] == name and series["labels"] == labels:
+            series["value"] = value
+            return
+    snapshot[section].append({"name": name, "labels": labels, "value": value})
+
+
 def merge_backend_stats(snapshot: dict[str, Any], backend_stats: dict) -> dict[str, Any]:
     """Fold an :class:`ExecutorBackend`'s counters into *snapshot* as
     ``repro_backend_*`` series (dispatch/fallback counts, serialization
-    seconds), so one exposition covers scheduler and backend."""
+    seconds), so one exposition covers scheduler and backend.
+    Idempotent: merging the same stats twice overwrites in place."""
     snapshot["backend"] = dict(backend_stats)
     for key, value in sorted(backend_stats.items()):
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
         if key in ("max_workers", "pool_workers"):
-            snapshot["gauges"].append(
-                {"name": f"repro_backend_{key}", "labels": {}, "value": float(value)}
+            _upsert_series(
+                snapshot, "gauges", f"repro_backend_{key}", {}, float(value)
             )
         else:
-            snapshot["counters"].append(
-                {
-                    "name": f"repro_backend_{key}_total",
-                    "labels": {},
-                    "value": float(value),
-                }
+            _upsert_series(
+                snapshot, "counters", f"repro_backend_{key}_total", {}, float(value)
             )
     return snapshot
 
@@ -448,16 +463,10 @@ def merge_store_stats(snapshot: dict[str, Any], store_stats: dict) -> dict[str, 
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
         if key in _STORE_GAUGES:
-            snapshot["gauges"].append(
-                {"name": f"repro_store_{key}", "labels": {}, "value": float(value)}
-            )
+            _upsert_series(snapshot, "gauges", f"repro_store_{key}", {}, float(value))
         else:
-            snapshot["counters"].append(
-                {
-                    "name": f"repro_store_{key}_total",
-                    "labels": {},
-                    "value": float(value),
-                }
+            _upsert_series(
+                snapshot, "counters", f"repro_store_{key}_total", {}, float(value)
             )
     return snapshot
 
@@ -478,29 +487,25 @@ def merge_service_stats(snapshot: dict[str, Any], service_stats: dict) -> dict[s
         "counters": dict(service_stats.get("counters", {})),
     }
     for tenant, states in sorted(service_stats.get("tenants", {}).items()):
-        snapshot["gauges"].append(
-            {
-                "name": "repro_service_queue_depth",
-                "labels": {"tenant": tenant},
-                "value": float(states.get("queued", 0)),
-            }
+        _upsert_series(
+            snapshot,
+            "gauges",
+            "repro_service_queue_depth",
+            {"tenant": tenant},
+            float(states.get("queued", 0)),
         )
-        snapshot["gauges"].append(
-            {
-                "name": "repro_service_leases_active",
-                "labels": {"tenant": tenant},
-                "value": float(states.get("leased", 0)),
-            }
+        _upsert_series(
+            snapshot,
+            "gauges",
+            "repro_service_leases_active",
+            {"tenant": tenant},
+            float(states.get("leased", 0)),
         )
     for key, value in sorted(service_stats.get("counters", {}).items()):
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        snapshot["counters"].append(
-            {
-                "name": f"repro_service_{key}_total",
-                "labels": {},
-                "value": float(value),
-            }
+        _upsert_series(
+            snapshot, "counters", f"repro_service_{key}_total", {}, float(value)
         )
     return snapshot
 
@@ -574,12 +579,41 @@ def save_metrics_json(snapshot: dict[str, Any], path) -> None:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote and newline (a raw newline would split the sample
+    line and corrupt the whole exposition)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i, n = 0, len(value)
+    while i < n:
+        ch = value[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _format_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
-        for k, v in sorted(labels.items())
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -618,6 +652,49 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _parse_label_body(body: str) -> dict[str, str]:
+    """Scan one ``k="v",k2="v2"`` label body, honouring the escape
+    sequences :func:`_escape_label_value` emits (``\\\\``, ``\\"``,
+    ``\\n``) — a naive split on ``,`` would break on any value
+    containing a comma, quote or brace."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"bad label segment {body[i:]!r}")
+        key = body[i:eq].strip()
+        if not key:
+            raise ValueError(f"empty label name in {body!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value for {key!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while j < n:
+            ch = body[j]
+            if ch == "\\" and j + 1 < n:
+                raw.append(ch)
+                raw.append(body[j + 1])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value for {key!r}")
+        if j >= n or body[j] != '"':
+            raise ValueError(f"unterminated label value for {key!r}")
+        labels[key] = _unescape_label_value("".join(raw))
+        j += 1
+        if j < n:
+            if body[j] != ",":
+                raise ValueError(f"expected ',' after label {key!r}")
+            j += 1
+        i = j
+    return labels
+
+
 def parse_prometheus(text: str) -> dict[tuple[str, _LabelKey], float]:
     """Parse a text exposition back into ``(name, labels) -> value``.
 
@@ -640,14 +717,10 @@ def parse_prometheus(text: str) -> dict[tuple[str, _LabelKey], float]:
             name, _, rest = head.partition("{")
             if not rest.endswith("}"):
                 raise ValueError(f"line {lineno}: unterminated labels in {line!r}")
-            labels: dict[str, str] = {}
-            body = rest[:-1]
-            if body:
-                for part in body.split(","):
-                    k, eq, v = part.partition("=")
-                    if not eq or not (v.startswith('"') and v.endswith('"')):
-                        raise ValueError(f"line {lineno}: bad label {part!r}")
-                    labels[k.strip()] = v[1:-1]
+            try:
+                labels = _parse_label_body(rest[:-1])
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}") from None
             key = (name, _labels_key(labels))
         else:
             key = (head, ())

@@ -201,13 +201,24 @@ def run_under_watchdog(fn, timeout: float, label: str) -> dict[str, Any]:
     thread.join(timeout)
     duration = time.perf_counter() - t0
     if thread.is_alive():
+        # Watchdog trip: dump every live flight recorder — the event
+        # window leading into the hang is exactly what the black box
+        # exists for.  Best effort; the stack dump is the primary
+        # artifact when no recorder is attached.
+        from repro.runtime import flightrec
+
+        dumps = flightrec.dump_all(f"watchdog: {label}")
+        problems = [
+            f"HANG: {label} did not finish within {timeout}s",
+            _dump_stacks(),
+        ]
+        if dumps:
+            problems.append("flight recorder dumps: " + ", ".join(dumps))
         return {
             "ok": False,
             "duration": duration,
-            "problems": [
-                f"HANG: {label} did not finish within {timeout}s",
-                _dump_stacks(),
-            ],
+            "problems": problems,
+            "flightrec_dumps": dumps,
         }
     if "error" in outcome:
         return {

@@ -163,6 +163,16 @@ class TaskRecord:
     #: Members of one unit share the value; the chrome-trace export
     #: nests their spans under one fused envelope span.
     fused_id: int | None = None
+    #: Distributed-trace identity (W3C-traceparent style, stamped from
+    #: the attempt's :class:`~repro.runtime.tracectx.TraceContext`):
+    #: the 32-hex trace id shared by every span of one logical request,
+    #: this attempt's own 16-hex span id, and the span id of the causal
+    #: parent (the submitting task, a service delivery, a stream stage
+    #: — or None for a root).  None throughout in traces recorded
+    #: before distributed tracing existed.
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
     @property
     def duration(self) -> float:

@@ -15,6 +15,12 @@ Two scenarios, shared verbatim by the pytest chaos suite and the
     (stalled before its dedup check, heartbeats suppressed), its lease
     expires, the redelivery completes — and the dark delivery wakes to
     find the recorded result and deduplicates instead of re-running.
+``run_traced_recovery_scenario``
+    The distributed-tracing acceptance path: a submission's trace id
+    must survive a ``kill -9`` — the exported OTLP document shows one
+    trace spanning the client submit span, the killed incarnation's
+    interrupted delivery, the recovered incarnation's completed
+    delivery, and the embedded runtime's task span with its pid.
 
 Both verify the two invariants the service exists for, via the results
 table and the provenance log: **zero lost tasks** (every submission
@@ -41,6 +47,7 @@ __all__ = [
     "ChaosReport",
     "run_crash_recovery_scenario",
     "run_lease_expiry_scenario",
+    "run_traced_recovery_scenario",
 ]
 
 _DEMO = "repro.service.demo"
@@ -267,6 +274,154 @@ def run_crash_recovery_scenario(
         seed=seed,
         ok=not problems,
         n_tasks=len(task_ids),
+        problems=problems,
+        details=details,
+    )
+
+
+def run_traced_recovery_scenario(
+    workdir: str | Path,
+    *,
+    seed: int = 0,
+    lease_timeout: float = 2.0,
+    timeout: float = 90.0,
+) -> ChaosReport:
+    """The distributed-tracing acceptance scenario: one trace id must
+    survive a ``kill -9``.
+
+    A client submits a task that stalls on a marker file; server A
+    claims it (writing the delivery's durable start span) and is
+    ``SIGKILL``-ed mid-delivery; server B recovers the lease from the
+    WAL, redelivers, and drains.  The exported OTLP document must show
+    **one trace** containing the client's submit span, server A's
+    *interrupted* delivery, server B's completed delivery, and the
+    embedded runtime's task span (stamped with its executing pid) —
+    parented in exactly that causal order."""
+    workdir = Path(workdir)
+    data_dir = workdir / "data"
+    effects = workdir / "effects.txt"
+    marker = workdir / "marker"
+    deadline = time.monotonic() + timeout
+    problems: list[str] = []
+    details: dict[str, Any] = {}
+
+    client = ServiceClient(data_dir)
+    task_id = client.submit(
+        f"{_DEMO}:wait_for_marker_then_append",
+        str(effects),
+        "traced-0",
+        str(marker),
+        tenant="alpha",
+    )
+
+    server_a = _spawn_server(
+        data_dir,
+        "--workers", "1",
+        "--lease-timeout", str(lease_timeout),
+        "--poll-interval", "0.02",
+        "--seed", str(seed),
+    )
+    try:
+        def leased() -> bool:
+            row = client.status(task_id)
+            return row is not None and row["state"] == "leased"
+
+        if not _await(leased, deadline):
+            problems.append("server A never leased the traced task")
+        os.kill(server_a.pid, signal.SIGKILL)
+        server_a.wait(timeout=10)
+        details["killed_server_pid"] = server_a.pid
+    finally:
+        if server_a.poll() is None:  # pragma: no cover - kill failed
+            server_a.kill()
+            server_a.wait(timeout=10)
+
+    marker.touch()  # the redelivered task may now finish
+
+    server_b = _spawn_server(
+        data_dir,
+        "--workers", "1",
+        "--lease-timeout", str(lease_timeout),
+        "--poll-interval", "0.02",
+        "--seed", str(seed),
+        "--until-idle",
+    )
+    try:
+        remaining = max(1.0, deadline - time.monotonic())
+        server_b.wait(timeout=remaining)
+    except subprocess.TimeoutExpired:
+        server_b.kill()
+        server_b.wait(timeout=10)
+        problems.append("server B did not drain to idle in time")
+    if server_b.returncode not in (0, None):
+        problems.append(f"server B exited with {server_b.returncode}")
+
+    row = client.status(task_id)
+    if row is None or row["state"] != "done":
+        problems.append(
+            f"traced task ended {row['state']!r}" if row else "traced task vanished"
+        )
+
+    # Walk the exported OTLP document: one trace, four span roles.
+    from repro.runtime.otlp import iter_spans, span_attributes
+    from repro.service.spanlog import export_service_otlp
+
+    document = export_service_otlp(data_dir)
+    details["otlp"] = document
+    spans = list(iter_spans(document))
+    submit_spans = [s for s in spans if s["name"] == "submit"]
+    if len(submit_spans) != 1:
+        problems.append(f"want exactly 1 submit span, got {len(submit_spans)}")
+    trace_id = submit_spans[0]["traceId"] if submit_spans else None
+    details["trace_id"] = trace_id
+
+    in_trace = [s for s in spans if s["traceId"] == trace_id]
+    deliveries = [s for s in in_trace if s["name"] == "deliver"]
+    interrupted = [
+        s for s in deliveries if span_attributes(s).get("repro.interrupted")
+    ]
+    completed = [
+        s for s in deliveries if not span_attributes(s).get("repro.interrupted")
+    ]
+    if not interrupted:
+        problems.append("no interrupted delivery span from the killed incarnation")
+    if not completed:
+        problems.append("no completed delivery span from the recovered incarnation")
+    servers = {span_attributes(s).get("server") for s in deliveries}
+    details["incarnations"] = sorted(filter(None, servers))
+    if len(servers) < 2:
+        problems.append(
+            f"delivery spans name {len(servers)} server incarnation(s), want 2"
+        )
+    if submit_spans:
+        submit_span_id = submit_spans[0]["spanId"]
+        if not all(s.get("parentSpanId") == submit_span_id for s in deliveries):
+            problems.append("a delivery span is not parented under the submit span")
+
+    # The embedded runtime's task span: same trace, stamped with the
+    # pid that executed the body, parented under a delivery.
+    task_spans = [
+        s
+        for s in in_trace
+        if s["name"] not in ("submit", "deliver")
+        and span_attributes(s).get("repro.pid") is not None
+    ]
+    if not task_spans:
+        problems.append("no runtime task span (with repro.pid) joined the trace")
+    else:
+        delivery_ids = {s["spanId"] for s in deliveries}
+        if not any(s.get("parentSpanId") in delivery_ids for s in task_spans):
+            problems.append("no runtime task span is parented under a delivery span")
+        details["task_pids"] = sorted(
+            {span_attributes(s)["repro.pid"] for s in task_spans}
+        )
+
+    client.close()
+    return ChaosReport(
+        scenario="traced-recovery",
+        seed=seed,
+        ok=not problems,
+        n_tasks=1,
         problems=problems,
         details=details,
     )

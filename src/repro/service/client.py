@@ -28,8 +28,10 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.runtime import checkpoint as ckpt
+from repro.runtime.tracectx import new_trace
 from repro.service.db import Database
 from repro.service.queue import DEFAULT_TENANT, TERMINAL_STATES, DurableQueue
+from repro.service.spanlog import SpanLog
 
 __all__ = ["ServiceClient", "ServiceTaskError", "task_reference", "submission_signature"]
 
@@ -108,6 +110,7 @@ class ServiceClient:
         self.data_dir = Path(data_dir)
         self.db = Database(self.data_dir / "queue.db")
         self.queue = DurableQueue(self.db)
+        self._spans = SpanLog(self.data_dir)
 
     def close(self) -> None:
         self.db.close()
@@ -148,7 +151,12 @@ class ServiceClient:
             fn, args, kwargs, tenant=tenant, key=key
         )
         payload = pickle.dumps((tuple(args), dict(kwargs)))
-        return self.queue.submit(
+        # Every submission roots a distributed trace.  The header rides
+        # the durable task row (surviving leases, redeliveries and
+        # server crashes); the instantaneous "submit" span lands in the
+        # durable span log so the exported trace starts at the client.
+        ctx = new_trace()
+        task_id = self.queue.submit(
             tenant=tenant,
             name=name,
             module=module,
@@ -158,7 +166,12 @@ class ServiceClient:
             priority=priority,
             max_retries=max_retries,
             delay=delay,
+            trace_ctx=ctx.to_header(),
         )
+        self._spans.point(
+            ctx, "submit", task_id=task_id, tenant=tenant, task=name
+        )
+        return task_id
 
     # -- queries --------------------------------------------------------
     def status(self, task_id: int) -> dict[str, Any] | None:

@@ -59,7 +59,8 @@ CREATE TABLE IF NOT EXISTS tasks (
     not_before       REAL NOT NULL DEFAULT 0,  -- redelivery backoff gate
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     submitted_at     REAL NOT NULL,
-    updated_at       REAL NOT NULL
+    updated_at       REAL NOT NULL,
+    trace_ctx        TEXT                     -- traceparent header of the submission
 );
 CREATE INDEX IF NOT EXISTS idx_tasks_claim
     ON tasks (state, tenant, priority DESC, id);
@@ -131,7 +132,18 @@ class Database:
         # Schema application runs in autocommit: every statement is
         # idempotent (IF NOT EXISTS / OR IGNORE), so a crash mid-way
         # simply re-applies on the next open.
-        self.connect().executescript(_SCHEMA)
+        conn = self.connect()
+        conn.executescript(_SCHEMA)
+        self._migrate(conn)
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """In-place column additions for databases created by older
+        code (``CREATE TABLE IF NOT EXISTS`` never alters an existing
+        table).  Additive and idempotent, like the schema itself."""
+        cols = {row[1] for row in conn.execute("PRAGMA table_info(tasks)")}
+        if "trace_ctx" not in cols:
+            conn.execute("ALTER TABLE tasks ADD COLUMN trace_ctx TEXT")
 
     # -- connections ----------------------------------------------------
     def connect(self) -> sqlite3.Connection:

@@ -59,6 +59,11 @@ class ClaimedTask:
     attempt: int
     max_retries: int
     lease_expires_at: float
+    #: Traceparent header minted at submission (None for tasks
+    #: submitted by pre-tracing clients).  Survives redeliveries and
+    #: server incarnations because it lives in the ``tasks`` row, not
+    #: in any process's memory.
+    trace_ctx: str | None = None
 
 
 class DurableQueue:
@@ -206,6 +211,7 @@ class DurableQueue:
         priority: int = 0,
         max_retries: int | None = None,
         delay: float = 0.0,
+        trace_ctx: str | None = None,
     ) -> int:
         """Enqueue one task; returns its id.
 
@@ -234,8 +240,9 @@ class DurableQueue:
             )
             cur = conn.execute(
                 "INSERT INTO tasks (tenant, name, module, qualname, payload, signature, "
-                "priority, state, attempt, max_retries, not_before, submitted_at, updated_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?)",
+                "priority, state, attempt, max_retries, not_before, submitted_at, "
+                "updated_at, trace_ctx) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?)",
                 (
                     tenant,
                     name,
@@ -248,6 +255,7 @@ class DurableQueue:
                     now + max(0.0, delay),
                     now,
                     now,
+                    trace_ctx,
                 ),
             )
             task_id = int(cur.lastrowid)
@@ -337,6 +345,7 @@ class DurableQueue:
                 attempt=task["attempt"],
                 max_retries=task["max_retries"],
                 lease_expires_at=expires,
+                trace_ctx=task["trace_ctx"],
             )
 
     def heartbeat(self, task_id: int, worker: str, lease_timeout: float) -> bool:

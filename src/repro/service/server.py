@@ -25,6 +25,7 @@ Lifecycle — both exits are first-class, chaos-tested paths:
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import signal
 import threading
@@ -33,13 +34,18 @@ import uuid
 from pathlib import Path
 from typing import Any
 
+from repro.runtime import flightrec
 from repro.runtime import observability as obs
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.engine import Runtime
 from repro.runtime.store import sweep_prefix
+from repro.runtime.structlog import get_logger
 from repro.service.db import Database
 from repro.service.queue import DurableQueue
+from repro.service.spanlog import TRACES_DIR, SpanLog
 from repro.service.worker import ServiceWorkerPool
+
+_log = get_logger("repro.service.server")
 
 __all__ = ["QueueService", "ServiceConfig"]
 
@@ -131,6 +137,7 @@ class QueueService:
                 max_workers=cfg.workers,
                 name=f"svc-{self.server_id}",
                 store_spill_dir=str(self.data_dir / "spill"),
+                flightrec_dir=str(self.data_dir / "flightrec"),
             )
         )
         self._register_store_prefix()
@@ -142,12 +149,21 @@ class QueueService:
             lease_timeout=cfg.lease_timeout,
             heartbeat_interval=cfg.heartbeat_interval,
             poll_interval=cfg.poll_interval,
+            spanlog=SpanLog(self.data_dir),
         )
         self.pool.start()
         self._sweeper = threading.Thread(
             target=self._sweep_loop, name="svc-sweeper", daemon=True
         )
         self._sweeper.start()
+        _log.info(
+            "service started",
+            server_id=self.server_id,
+            data_dir=str(self.data_dir),
+            workers=cfg.workers,
+            backend=cfg.backend,
+            recovered=len(self.recovery.get("requeued_tasks", ())),
+        )
         return self
 
     def _recover_cold_start(self) -> dict[str, Any]:
@@ -209,6 +225,7 @@ class QueueService:
         if self._sweeper is not None:
             self._sweeper.join(timeout)
         if self.runtime is not None:
+            self._save_runtime_trace()
             prefix = self.runtime._store.prefix if self.runtime._store else None
             self.runtime.shutdown(wait=True)
             if prefix is not None:
@@ -223,9 +240,40 @@ class QueueService:
         except Exception:  # noqa: BLE001 - the WAL replays on next open
             pass
         self.db.close()
+        _log.info("service drained", server_id=self.server_id, clean=ok)
         return ok
 
     stop = drain
+
+    def _save_runtime_trace(self) -> None:
+        """Persist this incarnation's runtime trace under
+        ``traces/trace-<server_id>.json`` so
+        :func:`repro.service.spanlog.export_service_otlp` can merge the
+        embedded runtime's spans (with worker pids) into the durable
+        service trace.  ``wall_t0`` anchors the trace's monotonic
+        timestamps to the wall clock."""
+        assert self.runtime is not None
+        try:
+            trace = self.runtime.trace()
+            records = json.loads(trace.to_json())
+            wrapper = {
+                "server_id": self.server_id,
+                "pid": os.getpid(),
+                "wall_t0": time.time() - self.runtime._now(),
+                "records": records,
+            }
+            traces_dir = self.data_dir / TRACES_DIR
+            traces_dir.mkdir(parents=True, exist_ok=True)
+            from repro.runtime.atomic_write import atomic_write
+
+            atomic_write(
+                traces_dir / f"trace-{self.server_id}.json",
+                json.dumps(wrapper) + "\n",
+            )
+        except Exception as exc:  # noqa: BLE001 - drain must proceed
+            _log.warning(
+                "failed to save runtime trace", server_id=self.server_id, error=repr(exc)
+            )
 
     def install_signal_handlers(self) -> None:
         """``SIGTERM``/``SIGINT`` → leave :meth:`serve_forever`, which
@@ -233,6 +281,14 @@ class QueueService:
         are stopped via :meth:`drain` or ``until_idle`` instead)."""
 
         def handler(signum, frame):  # noqa: ARG001
+            # Black box first: dump every live flight recorder before
+            # the drain starts tearing state down.
+            try:
+                flightrec.dump_all(
+                    f"signal {signum}", directory=self.data_dir / "flightrec"
+                )
+            except Exception:  # noqa: BLE001 - termination must proceed
+                pass
             self._terminate.set()
 
         try:

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.runtime import tracectx as _tracectx
 from repro.runtime.engine import Runtime, active_runtime
 from repro.runtime.failures import CANCEL_SUCCESSORS, FAIL, IGNORE, RETRY
 from repro.streaming.channel import EOS, Record, Stream, StreamClosed, Watermark
@@ -434,6 +435,10 @@ class StreamGraph:
         self._metrics = (
             self.runtime.metrics_registry if self.runtime is not None else None
         )
+        #: Root trace context of this graph run (minted at ``start``).
+        #: Each stage thread gets a child installed ambiently, so every
+        #: ``submit_many`` micro-batch a stage issues joins one trace.
+        self.trace_ctx: "_tracectx.TraceContext | None" = None
 
     # -- topology -------------------------------------------------------
     def _new_stream(self, name: str, capacity: int | None) -> Stream:
@@ -676,6 +681,8 @@ class StreamGraph:
         self._started = True
         if self.runtime is not None:
             self.runtime.add_drain_hook(self._on_runtime_drain)
+            if self.runtime.config.collect_trace:
+                self.trace_ctx = _tracectx.child_of(_tracectx.current_context())
         for stage in self.stages:
             t = threading.Thread(
                 target=self._stage_main,
@@ -690,6 +697,14 @@ class StreamGraph:
     def _stage_main(self, stage: _Stage) -> None:
         rt = self.runtime
         prev = rt.bind_current_thread() if rt is not None else None
+        # Stage-granularity tracing: each stage thread is one span
+        # context under the graph root — per-record contexts would cost
+        # a minting per element on the streaming hot path.
+        prev_ctx = (
+            _tracectx.set_context(self.trace_ctx.child())
+            if self.trace_ctx is not None
+            else None
+        )
         try:
             stage.run()
         except BaseException as exc:  # noqa: BLE001 - unwind the graph
@@ -698,6 +713,8 @@ class StreamGraph:
         finally:
             if stage.output is not None and not stage.output.closed:
                 stage.output.close()
+            if self.trace_ctx is not None:
+                _tracectx.set_context(prev_ctx)
             if rt is not None:
                 rt.release_current_thread(prev)
 

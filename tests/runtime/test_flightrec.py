@@ -1,0 +1,164 @@
+"""Tests of :mod:`repro.runtime.flightrec`: the bounded event ring,
+dump/load round-trips, the live-recorder registry, and the engine and
+watchdog integrations that dump the black box on the way down."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import Runtime, task, wait_on
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.exceptions import WorkflowKilledError
+from repro.runtime.flightrec import FlightRecorder, dump_all, load_dump
+from repro.runtime.observability import TaskEvent
+
+
+def _ev(kind="done", task_id=0):
+    return TaskEvent(kind=kind, t=0.0, task_id=task_id, root_id=task_id, name="t")
+
+
+# ----------------------------------------------------------------------
+# the ring
+# ----------------------------------------------------------------------
+def test_capacity_bounds_memory_and_counts_drops():
+    rec = FlightRecorder(capacity=3, name="ring")
+    try:
+        for i in range(5):
+            rec.record(_ev(task_id=i))
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        snap = rec.snapshot()
+        assert [e["task_id"] for e in snap["events"]] == [2, 3, 4]
+        assert snap["n_dropped"] == 2
+        assert snap["capacity"] == 3
+    finally:
+        rec.close()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# dump / load
+# ----------------------------------------------------------------------
+def test_dump_roundtrip(tmp_path):
+    rec = FlightRecorder(capacity=8, name="rt", dump_dir=tmp_path / "dumps")
+    try:
+        rec.record(_ev("submitted"))
+        rec.record(_ev("done"))
+        path = rec.dump(reason="unit test")
+        assert path in rec.dumps_written
+        payload = load_dump(path)
+        assert payload["format"] == "repro-flightrec-v1"
+        assert payload["reason"] == "unit test"
+        assert payload["name"] == "rt"
+        assert payload["n_events"] == 2
+        assert [e["kind"] for e in payload["events"]] == ["submitted", "done"]
+    finally:
+        rec.close()
+
+
+def test_load_dump_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not-a-dump.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ValueError):
+        load_dump(path)
+
+
+def test_metrics_snapshot_captured_and_errors_contained(tmp_path):
+    good = FlightRecorder(
+        name="good", dump_dir=tmp_path, metrics_snapshot=lambda: {"counters": [1]}
+    )
+    bad = FlightRecorder(
+        name="bad",
+        dump_dir=tmp_path,
+        metrics_snapshot=lambda: (_ for _ in ()).throw(RuntimeError("no metrics")),
+    )
+    try:
+        assert load_dump(good.dump())["metrics"] == {"counters": [1]}
+        payload = load_dump(bad.dump())
+        assert "metrics" not in payload
+        assert "no metrics" in payload["metrics_error"]
+    finally:
+        good.close()
+        bad.close()
+
+
+def test_dump_all_covers_live_recorders_and_skips_closed(tmp_path):
+    live = FlightRecorder(name="live", dump_dir=tmp_path / "a")
+    closed = FlightRecorder(name="closed", dump_dir=tmp_path / "b")
+    closed.close()
+    try:
+        written = dump_all("sweep", directory=tmp_path / "out")
+        names = {load_dump(p)["name"] for p in written}
+        assert "live" in names
+        assert "closed" not in names
+        assert all(str(tmp_path / "out") in p for p in written)
+    finally:
+        live.close()
+
+
+# ----------------------------------------------------------------------
+# engine integration: automatic dump on kill
+# ----------------------------------------------------------------------
+@task(returns=1)
+def _fine(x):
+    return x
+
+
+@task(returns=1)
+def _killer():
+    raise KeyboardInterrupt()
+
+
+def test_runtime_dumps_flight_recorder_on_kill(tmp_path):
+    dump_dir = tmp_path / "flightrec"
+    cfg = RuntimeConfig(executor="threads", flightrec_dir=str(dump_dir))
+    with Runtime(config=cfg) as rt:
+        assert rt.flight_recorder is not None
+        wait_on(_fine(1))
+        with pytest.raises((WorkflowKilledError, KeyboardInterrupt)):
+            wait_on(_killer())
+    dumps = list(dump_dir.glob("flightrec-*.json"))
+    assert dumps, "kill path wrote no flight-recorder dump"
+    payload = load_dump(dumps[0])
+    assert payload["reason"].startswith("kill:")
+    assert payload["n_events"] >= 1
+    kinds = {e["kind"] for e in payload["events"]}
+    assert "submitted" in kinds
+    assert "metrics" in payload  # the engine wires its metrics snapshot
+
+
+def test_runtime_without_flightrec_dir_has_no_recorder():
+    with Runtime(executor="threads") as rt:
+        assert rt.flight_recorder is None
+        assert wait_on(_fine(2)) == 2
+
+
+# ----------------------------------------------------------------------
+# watchdog integration
+# ----------------------------------------------------------------------
+def test_watchdog_trip_dumps_live_recorders(tmp_path):
+    import threading
+
+    from repro.runtime.stress import run_under_watchdog
+
+    rec = FlightRecorder(name="hangwatch", dump_dir=tmp_path)
+    rec.record(_ev("running"))
+    release = threading.Event()
+    try:
+        outcome = run_under_watchdog(
+            lambda: release.wait(30), timeout=0.2, label="unit-hang"
+        )
+        assert not outcome["ok"]
+        assert any("HANG" in p for p in outcome["problems"])
+        assert outcome["flightrec_dumps"]
+        payload = load_dump(outcome["flightrec_dumps"][0])
+        assert payload["reason"] == "watchdog: unit-hang"
+    finally:
+        release.set()
+        rec.close()

@@ -82,6 +82,44 @@ def test_event_bus_truthiness_and_fanout():
     assert len(seen) == 1
 
 
+def test_event_bus_logs_subscriber_error_once(caplog):
+    import logging
+
+    bus = obs.EventBus()
+
+    def bad(event):
+        raise RuntimeError("observer bug")
+
+    bus.subscribe(bad)
+    with caplog.at_level(logging.ERROR, logger="repro.runtime.observability"):
+        bus.emit(_ev())
+        bus.emit(_ev())
+    records = [r for r in caplog.records if "subscriber failed" in r.getMessage()]
+    # surfaced exactly once (the subscriber is dropped, not re-raised),
+    # with structured correlation fields and the captured traceback
+    assert len(records) == 1
+    assert records[0].repro_fields["event_kind"] == "done"
+    assert records[0].exc_info is not None
+
+
+def test_raising_subscriber_does_not_kill_runtime_workers():
+    from repro.runtime import Runtime, task, wait_on
+
+    @task(returns=1)
+    def double(x):
+        return 2 * x
+
+    with Runtime(executor="threads") as rt:
+        rt.events.subscribe(lambda e: (_ for _ in ()).throw(RuntimeError("bug")))
+        seen = []
+        rt.events.subscribe(lambda e: seen.append(e.kind))
+        # the raising subscriber (registered first, so it fires first)
+        # must neither take down the emitting worker thread nor starve
+        # the healthy subscriber behind it
+        assert [wait_on(double(i)) for i in range(4)] == [0, 2, 4, 6]
+    assert "done" in seen
+
+
 def test_event_bus_drops_raising_subscriber():
     bus = obs.EventBus()
     calls = []
@@ -162,6 +200,64 @@ def test_parse_prometheus_rejects_malformed():
         obs.parse_prometheus("repro_x notanumber")
     with pytest.raises(ValueError):
         obs.parse_prometheus('repro_x{label=unquoted} 1')
+
+
+def test_prometheus_escapes_hostile_label_values():
+    hostile = 'evil\\path"quoted"\nnewline,comma={brace}'
+    reg = obs.MetricsRegistry(max_workers=2)
+    reg.inc("repro_things_total", 5, task=hostile, plain="x")
+    text = obs.to_prometheus(reg.snapshot())
+    # the exposition stays one sample per line: the raw newline must
+    # have been escaped, never emitted
+    sample_lines = [
+        l for l in text.splitlines()
+        if l.startswith("repro_things_total")
+    ]
+    assert len(sample_lines) == 1
+    assert "\\n" in sample_lines[0]
+    parsed = obs.parse_prometheus(text)
+    ((name, labels),) = [k for k in parsed if k[0] == "repro_things_total"]
+    assert dict(labels)["task"] == hostile  # byte-exact round-trip
+    assert parsed[(name, labels)] == 5
+
+
+def test_label_escape_unescape_roundtrip_edge_cases():
+    for value in ("", "\\", "\\n", '\\"', "\n\n", 'a\\"b', "trailing\\"):
+        assert (
+            obs._unescape_label_value(obs._escape_label_value(value)) == value
+        )
+
+
+def test_merge_helpers_are_idempotent():
+    snap = obs.empty_snapshot()
+    backend = {"backend": "threads", "tasks_run": 5, "max_workers": 4}
+    store = {"n_objects": 3, "puts": 7}
+    service = {"tenants": {"acme": {"queued": 2, "leased": 1}}, "counters": {"claims": 9}}
+    for _ in range(3):  # re-merging must overwrite, never double-count
+        obs.merge_backend_stats(snap, backend)
+        obs.merge_store_stats(snap, store)
+        obs.merge_service_stats(snap, service)
+    names = [
+        (s["name"], tuple(sorted(s["labels"].items())))
+        for section in ("counters", "gauges")
+        for s in snap[section]
+    ]
+    assert len(names) == len(set(names))  # no duplicate series
+    assert obs.metric_value(snap, "repro_backend_tasks_run_total") == 5
+    assert obs.metric_value(snap, "repro_store_puts_total") == 7
+    assert obs.metric_value(snap, "repro_service_claims_total") == 9
+    assert obs.metric_value(snap, "repro_service_queue_depth", tenant="acme") == 2
+
+
+def test_merge_idempotency_updates_changed_values():
+    snap = obs.empty_snapshot()
+    obs.merge_store_stats(snap, {"puts": 7})
+    obs.merge_store_stats(snap, {"puts": 11})  # newer snapshot wins
+    assert obs.metric_value(snap, "repro_store_puts_total") == 11
+    assert (
+        sum(1 for s in snap["counters"] if s["name"] == "repro_store_puts_total")
+        == 1
+    )
 
 
 def test_merge_backend_stats_prefixes_series():

@@ -1,0 +1,167 @@
+"""Tests of :mod:`repro.runtime.structlog`: field rendering (text and
+JSON-lines), ambient trace correlation, stdlib/caplog compatibility,
+and idempotent handler configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+
+from repro.runtime import structlog
+from repro.runtime.structlog import (
+    StructFormatter,
+    configure,
+    format_event,
+    get_logger,
+    json_mode_enabled,
+)
+from repro.runtime.tracectx import new_trace, use_context
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def test_format_event_text_appends_fields():
+    line = format_event(
+        "INFO", "repro.x", "task claimed", {"task_id": 7, "tenant": "acme"},
+        json_mode=False,
+    )
+    assert line == "task claimed task_id=7 tenant=acme"
+
+
+def test_format_event_text_quotes_awkward_values():
+    line = format_event(
+        "INFO", "repro.x", "m", {"detail": 'two words "quoted"'}, json_mode=False
+    )
+    assert line == 'm detail="two words \\"quoted\\""'
+
+
+def test_format_event_json_is_parseable():
+    line = format_event(
+        "WARNING", "repro.x", "msg", {"task_id": 3}, json_mode=True
+    )
+    payload = json.loads(line)
+    assert payload["level"] == "WARNING"
+    assert payload["logger"] == "repro.x"
+    assert payload["msg"] == "msg"
+    assert payload["task_id"] == 3
+    assert isinstance(payload["ts"], float)
+
+
+def test_format_event_json_degrades_unserialisable_values():
+    line = format_event(
+        "INFO", "repro.x", "m", {"bad": object()}, json_mode=True
+    )
+    payload = json.loads(line)  # repr fallback, never a crash
+    assert "object" in payload["bad"]
+
+
+def test_json_mode_enabled_parses_common_truthy_forms():
+    for raw in ("1", "true", "YES", " on "):
+        assert json_mode_enabled({"REPRO_LOG_JSON": raw})
+    for raw in ("", "0", "false", "off"):
+        assert not json_mode_enabled({"REPRO_LOG_JSON": raw})
+    assert not json_mode_enabled({})
+
+
+# ----------------------------------------------------------------------
+# the logger: correlation fields, caplog compatibility
+# ----------------------------------------------------------------------
+def test_fields_land_on_the_record_and_pid_is_automatic(caplog):
+    with caplog.at_level(logging.INFO, logger="repro.test.structlog"):
+        get_logger("repro.test.structlog").info("hello", task_id=9)
+    (record,) = caplog.records
+    assert record.getMessage() == "hello"
+    assert record.repro_fields["task_id"] == 9
+    assert record.repro_fields["pid"] == os.getpid()
+
+
+def test_ambient_trace_context_is_attached(caplog):
+    ctx = new_trace()
+    with caplog.at_level(logging.INFO, logger="repro.test.structlog"):
+        with use_context(ctx):
+            get_logger("repro.test.structlog").info("traced")
+        get_logger("repro.test.structlog").info("untraced")
+    traced, untraced = caplog.records
+    assert traced.repro_fields["trace_id"] == ctx.trace_id
+    assert traced.repro_fields["span_id"] == ctx.span_id
+    assert "trace_id" not in untraced.repro_fields
+
+
+def test_explicit_fields_win_over_ambient_and_none_is_dropped(caplog):
+    ctx = new_trace()
+    with caplog.at_level(logging.INFO, logger="repro.test.structlog"):
+        with use_context(ctx):
+            get_logger("repro.test.structlog").info(
+                "override", trace_id="feedface", worker=None
+            )
+    (record,) = caplog.records
+    assert record.repro_fields["trace_id"] == "feedface"
+    assert "worker" not in record.repro_fields
+
+
+def test_level_gating_short_circuits(caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.test.structlog"):
+        get_logger("repro.test.structlog").debug("invisible", task_id=1)
+    assert not caplog.records
+
+
+def test_exception_carries_exc_info(caplog):
+    log = get_logger("repro.test.structlog")
+    with caplog.at_level(logging.ERROR, logger="repro.test.structlog"):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("it broke", task_id=1)
+    (record,) = caplog.records
+    assert record.exc_info is not None
+    assert record.repro_fields["task_id"] == 1
+
+
+# ----------------------------------------------------------------------
+# formatter + configure
+# ----------------------------------------------------------------------
+def _make_record(fields):
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, "msg", (), None
+    )
+    record.repro_fields = fields
+    return record
+
+
+def test_struct_formatter_text_and_json_modes():
+    record = _make_record({"task_id": 5})
+    assert StructFormatter(json_mode=False).format(record) == "msg task_id=5"
+    payload = json.loads(StructFormatter(json_mode=True).format(record))
+    assert payload["task_id"] == 5 and payload["msg"] == "msg"
+
+
+def test_configure_is_idempotent_and_force_replaces():
+    stream = io.StringIO()
+    handler = configure(stream=stream, force=True)
+    again = configure(stream=io.StringIO())
+    assert again is handler  # second call reuses the installed handler
+    replacement = configure(stream=io.StringIO(), force=True)
+    assert replacement is not handler
+    root = logging.getLogger("repro")
+    struct_handlers = [
+        h for h in root.handlers if getattr(h, "_repro_struct", False)
+    ]
+    assert struct_handlers == [replacement]
+    root.removeHandler(replacement)
+    structlog._configured = False
+
+
+def test_configured_stream_receives_json_lines():
+    stream = io.StringIO()
+    handler = configure(stream=stream, json_mode=True, force=True)
+    try:
+        get_logger("repro.test.structlog").warning("served", tenant="acme")
+        payload = json.loads(stream.getvalue().strip().splitlines()[-1])
+        assert payload["msg"] == "served"
+        assert payload["tenant"] == "acme"
+    finally:
+        logging.getLogger("repro").removeHandler(handler)
+        structlog._configured = False

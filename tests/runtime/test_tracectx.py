@@ -1,0 +1,239 @@
+"""Tests of :mod:`repro.runtime.tracectx`: context minting, the W3C
+traceparent wire form, ambient propagation, and the engine/backends
+integration that stamps trace lineage onto :class:`TaskRecord`s."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.runtime import Runtime, task, wait_on
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.tracectx import (
+    TraceContext,
+    child_of,
+    current_context,
+    iter_lineage,
+    new_trace,
+    set_context,
+    use_context,
+)
+
+
+# ----------------------------------------------------------------------
+# minting + shapes
+# ----------------------------------------------------------------------
+def test_new_trace_shapes():
+    ctx = new_trace()
+    assert len(ctx.trace_id) == 32 and int(ctx.trace_id, 16) >= 0
+    assert len(ctx.span_id) == 16 and int(ctx.span_id, 16) >= 0
+    assert ctx.parent_id is None
+
+
+def test_child_keeps_trace_and_parents_under_span():
+    root = new_trace()
+    child = root.child()
+    assert child.trace_id == root.trace_id
+    assert child.span_id != root.span_id
+    assert child.parent_id == root.span_id
+    grand = child.child()
+    assert grand.parent_id == child.span_id
+    assert grand.trace_id == root.trace_id
+
+
+def test_span_ids_unique_across_many_mints():
+    root = new_trace()
+    ids = {root.child().span_id for _ in range(1000)}
+    assert len(ids) == 1000
+
+
+def test_child_of_none_is_a_new_root():
+    ctx = child_of(None)
+    assert ctx.parent_id is None
+    parent = new_trace()
+    assert child_of(parent).parent_id == parent.span_id
+
+
+def test_to_dict_and_lineage():
+    child = new_trace().child()
+    d = child.to_dict()
+    assert d == {
+        "trace_id": child.trace_id,
+        "span_id": child.span_id,
+        "parent_id": child.parent_id,
+    }
+    assert list(iter_lineage(child)) == [child.span_id, child.parent_id]
+    root = new_trace()
+    assert list(iter_lineage(root)) == [root.span_id]
+
+
+# ----------------------------------------------------------------------
+# wire form
+# ----------------------------------------------------------------------
+def test_header_roundtrip_drops_parent():
+    ctx = new_trace().child()
+    header = ctx.to_header()
+    assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+    back = TraceContext.from_header(header)
+    assert back.trace_id == ctx.trace_id
+    assert back.span_id == ctx.span_id
+    # the parent does not travel: the receiver mints a child instead
+    assert back.parent_id is None
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        "",
+        "00-abc-def-01",
+        "00-" + "g" * 32 + "-" + "0" * 16 + "-01",  # non-hex
+        "00-" + "0" * 31 + "-" + "0" * 16 + "-01",  # short trace id
+        "00-" + "0" * 32 + "-" + "0" * 15 + "-01",  # short span id
+        "no dashes here",
+    ],
+)
+def test_from_header_rejects_malformed(header):
+    with pytest.raises(ValueError):
+        TraceContext.from_header(header)
+
+
+# ----------------------------------------------------------------------
+# ambient propagation
+# ----------------------------------------------------------------------
+def test_set_context_returns_previous():
+    assert current_context() is None
+    a, b = new_trace(), new_trace()
+    prev = set_context(a)
+    assert prev is None and current_context() is a
+    prev = set_context(b)
+    assert prev is a and current_context() is b
+    set_context(None)
+    assert current_context() is None
+
+
+def test_use_context_restores_on_exit_even_on_error():
+    outer = new_trace()
+    set_context(outer)
+    try:
+        with pytest.raises(RuntimeError):
+            with use_context(new_trace()):
+                assert current_context() is not outer
+                raise RuntimeError("boom")
+        assert current_context() is outer
+    finally:
+        set_context(None)
+
+
+def test_ambient_context_is_per_thread():
+    ctx = new_trace()
+    seen = {}
+
+    def probe():
+        seen["other"] = current_context()
+
+    with use_context(ctx):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+        assert current_context() is ctx
+    assert seen["other"] is None
+
+
+# ----------------------------------------------------------------------
+# engine integration: records carry trace lineage
+# ----------------------------------------------------------------------
+@task(returns=1)
+def _leaf(x):
+    return x + 1
+
+
+@task(returns=1)
+def _parent_task(x):
+    # nested submission: the engine's ambient context makes this a child
+    return _leaf(x)
+
+
+def test_records_stamp_trace_and_nested_parenting():
+    with Runtime(executor="threads") as rt:
+        assert wait_on(_parent_task(1)) == 2
+        trace = rt.trace()
+    records = {r.name: r for r in trace}
+    outer, leaf = records["_parent_task"], records["_leaf"]
+    assert outer.trace_id and outer.span_id
+    assert leaf.trace_id == outer.trace_id
+    assert leaf.parent_span_id == outer.span_id
+
+
+def test_sibling_roots_get_distinct_traces():
+    with Runtime(executor="threads") as rt:
+        futures = [_leaf(i) for i in range(3)]
+        assert [wait_on(f) for f in futures] == [1, 2, 3]
+        trace = rt.trace()
+    trace_ids = {r.trace_id for r in trace}
+    assert len(trace_ids) == 3  # no shared ancestor: three root traces
+
+
+def test_ambient_caller_context_adopts_submissions():
+    root = new_trace()
+    with Runtime(executor="threads") as rt:
+        with use_context(root):
+            assert wait_on(_leaf(1)) == 2
+        trace = rt.trace()
+    (rec,) = list(trace)
+    assert rec.trace_id == root.trace_id
+    assert rec.parent_span_id == root.span_id
+
+
+def test_collect_trace_off_skips_minting():
+    cfg = RuntimeConfig(executor="threads", collect_trace=False)
+    with Runtime(config=cfg) as rt:
+        assert wait_on(_leaf(1)) == 2
+        assert rt.trace() is None or len(rt.trace()) == 0
+
+
+@task(returns=1, max_retries=2)
+def _flaky_once():
+    from repro.runtime.backends import current_attempt
+
+    if current_attempt() == 0:
+        raise ValueError("first attempt fails")
+    return "ok"
+
+
+def test_retry_spans_share_trace_and_parent_under_failed_attempt():
+    with Runtime(executor="threads") as rt:
+        assert wait_on(_flaky_once()) == "ok"
+        trace = rt.trace()
+    records = sorted(trace, key=lambda r: r.attempt)
+    assert len(records) == 2
+    failed, retried = records
+    assert retried.trace_id == failed.trace_id
+    assert retried.span_id != failed.span_id
+    assert retried.parent_span_id == failed.span_id
+
+
+# ----------------------------------------------------------------------
+# process backend: context crosses the pickle pipe
+# ----------------------------------------------------------------------
+def _report_worker_view():
+    ctx = current_context()
+    return (os.getpid(), None if ctx is None else ctx.trace_id)
+
+
+@task(returns=1)
+def _worker_view():
+    return _report_worker_view()
+
+
+@pytest.mark.slow
+def test_context_propagates_into_worker_process():
+    cfg = RuntimeConfig(executor="threads", backend="processes", max_workers=2)
+    with Runtime(config=cfg) as rt:
+        pid, worker_trace_id = wait_on(_worker_view())
+        trace = rt.trace()
+    (rec,) = list(trace)
+    assert pid != os.getpid()  # it really ran in a worker process
+    # the worker saw the same trace id the coordinator stamped
+    assert worker_trace_id == rec.trace_id

@@ -112,3 +112,93 @@ def test_parse_fault_spec():
     for bad in ("nope:foo:1", "kill_worker:foo", "kill_worker:foo:x"):
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_fault_spec(bad)
+
+
+def test_trace_service_exports_otlp(tmp_path, capsys):
+    import json
+
+    data = str(tmp_path / "data")
+    assert main(["submit", "--data-dir", data, f"{DEMO}:add", "1", "2"]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", "--data-dir", data, "--poll-interval", "0.01",
+        "--lease-timeout", "3", "--until-idle",
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["trace", "--service", data]) == 0
+    document = json.loads(capsys.readouterr().out)
+    from repro.runtime.otlp import iter_spans
+
+    names = {s["name"] for s in iter_spans(document)}
+    assert "submit" in names and "deliver" in names and "add" in names
+
+    out_file = tmp_path / "trace.otlp.json"
+    assert main(["trace", "--service", data, "--output", str(out_file)]) == 0
+    assert "spans" in capsys.readouterr().out
+    assert json.loads(out_file.read_text())["resourceSpans"]
+
+
+def test_trace_service_chrome_merges_incarnations(tmp_path, capsys):
+    import json
+
+    data = str(tmp_path / "data")
+    assert main(["submit", "--data-dir", data, f"{DEMO}:add", "1", "2"]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", "--data-dir", data, "--poll-interval", "0.01",
+        "--lease-timeout", "3", "--until-idle",
+    ]) == 0
+    capsys.readouterr()
+
+    out_file = tmp_path / "service.chrome.json"
+    assert main([
+        "trace", "chrome", "--service", data, "--output", str(out_file),
+    ]) == 0
+    assert "merged chrome trace" in capsys.readouterr().out
+    chrome = json.loads(out_file.read_text())
+    events = chrome["traceEvents"]
+    names = {e["name"] for e in events if e["ph"] in ("X", "i")}
+    assert "submit" in names and "deliver" in names and "add" in names
+    # every resource (client log, server, worker runtime) got a row
+    rows = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+    assert len(rows) >= 2
+    assert all(e["ts"] >= 0 for e in events if e["ph"] in ("X", "i"))
+
+
+def test_trace_service_empty_dir_fails(tmp_path, capsys):
+    assert main(["trace", "--service", str(tmp_path)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+def test_trace_without_file_or_service_is_an_error(capsys):
+    assert main(["trace", "summarize"]) == 2
+    assert "wants a FILE" in capsys.readouterr().err
+
+
+def test_logs_renders_service_dir_and_span_file(tmp_path, capsys):
+    data = str(tmp_path / "data")
+    assert main(["submit", "--data-dir", data, f"{DEMO}:add", "1", "2"]) == 0
+    capsys.readouterr()
+    assert main(["logs", data]) == 0
+    out = capsys.readouterr().out
+    assert "span log" in out and "submit" in out
+
+    assert main(["logs", str(tmp_path / "data" / "spans.jsonl"), "--limit", "1"]) == 0
+    assert "trace=" in capsys.readouterr().out
+
+
+def test_logs_renders_flightrec_dump(tmp_path, capsys):
+    from repro.runtime.flightrec import FlightRecorder
+    from repro.runtime.observability import TaskEvent
+
+    rec = FlightRecorder(name="cli", dump_dir=tmp_path)
+    rec.record(TaskEvent(kind="submitted", t=0.5, task_id=1, root_id=1, name="add"))
+    path = rec.dump(reason="cli test")
+    rec.close()
+    assert main(["logs", path]) == 0
+    out = capsys.readouterr().out
+    assert "cli test" in out and "submitted" in out
+
+    assert main(["logs", str(tmp_path / "missing.json")]) == 1
+    assert "no such file" in capsys.readouterr().err
